@@ -1,0 +1,96 @@
+// Command paperbench regenerates every table and figure of the paper:
+//
+//	paperbench -exp all            # run everything, print to stdout
+//	paperbench -exp fig9           # one experiment
+//	paperbench -exp all -out out/  # also write one .txt per experiment
+//	paperbench -list               # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"ccperf"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment ID (see -list) or \"all\"")
+	out := flag.String("out", "", "directory to write per-experiment text files")
+	jsonOut := flag.Bool("json", false, "also write machine-readable .json files (requires -out)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range ccperf.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := ccperf.ExperimentIDs()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	failed := 0
+	for _, id := range ids {
+		start := time.Now()
+		res, err := ccperf.RunExperiment(strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			failed++
+			continue
+		}
+		text := render(res, time.Since(start))
+		fmt.Print(text)
+		if *out != "" {
+			path := filepath.Join(*out, res.ID+".txt")
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				fatal(err)
+			}
+			if *jsonOut {
+				var buf strings.Builder
+				if err := res.WriteJSON(&buf); err != nil {
+					fatal(err)
+				}
+				if err := os.WriteFile(filepath.Join(*out, res.ID+".json"), []byte(buf.String()), 0o644); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func render(res *ccperf.Result, d time.Duration) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "==== %s — %s (regenerated in %v)\n\n", res.ID, res.Title, d.Round(time.Millisecond))
+	b.WriteString(res.Text)
+	if len(res.Findings) > 0 {
+		b.WriteString("\nPaper vs measured:\n")
+		for _, f := range res.Findings {
+			paper := f.Paper
+			if paper == "" {
+				paper = "(not reported)"
+			}
+			fmt.Fprintf(&b, "  %-34s paper: %-44s measured: %s\n", f.Name, paper, f.Measured)
+		}
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

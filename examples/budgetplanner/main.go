@@ -1,0 +1,65 @@
+// Budget planner: sweep the cost budget and watch the achievable accuracy,
+// the Pareto frontier, and Algorithm 1's picks move — Section 4.4/4.5 as a
+// planning tool. Also contrasts the greedy allocation against the
+// exhaustive optimum at each budget.
+//
+//	go run ./examples/budgetplanner
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ccperf"
+	"ccperf/internal/report"
+)
+
+func main() {
+	planner, err := ccperf.NewPlanner(ccperf.Caffenet)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const images = 1_000_000
+	const deadlineH = 0.75
+
+	fmt.Printf("Planning %d Caffenet inferences, deadline %.2f h, budget sweep\n\n", images, deadlineH)
+	tb := report.NewTable("Algorithm 1 vs exhaustive across budgets",
+		"Budget ($)", "Greedy Top-1 (%)", "Greedy cost ($)", "Optimal Top-1 (%)", "Optimal cost ($)", "Greedy evals", "Exhaustive evals")
+	for _, budget := range []float64{2.5, 3, 4, 5, 6, 8} {
+		req := ccperf.Request{Images: images, DeadlineHours: deadlineH, BudgetUSD: budget}
+		greedy, err := planner.Allocate(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exact, err := planner.AllocateExhaustive(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cell := func(p ccperf.Plan, cost bool) string {
+			if !p.Found {
+				return "-"
+			}
+			if cost {
+				return fmt.Sprintf("%.2f", p.CostUSD)
+			}
+			return fmt.Sprintf("%.0f", p.Top1*100)
+		}
+		tb.Row(budget, cell(greedy, false), cell(greedy, true), cell(exact, false), cell(exact, true), greedy.Ops, exact.Ops)
+	}
+	fmt.Println(tb.String())
+
+	// At the mid budget, show the cost-accuracy frontier the consumer is
+	// actually choosing from.
+	req := ccperf.Request{Images: images, BudgetUSD: 5}
+	n, _, costFrontier, err := planner.Frontiers(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("budget $5, no deadline: %d feasible configurations; cost-accuracy Pareto frontier:\n", n)
+	fr := report.NewTable("", "Top-1 (%)", "Cost ($)", "Hours", "Degree", "Config")
+	for _, p := range costFrontier {
+		fr.Row(fmt.Sprintf("%.0f", p.Accuracy*100), fmt.Sprintf("%.2f", p.CostUSD), fmt.Sprintf("%.2f", p.Hours), p.Degree, p.Config)
+	}
+	fmt.Println(fr.String())
+}

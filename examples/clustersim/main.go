@@ -1,0 +1,149 @@
+// Cluster simulation: run a photo-filtering service through a full bursty
+// day on a rented GPU fleet and observe what the analytical model cannot
+// show — queueing delay, tail latency, utilization, and how a degree of
+// pruning converts directly into latency headroom on the same fleet.
+//
+//	go run ./examples/clustersim
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ccperf"
+	"ccperf/internal/cloud"
+	"ccperf/internal/cluster"
+	"ccperf/internal/prune"
+	"ccperf/internal/report"
+	"ccperf/internal/workload"
+)
+
+func main() {
+	sys, err := ccperf.NewSystem(ccperf.Caffenet)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	trace, err := workload.Generate(workload.Config{
+		Pattern: workload.Bursty, DailyTotal: 3_500_000, Windows: 24,
+		BurstProb: 0.1, BurstScale: 3, Seed: 9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// 20k-image jobs arriving through each hour, each due within 30 min.
+	jobs := cluster.JobsFromWindows(trace.Windows, 3600, 20_000, 0.5)
+	fmt.Printf("day: %d photos in %d jobs (peak hour %d photos)\n\n", trace.Total(), len(jobs), trace.Peak())
+
+	xl, err := cloud.ByName("p2.xlarge")
+	if err != nil {
+		log.Fatal(err)
+	}
+	g3, err := cloud.ByName("g3.4xlarge")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := func(i *cloud.Instance, n int) []*cloud.Instance {
+		out := make([]*cloud.Instance, n)
+		for k := range out {
+			out[k] = i
+		}
+		return out
+	}
+
+	// The peak hour carries ~3.2 GPU-hours of unpruned Caffenet work, so a
+	// 2-GPU K80 fleet saturates at the peak (queues build, deadlines slip)
+	// while 3 GPUs — or 2 GPUs with sweet-spot pruning — keep up.
+	fleets := []struct {
+		name  string
+		fleet []*cloud.Instance
+	}{
+		{"2x p2.xlarge", rep(xl, 2)},
+		{"3x p2.xlarge", rep(xl, 3)},
+		{"2x g3.4xlarge", rep(g3, 2)},
+	}
+	degrees := []struct {
+		name string
+		d    prune.Degree
+	}{
+		{"nonpruned", prune.Degree{}},
+		{"sweet-spot", prune.NewDegree("conv1", 0.3, "conv2", 0.5)},
+	}
+
+	tb := report.NewTable("24 h service simulation (30-min job deadlines)",
+		"Fleet", "Degree", "p50 resp (min)", "p95 resp (min)", "Misses", "Util (%)", "Cost ($/day)")
+	for _, f := range fleets {
+		for _, d := range degrees {
+			res, err := cluster.Run(cluster.Config{
+				Fleet:   f.fleet,
+				Perf:    sys.Harness().Perf(d.d, 0),
+				Horizon: 24 * 3600,
+			}, jobs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tb.Row(f.name, d.name,
+				fmt.Sprintf("%.1f", res.P50Response/60),
+				fmt.Sprintf("%.1f", res.P95Response/60),
+				res.Misses,
+				fmt.Sprintf("%.0f", res.AverageUtilization()*100),
+				fmt.Sprintf("%.2f", res.Cost))
+		}
+	}
+	fmt.Println(tb.String())
+
+	// Autoscaling: instead of a fixed fleet, size p2.xlarge count per hour.
+	// The oracle predictor tracks the trace perfectly; the reactive one
+	// lags it by an hour and pays at burst onset.
+	at := report.NewTable("Autoscaled p2.xlarge fleet (sweet-spot degree, 5-min boot delay)",
+		"Predictor", "p50 resp (min)", "p95 resp (min)", "Misses", "Util (%)", "Cost ($/day)", "Peak fleet")
+	perf := sys.Harness().Perf(prune.NewDegree("conv1", 0.3, "conv2", 0.5), 0)
+	specXL, err := cluster.SpecFor(xl, perf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pred := range []cluster.Predictor{cluster.Oracle, cluster.Reactive} {
+		res, err := cluster.RunAutoscaled(cluster.AutoscaleConfig{
+			Instance: specXL, Min: 1, Max: 8, TargetUtil: 0.7,
+			BootDelay: 300, WindowSeconds: 3600, Predictor: pred,
+		}, trace.Windows, 20_000, 0.5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		peak := 0
+		for _, n := range res.Active {
+			if n > peak {
+				peak = n
+			}
+		}
+		at.Row(pred.String(),
+			fmt.Sprintf("%.1f", res.P50Response/60),
+			fmt.Sprintf("%.1f", res.P95Response/60),
+			res.Misses,
+			fmt.Sprintf("%.0f", res.AverageUtilization()*100),
+			fmt.Sprintf("%.2f", res.Cost),
+			peak)
+	}
+	fmt.Println(at.String())
+
+	// Response-time distribution for the tight fleet at both degrees.
+	for _, d := range degrees {
+		res, err := cluster.Run(cluster.Config{
+			Fleet:   fleets[0].fleet,
+			Perf:    sys.Harness().Perf(d.d, 0),
+			Horizon: 24 * 3600,
+		}, jobs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp := make([]float64, len(res.Jobs))
+		for i, s := range res.Jobs {
+			resp[i] = s.Response() / 60
+		}
+		fmt.Println(report.Histogram(fmt.Sprintf("response-time distribution, %s on %s (min)", d.name, fleets[0].name), "m", resp, 8, 40))
+	}
+
+	fmt.Println("Pruning to the sweet-spot buys the same latency as adding hardware —")
+	fmt.Println("but for free; autoscaling then keeps the rented fleet near the target")
+	fmt.Println("utilization instead of paying for the peak all day.")
+}

@@ -1,0 +1,119 @@
+// Prune explorer: the empirical path. Trains a small CNN in Go on a
+// synthetic dataset, then really prunes it with all four pruning
+// algorithms and re-measures accuracy — demonstrating that the paper's
+// sweet-spot phenomenon (and the layer-sensitivity asymmetry of
+// Observation 2) emerges from real pruning, not from calibration. Finally
+// times the same custom network through the GPU simulator's FLOPs-based
+// fallback to show pruning translating into simulated cloud time/cost.
+//
+//	go run ./examples/pruneexplorer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ccperf/internal/accuracy"
+	"ccperf/internal/cloud"
+	"ccperf/internal/dataset"
+	"ccperf/internal/gpusim"
+	"ccperf/internal/nn"
+	"ccperf/internal/prune"
+	"ccperf/internal/report"
+	"ccperf/internal/train"
+)
+
+func main() {
+	// 1. Train the substrate once per pruning method (methods mutate
+	// weights, so each comparison starts from an identical trained model).
+	shape := nn.Shape{C: 1, H: 16, W: 16}
+	ds, err := dataset.Synthetic(dataset.Config{
+		Classes: 10, PerClass: 60, Shape: shape, Noise: 1.2, Shift: 2, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, val := ds.Split(0.75)
+	model, err := train.New(train.Config{Input: shape, Conv1: 8, Conv2: 16, Classes: 10, Seed: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := model.Train(tr, train.DefaultOpts()); err != nil {
+		log.Fatal(err)
+	}
+	base, _, err := model.Evaluate(val, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained small CNN: %.0f%% Top-1 on held-out synthetic data (chance 10%%)\n\n", base*100)
+
+	// 2. Sweep all four pruning algorithms on conv1 and conv2.
+	methods := []prune.Method{prune.L1Filter, prune.Magnitude, prune.StructuredScore, prune.GreedyCost}
+	for layer := 1; layer <= 2; layer++ {
+		tb := report.NewTable(fmt.Sprintf("Top-1 (%%) after pruning conv%d", layer),
+			"Method", "0%", "25%", "50%", "75%", "90%")
+		for _, m := range methods {
+			row := []any{m.String(), fmt.Sprintf("%.0f", base*100)}
+			for _, r := range []float64{0.25, 0.5, 0.75, 0.9} {
+				c := model.Clone()
+				if err := c.PruneConv(layer, r, m); err != nil {
+					log.Fatal(err)
+				}
+				a, _, err := c.Evaluate(val, 3)
+				if err != nil {
+					log.Fatal(err)
+				}
+				row = append(row, fmt.Sprintf("%.0f", a*100))
+			}
+			tb.Row(row...)
+		}
+		fmt.Println(tb.String())
+	}
+
+	// 3. The packaged empirical evaluator (same substrate behind one call).
+	e := accuracy.NewEmpirical(accuracy.DefaultEmpiricalConfig())
+	a, err := e.Evaluate(prune.NewDegree("conv1", 0.25, "conv2", 0.5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("empirical evaluator, conv1@25%%+conv2@50%%: Top-1 %.0f%% (baseline %.0f%%)\n\n",
+		a.Top1*100, e.Baseline().Top1*100)
+
+	// 4. Time an uncalibrated custom network on the simulated cloud via
+	// effective-FLOPs accounting: pruning really shrinks simulated time
+	// and cost because the engine executes sparse kernels.
+	net := nn.NewNet("custom", nn.Shape{C: 3, H: 64, W: 64})
+	net.Add(
+		nn.NewConv("c1", 32, 3, 3, 1, 1, 1, 1, 1),
+		nn.NewReLU("r1"),
+		nn.NewMaxPool("p1", 2, 2),
+		nn.NewConv("c2", 64, 3, 3, 1, 1, 1, 1, 1),
+		nn.NewReLU("r2"),
+		nn.NewGlobalAvgPool("gap"),
+		nn.NewFlatten("f"),
+		nn.NewFC("fc", 10),
+		nn.NewSoftmax("sm"),
+	)
+	if err := net.Init(7); err != nil {
+		log.Fatal(err)
+	}
+	sim := gpusim.New()
+	inst, err := cloud.ByName("p2.xlarge")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb := report.NewTable("custom net on simulated p2.xlarge (100k images)", "c2 prune (%)", "Time (s)", "Cost ($)")
+	for _, r := range []float64{0, 0.5, 0.9} {
+		if r > 0 {
+			if err := prune.Apply(net, prune.NewDegree("c2", r), prune.L1Filter); err != nil {
+				log.Fatal(err)
+			}
+		}
+		sec, err := sim.TotalTime(gpusim.ModelRun{ModelName: "custom", Net: net}, inst, 1, 100_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb.Row(r*100, fmt.Sprintf("%.0f", sec), fmt.Sprintf("%.3f", sec/3600*inst.PricePerHour))
+	}
+	fmt.Println(tb.String())
+}

@@ -1,0 +1,67 @@
+// Quickstart: characterize Caffenet, measure one pruned configuration, and
+// let Algorithm 1 pick a cloud configuration under a deadline and budget.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ccperf"
+	"ccperf/internal/prune"
+)
+
+func main() {
+	// 1. A measurement system for the paper's Caffenet CNN.
+	sys, err := ccperf.NewSystem(ccperf.Caffenet)
+	if err != nil {
+		log.Fatal(err)
+	}
+	top1, top5 := sys.Baseline()
+	fmt.Printf("Caffenet baseline accuracy: Top-1 %.0f%%, Top-5 %.0f%%\n\n", top1*100, top5*100)
+
+	// 2. Measure a degree of pruning on one EC2 instance: time, pro-rated
+	// cost, accuracy, and the paper's TAR/CAR metrics.
+	degree := prune.NewDegree("conv1", 0.3, "conv2", 0.5) // Figure 8's conv1-2
+	rec, err := sys.Measure(degree, "p2.xlarge", 50_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("conv1@30%%+conv2@50%% on p2.xlarge, 50k images:\n")
+	fmt.Printf("  time %.1f min, cost $%.3f, Top-5 %.0f%%\n", rec.Seconds/60, rec.Cost, rec.Top5*100)
+	fmt.Printf("  TAR %.0f s/acc, CAR $%.3f/acc\n\n", rec.TARTop5(), rec.CARTop5())
+
+	// 3. Find each layer's sweet-spot: the deepest pruning with no
+	// accuracy loss (Observation 1).
+	spots, err := sys.SweetSpots([]string{"conv1", "conv2", "conv3"}, 50_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range spots {
+		fmt.Printf("sweet-spot %-6s prune ≤ %.0f%%  (saves %.1f%% time for free)\n", s.Layer, s.MaxRatio*100, s.TimeSavedPct)
+	}
+	fmt.Println()
+
+	// 4. Plan: one million images, 40-minute deadline, $5 budget.
+	// Algorithm 1 picks the degree of pruning and the cloud configuration.
+	planner, err := ccperf.NewPlanner(ccperf.Caffenet)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := planner.Allocate(ccperf.Request{
+		Images:        1_000_000,
+		DeadlineHours: 0.66,
+		BudgetUSD:     5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !plan.Found {
+		fmt.Println("no feasible configuration — relax the deadline or budget")
+		return
+	}
+	fmt.Printf("plan: %s on %s\n", plan.Degree, plan.Config)
+	fmt.Printf("      Top-1 %.0f%%, %.2f h, $%.2f  (%d model evaluations)\n",
+		plan.Top1*100, plan.Hours, plan.CostUSD, plan.Ops)
+}

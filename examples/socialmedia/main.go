@@ -1,0 +1,108 @@
+// Social-media photo filtering — the paper's motivating workload
+// (Section 1): photos uploaded to a social platform must pass a CNN
+// filter in near-real-time before publishing. "Close enough" accuracy is
+// acceptable (a 75%-confident violation goes to manual review), so the
+// operator trades accuracy for cost hour by hour.
+//
+// The example sizes the pipeline over a bursty diurnal day: fixed
+// operating points are compared on the full trace, and for windows where
+// the fixed fleet would miss its deadline (viral spikes), Algorithm 1
+// re-plans the degree of pruning and the fleet on the fly.
+//
+//	go run ./examples/socialmedia
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ccperf"
+	"ccperf/internal/prune"
+	"ccperf/internal/report"
+	"ccperf/internal/workload"
+)
+
+const (
+	dailyPhotos   = 3_500_000 // paper's Facebook figure scaled by 100×
+	deadlineHours = 0.5       // each hour's photos must clear within 30 min
+	hourlyBudget  = 1.2       // dollars per window
+)
+
+func main() {
+	planner, err := ccperf.NewPlanner(ccperf.Caffenet)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := planner.System()
+
+	trace, err := workload.Generate(workload.Config{
+		Pattern: workload.Bursty, DailyTotal: dailyPhotos, Windows: 24,
+		BurstProb: 0.1, BurstScale: 3, Seed: 9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bursty diurnal day: %d photos total, peak hour %d photos\n\n", trace.Total(), trace.Peak())
+
+	// Fixed operating points compared on the whole day.
+	points := []struct {
+		name string
+		d    prune.Degree
+	}{
+		{"full-accuracy", prune.Degree{}},
+		{"sweet-spot", prune.NewDegree("conv1", 0.3, "conv2", 0.5)}, // Figure 8 conv1-2
+		{"aggressive", prune.NewDegree("conv1", 0.3, "conv2", 0.7, "conv3", 0.7)},
+	}
+	tb := report.NewTable("Fixed p2.16xlarge, per operating point (whole day)",
+		"Operating point", "Top-5 (%)", "Cost ($/day)", "CAR ($)", "Deadline misses")
+	for _, p := range points {
+		var cost float64
+		misses := 0
+		var top5 float64
+		for _, photos := range trace.Windows {
+			rec, err := sys.Measure(p.d, "p2.16xlarge", photos)
+			if err != nil {
+				log.Fatal(err)
+			}
+			top5 = rec.Top5
+			cost += rec.Cost
+			if rec.Seconds > deadlineHours*3600 {
+				misses++
+			}
+		}
+		tb.Row(p.name, fmt.Sprintf("%.0f", top5*100), fmt.Sprintf("%.2f", cost),
+			fmt.Sprintf("%.3f", cost/top5), misses)
+	}
+	fmt.Println(tb.String())
+
+	// Adaptive operation: per window, Algorithm 1 picks degree AND fleet
+	// under the deadline and hourly budget — spikes get more pruning or
+	// more GPUs, quiet hours get a single cheap instance.
+	at := report.NewTable("Adaptive (Algorithm 1 per window)",
+		"Hour", "Photos", "Degree", "Config", "Top-1 (%)", "Minutes", "Cost ($)")
+	var dayCost float64
+	adaptMisses := 0
+	for hour, photos := range trace.Windows {
+		plan, err := planner.Allocate(ccperf.Request{
+			Images:        photos,
+			DeadlineHours: deadlineHours,
+			BudgetUSD:     hourlyBudget,
+			Variants:      25,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !plan.Found {
+			adaptMisses++
+			at.Row(hour, photos, "(infeasible)", "-", "-", "-", "-")
+			continue
+		}
+		dayCost += plan.CostUSD
+		if hour%4 == 0 || photos == trace.Peak() { // keep the table short
+			at.Row(hour, photos, plan.Degree, plan.Config,
+				fmt.Sprintf("%.0f", plan.Top1*100), fmt.Sprintf("%.0f", plan.Hours*60), fmt.Sprintf("%.2f", plan.CostUSD))
+		}
+	}
+	fmt.Println(at.String())
+	fmt.Printf("adaptive day: $%.2f total, %d infeasible windows\n", dayCost, adaptMisses)
+}

@@ -1,0 +1,215 @@
+package ccperf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestExperimentIDsComplete(t *testing.T) {
+	ids := ExperimentIDs()
+	want := []string{"table1", "table3", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "alg1", "empirical",
+		"calibration", "sensitivity", "robustness", "joint"}
+	if len(ids) != len(want) {
+		t.Fatalf("%d experiments, want %d", len(ids), len(want))
+	}
+	for i, w := range want {
+		if ids[i] != w {
+			t.Fatalf("ids[%d] = %s, want %s", i, ids[i], w)
+		}
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if _, err := RunExperiment("fig99"); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+// runExp caches experiment results across tests in this package run.
+var expCache = map[string]*Result{}
+
+func runExp(t *testing.T, id string) *Result {
+	t.Helper()
+	if r, ok := expCache[id]; ok {
+		return r
+	}
+	r, err := RunExperiment(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expCache[id] = r
+	return r
+}
+
+func findingValue(t *testing.T, r *Result, name string) string {
+	t.Helper()
+	for _, f := range r.Findings {
+		if f.Name == name {
+			return f.Measured
+		}
+	}
+	t.Fatalf("%s: finding %q missing (have %+v)", r.ID, name, r.Findings)
+	return ""
+}
+
+func TestAllExperimentsProduceTextAndFindings(t *testing.T) {
+	for _, id := range ExperimentIDs() {
+		r := runExp(t, id)
+		if r.Text == "" {
+			t.Errorf("%s: empty text", id)
+		}
+		if len(r.Findings) == 0 {
+			t.Errorf("%s: no findings", id)
+		}
+		if r.Title == "" || r.ID != id {
+			t.Errorf("%s: bad metadata %q/%q", id, r.ID, r.Title)
+		}
+	}
+}
+
+func TestTable1Findings(t *testing.T) {
+	r := runExp(t, "table1")
+	if got := findingValue(t, r, "conv1 output"); !strings.Contains(got, "55 x 55 x 96") {
+		t.Errorf("conv1 = %q", got)
+	}
+	params := findingValue(t, r, "total parameters")
+	n, err := strconv.Atoi(params)
+	if err != nil || n < 55e6 || n > 65e6 {
+		t.Errorf("params = %q", params)
+	}
+}
+
+func TestFig3Findings(t *testing.T) {
+	r := runExp(t, "fig3")
+	if got := findingValue(t, r, "conv1 share"); got != "51%" {
+		t.Errorf("conv1 share = %q, want 51%%", got)
+	}
+	if got := findingValue(t, r, "conv2 share"); got != "16%" {
+		t.Errorf("conv2 share = %q, want 16%%", got)
+	}
+}
+
+func TestFig4Findings(t *testing.T) {
+	r := runExp(t, "fig4")
+	if got := findingValue(t, r, "Caffenet 0%→90%"); !strings.HasPrefix(got, "0.09") {
+		t.Errorf("caffenet latency = %q", got)
+	}
+	if got := findingValue(t, r, "Googlenet 0%→90%"); !strings.HasPrefix(got, "0.16") {
+		t.Errorf("googlenet latency = %q", got)
+	}
+}
+
+func TestFig5Findings(t *testing.T) {
+	r := runExp(t, "fig5")
+	if got := findingValue(t, r, "saturation point"); !strings.HasPrefix(got, "300") {
+		t.Errorf("saturation = %q", got)
+	}
+}
+
+func TestFig8Findings(t *testing.T) {
+	r := runExp(t, "fig8")
+	cases := map[string]string{
+		"nonpruned": "80% Top-5",
+		"conv1-2":   "70% Top-5",
+		"all-conv":  "62% Top-5",
+	}
+	for name, frag := range cases {
+		if got := findingValue(t, r, name); !strings.Contains(got, frag) {
+			t.Errorf("%s = %q, want containing %q", name, got, frag)
+		}
+	}
+}
+
+func TestFig9Findings(t *testing.T) {
+	r := runExp(t, "fig9")
+	feas := findingValue(t, r, "feasible configurations")
+	// Deterministic: the rescaled deadline admits 7629 configurations.
+	if !strings.HasPrefix(feas, "7629") {
+		t.Errorf("feasible = %q", feas)
+	}
+	counts := findingValue(t, r, "Pareto-optimal count")
+	parts := strings.Split(counts, " / ")
+	if len(parts) != 2 {
+		t.Fatalf("counts = %q", counts)
+	}
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 3 || n > 20 {
+			t.Errorf("frontier size %q out of plausible range", p)
+		}
+	}
+	red := findingValue(t, r, "time reduction at max accuracy")
+	if pct := parsePct(t, red); pct < 30 {
+		t.Errorf("time reduction = %v%%, want substantial", pct)
+	}
+}
+
+func TestFig10Findings(t *testing.T) {
+	r := runExp(t, "fig10")
+	feas := findingValue(t, r, "feasible configurations")
+	if !strings.HasPrefix(feas, "1966") {
+		t.Errorf("feasible = %q", feas)
+	}
+	save := findingValue(t, r, "cost saving at max accuracy")
+	if pct := parsePct(t, save); pct <= 0 {
+		t.Errorf("cost saving = %v%%, want positive", pct)
+	}
+}
+
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(strings.Fields(s)[0], "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cannot parse percent from %q", s)
+	}
+	return v
+}
+
+func TestFig11Findings(t *testing.T) {
+	r := runExp(t, "fig11")
+	if got := findingValue(t, r, "grid"); got != "30 configs" {
+		t.Errorf("grid = %q", got)
+	}
+	if got := findingValue(t, r, "same-accuracy groups"); !strings.Contains(got, "TAR ordering verified") {
+		t.Errorf("TAR check = %q", got)
+	}
+}
+
+func TestFig12Findings(t *testing.T) {
+	r := runExp(t, "fig12")
+	ratio := findingValue(t, r, "p2:g3 CAR ratio")
+	v, err := strconv.ParseFloat(ratio, 64)
+	if err != nil || v < 1.5 || v > 1.8 {
+		t.Errorf("CAR ratio = %q, want ~1.63", ratio)
+	}
+}
+
+func TestAlg1Findings(t *testing.T) {
+	r := runExp(t, "alg1")
+	c := findingValue(t, r, "complexity")
+	// greedy evals must be far below exhaustive's 30660.
+	var greedy, exhaustive int
+	if _, err := fmt.Sscanf(c, "%d vs %d", &greedy, &exhaustive); err != nil {
+		t.Fatalf("complexity = %q: %v", c, err)
+	}
+	if exhaustive != 30660 {
+		t.Errorf("exhaustive evals = %d", exhaustive)
+	}
+	if greedy*20 > exhaustive {
+		t.Errorf("greedy evals %d not ≪ %d", greedy, exhaustive)
+	}
+	if got := findingValue(t, r, "solution quality"); !strings.Contains(got, "100%") {
+		t.Errorf("greedy should match optimum on this input, got %q", got)
+	}
+}
+
+func TestEmpiricalFindings(t *testing.T) {
+	r := runExp(t, "empirical")
+	if got := findingValue(t, r, "sweet-spot exists"); !strings.Contains(got, "baseline") {
+		t.Errorf("sweet-spot = %q", got)
+	}
+}

@@ -1,0 +1,3 @@
+module ccperf
+
+go 1.22

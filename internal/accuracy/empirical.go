@@ -1,0 +1,159 @@
+package accuracy
+
+import (
+	"fmt"
+	"sync"
+
+	"ccperf/internal/dataset"
+	"ccperf/internal/nn"
+	"ccperf/internal/prune"
+	"ccperf/internal/train"
+)
+
+// Empirical evaluates accuracy by actually pruning a CNN trained in Go on
+// a synthetic dataset and re-measuring validation accuracy — the ground-
+// truth counterpart to the Calibrated evaluator. Layer names are "conv1"
+// and "conv2" (matching the small network's two convolutions); other layer
+// names in a degree are rejected.
+type Empirical struct {
+	// TopKK is the k used for the "Top-5-like" metric; with 10 synthetic
+	// classes the default k=3 plays the role Top-5 plays for 1000
+	// ImageNet classes.
+	TopKK int
+
+	once     sync.Once
+	initFn   func()
+	initErr  error
+	model    *train.SmallCNN
+	val      *dataset.Dataset
+	baseline TopK
+	method   prune.Method
+
+	mu    sync.Mutex
+	cache map[string]TopK
+}
+
+// EmpiricalConfig parameterizes the trained substrate.
+type EmpiricalConfig struct {
+	Classes  int
+	PerClass int
+	Noise    float64
+	Seed     int64
+	Method   prune.Method
+	Epochs   int
+}
+
+// DefaultEmpiricalConfig gives a task hard enough that pruning has a
+// visible accuracy response (~70 % Top-1 at baseline).
+func DefaultEmpiricalConfig() EmpiricalConfig {
+	return EmpiricalConfig{Classes: 10, PerClass: 60, Noise: 1.2, Seed: 11, Method: prune.L1Filter, Epochs: 6}
+}
+
+// NewEmpirical constructs the evaluator; training happens lazily on first
+// use (it costs a few hundred milliseconds).
+func NewEmpirical(cfg EmpiricalConfig) *Empirical {
+	e := &Empirical{TopKK: 3, cache: map[string]TopK{}, method: cfg.Method}
+	e.once = sync.Once{}
+	e.init(cfg)
+	return e
+}
+
+func (e *Empirical) init(cfg EmpiricalConfig) {
+	e.initFn = func() {
+		shape := nn.Shape{C: 1, H: 16, W: 16}
+		ds, err := dataset.Synthetic(dataset.Config{
+			Classes: cfg.Classes, PerClass: cfg.PerClass,
+			Shape: shape, Noise: cfg.Noise, Shift: 2, Seed: cfg.Seed,
+		})
+		if err != nil {
+			e.initErr = err
+			return
+		}
+		tr, val := ds.Split(0.75)
+		m, err := train.New(train.Config{Input: shape, Conv1: 8, Conv2: 16, Classes: cfg.Classes, Seed: cfg.Seed + 1})
+		if err != nil {
+			e.initErr = err
+			return
+		}
+		opts := train.DefaultOpts()
+		if cfg.Epochs > 0 {
+			opts.Epochs = cfg.Epochs
+		}
+		if _, err := m.Train(tr, opts); err != nil {
+			e.initErr = err
+			return
+		}
+		top1, topk, err := m.Evaluate(val, e.TopKK)
+		if err != nil {
+			e.initErr = err
+			return
+		}
+		e.model, e.val = m, val
+		e.baseline = TopK{Top1: top1, Top5: topk}
+	}
+}
+
+// ModelName implements Evaluator.
+func (e *Empirical) ModelName() string { return "empirical-smallcnn" }
+
+// ensure trains the substrate once.
+func (e *Empirical) ensure() error {
+	e.once.Do(e.initFn)
+	return e.initErr
+}
+
+// Baseline implements Evaluator. It panics only if training is impossible,
+// which the constructor's configuration prevents; errors surface via
+// Evaluate.
+func (e *Empirical) Baseline() TopK {
+	if err := e.ensure(); err != nil {
+		return TopK{}
+	}
+	return e.baseline
+}
+
+// Evaluate implements Evaluator: clone the trained network, apply the
+// degree's ratios to conv1/conv2 with real pruning, and re-measure.
+func (e *Empirical) Evaluate(d prune.Degree) (TopK, error) {
+	if err := e.ensure(); err != nil {
+		return TopK{}, err
+	}
+	if err := d.Validate(); err != nil {
+		return TopK{}, err
+	}
+	label := d.Label()
+	e.mu.Lock()
+	if a, ok := e.cache[label]; ok {
+		e.mu.Unlock()
+		return a, nil
+	}
+	e.mu.Unlock()
+
+	m := e.model.Clone()
+	for layer, ratio := range d.Ratios {
+		if ratio == 0 {
+			continue
+		}
+		var idx int
+		switch layer {
+		case "conv1":
+			idx = 1
+		case "conv2":
+			idx = 2
+		default:
+			return TopK{}, fmt.Errorf("accuracy: empirical evaluator has no layer %q (use conv1/conv2)", layer)
+		}
+		if err := m.PruneConv(idx, ratio, e.method); err != nil {
+			return TopK{}, err
+		}
+	}
+	top1, topk, err := m.Evaluate(e.val, e.TopKK)
+	if err != nil {
+		return TopK{}, err
+	}
+	a := TopK{Top1: top1, Top5: topk}
+	e.mu.Lock()
+	e.cache[label] = a
+	e.mu.Unlock()
+	return a, nil
+}

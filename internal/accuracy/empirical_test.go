@@ -1,0 +1,115 @@
+package accuracy
+
+import (
+	"testing"
+
+	"ccperf/internal/prune"
+)
+
+func empirical(t *testing.T) *Empirical {
+	t.Helper()
+	return NewEmpirical(DefaultEmpiricalConfig())
+}
+
+func TestEmpiricalBaselineLearns(t *testing.T) {
+	e := empirical(t)
+	b := e.Baseline()
+	// 10 classes: chance is 10% Top-1 / 30% Top-3. A trained model does
+	// much better but stays imperfect so pruning has headroom to hurt.
+	if b.Top1 < 0.4 || b.Top1 > 0.99 {
+		t.Fatalf("baseline top1 = %v, want learnable-but-imperfect", b.Top1)
+	}
+	if b.Top5 < b.Top1 {
+		t.Fatalf("topK (%v) < top1 (%v)", b.Top5, b.Top1)
+	}
+	if e.ModelName() != "empirical-smallcnn" {
+		t.Fatal("model name")
+	}
+}
+
+func TestEmpiricalSweetSpotShape(t *testing.T) {
+	// Observations 1 and 2, measured on a really-pruned really-trained
+	// network: mild pruning of the input convolution costs little
+	// accuracy (sweet-spot), deep pruning collapses it — while conv2
+	// tolerates even deep pruning, mirroring the paper's finding that
+	// pruning impact differs sharply across layers.
+	e := empirical(t)
+	base := e.Baseline()
+	mild, err := e.Evaluate(prune.NewDegree("conv1", 0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := e.Evaluate(prune.NewDegree("conv1", 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Top1-mild.Top1 > 0.12 {
+		t.Errorf("mild conv1 prune cost %.2f top1 (%.2f→%.2f): no sweet-spot", base.Top1-mild.Top1, base.Top1, mild.Top1)
+	}
+	if deep.Top1 >= mild.Top1 {
+		t.Errorf("deep prune (%.2f) not worse than mild (%.2f)", deep.Top1, mild.Top1)
+	}
+	if base.Top1-deep.Top1 < 0.15 {
+		t.Errorf("deep conv1 prune only cost %.2f top1, want a collapse", base.Top1-deep.Top1)
+	}
+	// conv2 (over-provisioned, deeper) keeps a much wider sweet-spot.
+	conv2deep, err := e.Evaluate(prune.NewDegree("conv2", 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conv2deep.Top1 <= deep.Top1 {
+		t.Errorf("conv2@90 (%.2f) should tolerate pruning better than conv1@90 (%.2f)", conv2deep.Top1, deep.Top1)
+	}
+}
+
+func TestEmpiricalCacheAndDeterminism(t *testing.T) {
+	e := empirical(t)
+	d := prune.NewDegree("conv1", 0.5)
+	a1, err := e.Evaluate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := e.Evaluate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatal("evaluation must be deterministic/cached")
+	}
+	// A second evaluator with the same config reproduces the result.
+	e2 := NewEmpirical(DefaultEmpiricalConfig())
+	a3, err := e2.Evaluate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a3 {
+		t.Fatal("fresh evaluator differs for same config")
+	}
+}
+
+func TestEmpiricalUnknownLayer(t *testing.T) {
+	e := empirical(t)
+	if _, err := e.Evaluate(prune.NewDegree("conv7", 0.5)); err == nil {
+		t.Fatal("expected error for unknown layer")
+	}
+	if _, err := e.Evaluate(prune.NewDegree("conv1", 2.0)); err == nil {
+		t.Fatal("expected error for bad ratio")
+	}
+}
+
+func TestEmpiricalMultiLayer(t *testing.T) {
+	e := empirical(t)
+	both, err := e.Evaluate(prune.NewDegree("conv1", 0.25, "conv2", 0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := e.Evaluate(prune.NewDegree("conv2", 0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pruning more layers can only hurt (allowing small measurement slack
+	// on a 150-image validation set).
+	if both.Top1 > one.Top1+0.05 {
+		t.Fatalf("two-layer prune (%.2f) better than one-layer (%.2f)", both.Top1, one.Top1)
+	}
+}

@@ -1,0 +1,212 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// fakePerf is a trivial Perf: every instance runs batches of fixed size in
+// a fixed time scaled by GPU count.
+type fakePerf struct {
+	batch     int
+	batchSecs float64
+}
+
+func (f fakePerf) BatchTime(it *Instance, b int) float64 { return f.batchSecs / float64(it.GPUs) }
+func (f fakePerf) MaxBatch(it *Instance) int             { return f.batch * it.GPUs }
+
+func TestCatalogMatchesTable3(t *testing.T) {
+	want := []struct {
+		name  string
+		vcpus int
+		gpus  int
+		mem   int
+		price float64
+		gpu   GPUKind
+	}{
+		{"p2.xlarge", 4, 1, 61, 0.9, K80},
+		{"p2.8xlarge", 32, 8, 488, 7.2, K80},
+		{"p2.16xlarge", 64, 16, 732, 14.4, K80},
+		{"g3.4xlarge", 16, 1, 122, 1.14, M60},
+		{"g3.8xlarge", 32, 2, 244, 2.28, M60},
+		{"g3.16xlarge", 64, 4, 488, 4.56, M60},
+	}
+	cat := Catalog()
+	if len(cat) != len(want) {
+		t.Fatalf("catalog has %d types, want %d", len(cat), len(want))
+	}
+	for i, w := range want {
+		g := cat[i]
+		if g.Name != w.name || g.VCPUs != w.vcpus || g.GPUs != w.gpus || g.MemGB != w.mem || g.PricePerHour != w.price || g.GPU != w.gpu {
+			t.Errorf("row %d = %+v, want %+v", i, g, w)
+		}
+	}
+}
+
+func TestPricesProportionalToGPUs(t *testing.T) {
+	// Table 3 prices scale exactly with GPU count within each family.
+	base := map[GPUKind]float64{}
+	for _, i := range Catalog() {
+		perGPU := i.PricePerHour / float64(i.GPUs)
+		if b, ok := base[i.GPU]; ok {
+			if math.Abs(perGPU-b) > 1e-9 {
+				t.Errorf("%s: per-GPU price %v, family base %v", i.Name, perGPU, b)
+			}
+		} else {
+			base[i.GPU] = perGPU
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	i, err := ByName("g3.8xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i.GPUs != 2 {
+		t.Fatalf("g3.8xlarge GPUs = %d", i.GPUs)
+	}
+	if _, err := ByName("m5.large"); err == nil {
+		t.Fatal("expected error for unknown type")
+	}
+}
+
+func TestPricePerSecond(t *testing.T) {
+	i, _ := ByName("p2.xlarge")
+	if got := i.PricePerSecond(); math.Abs(got-0.9/3600) > 1e-12 {
+		t.Fatalf("PricePerSecond = %v", got)
+	}
+}
+
+func TestConfigLabelAndPrice(t *testing.T) {
+	a, _ := ByName("p2.xlarge")
+	b, _ := ByName("p2.8xlarge")
+	c := NewConfig(b, a, a)
+	if got := c.Label(); got != "1xp2.8xlarge+2xp2.xlarge" {
+		t.Fatalf("Label = %q", got)
+	}
+	if got := c.HourlyPrice(); math.Abs(got-9.0) > 1e-9 {
+		t.Fatalf("HourlyPrice = %v, want 9.0", got)
+	}
+	if c.Size() != 3 || c.Empty() {
+		t.Fatal("Size/Empty wrong")
+	}
+	if (Config{}).Label() != "empty" {
+		t.Fatal("empty label")
+	}
+}
+
+func TestEstimateRunEquations(t *testing.T) {
+	// Two p2.xlarge, W=1200, batch 300, batchTime 10s:
+	// Wi = 600, n = 2 batches, T = 20s, C = 20s × 2 × $0.9/h.
+	a, _ := ByName("p2.xlarge")
+	cfg := NewConfig(a, a)
+	est, err := EstimateRun(cfg, 1200, fakePerf{batch: 300, batchSecs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Seconds-20) > 1e-9 {
+		t.Fatalf("T = %v, want 20", est.Seconds)
+	}
+	wantCost := 20.0 / 3600 * 0.9 * 2
+	if math.Abs(est.Cost-wantCost) > 1e-9 {
+		t.Fatalf("C = %v, want %v", est.Cost, wantCost)
+	}
+	if math.Abs(est.Hours()-20.0/3600) > 1e-12 {
+		t.Fatalf("Hours = %v", est.Hours())
+	}
+}
+
+func TestEstimateRunMaxAcrossInstances(t *testing.T) {
+	// Mixed config: the slower (fewer-GPU) instance dominates T (Eq. 2),
+	// but both are billed for T (Eq. 1).
+	a, _ := ByName("p2.xlarge")  // 1 GPU → batchTime 10
+	b, _ := ByName("p2.8xlarge") // 8 GPUs → batchTime 1.25, batch 2400
+	cfg := NewConfig(a, b)
+	// W = 1200 → Wi = 600 each. a: 2 batches × 10 = 20. b: 1 batch × 1.25.
+	est, err := EstimateRun(cfg, 1200, fakePerf{batch: 300, batchSecs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Seconds-20) > 1e-9 {
+		t.Fatalf("T = %v, want 20 (max)", est.Seconds)
+	}
+	wantCost := 20.0 / 3600 * (0.9 + 7.2)
+	if math.Abs(est.Cost-wantCost) > 1e-9 {
+		t.Fatalf("C = %v, want %v", est.Cost, wantCost)
+	}
+}
+
+func TestEstimateRunProRatesToSecond(t *testing.T) {
+	a, _ := ByName("p2.xlarge")
+	est, err := EstimateRun(NewConfig(a), 1, fakePerf{batch: 300, batchSecs: 10.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Billed seconds = ceil(10.4) = 11.
+	want := 11.0 * 0.9 / 3600
+	if math.Abs(est.Cost-want) > 1e-12 {
+		t.Fatalf("Cost = %v, want %v", est.Cost, want)
+	}
+}
+
+func TestEstimateRunErrors(t *testing.T) {
+	a, _ := ByName("p2.xlarge")
+	if _, err := EstimateRun(Config{}, 100, fakePerf{batch: 1, batchSecs: 1}); err == nil {
+		t.Fatal("expected error for empty config")
+	}
+	if _, err := EstimateRun(NewConfig(a), 0, fakePerf{batch: 1, batchSecs: 1}); err == nil {
+		t.Fatal("expected error for zero workload")
+	}
+	if _, err := EstimateRun(NewConfig(a), 10, fakePerf{batch: 0, batchSecs: 1}); err == nil {
+		t.Fatal("expected error for zero batch size")
+	}
+}
+
+func TestBuildPoolAndSubsets(t *testing.T) {
+	pool := BuildPool(P2Types(), 3)
+	if len(pool) != 9 {
+		t.Fatalf("pool size = %d, want 9", len(pool))
+	}
+	cfgs := Subsets(pool)
+	if len(cfgs) != (1<<9)-1 {
+		t.Fatalf("subsets = %d, want 511", len(cfgs))
+	}
+	uniq := UniqueMultisets(cfgs)
+	// Multisets: counts 0..3 of each of 3 types, minus empty = 4³−1 = 63.
+	if len(uniq) != 63 {
+		t.Fatalf("unique multisets = %d, want 63", len(uniq))
+	}
+}
+
+func TestSubsetsRefusesHugePool(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for pool > 20")
+		}
+	}()
+	Subsets(BuildPool(P2Types(), 7))
+}
+
+// Property: for a single-type config, doubling the instance count never
+// increases estimated time, and cost ordering follows price×time.
+func TestEstimateMonotoneProperty(t *testing.T) {
+	a, _ := ByName("p2.xlarge")
+	f := func(wSeed uint16) bool {
+		w := int64(wSeed)%100_000 + 1
+		perf := fakePerf{batch: 300, batchSecs: 7}
+		one, err := EstimateRun(NewConfig(a), w, perf)
+		if err != nil {
+			return false
+		}
+		two, err := EstimateRun(NewConfig(a, a), w, perf)
+		if err != nil {
+			return false
+		}
+		return two.Seconds <= one.Seconds+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+package cloud
+
+import (
+	"fmt"
+	"math"
+)
+
+// Distribution selects how a workload is split across the instances of a
+// configuration.
+type Distribution int
+
+// Distribution strategies.
+const (
+	// EvenSplit is the paper's Equation 4: Wᵢ = W/|R| regardless of
+	// instance speed. Simple, but a heterogeneous configuration is then
+	// dominated by its slowest instance while every instance bills for
+	// the full makespan.
+	EvenSplit Distribution = iota
+	// CapacityWeighted splits W proportionally to each instance's
+	// sustained throughput (bᵢ / t_{bᵢ}), equalizing finish times — the
+	// natural fix the ablation benchmarks quantify.
+	CapacityWeighted
+)
+
+// String names the strategy.
+func (d Distribution) String() string {
+	switch d {
+	case EvenSplit:
+		return "even-split"
+	case CapacityWeighted:
+		return "capacity-weighted"
+	default:
+		return fmt.Sprintf("distribution(%d)", int(d))
+	}
+}
+
+// EstimateRunWith is EstimateRun with an explicit distribution strategy.
+// EvenSplit reproduces Equations 1–4 exactly.
+func EstimateRunWith(cfg Config, w int64, perf Perf, dist Distribution) (Estimate, error) {
+	if dist == EvenSplit {
+		return EstimateRun(cfg, w, perf)
+	}
+	if cfg.Empty() {
+		return Estimate{}, fmt.Errorf("cloud: cannot estimate empty configuration")
+	}
+	if w <= 0 {
+		return Estimate{}, fmt.Errorf("cloud: non-positive workload %d", w)
+	}
+	// Per-instance sustained rate (images/second) at its saturated batch.
+	rates := make([]float64, cfg.Size())
+	var totalRate float64
+	for i, inst := range cfg.Instances {
+		b := perf.MaxBatch(inst)
+		if b <= 0 {
+			return Estimate{}, fmt.Errorf("cloud: instance %s has non-positive batch size", inst.Name)
+		}
+		bt := perf.BatchTime(inst, b)
+		if bt <= 0 {
+			return Estimate{}, fmt.Errorf("cloud: instance %s has non-positive batch time", inst.Name)
+		}
+		rates[i] = float64(b) / bt
+		totalRate += rates[i]
+	}
+	var t float64
+	for i, inst := range cfg.Instances {
+		wi := float64(w) * rates[i] / totalRate
+		b := perf.MaxBatch(inst)
+		n := math.Ceil(wi / float64(b))
+		ti := n * perf.BatchTime(inst, b)
+		if ti > t {
+			t = ti
+		}
+	}
+	billed := math.Ceil(t)
+	cost := 0.0
+	for _, inst := range cfg.Instances {
+		cost += billed * inst.PricePerSecond()
+	}
+	return Estimate{Config: cfg, Seconds: t, Cost: cost}, nil
+}
+
+// DistributionWaste quantifies Equation 4's cost: the fractional time
+// increase of EvenSplit over CapacityWeighted on a configuration (0 for
+// homogeneous configs, up to severalfold for mixed ones).
+func DistributionWaste(cfg Config, w int64, perf Perf) (float64, error) {
+	even, err := EstimateRunWith(cfg, w, perf, EvenSplit)
+	if err != nil {
+		return 0, err
+	}
+	weighted, err := EstimateRunWith(cfg, w, perf, CapacityWeighted)
+	if err != nil {
+		return 0, err
+	}
+	if weighted.Seconds <= 0 {
+		return 0, fmt.Errorf("cloud: degenerate weighted estimate")
+	}
+	return even.Seconds/weighted.Seconds - 1, nil
+}

@@ -1,0 +1,120 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvenSplitMatchesEstimateRun(t *testing.T) {
+	a, _ := ByName("p2.xlarge")
+	b, _ := ByName("p2.8xlarge")
+	cfg := NewConfig(a, b)
+	perf := fakePerf{batch: 300, batchSecs: 10}
+	e1, err := EstimateRun(cfg, 5000, perf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := EstimateRunWith(cfg, 5000, perf, EvenSplit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Seconds != e2.Seconds || e1.Cost != e2.Cost {
+		t.Fatalf("EvenSplit diverges from Equation 4: %+v vs %+v", e1, e2)
+	}
+}
+
+func TestCapacityWeightedHomogeneousEqualsEven(t *testing.T) {
+	a, _ := ByName("p2.xlarge")
+	cfg := NewConfig(a, a, a)
+	perf := fakePerf{batch: 300, batchSecs: 10}
+	even, _ := EstimateRunWith(cfg, 9000, perf, EvenSplit)
+	weighted, _ := EstimateRunWith(cfg, 9000, perf, CapacityWeighted)
+	if math.Abs(even.Seconds-weighted.Seconds) > 1e-9 {
+		t.Fatalf("homogeneous config: even %v vs weighted %v", even.Seconds, weighted.Seconds)
+	}
+}
+
+func TestCapacityWeightedBeatsEvenOnMixedConfig(t *testing.T) {
+	// p2.8xlarge is 8× faster: even split leaves it idle while p2.xlarge
+	// crunches half the workload; weighting fixes that.
+	a, _ := ByName("p2.xlarge")
+	b, _ := ByName("p2.8xlarge")
+	cfg := NewConfig(a, b)
+	perf := fakePerf{batch: 300, batchSecs: 10}
+	even, err := EstimateRunWith(cfg, 48_000, perf, EvenSplit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := EstimateRunWith(cfg, 48_000, perf, CapacityWeighted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weighted.Seconds >= even.Seconds {
+		t.Fatalf("weighted %v not faster than even %v", weighted.Seconds, even.Seconds)
+	}
+	// Even: slow instance gets 24000 images → 80 batches × 10 s = 800 s.
+	if math.Abs(even.Seconds-800) > 1e-9 {
+		t.Fatalf("even = %v, want 800", even.Seconds)
+	}
+	// Weighted: rates are 30 vs 1920 img/s (8× batch and 8× batch speed),
+	// so the slow instance gets 48000·30/1950 ≈ 738 images → 3 batches ×
+	// 10 s = 30 s; the fast one finishes 20 batches × 1.25 s = 25 s.
+	if math.Abs(weighted.Seconds-30) > 1e-9 {
+		t.Fatalf("weighted = %v, want 30", weighted.Seconds)
+	}
+	waste, err := DistributionWaste(cfg, 48_000, perf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(waste-(800.0/30-1)) > 1e-9 {
+		t.Fatalf("waste = %v", waste)
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	if EvenSplit.String() != "even-split" || CapacityWeighted.String() != "capacity-weighted" {
+		t.Fatal("strategy names")
+	}
+	if Distribution(9).String() == "" {
+		t.Fatal("unknown strategy must still render")
+	}
+}
+
+func TestEstimateRunWithValidation(t *testing.T) {
+	a, _ := ByName("p2.xlarge")
+	if _, err := EstimateRunWith(Config{}, 10, fakePerf{batch: 1, batchSecs: 1}, CapacityWeighted); err == nil {
+		t.Fatal("expected error for empty config")
+	}
+	if _, err := EstimateRunWith(NewConfig(a), 0, fakePerf{batch: 1, batchSecs: 1}, CapacityWeighted); err == nil {
+		t.Fatal("expected error for zero workload")
+	}
+	if _, err := EstimateRunWith(NewConfig(a), 5, fakePerf{batch: 0, batchSecs: 1}, CapacityWeighted); err == nil {
+		t.Fatal("expected error for zero batch")
+	}
+}
+
+// Property: capacity-weighted never loses to even split by more than batch
+// quantization (one batch per instance).
+func TestWeightedNeverMuchWorseProperty(t *testing.T) {
+	a, _ := ByName("p2.xlarge")
+	b, _ := ByName("p2.16xlarge")
+	f := func(wRaw uint32) bool {
+		w := int64(wRaw%1_000_000) + 1
+		cfg := NewConfig(a, b)
+		perf := fakePerf{batch: 300, batchSecs: 7}
+		even, err := EstimateRunWith(cfg, w, perf, EvenSplit)
+		if err != nil {
+			return false
+		}
+		weighted, err := EstimateRunWith(cfg, w, perf, CapacityWeighted)
+		if err != nil {
+			return false
+		}
+		// One extra batch on the slowest instance bounds the slack.
+		return weighted.Seconds <= even.Seconds+7+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

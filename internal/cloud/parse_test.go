@@ -1,0 +1,73 @@
+package cloud
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseConfigRoundTrip(t *testing.T) {
+	a, _ := ByName("p2.xlarge")
+	b, _ := ByName("p2.8xlarge")
+	g, _ := ByName("g3.4xlarge")
+	cases := []Config{
+		NewConfig(a),
+		NewConfig(a, a, b),
+		NewConfig(g, b, a, a, g),
+	}
+	for _, want := range cases {
+		got, err := ParseConfig(want.Label())
+		if err != nil {
+			t.Fatalf("ParseConfig(%q): %v", want.Label(), err)
+		}
+		if got.Label() != want.Label() {
+			t.Fatalf("round trip %q → %q", want.Label(), got.Label())
+		}
+	}
+}
+
+func TestParseConfigBareNames(t *testing.T) {
+	c, err := ParseConfig("p2.xlarge, g3.4xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 2 {
+		t.Fatalf("size = %d", c.Size())
+	}
+	c, err = ParseConfig("3xp2.xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 3 {
+		t.Fatalf("size = %d", c.Size())
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	for _, bad := range []string{"", "empty", "2xm5.large", "m5.large", "0xp2.xlarge", "+,"} {
+		if _, err := ParseConfig(bad); err == nil {
+			t.Errorf("ParseConfig(%q) should fail", bad)
+		}
+	}
+}
+
+// Property: any random multiset over the catalog round-trips.
+func TestParseConfigRoundTripProperty(t *testing.T) {
+	cat := Catalog()
+	f := func(counts [6]uint8) bool {
+		var insts []*Instance
+		for i, c := range counts {
+			for k := 0; k < int(c%4); k++ {
+				insts = append(insts, cat[i])
+			}
+		}
+		if len(insts) == 0 {
+			return true
+		}
+		want := NewConfig(insts...)
+		got, err := ParseConfig(want.Label())
+		return err == nil && got.Label() == want.Label()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

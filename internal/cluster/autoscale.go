@@ -1,0 +1,208 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"ccperf/internal/cloud"
+)
+
+// Predictor selects how the autoscaler estimates a window's load.
+type Predictor int
+
+// Predictors.
+const (
+	// Oracle sizes each window from its true arrival count (an upper
+	// bound on what any predictor can achieve).
+	Oracle Predictor = iota
+	// Reactive sizes window w from window w−1's arrivals — the classic
+	// lagging autoscaler, which under-provisions at burst onset.
+	Reactive
+)
+
+// String names the predictor.
+func (p Predictor) String() string {
+	switch p {
+	case Oracle:
+		return "oracle"
+	case Reactive:
+		return "reactive"
+	default:
+		return fmt.Sprintf("predictor(%d)", int(p))
+	}
+}
+
+// AutoscaleConfig parameterizes RunAutoscaled. The fleet is homogeneous;
+// the instance count changes at window boundaries.
+type AutoscaleConfig struct {
+	Instance      InstanceSpec
+	Min, Max      int
+	TargetUtil    float64 // sizing headroom, e.g. 0.7
+	BootDelay     float64 // seconds before a newly started instance serves
+	WindowSeconds float64
+	Predictor     Predictor
+}
+
+// InstanceSpec is the homogeneous instance type plus its service rates,
+// captured once from a cloud.Perf.
+type InstanceSpec struct {
+	Name           string
+	PricePerSecond float64
+	Batch          int
+	BatchTime      float64
+}
+
+// Rate returns sustained images/second.
+func (s InstanceSpec) Rate() float64 { return float64(s.Batch) / s.BatchTime }
+
+// AutoscaleResult extends Result with the per-window fleet sizes.
+type AutoscaleResult struct {
+	Result
+	Active []int // instances on, per window
+}
+
+// RunAutoscaled simulates per-window jobs on a fleet whose size is chosen
+// each window as ⌈rate_needed / (instanceRate · TargetUtil)⌉, clamped to
+// [Min, Max]. Newly started instances serve only after BootDelay. Billing
+// charges each instance for the windows it is on.
+func RunAutoscaled(cfg AutoscaleConfig, windows []int64, chunk int64, slack float64) (*AutoscaleResult, error) {
+	if cfg.Min < 1 || cfg.Max < cfg.Min {
+		return nil, fmt.Errorf("cluster: bad autoscale bounds [%d,%d]", cfg.Min, cfg.Max)
+	}
+	if cfg.TargetUtil <= 0 || cfg.TargetUtil > 1 {
+		return nil, fmt.Errorf("cluster: target utilization %v out of (0,1]", cfg.TargetUtil)
+	}
+	if cfg.WindowSeconds <= 0 {
+		return nil, fmt.Errorf("cluster: non-positive window length")
+	}
+	if cfg.Instance.Batch <= 0 || cfg.Instance.BatchTime <= 0 {
+		return nil, fmt.Errorf("cluster: bad instance spec %+v", cfg.Instance)
+	}
+	if len(windows) == 0 {
+		return nil, fmt.Errorf("cluster: no windows")
+	}
+
+	// Fleet sizing per window.
+	active := make([]int, len(windows))
+	for w := range windows {
+		load := windows[w]
+		if cfg.Predictor == Reactive {
+			if w == 0 {
+				load = 0
+			} else {
+				load = windows[w-1]
+			}
+		}
+		needRate := float64(load) / cfg.WindowSeconds
+		n := int(math.Ceil(needRate / (cfg.Instance.Rate() * cfg.TargetUtil)))
+		if n < cfg.Min {
+			n = cfg.Min
+		}
+		if n > cfg.Max {
+			n = cfg.Max
+		}
+		active[w] = n
+	}
+
+	jobs := JobsFromWindows(windows, cfg.WindowSeconds, chunk, slack)
+	res := &AutoscaleResult{Active: active}
+	res.Jobs = make([]JobStat, 0, len(jobs))
+
+	// Per-instance-slot state: slot i is usable in window w iff
+	// i < active[w]; a slot freshly turned on becomes available BootDelay
+	// into the window.
+	freeAt := make([]float64, cfg.Max)
+	busy := make([]float64, cfg.Max)
+	usableFrom := func(slot, w int) (float64, bool) {
+		if slot >= active[w] {
+			return 0, false
+		}
+		start := float64(w) * cfg.WindowSeconds
+		if w == 0 || slot >= active[w-1] {
+			return start + cfg.BootDelay, true
+		}
+		return start, true
+	}
+
+	for _, j := range jobs {
+		w := int(j.Arrival / cfg.WindowSeconds)
+		if w >= len(windows) {
+			w = len(windows) - 1
+		}
+		service := math.Ceil(float64(j.Images)/float64(cfg.Instance.Batch)) * cfg.Instance.BatchTime
+		best := -1
+		bestFinish := math.Inf(1)
+		var bestStart float64
+		for slot := 0; slot < cfg.Max; slot++ {
+			avail, ok := usableFrom(slot, w)
+			if !ok {
+				continue
+			}
+			start := math.Max(math.Max(j.Arrival, freeAt[slot]), avail)
+			finish := start + service
+			if finish < bestFinish {
+				best, bestFinish, bestStart = slot, finish, start
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("cluster: window %d has no active instances", w)
+		}
+		freeAt[best] = bestFinish
+		busy[best] += service
+		stat := JobStat{Job: j, Start: bestStart, Finish: bestFinish, Instance: best}
+		if j.Deadline > 0 && bestFinish > j.Deadline {
+			stat.Missed = true
+			res.Misses++
+		}
+		res.Jobs = append(res.Jobs, stat)
+		if bestFinish > res.Makespan {
+			res.Makespan = bestFinish
+		}
+	}
+
+	// Billing: each active instance-window.
+	res.Horizon = float64(len(windows)) * cfg.WindowSeconds
+	for _, n := range active {
+		res.Cost += math.Ceil(cfg.WindowSeconds) * cfg.Instance.PricePerSecond * float64(n)
+	}
+	var totalOn float64
+	for _, n := range active {
+		totalOn += float64(n) * cfg.WindowSeconds
+	}
+	var totalBusy float64
+	for _, b := range busy {
+		totalBusy += b
+	}
+	if totalOn > 0 {
+		res.Utilization = []float64{totalBusy / totalOn}
+	}
+
+	waits := make([]float64, len(res.Jobs))
+	resps := make([]float64, len(res.Jobs))
+	for i, s := range res.Jobs {
+		waits[i] = s.Wait()
+		resps[i] = s.Response()
+	}
+	res.P50Wait, res.P95Wait, res.MaxWait = percentiles(waits)
+	res.P50Response, res.P95Response, res.MaxResponse = percentiles(resps)
+	return res, nil
+}
+
+// SpecFor captures an instance type's service rates from a cloud.Perf into
+// an InstanceSpec for the autoscaler.
+func SpecFor(it *cloud.Instance, perf cloud.Perf) (InstanceSpec, error) {
+	b := perf.MaxBatch(it)
+	if b <= 0 {
+		return InstanceSpec{}, fmt.Errorf("cluster: instance %s has non-positive batch", it.Name)
+	}
+	bt := perf.BatchTime(it, b)
+	if bt <= 0 {
+		return InstanceSpec{}, fmt.Errorf("cluster: instance %s has non-positive batch time", it.Name)
+	}
+	return InstanceSpec{
+		Name:           it.Name,
+		PricePerSecond: it.PricePerSecond(),
+		Batch:          b,
+		BatchTime:      bt,
+	}, nil
+}

@@ -1,0 +1,215 @@
+// Package cluster is a discrete-event simulator of a CNN inference service
+// running on a rented fleet of cloud GPU instances. Where the analytical
+// model of internal/cloud answers "how long does a fixed workload take",
+// cluster answers the operational questions behind the paper's motivating
+// scenario: with jobs arriving over the day, what latency do requests see,
+// how utilized is the fleet, and what does the rental cost?
+//
+// Jobs (groups of images) arrive at given times, queue, and are dispatched
+// to the instance that can finish them earliest (list scheduling). Each
+// instance serves one job at a time in saturated batches, with service
+// times supplied by the same cloud.Perf the analytical model uses — so a
+// degree of pruning changes service rates here exactly as it changes
+// Equation 2 there.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ccperf/internal/cloud"
+)
+
+// Job is one unit of arriving work.
+type Job struct {
+	ID      int
+	Arrival float64 // seconds from simulation start
+	Images  int64
+	// Deadline is the absolute completion deadline in seconds; 0 means
+	// no deadline.
+	Deadline float64
+}
+
+// JobStat records one job's outcome.
+type JobStat struct {
+	Job      Job
+	Start    float64
+	Finish   float64
+	Instance int // index into the fleet
+	Missed   bool
+}
+
+// Wait returns queueing delay.
+func (s JobStat) Wait() float64 { return s.Start - s.Job.Arrival }
+
+// Response returns arrival-to-finish latency.
+func (s JobStat) Response() float64 { return s.Finish - s.Job.Arrival }
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Fleet is the rented instance set (billed for the whole horizon).
+	Fleet []*cloud.Instance
+	// Perf supplies batch times (typically measure.Harness.Perf at a
+	// fixed degree of pruning).
+	Perf cloud.Perf
+	// Horizon is the billing horizon in seconds; 0 bills until the last
+	// job finishes.
+	Horizon float64
+}
+
+// Result summarizes a run.
+type Result struct {
+	Jobs        []JobStat
+	Makespan    float64 // finish time of the last job
+	Horizon     float64 // billed duration
+	Cost        float64 // fleet rental over the horizon, per-second pro-rated
+	Utilization []float64
+	Misses      int
+
+	P50Wait, P95Wait, MaxWait             float64
+	P50Response, P95Response, MaxResponse float64
+}
+
+// Run simulates the jobs on the fleet.
+func Run(cfg Config, jobs []Job) (*Result, error) {
+	if len(cfg.Fleet) == 0 {
+		return nil, fmt.Errorf("cluster: empty fleet")
+	}
+	if cfg.Perf == nil {
+		return nil, fmt.Errorf("cluster: nil Perf")
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("cluster: no jobs")
+	}
+	ordered := append([]Job(nil), jobs...)
+	sort.SliceStable(ordered, func(a, b int) bool { return ordered[a].Arrival < ordered[b].Arrival })
+
+	// Precompute per-instance service rates.
+	type inst struct {
+		typ       *cloud.Instance
+		freeAt    float64
+		busy      float64
+		batch     int
+		batchTime float64
+	}
+	fleet := make([]inst, len(cfg.Fleet))
+	for i, it := range cfg.Fleet {
+		b := cfg.Perf.MaxBatch(it)
+		if b <= 0 {
+			return nil, fmt.Errorf("cluster: instance %s has non-positive batch", it.Name)
+		}
+		bt := cfg.Perf.BatchTime(it, b)
+		if bt <= 0 {
+			return nil, fmt.Errorf("cluster: instance %s has non-positive batch time", it.Name)
+		}
+		fleet[i] = inst{typ: it, batch: b, batchTime: bt}
+	}
+
+	res := &Result{Jobs: make([]JobStat, 0, len(ordered))}
+	for _, j := range ordered {
+		if j.Images <= 0 {
+			return nil, fmt.Errorf("cluster: job %d has non-positive images", j.ID)
+		}
+		if j.Arrival < 0 {
+			return nil, fmt.Errorf("cluster: job %d has negative arrival", j.ID)
+		}
+		// Earliest-finish-time dispatch.
+		best := -1
+		bestFinish := math.Inf(1)
+		var bestStart, bestService float64
+		for i := range fleet {
+			service := math.Ceil(float64(j.Images)/float64(fleet[i].batch)) * fleet[i].batchTime
+			start := math.Max(j.Arrival, fleet[i].freeAt)
+			finish := start + service
+			if finish < bestFinish {
+				best, bestFinish, bestStart, bestService = i, finish, start, service
+			}
+		}
+		fleet[best].freeAt = bestFinish
+		fleet[best].busy += bestService
+		stat := JobStat{Job: j, Start: bestStart, Finish: bestFinish, Instance: best}
+		if j.Deadline > 0 && bestFinish > j.Deadline {
+			stat.Missed = true
+			res.Misses++
+		}
+		res.Jobs = append(res.Jobs, stat)
+		if bestFinish > res.Makespan {
+			res.Makespan = bestFinish
+		}
+	}
+
+	res.Horizon = cfg.Horizon
+	if res.Horizon <= 0 {
+		res.Horizon = res.Makespan
+	}
+	billed := math.Ceil(res.Horizon)
+	for i := range fleet {
+		res.Cost += billed * fleet[i].typ.PricePerSecond()
+		res.Utilization = append(res.Utilization, fleet[i].busy/res.Horizon)
+	}
+
+	waits := make([]float64, len(res.Jobs))
+	resps := make([]float64, len(res.Jobs))
+	for i, s := range res.Jobs {
+		waits[i] = s.Wait()
+		resps[i] = s.Response()
+	}
+	res.P50Wait, res.P95Wait, res.MaxWait = percentiles(waits)
+	res.P50Response, res.P95Response, res.MaxResponse = percentiles(resps)
+	return res, nil
+}
+
+// percentiles returns (p50, p95, max) of xs.
+func percentiles(xs []float64) (p50, p95, max float64) {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	at := func(q float64) float64 {
+		idx := int(q * float64(len(s)-1))
+		return s[idx]
+	}
+	return at(0.50), at(0.95), s[len(s)-1]
+}
+
+// JobsFromWindows converts a per-window request trace into jobs: each
+// window's images arrive as chunked jobs spread uniformly through the
+// window, each with a deadline of windowSeconds·slack after arrival.
+func JobsFromWindows(windows []int64, windowSeconds float64, chunk int64, slack float64) []Job {
+	if chunk < 1 {
+		chunk = 1
+	}
+	var jobs []Job
+	id := 0
+	for w, images := range windows {
+		if images <= 0 {
+			continue
+		}
+		n := (images + chunk - 1) / chunk
+		for k := int64(0); k < n; k++ {
+			size := chunk
+			if k == n-1 {
+				size = images - chunk*(n-1)
+			}
+			arrival := float64(w)*windowSeconds + windowSeconds*float64(k)/float64(n)
+			j := Job{ID: id, Arrival: arrival, Images: size}
+			if slack > 0 {
+				j.Deadline = arrival + windowSeconds*slack
+			}
+			jobs = append(jobs, j)
+			id++
+		}
+	}
+	return jobs
+}
+
+// AverageUtilization returns the fleet-wide mean utilization.
+func (r *Result) AverageUtilization() float64 {
+	if len(r.Utilization) == 0 {
+		return 0
+	}
+	var s float64
+	for _, u := range r.Utilization {
+		s += u
+	}
+	return s / float64(len(r.Utilization))
+}

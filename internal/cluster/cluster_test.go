@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ccperf/internal/cloud"
+)
+
+// stubPerf serves batches of 100 images in 10 s per GPU count.
+type stubPerf struct{}
+
+func (stubPerf) BatchTime(it *cloud.Instance, b int) float64 { return 10 / float64(it.GPUs) }
+func (stubPerf) MaxBatch(it *cloud.Instance) int             { return 100 * it.GPUs }
+
+func xl(t *testing.T) *cloud.Instance {
+	t.Helper()
+	i, err := cloud.ByName("p2.xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return i
+}
+
+func TestRunValidation(t *testing.T) {
+	i := xl(t)
+	jobs := []Job{{ID: 0, Arrival: 0, Images: 100}}
+	if _, err := Run(Config{Perf: stubPerf{}}, jobs); err == nil {
+		t.Fatal("expected error for empty fleet")
+	}
+	if _, err := Run(Config{Fleet: []*cloud.Instance{i}}, jobs); err == nil {
+		t.Fatal("expected error for nil perf")
+	}
+	if _, err := Run(Config{Fleet: []*cloud.Instance{i}, Perf: stubPerf{}}, nil); err == nil {
+		t.Fatal("expected error for no jobs")
+	}
+	if _, err := Run(Config{Fleet: []*cloud.Instance{i}, Perf: stubPerf{}}, []Job{{Images: 0}}); err == nil {
+		t.Fatal("expected error for empty job")
+	}
+	if _, err := Run(Config{Fleet: []*cloud.Instance{i}, Perf: stubPerf{}}, []Job{{Arrival: -1, Images: 1}}); err == nil {
+		t.Fatal("expected error for negative arrival")
+	}
+}
+
+func TestSingleInstanceSequential(t *testing.T) {
+	i := xl(t)
+	jobs := []Job{
+		{ID: 0, Arrival: 0, Images: 100},  // 1 batch → 10 s
+		{ID: 1, Arrival: 0, Images: 250},  // 3 batches → 30 s
+		{ID: 2, Arrival: 50, Images: 100}, // arrives after queue drains
+	}
+	res, err := Run(Config{Fleet: []*cloud.Instance{i}, Perf: stubPerf{}}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job 0: 0–10; job 1: 10–40; job 2: 50–60.
+	if res.Jobs[0].Finish != 10 || res.Jobs[1].Start != 10 || res.Jobs[1].Finish != 40 {
+		t.Fatalf("schedule = %+v", res.Jobs[:2])
+	}
+	if res.Jobs[2].Start != 50 || res.Jobs[2].Finish != 60 {
+		t.Fatalf("job2 = %+v", res.Jobs[2])
+	}
+	if res.Makespan != 60 {
+		t.Fatalf("makespan = %v", res.Makespan)
+	}
+	if res.Jobs[1].Wait() != 10 || res.Jobs[2].Wait() != 0 {
+		t.Fatal("waits wrong")
+	}
+	// Utilization: busy 50 s of 60 s horizon.
+	if math.Abs(res.Utilization[0]-50.0/60) > 1e-9 {
+		t.Fatalf("utilization = %v", res.Utilization[0])
+	}
+	// Cost: 60 s of p2.xlarge.
+	want := 60.0 * 0.9 / 3600
+	if math.Abs(res.Cost-want) > 1e-9 {
+		t.Fatalf("cost = %v, want %v", res.Cost, want)
+	}
+}
+
+func TestEarliestFinishDispatchPrefersFasterInstance(t *testing.T) {
+	slow := xl(t)
+	fast, err := cloud.ByName("p2.8xlarge") // 8× rate under stubPerf
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []Job{{ID: 0, Arrival: 0, Images: 800}}
+	res, err := Run(Config{Fleet: []*cloud.Instance{slow, fast}, Perf: stubPerf{}}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs[0].Instance != 1 {
+		t.Fatalf("dispatched to %d, want the fast instance", res.Jobs[0].Instance)
+	}
+	// 800 images = 1 batch of 800 on 8 GPUs → 1.25 s.
+	if math.Abs(res.Jobs[0].Finish-1.25) > 1e-9 {
+		t.Fatalf("finish = %v", res.Jobs[0].Finish)
+	}
+}
+
+func TestParallelismAcrossFleet(t *testing.T) {
+	i := xl(t)
+	jobs := []Job{
+		{ID: 0, Arrival: 0, Images: 100},
+		{ID: 1, Arrival: 0, Images: 100},
+	}
+	res, err := Run(Config{Fleet: []*cloud.Instance{i, i}, Perf: stubPerf{}}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both run concurrently → makespan 10, not 20.
+	if res.Makespan != 10 {
+		t.Fatalf("makespan = %v, want 10", res.Makespan)
+	}
+	if res.Jobs[0].Instance == res.Jobs[1].Instance {
+		t.Fatal("jobs should spread across the fleet")
+	}
+}
+
+func TestDeadlinesAndMisses(t *testing.T) {
+	i := xl(t)
+	jobs := []Job{
+		{ID: 0, Arrival: 0, Images: 100, Deadline: 5},   // needs 10 s → miss
+		{ID: 1, Arrival: 0, Images: 100, Deadline: 100}, // queued 10–20 → ok
+	}
+	res, err := Run(Config{Fleet: []*cloud.Instance{i}, Perf: stubPerf{}}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses != 1 || !res.Jobs[0].Missed || res.Jobs[1].Missed {
+		t.Fatalf("misses = %d, stats %+v", res.Misses, res.Jobs)
+	}
+}
+
+func TestHorizonBilling(t *testing.T) {
+	i := xl(t)
+	jobs := []Job{{ID: 0, Arrival: 0, Images: 100}}
+	res, err := Run(Config{Fleet: []*cloud.Instance{i}, Perf: stubPerf{}, Horizon: 3600}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Cost-0.9) > 1e-9 {
+		t.Fatalf("1-hour rental = %v, want 0.9", res.Cost)
+	}
+	if math.Abs(res.Utilization[0]-10.0/3600) > 1e-9 {
+		t.Fatalf("utilization = %v", res.Utilization[0])
+	}
+}
+
+func TestPercentileStats(t *testing.T) {
+	i := xl(t)
+	// Ten identical jobs on one instance: waits 0,10,20,...,90.
+	var jobs []Job
+	for k := 0; k < 10; k++ {
+		jobs = append(jobs, Job{ID: k, Arrival: 0, Images: 100})
+	}
+	res, err := Run(Config{Fleet: []*cloud.Instance{i}, Perf: stubPerf{}}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxWait != 90 {
+		t.Fatalf("max wait = %v", res.MaxWait)
+	}
+	if res.P50Wait != 40 { // index 4 of sorted 0..90
+		t.Fatalf("p50 wait = %v", res.P50Wait)
+	}
+	if res.P95Wait != 80 { // index int(0.95·9)=8
+		t.Fatalf("p95 wait = %v", res.P95Wait)
+	}
+	if res.AverageUtilization() <= 0 {
+		t.Fatal("utilization")
+	}
+}
+
+func TestJobsFromWindows(t *testing.T) {
+	jobs := JobsFromWindows([]int64{250, 0, 100}, 3600, 100, 0.5)
+	// Window 0: 3 jobs (100,100,50); window 2: 1 job of 100.
+	if len(jobs) != 4 {
+		t.Fatalf("%d jobs", len(jobs))
+	}
+	var total int64
+	for _, j := range jobs {
+		total += j.Images
+	}
+	if total != 350 {
+		t.Fatalf("total images = %d", total)
+	}
+	if jobs[3].Arrival != 2*3600 {
+		t.Fatalf("window-2 arrival = %v", jobs[3].Arrival)
+	}
+	if jobs[0].Deadline != jobs[0].Arrival+1800 {
+		t.Fatalf("deadline = %v", jobs[0].Deadline)
+	}
+	// Arrivals within a window spread uniformly and stay inside it.
+	if jobs[1].Arrival <= jobs[0].Arrival || jobs[2].Arrival >= 3600 {
+		t.Fatalf("spread = %v %v %v", jobs[0].Arrival, jobs[1].Arrival, jobs[2].Arrival)
+	}
+}
+
+// Property: adding an instance never increases makespan or any job's wait
+// beyond the single-instance case.
+func TestMoreInstancesNeverHurtProperty(t *testing.T) {
+	i := xl(t)
+	f := func(sizes [6]uint16) bool {
+		var jobs []Job
+		for k, s := range sizes {
+			jobs = append(jobs, Job{ID: k, Arrival: float64(k * 3), Images: int64(s%500) + 1})
+		}
+		one, err := Run(Config{Fleet: []*cloud.Instance{i}, Perf: stubPerf{}}, jobs)
+		if err != nil {
+			return false
+		}
+		two, err := Run(Config{Fleet: []*cloud.Instance{i, i}, Perf: stubPerf{}}, jobs)
+		if err != nil {
+			return false
+		}
+		return two.Makespan <= one.Makespan+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

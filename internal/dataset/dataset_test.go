@@ -1,0 +1,172 @@
+package dataset
+
+import (
+	"testing"
+
+	"ccperf/internal/nn"
+)
+
+func cfg() Config {
+	return Config{
+		Classes: 5, PerClass: 20,
+		Shape: nn.Shape{C: 1, H: 12, W: 12},
+		Noise: 0.5, Shift: 1, Seed: 7,
+	}
+}
+
+func TestSyntheticBasics(t *testing.T) {
+	d, err := Synthetic(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 100 {
+		t.Fatalf("len = %d, want 100", d.Len())
+	}
+	counts := map[int]int{}
+	for i, img := range d.Images {
+		if img.Len() != 144 {
+			t.Fatalf("image %d has %d elements", i, img.Len())
+		}
+		counts[d.Labels[i]]++
+	}
+	for c := 0; c < 5; c++ {
+		if counts[c] != 20 {
+			t.Fatalf("class %d has %d samples", c, counts[c])
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a, _ := Synthetic(cfg())
+	b, _ := Synthetic(cfg())
+	for i := range a.Images {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("labels differ across identical seeds")
+		}
+		for j := range a.Images[i].Data {
+			if a.Images[i].Data[j] != b.Images[i].Data[j] {
+				t.Fatal("pixels differ across identical seeds")
+			}
+		}
+	}
+	c2 := cfg()
+	c2.Seed = 8
+	c, _ := Synthetic(c2)
+	same := true
+	for j := range a.Images[0].Data {
+		if a.Images[0].Data[j] != c.Images[0].Data[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	bad := cfg()
+	bad.Classes = 1
+	if _, err := Synthetic(bad); err == nil {
+		t.Fatal("expected error for 1 class")
+	}
+	bad = cfg()
+	bad.PerClass = 0
+	if _, err := Synthetic(bad); err == nil {
+		t.Fatal("expected error for 0 per class")
+	}
+	bad = cfg()
+	bad.Shape = nn.Shape{}
+	if _, err := Synthetic(bad); err == nil {
+		t.Fatal("expected error for empty shape")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	d, _ := Synthetic(cfg())
+	tr, val := d.Split(0.8)
+	if tr.Len() != 80 || val.Len() != 20 {
+		t.Fatalf("split = %d/%d", tr.Len(), val.Len())
+	}
+	// Degenerate fractions still leave both sides non-empty.
+	tr, val = d.Split(0)
+	if tr.Len() < 1 || val.Len() < 1 {
+		t.Fatal("split(0) left a side empty")
+	}
+	tr, val = d.Split(1)
+	if tr.Len() < 1 || val.Len() < 1 {
+		t.Fatal("split(1) left a side empty")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	d, _ := Synthetic(cfg())
+	s := d.Subset(10)
+	if s.Len() != 10 {
+		t.Fatalf("subset len = %d", s.Len())
+	}
+	if s2 := d.Subset(10_000); s2.Len() != d.Len() {
+		t.Fatal("oversized subset must clamp")
+	}
+}
+
+func TestShuffleKeepsPairs(t *testing.T) {
+	d, _ := Synthetic(cfg())
+	// Map image pointer → label before shuffle; must match after.
+	before := map[interface{}]int{}
+	for i, img := range d.Images {
+		before[img] = d.Labels[i]
+	}
+	d.Shuffle(99)
+	for i, img := range d.Images {
+		if before[img] != d.Labels[i] {
+			t.Fatal("shuffle broke image/label pairing")
+		}
+	}
+}
+
+func TestClassesAreSeparable(t *testing.T) {
+	// Prototypes should differ enough that a nearest-prototype classifier
+	// beats chance by a wide margin — the dataset is learnable.
+	c := cfg()
+	c.Noise = 0.4
+	d, _ := Synthetic(c)
+	// Build per-class means from the first half, classify the second.
+	half := d.Len() / 2
+	sums := make([][]float32, d.Classes)
+	counts := make([]int, d.Classes)
+	for i := 0; i < half; i++ {
+		l := d.Labels[i]
+		if sums[l] == nil {
+			sums[l] = make([]float32, d.Shape.Volume())
+		}
+		for j, v := range d.Images[i].Data {
+			sums[l][j] += v
+		}
+		counts[l]++
+	}
+	correct := 0
+	for i := half; i < d.Len(); i++ {
+		best, bd := -1, float64(0)
+		for cl := 0; cl < d.Classes; cl++ {
+			if counts[cl] == 0 {
+				continue
+			}
+			var dist float64
+			for j, v := range d.Images[i].Data {
+				diff := float64(v - sums[cl][j]/float32(counts[cl]))
+				dist += diff * diff
+			}
+			if best < 0 || dist < bd {
+				best, bd = cl, dist
+			}
+		}
+		if best == d.Labels[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(d.Len()-half)
+	if acc < 0.6 {
+		t.Fatalf("nearest-prototype accuracy = %v, dataset not separable", acc)
+	}
+}

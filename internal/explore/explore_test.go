@@ -1,0 +1,327 @@
+package explore
+
+import (
+	"math"
+	"testing"
+
+	"ccperf/internal/cloud"
+	"ccperf/internal/measure"
+	"ccperf/internal/models"
+	"ccperf/internal/prune"
+)
+
+func harness(t *testing.T) *measure.Harness {
+	t.Helper()
+	h, err := measure.NewHarness(models.CaffenetName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func smallPool(t *testing.T) []*cloud.Instance {
+	t.Helper()
+	a, err := cloud.ByName("p2.xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cloud.ByName("p2.8xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*cloud.Instance{a, a, b, b}
+}
+
+func someDegrees() []prune.Degree {
+	return []prune.Degree{
+		{},
+		prune.NewDegree("conv2", 0.5),
+		prune.NewDegree("conv1", 0.3, "conv2", 0.5),
+		prune.NewDegree("conv1", 0.7, "conv2", 0.8),
+	}
+}
+
+func TestEnumerateCount(t *testing.T) {
+	h := harness(t)
+	sp := Space{Harness: h, Degrees: someDegrees(), Pool: smallPool(t), W: 100_000}
+	cands, err := sp.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(someDegrees()) * ((1 << 4) - 1)
+	if len(cands) != want {
+		t.Fatalf("candidates = %d, want %d", len(cands), want)
+	}
+	for _, c := range cands {
+		if c.Seconds <= 0 || c.Cost <= 0 || !c.Acc.Valid() {
+			t.Fatalf("bad candidate %+v", c)
+		}
+	}
+}
+
+func TestFeasibleFilter(t *testing.T) {
+	cands := []Candidate{
+		{Seconds: 100, Cost: 5},
+		{Seconds: 200, Cost: 1},
+		{Seconds: 50, Cost: 10},
+	}
+	f := Feasible(cands, 150, 6)
+	if len(f) != 1 || f[0].Seconds != 100 {
+		t.Fatalf("feasible = %+v", f)
+	}
+	if got := Feasible(cands, math.Inf(1), math.Inf(1)); len(got) != 3 {
+		t.Fatalf("unbounded feasible = %d", len(got))
+	}
+}
+
+func TestFrontierPicksNonDominated(t *testing.T) {
+	h := harness(t)
+	sp := Space{Harness: h, Degrees: someDegrees(), Pool: smallPool(t), W: 100_000}
+	cands, err := sp.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := Frontier(cands, ByTime, Top5)
+	if len(fr) == 0 {
+		t.Fatal("empty frontier")
+	}
+	// Frontier must be strictly increasing in accuracy and time.
+	for i := 1; i < len(fr); i++ {
+		if fr[i].Acc.Top5 <= fr[i-1].Acc.Top5 || fr[i].Seconds <= fr[i-1].Seconds {
+			t.Fatalf("frontier not strictly increasing at %d", i)
+		}
+	}
+	// No candidate dominates a frontier point.
+	for _, p := range fr {
+		for _, c := range cands {
+			if c.Acc.Top5 >= p.Acc.Top5 && c.Seconds < p.Seconds {
+				t.Fatalf("candidate %+v dominates frontier point %+v", c, p)
+			}
+		}
+	}
+	// The highest-accuracy frontier point reaches baseline accuracy —
+	// via the unpruned degree or a sweet-spot degree (conv2@50 matches
+	// unpruned accuracy at lower time, so it wins the frontier slot).
+	base, _ := h.Eval.Evaluate(prune.Degree{})
+	if top := fr[len(fr)-1]; top.Acc.Top5 != base.Top5 {
+		t.Fatalf("top frontier accuracy = %v, want baseline %v", top.Acc.Top5, base.Top5)
+	}
+}
+
+func TestCostFrontier(t *testing.T) {
+	h := harness(t)
+	sp := Space{Harness: h, Degrees: someDegrees(), Pool: smallPool(t), W: 100_000}
+	cands, _ := sp.Enumerate()
+	fr := Frontier(cands, ByCost, Top1)
+	for i := 1; i < len(fr); i++ {
+		if fr[i].Cost <= fr[i-1].Cost {
+			t.Fatalf("cost frontier not increasing at %d", i)
+		}
+	}
+}
+
+func TestAllocateMeetsConstraints(t *testing.T) {
+	h := harness(t)
+	in := Input{
+		Degrees:  someDegrees(),
+		Pool:     smallPool(t),
+		W:        100_000,
+		Deadline: 2 * 3600,
+		Budget:   5,
+	}
+	res, err := Allocate(h, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("expected a feasible allocation")
+	}
+	if res.Seconds > in.Deadline || res.Cost > in.Budget {
+		t.Fatalf("allocation violates constraints: %+v", res)
+	}
+	if res.Config.Empty() {
+		t.Fatal("empty config returned")
+	}
+	if res.Ops <= 0 {
+		t.Fatal("ops not instrumented")
+	}
+}
+
+func TestAllocatePrefersAccuracy(t *testing.T) {
+	// With loose constraints, Algorithm 1 must pick the unpruned
+	// (highest-accuracy) degree.
+	h := harness(t)
+	in := Input{
+		Degrees:  someDegrees(),
+		Pool:     smallPool(t),
+		W:        100_000,
+		Deadline: math.Inf(1),
+		Budget:   math.Inf(1),
+	}
+	res, err := Allocate(h, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("expected allocation")
+	}
+	// conv2@50 sits inside the sweet-spot: same accuracy as unpruned but
+	// lower TAR, so Algorithm 1's tie-break (line 1: same accuracy →
+	// ascending TAR) must prefer it over the unpruned degree.
+	base, _ := h.Eval.Evaluate(prune.Degree{})
+	if res.Acc.Top1 != base.Top1 {
+		t.Fatalf("allocation accuracy %v, want baseline %v", res.Acc.Top1, base.Top1)
+	}
+	if res.Degree.Label() != "conv2@50" {
+		t.Fatalf("allocation degree = %s, want conv2@50 (lowest TAR at max accuracy)", res.Degree.Label())
+	}
+}
+
+func TestAllocateInfeasible(t *testing.T) {
+	h := harness(t)
+	in := Input{
+		Degrees:  someDegrees(),
+		Pool:     smallPool(t),
+		W:        10_000_000,
+		Deadline: 60, // one minute: impossible
+		Budget:   0.01,
+	}
+	res, err := Allocate(h, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatalf("expected infeasible, got %+v", res)
+	}
+}
+
+func TestAllocateEmptyPool(t *testing.T) {
+	h := harness(t)
+	if _, err := Allocate(h, Input{Degrees: someDegrees()}); err == nil {
+		t.Fatal("expected error for empty pool")
+	}
+	if _, err := Exhaustive(h, Input{Degrees: someDegrees()}); err == nil {
+		t.Fatal("expected error for empty pool")
+	}
+}
+
+func TestGreedyVsExhaustive(t *testing.T) {
+	h := harness(t)
+	in := Input{
+		Degrees:  someDegrees(),
+		Pool:     smallPool(t),
+		W:        1_000_000,
+		Deadline: 1.5 * 3600,
+		Budget:   6,
+	}
+	greedy, err := Allocate(h, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Exhaustive(h, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Found != true {
+		t.Fatal("exhaustive found nothing; pick looser constraints")
+	}
+	if greedy.Found {
+		// The heuristic never beats the optimum on accuracy, and both
+		// respect the constraints.
+		if greedy.Acc.Top1 > exact.Acc.Top1+1e-9 {
+			t.Fatalf("greedy accuracy %v exceeds exhaustive %v", greedy.Acc.Top1, exact.Acc.Top1)
+		}
+		if greedy.Seconds > in.Deadline || greedy.Cost > in.Budget {
+			t.Fatalf("greedy violates constraints: %+v", greedy)
+		}
+	}
+	// The paper's complexity claim: greedy does fewer model evaluations
+	// than the exponential enumeration (the gap grows exponentially with
+	// |G|; at |G|=4 it is modest — TestOpsFormulas covers the asymptotics).
+	if greedy.Ops >= exact.Ops {
+		t.Fatalf("greedy ops %d not < exhaustive ops %d", greedy.Ops, exact.Ops)
+	}
+}
+
+func TestOpsFormulas(t *testing.T) {
+	if got := ExhaustiveOps(4, 9); got != 4*511 {
+		t.Fatalf("ExhaustiveOps = %d", got)
+	}
+	if got := GreedyOpsBound(4, 9); got != 4*19 {
+		t.Fatalf("GreedyOpsBound = %d", got)
+	}
+	if ExhaustiveOps(1, 63) != math.MaxInt {
+		t.Fatal("overflow guard missing")
+	}
+	// The polynomial/exponential gap grows with |G|.
+	if !(float64(GreedyOpsBound(1, 20))/float64(ExhaustiveOps(1, 20)) <
+		float64(GreedyOpsBound(1, 10))/float64(ExhaustiveOps(1, 10))) {
+		t.Fatal("gap must grow with pool size")
+	}
+}
+
+func TestMetricPick(t *testing.T) {
+	h := harness(t)
+	a, err := h.Eval.Evaluate(prune.Degree{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Top1.Pick(a) != a.Top1 || Top5.Pick(a) != a.Top5 {
+		t.Fatal("metric pick wrong")
+	}
+}
+
+func TestCandidateHours(t *testing.T) {
+	c := Candidate{Seconds: 7200}
+	if c.Hours() != 2 {
+		t.Fatalf("Hours = %v", c.Hours())
+	}
+}
+
+func TestEnumerateDeterministicUnderConcurrency(t *testing.T) {
+	h := harness(t)
+	sp := Space{Harness: h, Degrees: someDegrees(), Pool: smallPool(t), W: 200_000}
+	a, err := sp.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sp.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Seconds != b[i].Seconds || a[i].Cost != b[i].Cost ||
+			a[i].Degree.Label() != b[i].Degree.Label() || a[i].Config.Label() != b[i].Config.Label() {
+			t.Fatalf("enumeration not deterministic at %d", i)
+		}
+	}
+}
+
+func TestJointFrontier(t *testing.T) {
+	h := harness(t)
+	sp := Space{Harness: h, Degrees: someDegrees(), Pool: smallPool(t), W: 200_000}
+	cands, err := sp.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint := JointFrontier(cands, Top1)
+	if len(joint) == 0 {
+		t.Fatal("empty joint frontier")
+	}
+	// No candidate dominates a joint-frontier member in all three axes.
+	for _, p := range joint {
+		for _, c := range cands {
+			if c.Acc.Top1 >= p.Acc.Top1 && c.Seconds <= p.Seconds && c.Cost <= p.Cost &&
+				(c.Acc.Top1 > p.Acc.Top1 || c.Seconds < p.Seconds || c.Cost < p.Cost) {
+				t.Fatalf("candidate dominates joint-frontier member %+v", p)
+			}
+		}
+	}
+	// The joint frontier contains at least the union membership of both
+	// 2-D frontiers' extreme points.
+	tf := Frontier(cands, ByTime, Top1)
+	cf := Frontier(cands, ByCost, Top1)
+	if len(joint) < len(tf) || len(joint) < len(cf) {
+		t.Fatalf("joint frontier (%d) smaller than a 2-D frontier (%d/%d)", len(joint), len(tf), len(cf))
+	}
+}

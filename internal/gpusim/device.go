@@ -1,0 +1,89 @@
+// Package gpusim simulates CNN inference execution on cloud GPU instances.
+//
+// The paper's substrate is physical: Caffe with sparse-BLAS extensions on
+// EC2 K80/M60 GPUs. Offline and in pure Go, we replace it with a calibrated
+// execution model. For the two paper CNNs the simulator reproduces the
+// published measurements (Figures 3–8): per-layer time shares, single-
+// inference latency, batch-saturation behaviour and the per-layer pruning
+// time response. For any other network it falls back to first-principles
+// accounting — effective (sparsity-adjusted) FLOPs from the real inference
+// engine divided by calibrated device throughput — so the same code path
+// also executes arbitrary models.
+//
+// Timing model for one batch of b images on one GPU:
+//
+//	batchTime = launchOverhead + (perImage·b·R(degree)) / u(b)
+//	u(b) = min(1, (b/satBatch)^satExp)        (utilization ramp, Figure 5)
+//
+// R(degree) is the pruning time-response surface (calibration.go). For a
+// multi-GPU instance the batch splits evenly across GPUs.
+package gpusim
+
+import (
+	"fmt"
+	"math"
+
+	"ccperf/internal/cloud"
+)
+
+// Device models one GPU kind's execution characteristics.
+type Device struct {
+	Kind cloud.GPUKind
+	// Cores is the CUDA core count (K80: 2496, M60: 2048 — Section 4.1.2).
+	Cores int
+	// SpeedFactor scales per-image work relative to the K80 baseline
+	// (higher is faster). Calibrated from Figure 12's p2-vs-g3 CAR gap.
+	SpeedFactor float64
+	// LaunchOverhead is the fixed per-batch kernel-launch cost in seconds,
+	// independent of pruning. Calibrated from Figure 4's batch-1 latency.
+	LaunchOverhead float64
+	// SatBatch is the parallel-inference count that saturates the GPU
+	// (Figure 5: ≈300 on the K80).
+	SatBatch int
+	// SatExp shapes the utilization ramp u(b) = (b/SatBatch)^SatExp.
+	SatExp float64
+	// JitterPct is the virtualization noise amplitude (multi-tenancy,
+	// Section 4.2.3). Zero disables jitter; measurements use run-3-take-min
+	// to cancel it, as the paper does.
+	JitterPct float64
+}
+
+// DeviceFor returns the device model backing a GPU kind.
+func DeviceFor(kind cloud.GPUKind) (*Device, error) {
+	switch kind {
+	case cloud.K80:
+		return &Device{
+			Kind:           cloud.K80,
+			Cores:          2496,
+			SpeedFactor:    1.0,
+			LaunchOverhead: k80LaunchOverhead,
+			SatBatch:       300,
+			SatExp:         satExp,
+			JitterPct:      0.03,
+		}, nil
+	case cloud.M60:
+		return &Device{
+			Kind:           cloud.M60,
+			Cores:          2048,
+			SpeedFactor:    m60SpeedFactor,
+			LaunchOverhead: k80LaunchOverhead * 0.8,
+			SatBatch:       300,
+			SatExp:         satExp,
+			JitterPct:      0.03,
+		}, nil
+	default:
+		return nil, fmt.Errorf("gpusim: unknown GPU kind %q", kind)
+	}
+}
+
+// Utilization returns u(b) ∈ (0,1], the fraction of peak throughput reached
+// at batch size b on one GPU.
+func (d *Device) Utilization(b int) float64 {
+	if b <= 0 {
+		return math.SmallestNonzeroFloat64
+	}
+	if b >= d.SatBatch {
+		return 1
+	}
+	return math.Pow(float64(b)/float64(d.SatBatch), d.SatExp)
+}

@@ -1,0 +1,112 @@
+package gpusim
+
+import (
+	"math"
+	"testing"
+
+	"ccperf/internal/cloud"
+	"ccperf/internal/models"
+	"ccperf/internal/nn"
+	"ccperf/internal/prune"
+)
+
+func TestLayerTimesFallbackFollowsFLOPs(t *testing.T) {
+	// For an uncalibrated model the per-layer split follows effective
+	// FLOPs from the engine's accounting.
+	s := New()
+	k80, _ := s.Device(cloud.K80)
+	net := nn.NewNet("custom", nn.Shape{C: 3, H: 32, W: 32})
+	net.Add(
+		nn.NewConv("heavy", 32, 3, 3, 1, 1, 1, 1, 1),
+		nn.NewConv("light", 8, 1, 1, 1, 1, 0, 0, 1),
+	)
+	if err := net.Init(2); err != nil {
+		t.Fatal(err)
+	}
+	lt, err := s.LayerTimes(ModelRun{ModelName: "custom", Net: net}, k80, 1, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lt) != 2 {
+		t.Fatalf("%d layer times", len(lt))
+	}
+	if lt[0].Share <= lt[1].Share {
+		t.Fatalf("heavy layer share %v should exceed light %v", lt[0].Share, lt[1].Share)
+	}
+	if math.Abs(lt[0].Share+lt[1].Share-1) > 1e-9 {
+		t.Fatal("shares must sum to 1")
+	}
+	// Pruning the heavy layer shifts the split.
+	if err := prune.Apply(net, prune.NewDegree("heavy", 0.9), prune.L1Filter); err != nil {
+		t.Fatal(err)
+	}
+	lt2, err := s.LayerTimes(ModelRun{ModelName: "custom", Net: net}, k80, 1, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt2[0].Share >= lt[0].Share {
+		t.Fatalf("pruned heavy layer share %v should drop from %v", lt2[0].Share, lt[0].Share)
+	}
+}
+
+func TestLayerTimesErrors(t *testing.T) {
+	s := New()
+	k80, _ := s.Device(cloud.K80)
+	if _, err := s.LayerTimes(ModelRun{ModelName: models.CaffenetName}, k80, 1, 300); err == nil {
+		t.Fatal("expected error without a Net")
+	}
+	// A network with zero work.
+	empty := nn.NewNet("empty", nn.Shape{C: 1, H: 8, W: 8})
+	empty.Add(nn.NewDropout("d", 0.5))
+	if err := empty.Init(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LayerTimes(ModelRun{ModelName: "empty", Net: empty}, k80, 1, 10); err == nil {
+		t.Fatal("expected error for zero-work network")
+	}
+}
+
+func TestJitteredBatchTimeErrorPath(t *testing.T) {
+	s := New()
+	k80, _ := s.Device(cloud.K80)
+	if _, err := s.JitteredBatchTime(ModelRun{ModelName: "mystery"}, k80, 1, 1, 1); err == nil {
+		t.Fatal("expected error for uncalibrated model")
+	}
+	// Zero-jitter device returns base even for rep > 0.
+	quiet := *k80
+	quiet.JitterPct = 0
+	a, err := s.JitteredBatchTime(ModelRun{ModelName: models.CaffenetName}, &quiet, 1, 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := s.BatchTime(ModelRun{ModelName: models.CaffenetName}, &quiet, 1, 300)
+	if a != b {
+		t.Fatal("zero jitter must return base time")
+	}
+}
+
+func TestGooglenetLayerTimesCalibrated(t *testing.T) {
+	s := New()
+	k80, _ := s.Device(cloud.K80)
+	net := models.Googlenet()
+	if err := net.Init(1); err != nil {
+		t.Fatal(err)
+	}
+	lt, err := s.LayerTimes(ModelRun{ModelName: models.GooglenetName, Net: net}, k80, 1, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := map[string]float64{}
+	sum := 0.0
+	for _, l := range lt {
+		shares[l.Name] = l.Share
+		sum += l.Share
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("shares sum = %v", sum)
+	}
+	// conv2-3x3 dominates (its Figure 7 sweep removes ~30% of total time).
+	if shares["conv2-3x3"] < 0.2 {
+		t.Fatalf("conv2-3x3 share = %v", shares["conv2-3x3"])
+	}
+}

@@ -1,0 +1,95 @@
+package gpusim
+
+import (
+	"fmt"
+
+	"ccperf/internal/cloud"
+	"ccperf/internal/models"
+)
+
+// Per-GPU memory by device kind (Table 3: p2 instances expose 12 GB per
+// K80 GPU, g3 expose 8 GB per M60 GPU).
+const (
+	k80MemBytes = 12 << 30
+	m60MemBytes = 8 << 30
+)
+
+// Calibrated memory footprints for the two paper models: weight bytes are
+// the fp32 parameter sizes; per-image bytes cover double-buffered
+// activations plus im2col workspace, the dominant per-inference allocation
+// in a Caffe-style engine.
+const (
+	caffenetWeightBytes    = 61_000_000 * 4
+	caffenetPerImageBytes  = 24 << 20 // ~6 MB activations ×2 + im2col ~12 MB
+	googlenetWeightBytes   = 7_000_000 * 4
+	googlenetPerImageBytes = 22 << 20 // smaller planes than Caffenet (no 96×55² stage)
+)
+
+// memBytesFor returns the per-GPU memory of a device kind.
+func memBytesFor(kind cloud.GPUKind) (int64, error) {
+	switch kind {
+	case cloud.K80:
+		return k80MemBytes, nil
+	case cloud.M60:
+		return m60MemBytes, nil
+	default:
+		return 0, fmt.Errorf("gpusim: unknown GPU kind %q", kind)
+	}
+}
+
+// footprint returns (weightBytes, perImageBytes) for a model run.
+func footprint(m ModelRun) (int64, int64, error) {
+	switch m.ModelName {
+	case models.CaffenetName:
+		return caffenetWeightBytes, caffenetPerImageBytes, nil
+	case models.GooglenetName:
+		return googlenetWeightBytes, googlenetPerImageBytes, nil
+	}
+	if m.Net == nil {
+		return 0, 0, fmt.Errorf("gpusim: model %q has no memory calibration and no Net", m.ModelName)
+	}
+	c := m.Net.TotalCost()
+	// Weights are shared across the batch; activations (in+out per layer,
+	// already both counted in ActivationBytes) plus an im2col workspace
+	// comparable to the activation volume scale per image.
+	return c.WeightBytes, 2 * c.ActivationBytes, nil
+}
+
+// MemoryLimitedBatch returns the largest per-GPU batch whose working set
+// fits in one GPU of the given kind, or an error if even a single image
+// does not fit. This is the constraint that can force an application to
+// use fewer images in flight than the saturation batch (Section 4.5.2's
+// "requirements such as memory and storage").
+func (s *Simulator) MemoryLimitedBatch(m ModelRun, kind cloud.GPUKind) (int, error) {
+	mem, err := memBytesFor(kind)
+	if err != nil {
+		return 0, err
+	}
+	weights, perImage, err := footprint(m)
+	if err != nil {
+		return 0, err
+	}
+	free := mem - weights
+	if free < perImage {
+		return 0, fmt.Errorf("gpusim: model %q does not fit on a %s GPU (needs %d+%d bytes of %d)",
+			m.ModelName, kind, weights, perImage, mem)
+	}
+	return int(free / perImage), nil
+}
+
+// MaxBatchFor returns b_i for an instance utilizing gpus GPUs, respecting
+// both the saturation batch and the GPU memory capacity.
+func (s *Simulator) MaxBatchFor(m ModelRun, inst *cloud.Instance, gpus int) (int, error) {
+	if gpus <= 0 || gpus > inst.GPUs {
+		return 0, fmt.Errorf("gpusim: instance %s has %d GPUs, requested %d", inst.Name, inst.GPUs, gpus)
+	}
+	memBatch, err := s.MemoryLimitedBatch(m, inst.GPU)
+	if err != nil {
+		return 0, err
+	}
+	per := perGPUSatBatch
+	if memBatch < per {
+		per = memBatch
+	}
+	return per * gpus, nil
+}

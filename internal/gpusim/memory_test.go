@@ -1,0 +1,108 @@
+package gpusim
+
+import (
+	"strings"
+	"testing"
+
+	"ccperf/internal/cloud"
+	"ccperf/internal/models"
+	"ccperf/internal/nn"
+)
+
+func TestMemoryNotBindingForPaperModels(t *testing.T) {
+	// Both paper models fit hundreds of images per GPU, so the saturation
+	// batch (300) governs — the calibrated results stay intact.
+	s := New()
+	for _, model := range []string{models.CaffenetName, models.GooglenetName} {
+		run := ModelRun{ModelName: model}
+		for _, kind := range []cloud.GPUKind{cloud.K80, cloud.M60} {
+			b, err := s.MemoryLimitedBatch(run, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b < perGPUSatBatch {
+				t.Errorf("%s on %s: memory batch %d below saturation %d", model, kind, b, perGPUSatBatch)
+			}
+		}
+	}
+	inst, _ := cloud.ByName("p2.8xlarge")
+	got, err := s.MaxBatchFor(ModelRun{ModelName: models.CaffenetName}, inst, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2400 {
+		t.Fatalf("MaxBatchFor = %d, want 2400", got)
+	}
+}
+
+// hugeNet builds an uncalibrated model whose activations dominate memory.
+func hugeNet(t *testing.T) *nn.Net {
+	t.Helper()
+	net := nn.NewNet("huge", nn.Shape{C: 64, H: 512, W: 512})
+	net.Add(
+		nn.NewConv("c1", 128, 3, 3, 1, 1, 1, 1, 1),
+		nn.NewReLU("r1"),
+	)
+	if err := net.Init(1); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestMemoryBindsForHugeModel(t *testing.T) {
+	s := New()
+	run := ModelRun{ModelName: "huge", Net: hugeNet(t)}
+	// Activations: in 64·512²·4 ≈ 67 MB, out 128·512²·4 ≈ 134 MB →
+	// ~0.4 GB/image on a 12 GB K80 → tens of images, below 300.
+	b, err := s.MemoryLimitedBatch(run, cloud.K80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b >= perGPUSatBatch || b < 1 {
+		t.Fatalf("huge model memory batch = %d, want 1..299", b)
+	}
+	// The M60's 8 GB admits fewer images than the K80's 12 GB.
+	bM, err := s.MemoryLimitedBatch(run, cloud.M60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bM >= b {
+		t.Fatalf("M60 batch %d should be below K80 batch %d", bM, b)
+	}
+	inst, _ := cloud.ByName("p2.xlarge")
+	mb, err := s.MaxBatchFor(run, inst, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mb != b {
+		t.Fatalf("MaxBatchFor = %d, want memory-limited %d", mb, b)
+	}
+}
+
+func TestModelTooBigForGPU(t *testing.T) {
+	s := New()
+	// Activations alone: (512+1024)·1024²·4 ≈ 6 GB, doubled past 8 GB.
+	net := nn.NewNet("giant", nn.Shape{C: 512, H: 1024, W: 1024})
+	net.Add(nn.NewConv("c1", 1024, 3, 3, 1, 1, 1, 1, 1))
+	if err := net.Init(1); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.MemoryLimitedBatch(ModelRun{ModelName: "giant", Net: net}, cloud.M60)
+	if err == nil || !strings.Contains(err.Error(), "does not fit") {
+		t.Fatalf("err = %v, want does-not-fit", err)
+	}
+}
+
+func TestMemoryValidation(t *testing.T) {
+	s := New()
+	if _, err := s.MemoryLimitedBatch(ModelRun{ModelName: "mystery"}, cloud.K80); err == nil {
+		t.Fatal("expected error for uncalibrated model without Net")
+	}
+	if _, err := s.MemoryLimitedBatch(ModelRun{ModelName: models.CaffenetName}, cloud.GPUKind("V100")); err == nil {
+		t.Fatal("expected error for unknown GPU kind")
+	}
+	inst, _ := cloud.ByName("p2.xlarge")
+	if _, err := s.MaxBatchFor(ModelRun{ModelName: models.CaffenetName}, inst, 5); err == nil {
+		t.Fatal("expected error for too many GPUs")
+	}
+}

@@ -1,0 +1,257 @@
+package gpusim
+
+import (
+	"fmt"
+	"math"
+
+	"ccperf/internal/cloud"
+	"ccperf/internal/nn"
+	"ccperf/internal/prune"
+)
+
+// k80EffGFLOPS is the effective sustained throughput used for models
+// without a calibration table: Caffenet's ~1.45 GFLOP forward pass divided
+// by its calibrated 22.6 ms saturated per-image time.
+const k80EffGFLOPS = 64.0
+
+// perGPUSatBatch is the per-GPU parallel-inference saturation point
+// (Figure 5). An instance's b_i is this times its GPU count.
+const perGPUSatBatch = 300
+
+// ModelRun identifies a (model, degree-of-pruning) pair to time. Net is
+// optional for the two calibrated paper models and required for any other
+// network, where timing falls back to effective-FLOP accounting of the
+// actual (pruned) network.
+type ModelRun struct {
+	ModelName string
+	Degree    prune.Degree
+	Net       *nn.Net
+}
+
+// Simulator computes inference times for model runs on cloud GPU devices.
+// The zero value is not usable; construct with New.
+type Simulator struct {
+	devices map[cloud.GPUKind]*Device
+}
+
+// New returns a simulator with the built-in K80 and M60 device models.
+func New() *Simulator {
+	k80, err := DeviceFor(cloud.K80)
+	if err != nil {
+		panic(err)
+	}
+	m60, err := DeviceFor(cloud.M60)
+	if err != nil {
+		panic(err)
+	}
+	return &Simulator{devices: map[cloud.GPUKind]*Device{cloud.K80: k80, cloud.M60: m60}}
+}
+
+// Device returns the device model for a GPU kind.
+func (s *Simulator) Device(kind cloud.GPUKind) (*Device, error) {
+	d, ok := s.devices[kind]
+	if !ok {
+		return nil, fmt.Errorf("gpusim: unknown GPU kind %q", kind)
+	}
+	return d, nil
+}
+
+// workAndOverhead returns (w·R, α·overheadFactor) — the pruned per-image
+// work and fixed per-batch overhead on the K80 baseline, before device
+// speed scaling.
+func (s *Simulator) workAndOverhead(m ModelRun) (perImage, overhead float64, err error) {
+	if cal := calibrationFor(m.ModelName); cal != nil {
+		r := cal.Response(m.Degree)
+		perImage = cal.perImage * r
+		overhead = cal.launchOverhead * (1 - cal.overheadCoupling*(1-r))
+		return perImage, overhead, nil
+	}
+	if m.Net == nil {
+		return 0, 0, fmt.Errorf("gpusim: model %q is uncalibrated and has no Net for FLOP accounting", m.ModelName)
+	}
+	c := m.Net.TotalCost()
+	perImage = float64(c.EffectiveFLOPs) / (k80EffGFLOPS * 1e9)
+	// Overhead scales with depth relative to Caffenet's 23 layers.
+	overhead = k80LaunchOverhead * float64(len(m.Net.Layers())) / 23.0
+	return perImage, overhead, nil
+}
+
+// BatchTime returns the seconds to run one batch of b images on gpus GPUs
+// of the given device (the batch splits evenly across GPUs).
+func (s *Simulator) BatchTime(m ModelRun, dev *Device, gpus, b int) (float64, error) {
+	if gpus <= 0 {
+		return 0, fmt.Errorf("gpusim: non-positive GPU count %d", gpus)
+	}
+	if b <= 0 {
+		return 0, fmt.Errorf("gpusim: non-positive batch %d", b)
+	}
+	perImage, overhead, err := s.workAndOverhead(m)
+	if err != nil {
+		return 0, err
+	}
+	perGPU := float64(b) / float64(gpus)
+	u := dev.Utilization(int(math.Ceil(perGPU)))
+	return overhead/dev.SpeedFactor + perGPU*perImage/(u*dev.SpeedFactor), nil
+}
+
+// MaxBatch returns b_i for an instance utilizing the given GPU count.
+func (s *Simulator) MaxBatch(gpus int) int { return perGPUSatBatch * gpus }
+
+// TotalTime returns the seconds to infer w images on one instance with the
+// given GPU count, running ⌈w/b⌉ saturated batches (Equations 2–3 for a
+// single resource).
+func (s *Simulator) TotalTime(m ModelRun, inst *cloud.Instance, gpus int, w int64) (float64, error) {
+	if gpus <= 0 || gpus > inst.GPUs {
+		return 0, fmt.Errorf("gpusim: instance %s has %d GPUs, requested %d", inst.Name, inst.GPUs, gpus)
+	}
+	dev, err := s.Device(inst.GPU)
+	if err != nil {
+		return 0, err
+	}
+	b := s.MaxBatch(gpus)
+	bt, err := s.BatchTime(m, dev, gpus, b)
+	if err != nil {
+		return 0, err
+	}
+	n := math.Ceil(float64(w) / float64(b))
+	return n * bt, nil
+}
+
+// JitteredBatchTime perturbs BatchTime with deterministic virtualization
+// noise for repetition rep: cloud GPU instances vary run to run
+// (Section 4.2.3), which the paper cancels by running each experiment
+// three times and keeping the minimum. rep 0 is jitter-free.
+func (s *Simulator) JitteredBatchTime(m ModelRun, dev *Device, gpus, b, rep int) (float64, error) {
+	t, err := s.BatchTime(m, dev, gpus, b)
+	if err != nil {
+		return 0, err
+	}
+	if rep == 0 || dev.JitterPct == 0 {
+		return t, nil
+	}
+	h := jitterHash(m.ModelName, m.Degree.Label(), gpus, b, rep)
+	return t * (1 + dev.JitterPct*h), nil
+}
+
+// jitterHash returns a deterministic value in [0,1) from the run identity.
+func jitterHash(model, degree string, gpus, b, rep int) float64 {
+	h := uint64(1469598103934665603)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	mix(model)
+	mix(degree)
+	h ^= uint64(gpus)<<32 | uint64(b)
+	h *= 1099511628211
+	h ^= uint64(rep)
+	h *= 1099511628211
+	return float64(h>>11) / (1 << 53)
+}
+
+// LayerTime is one layer's share of a batch execution (Figure 3).
+type LayerTime struct {
+	Name    string
+	Kind    string
+	Seconds float64
+	Share   float64
+}
+
+// LayerTimes breaks one saturated batch's execution into per-layer times.
+// For calibrated models the split follows the measured Figure 3 shares
+// (with unlisted layers splitting the remainder uniformly); for other
+// models it follows effective FLOPs.
+func (s *Simulator) LayerTimes(m ModelRun, dev *Device, gpus, b int) ([]LayerTime, error) {
+	if m.Net == nil {
+		return nil, fmt.Errorf("gpusim: LayerTimes requires a Net")
+	}
+	total, err := s.BatchTime(m, dev, gpus, b)
+	if err != nil {
+		return nil, err
+	}
+	layers := m.Net.Layers()
+	out := make([]LayerTime, 0, len(layers))
+
+	if cal := calibrationFor(m.ModelName); cal != nil {
+		// Weights: listed shares × their pruning response; others split
+		// the leftover uniformly.
+		weights := make([]float64, len(layers))
+		rest := 1.0
+		unlisted := 0
+		for i, l := range layers {
+			if sh, ok := cal.shares[l.Name()]; ok {
+				weights[i] = sh * cal.LayerResponse(l.Name(), m.Degree)
+				rest -= sh
+			} else {
+				unlisted++
+			}
+		}
+		if rest < 0 {
+			rest = 0
+		}
+		for i := range layers {
+			if weights[i] == 0 && unlisted > 0 {
+				weights[i] = rest / float64(unlisted)
+			}
+		}
+		sum := 0.0
+		for _, w := range weights {
+			sum += w
+		}
+		for i, l := range layers {
+			sec := total * weights[i] / sum
+			out = append(out, LayerTime{Name: l.Name(), Kind: l.Kind(), Seconds: sec, Share: weights[i] / sum})
+		}
+		return out, nil
+	}
+
+	costs := m.Net.LayerCosts()
+	var sum float64
+	for _, lc := range costs {
+		sum += float64(lc.Cost.EffectiveFLOPs)
+	}
+	if sum == 0 {
+		return nil, fmt.Errorf("gpusim: network has no work")
+	}
+	for _, lc := range costs {
+		w := float64(lc.Cost.EffectiveFLOPs) / sum
+		out = append(out, LayerTime{Name: lc.Layer.Name(), Kind: lc.Layer.Kind(), Seconds: total * w, Share: w})
+	}
+	return out, nil
+}
+
+// InstancePerf adapts the simulator to cloud.Perf for a fixed model run,
+// utilizing GPUs per instance (0 ⇒ all the instance has).
+type InstancePerf struct {
+	Sim  *Simulator
+	Run  ModelRun
+	GPUs int
+}
+
+// BatchTime implements cloud.Perf.
+func (p InstancePerf) BatchTime(it *cloud.Instance, b int) float64 {
+	dev, err := p.Sim.Device(it.GPU)
+	if err != nil {
+		panic(err)
+	}
+	g := p.gpus(it)
+	t, err := p.Sim.BatchTime(p.Run, dev, g, b)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// MaxBatch implements cloud.Perf.
+func (p InstancePerf) MaxBatch(it *cloud.Instance) int {
+	return p.Sim.MaxBatch(p.gpus(it))
+}
+
+func (p InstancePerf) gpus(it *cloud.Instance) int {
+	if p.GPUs > 0 && p.GPUs <= it.GPUs {
+		return p.GPUs
+	}
+	return it.GPUs
+}

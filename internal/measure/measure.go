@@ -1,0 +1,221 @@
+// Package measure is the measurement harness of Section 3.3: it runs
+// (simulated) inference experiments, repeats each three times keeping the
+// minimum to cancel cloud jitter — exactly the paper's methodology — and
+// emits records of time, cost, Top-1/Top-5 accuracy, TAR and CAR per
+// degree of pruning and resource configuration.
+package measure
+
+import (
+	"fmt"
+	"math"
+
+	"ccperf/internal/accuracy"
+	"ccperf/internal/cloud"
+	"ccperf/internal/gpusim"
+	"ccperf/internal/metrics"
+	"ccperf/internal/nn"
+	"ccperf/internal/prune"
+)
+
+// DefaultReps is the paper's repetition count (run three times, keep the
+// minimum).
+const DefaultReps = 3
+
+// Harness bundles the simulator and an accuracy evaluator for one model.
+type Harness struct {
+	Sim  *gpusim.Simulator
+	Eval accuracy.Evaluator
+	// Reps is the repetition count; 0 means DefaultReps.
+	Reps int
+}
+
+// NewHarness builds a harness with the calibrated evaluator for model.
+func NewHarness(model string) (*Harness, error) {
+	ev, err := accuracy.NewCalibrated(model)
+	if err != nil {
+		return nil, err
+	}
+	return &Harness{Sim: gpusim.New(), Eval: ev}, nil
+}
+
+func (h *Harness) reps() int {
+	if h.Reps > 0 {
+		return h.Reps
+	}
+	return DefaultReps
+}
+
+func (h *Harness) run(d prune.Degree) gpusim.ModelRun {
+	return gpusim.ModelRun{ModelName: h.Eval.ModelName(), Degree: d}
+}
+
+// BatchSeconds measures the time of one batch of b images on gpus GPUs of
+// the instance, as the minimum over repetitions (Section 3.3).
+func (h *Harness) BatchSeconds(d prune.Degree, inst *cloud.Instance, gpus, b int) (float64, error) {
+	dev, err := h.Sim.Device(inst.GPU)
+	if err != nil {
+		return 0, err
+	}
+	best := math.Inf(1)
+	for rep := 1; rep <= h.reps(); rep++ {
+		t, err := h.Sim.JitteredBatchTime(h.run(d), dev, gpus, b, rep)
+		if err != nil {
+			return 0, err
+		}
+		if t < best {
+			best = t
+		}
+	}
+	return best, nil
+}
+
+// TotalSeconds measures the time to infer w images on one instance using
+// gpus GPUs (0 ⇒ all), at saturated batch size.
+func (h *Harness) TotalSeconds(d prune.Degree, inst *cloud.Instance, gpus int, w int64) (float64, error) {
+	if gpus <= 0 {
+		gpus = inst.GPUs
+	}
+	b := h.Sim.MaxBatch(gpus)
+	bt, err := h.BatchSeconds(d, inst, gpus, b)
+	if err != nil {
+		return 0, err
+	}
+	return math.Ceil(float64(w)/float64(b)) * bt, nil
+}
+
+// Record measures one (degree, instance) pair end to end: time, pro-rated
+// cost, accuracy, TAR and CAR.
+func (h *Harness) Record(d prune.Degree, inst *cloud.Instance, gpus int, w int64) (metrics.Record, error) {
+	sec, err := h.TotalSeconds(d, inst, gpus, w)
+	if err != nil {
+		return metrics.Record{}, err
+	}
+	acc, err := h.Eval.Evaluate(d)
+	if err != nil {
+		return metrics.Record{}, err
+	}
+	cost := math.Ceil(sec) * inst.PricePerSecond()
+	return metrics.Record{
+		Label:   fmt.Sprintf("%s/%s", d.Label(), inst.Name),
+		Seconds: sec,
+		Cost:    cost,
+		Top1:    acc.Top1,
+		Top5:    acc.Top5,
+	}, nil
+}
+
+// Perf returns a cloud.Perf for the analytical model (Equations 1–4) at
+// degree d, utilizing gpus GPUs per instance (0 ⇒ all).
+func (h *Harness) Perf(d prune.Degree, gpus int) cloud.Perf {
+	return gpusim.InstancePerf{Sim: h.Sim, Run: h.run(d), GPUs: gpus}
+}
+
+// LayerShare is one bar segment of Figure 3.
+type LayerShare struct {
+	Name  string
+	Kind  string
+	Share float64
+}
+
+// LayerDistribution measures the per-layer execution-time distribution on
+// the instance at saturated batch (Figure 3). net must be the initialized
+// network matching the harness's model.
+func (h *Harness) LayerDistribution(net *nn.Net, d prune.Degree, inst *cloud.Instance) ([]LayerShare, error) {
+	dev, err := h.Sim.Device(inst.GPU)
+	if err != nil {
+		return nil, err
+	}
+	run := gpusim.ModelRun{ModelName: h.Eval.ModelName(), Degree: d, Net: net}
+	lts, err := h.Sim.LayerTimes(run, dev, inst.GPUs, h.Sim.MaxBatch(inst.GPUs))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]LayerShare, len(lts))
+	for i, lt := range lts {
+		out[i] = LayerShare{Name: lt.Name, Kind: lt.Kind, Share: lt.Share}
+	}
+	return out, nil
+}
+
+// SweepPoint is one x-position of a Figure 6/7 style sweep.
+type SweepPoint struct {
+	Ratio   float64
+	Minutes float64
+	Top1    float64
+	Top5    float64
+}
+
+// LayerSweep prunes a single layer at each ratio and measures total time
+// and accuracy for w images on the instance — one sub-figure of
+// Figure 6/7.
+func (h *Harness) LayerSweep(layer string, ratios []float64, inst *cloud.Instance, w int64) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(ratios))
+	for _, r := range ratios {
+		d := prune.NewDegree(layer, r)
+		sec, err := h.TotalSeconds(d, inst, 0, w)
+		if err != nil {
+			return nil, err
+		}
+		acc, err := h.Eval.Evaluate(d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{Ratio: r, Minutes: sec / 60, Top1: acc.Top1, Top5: acc.Top5})
+	}
+	return out, nil
+}
+
+// SingleInferencePoint is one x-position of Figure 4.
+type SingleInferencePoint struct {
+	Ratio   float64
+	Seconds float64
+}
+
+// SingleInferenceSweep measures batch-1 latency under uniform pruning of
+// the given layers at each ratio (Figure 4).
+func (h *Harness) SingleInferenceSweep(layers []string, ratios []float64, inst *cloud.Instance) ([]SingleInferencePoint, error) {
+	out := make([]SingleInferencePoint, 0, len(ratios))
+	for _, r := range ratios {
+		t, err := h.BatchSeconds(prune.Uniform(layers, r), inst, 1, 1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SingleInferencePoint{Ratio: r, Seconds: t})
+	}
+	return out, nil
+}
+
+// SaturationPoint is one x-position of Figure 5.
+type SaturationPoint struct {
+	Parallel int
+	Seconds  float64
+}
+
+// SaturationSweep measures total time for w images at each parallel
+// inference count on one GPU of the instance (Figure 5).
+func (h *Harness) SaturationSweep(parallel []int, inst *cloud.Instance, w int64) ([]SaturationPoint, error) {
+	out := make([]SaturationPoint, 0, len(parallel))
+	for _, b := range parallel {
+		bt, err := h.BatchSeconds(prune.Degree{}, inst, 1, b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SaturationPoint{Parallel: b, Seconds: math.Ceil(float64(w)/float64(b)) * bt})
+	}
+	return out, nil
+}
+
+// SaturationBatch probes the sweep for the knee: the smallest parallel
+// count whose total time is within tol of the fully saturated time.
+func SaturationBatch(points []SaturationPoint, tol float64) int {
+	if len(points) == 0 {
+		return 0
+	}
+	final := points[len(points)-1].Seconds
+	for _, p := range points {
+		if (p.Seconds-final)/final <= tol {
+			return p.Parallel
+		}
+	}
+	return points[len(points)-1].Parallel
+}

@@ -1,0 +1,57 @@
+// Package metrics defines the paper's two accuracy-performance metrics
+// (Section 3.5): Time Accuracy Ratio (TAR = t/a) and Cost Accuracy Ratio
+// (CAR = c/a). Both measure the time or cost spent per unit of accuracy;
+// lower is better.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// TAR returns t/a: the time (seconds) to achieve one unit of accuracy,
+// for accuracy a ∈ (0,1]. A zero or negative accuracy yields +Inf, making
+// useless configurations sort last.
+func TAR(tSeconds, a float64) float64 {
+	if a <= 0 {
+		return math.Inf(1)
+	}
+	return tSeconds / a
+}
+
+// CAR returns c/a: the cost (dollars) to achieve one unit of accuracy.
+func CAR(cost, a float64) float64 {
+	if a <= 0 {
+		return math.Inf(1)
+	}
+	return cost / a
+}
+
+// Record bundles one application/resource configuration's measured
+// quantities with its derived TAR and CAR, the measurement-phase output of
+// Section 3.3.
+type Record struct {
+	Label   string
+	Seconds float64
+	Cost    float64
+	Top1    float64
+	Top5    float64
+}
+
+// TARTop1 returns TAR against Top-1 accuracy.
+func (r Record) TARTop1() float64 { return TAR(r.Seconds, r.Top1) }
+
+// TARTop5 returns TAR against Top-5 accuracy.
+func (r Record) TARTop5() float64 { return TAR(r.Seconds, r.Top5) }
+
+// CARTop1 returns CAR against Top-1 accuracy.
+func (r Record) CARTop1() float64 { return CAR(r.Cost, r.Top1) }
+
+// CARTop5 returns CAR against Top-5 accuracy.
+func (r Record) CARTop5() float64 { return CAR(r.Cost, r.Top5) }
+
+// String renders the record compactly.
+func (r Record) String() string {
+	return fmt.Sprintf("%s: t=%.1fs c=$%.3f top1=%.1f%% top5=%.1f%% TAR=%.1f CAR=%.3f",
+		r.Label, r.Seconds, r.Cost, r.Top1*100, r.Top5*100, r.TARTop1(), r.CARTop1())
+}

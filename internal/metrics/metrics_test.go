@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTAR(t *testing.T) {
+	if got := TAR(100, 0.5); got != 200 {
+		t.Fatalf("TAR = %v, want 200", got)
+	}
+	if !math.IsInf(TAR(100, 0), 1) {
+		t.Fatal("TAR at zero accuracy must be +Inf")
+	}
+	if !math.IsInf(TAR(100, -1), 1) {
+		t.Fatal("TAR at negative accuracy must be +Inf")
+	}
+}
+
+func TestCAR(t *testing.T) {
+	if got := CAR(3, 0.75); got != 4 {
+		t.Fatalf("CAR = %v, want 4", got)
+	}
+	if !math.IsInf(CAR(1, 0), 1) {
+		t.Fatal("CAR at zero accuracy must be +Inf")
+	}
+}
+
+func TestLowerIsBetterOrdering(t *testing.T) {
+	// Same time, higher accuracy → lower (better) TAR.
+	if TAR(100, 0.8) >= TAR(100, 0.4) {
+		t.Fatal("higher accuracy must improve TAR")
+	}
+	// Same accuracy, lower cost → lower CAR.
+	if CAR(10, 0.5) >= CAR(20, 0.5) {
+		t.Fatal("lower cost must improve CAR")
+	}
+}
+
+func TestRecordDerived(t *testing.T) {
+	r := Record{Label: "x", Seconds: 120, Cost: 0.6, Top1: 0.5, Top5: 0.8}
+	if r.TARTop1() != 240 || r.TARTop5() != 150 {
+		t.Fatalf("TAR = %v/%v", r.TARTop1(), r.TARTop5())
+	}
+	if math.Abs(r.CARTop1()-1.2) > 1e-9 || math.Abs(r.CARTop5()-0.75) > 1e-9 {
+		t.Fatalf("CAR = %v/%v", r.CARTop1(), r.CARTop5())
+	}
+	if !strings.Contains(r.String(), "x:") {
+		t.Fatalf("String = %q", r.String())
+	}
+}
+
+// Property: TAR and CAR scale linearly in their numerator and inversely in
+// accuracy.
+func TestScalingProperty(t *testing.T) {
+	f := func(tRaw, aRaw uint16) bool {
+		tv := float64(tRaw)/100 + 0.01
+		a := float64(aRaw%100)/100 + 0.005
+		return math.Abs(TAR(2*tv, a)-2*TAR(tv, a)) < 1e-9 &&
+			math.Abs(TAR(tv, a)-CAR(tv, a)) < 1e-9 &&
+			TAR(tv, a/2) > TAR(tv, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+// Package models defines the two CNN architectures the paper evaluates:
+// Caffenet (the Caffe implementation of AlexNet, Table 1 / Figure 1) and
+// Googlenet (inception-v1, Szegedy et al.). Both are built on the inference
+// engine in internal/nn with exact full-scale geometry, plus reduced-
+// resolution variants for fast in-process execution.
+package models
+
+import (
+	"fmt"
+
+	"ccperf/internal/nn"
+)
+
+// Canonical model names.
+const (
+	CaffenetName  = "caffenet"
+	GooglenetName = "googlenet"
+)
+
+// InputSide is the paper's RGB input resolution for both CNNs (224x224).
+const InputSide = 224
+
+// Caffenet builds the full-scale Caffenet of Table 1: five convolution
+// layers (conv2/4/5 grouped ×2, as in the Caffe reference model — hence
+// Table 1's filter depths of 48 and 192) and three fully-connected layers.
+func Caffenet() *nn.Net { return CaffenetAt(InputSide) }
+
+// CaffenetAt builds Caffenet with a reduced square input resolution.
+// side must be at least 64 so every pooled plane stays non-empty.
+func CaffenetAt(side int) *nn.Net {
+	if side < 64 {
+		panic(fmt.Sprintf("models: CaffenetAt side %d < 64", side))
+	}
+	n := nn.NewNet(CaffenetName, nn.Shape{C: 3, H: side, W: side})
+	n.Add(
+		nn.NewConv("conv1", 96, 11, 11, 4, 4, 2, 2, 1),
+		nn.NewReLU("relu1"),
+		nn.NewMaxPool("pool1", 3, 2),
+		nn.NewLRN("norm1"),
+
+		nn.NewConv("conv2", 256, 5, 5, 1, 1, 2, 2, 2),
+		nn.NewReLU("relu2"),
+		nn.NewMaxPool("pool2", 3, 2),
+		nn.NewLRN("norm2"),
+
+		nn.NewConv("conv3", 384, 3, 3, 1, 1, 1, 1, 1),
+		nn.NewReLU("relu3"),
+		nn.NewConv("conv4", 384, 3, 3, 1, 1, 1, 1, 2),
+		nn.NewReLU("relu4"),
+		nn.NewConv("conv5", 256, 3, 3, 1, 1, 1, 1, 2),
+		nn.NewReLU("relu5"),
+		nn.NewMaxPool("pool5", 3, 2),
+
+		nn.NewFlatten("flatten"),
+		nn.NewFC("fc1", 4096),
+		nn.NewReLU("relu6"),
+		nn.NewDropout("drop1", 0.5),
+		nn.NewFC("fc2", 4096),
+		nn.NewReLU("relu7"),
+		nn.NewDropout("drop2", 0.5),
+		nn.NewFC("fc3", 1000),
+		nn.NewSoftmax("prob"),
+	)
+	return n
+}
+
+// CaffenetConvNames lists Caffenet's prunable convolution layers in order.
+// These are the five layers swept in Figure 6.
+func CaffenetConvNames() []string {
+	return []string{"conv1", "conv2", "conv3", "conv4", "conv5"}
+}
+
+// Googlenet builds the full-scale inception-v1 network: two main
+// convolution stages and nine inception blocks of six convolutions each —
+// the "56 convolution layers" of Section 4.1.1.
+func Googlenet() *nn.Net { return GooglenetAt(InputSide) }
+
+// GooglenetAt builds Googlenet with a reduced square input resolution.
+// side must be at least 64.
+func GooglenetAt(side int) *nn.Net {
+	if side < 64 {
+		panic(fmt.Sprintf("models: GooglenetAt side %d < 64", side))
+	}
+	n := nn.NewNet(GooglenetName, nn.Shape{C: 3, H: side, W: side})
+	n.Add(
+		nn.NewConv("conv1-7x7-s2", 64, 7, 7, 2, 2, 3, 3, 1),
+		nn.NewReLU("relu-conv1"),
+		nn.NewMaxPool("pool1-3x3-s2", 3, 2),
+		nn.NewLRN("norm1"),
+
+		nn.NewConv("conv2-3x3-reduce", 64, 1, 1, 1, 1, 0, 0, 1),
+		nn.NewReLU("relu-conv2-reduce"),
+		nn.NewConv("conv2-3x3", 192, 3, 3, 1, 1, 1, 1, 1),
+		nn.NewReLU("relu-conv2"),
+		nn.NewLRN("norm2"),
+		nn.NewMaxPool("pool2-3x3-s2", 3, 2),
+
+		nn.NewInception("inception-3a", 64, 96, 128, 16, 32, 32),
+		nn.NewInception("inception-3b", 128, 128, 192, 32, 96, 64),
+		nn.NewMaxPool("pool3-3x3-s2", 3, 2),
+
+		nn.NewInception("inception-4a", 192, 96, 208, 16, 48, 64),
+		nn.NewInception("inception-4b", 160, 112, 224, 24, 64, 64),
+		nn.NewInception("inception-4c", 128, 128, 256, 24, 64, 64),
+		nn.NewInception("inception-4d", 112, 144, 288, 32, 64, 64),
+		nn.NewInception("inception-4e", 256, 160, 320, 32, 128, 128),
+		nn.NewMaxPool("pool4-3x3-s2", 3, 2),
+
+		nn.NewInception("inception-5a", 256, 160, 320, 32, 128, 128),
+		nn.NewInception("inception-5b", 384, 192, 384, 48, 128, 128),
+
+		nn.NewGlobalAvgPool("pool5-avg"),
+		nn.NewDropout("drop", 0.4),
+		nn.NewFlatten("flatten"),
+		nn.NewFC("loss3-classifier", 1000),
+		nn.NewSoftmax("prob"),
+	)
+	return n
+}
+
+// GooglenetSelectedConvNames lists the six convolution layers Figure 7
+// sweeps, drawn from different depths of the network.
+func GooglenetSelectedConvNames() []string {
+	return []string{
+		"conv1-7x7-s2",
+		"conv2-3x3",
+		"inception-3a-3x3",
+		"inception-4d-5x5",
+		"inception-4e-5x5",
+		"inception-5a-3x3",
+	}
+}
+
+// Build constructs a named model at full scale. It returns an error for an
+// unknown name.
+func Build(name string) (*nn.Net, error) {
+	switch name {
+	case CaffenetName:
+		return Caffenet(), nil
+	case GooglenetName:
+		return Googlenet(), nil
+	default:
+		return nil, fmt.Errorf("models: unknown model %q", name)
+	}
+}
+
+// LayerRow is one row of the paper's Table 1.
+type LayerRow struct {
+	Layer      string
+	Size       string // output size, HxWxC
+	NumFilters int    // 0 for non-conv layers
+	FilterSize string // "-" for non-conv layers
+}
+
+// Table1 returns the Caffenet layer inventory exactly as Table 1 lists it:
+// input, the five convolution layers with output sizes and filter shapes
+// (per-group input depth, hence 5x5x48 etc.), and the three FC widths.
+func Table1() []LayerRow {
+	net := Caffenet()
+	if err := net.Init(1); err != nil {
+		panic(err)
+	}
+	rows := []LayerRow{{Layer: "input", Size: "224 x 224 x 3", FilterSize: "-"}}
+	for _, name := range CaffenetConvNames() {
+		p, _ := net.PrunableByName(name)
+		c := p.(*nn.Conv)
+		in, _ := net.InputShapeOf(name)
+		out := c.OutShape(in)
+		rows = append(rows, LayerRow{
+			Layer:      name,
+			Size:       fmt.Sprintf("%d x %d x %d", out.H, out.W, out.C),
+			NumFilters: c.OutC,
+			FilterSize: fmt.Sprintf("%dx%dx%d", c.KH, c.KW, in.C/c.Groups),
+		})
+	}
+	for _, fc := range []struct {
+		name string
+		n    int
+	}{{"fc1", 4096}, {"fc2", 4096}, {"fc3", 1000}} {
+		rows = append(rows, LayerRow{Layer: fc.name, Size: fmt.Sprintf("%d", fc.n), FilterSize: "-"})
+	}
+	return rows
+}

@@ -1,0 +1,226 @@
+package models
+
+import (
+	"strings"
+	"testing"
+
+	"ccperf/internal/nn"
+	"ccperf/internal/tensor"
+)
+
+func TestCaffenetTable1Shapes(t *testing.T) {
+	net := Caffenet()
+	if err := net.Init(1); err != nil {
+		t.Fatal(err)
+	}
+	// Table 1 output sizes.
+	want := map[string]nn.Shape{
+		"conv1": {C: 96, H: 55, W: 55},
+		"conv2": {C: 256, H: 27, W: 27},
+		"conv3": {C: 384, H: 13, W: 13},
+		"conv4": {C: 384, H: 13, W: 13},
+		"conv5": {C: 256, H: 13, W: 13},
+	}
+	for name, w := range want {
+		p, ok := net.PrunableByName(name)
+		if !ok {
+			t.Fatalf("layer %q not found", name)
+		}
+		in, ok := net.InputShapeOf(name)
+		if !ok {
+			t.Fatalf("input shape of %q not found", name)
+		}
+		got := p.(*nn.Conv).OutShape(in)
+		if got != w {
+			t.Errorf("%s out shape = %v, want %v", name, got, w)
+		}
+	}
+	// Final output: 1000-class probabilities.
+	if out := net.OutShape(); out.C != 1000 || out.H != 1 || out.W != 1 {
+		t.Errorf("output shape = %v, want 1000x1x1", net.OutShape())
+	}
+}
+
+func TestCaffenetFilterSizes(t *testing.T) {
+	// Table 1 filter sizes: 11x11x3, 5x5x48, 3x3x256, 3x3x192, 3x3x192.
+	rows := Table1()
+	want := map[string]string{
+		"conv1": "11x11x3",
+		"conv2": "5x5x48",
+		"conv3": "3x3x256",
+		"conv4": "3x3x192",
+		"conv5": "3x3x192",
+	}
+	seen := 0
+	for _, r := range rows {
+		if w, ok := want[r.Layer]; ok {
+			seen++
+			if r.FilterSize != w {
+				t.Errorf("%s filter = %s, want %s", r.Layer, r.FilterSize, w)
+			}
+		}
+	}
+	if seen != 5 {
+		t.Fatalf("saw %d conv rows, want 5", seen)
+	}
+	if rows[0].Layer != "input" || rows[0].Size != "224 x 224 x 3" {
+		t.Errorf("first row = %+v, want input 224 x 224 x 3", rows[0])
+	}
+	if len(rows) != 9 {
+		t.Errorf("Table 1 has %d rows, want 9", len(rows))
+	}
+}
+
+func TestCaffenetParamCount(t *testing.T) {
+	net := Caffenet()
+	if err := net.Init(1); err != nil {
+		t.Fatal(err)
+	}
+	p := net.Params()
+	// AlexNet/Caffenet has ~61M parameters (60.97M).
+	if p < 55_000_000 || p > 65_000_000 {
+		t.Fatalf("Caffenet params = %d, want ~61M", p)
+	}
+}
+
+func TestGooglenetStructure(t *testing.T) {
+	net := Googlenet()
+	if err := net.Init(2); err != nil {
+		t.Fatal(err)
+	}
+	// 9 inception blocks ×6 convs + conv1 + conv2-reduce + conv2 = 57 convs.
+	convs := net.ConvLayers()
+	if len(convs) != 57 {
+		t.Fatalf("Googlenet has %d convs, want 57", len(convs))
+	}
+	inceptions := 0
+	for _, l := range net.Layers() {
+		if l.Kind() == "inception" {
+			inceptions++
+		}
+	}
+	if inceptions != 9 {
+		t.Fatalf("Googlenet has %d inception blocks, want 9", inceptions)
+	}
+	// Paper: Googlenet has far fewer parameters than Caffenet (~4–7M).
+	p := net.Params()
+	if p < 4_000_000 || p > 8_000_000 {
+		t.Fatalf("Googlenet params = %d, want 4M–8M", p)
+	}
+	if out := net.OutShape(); out.C != 1000 {
+		t.Fatalf("output classes = %d, want 1000", out.C)
+	}
+}
+
+func TestGooglenetSelectedLayersExist(t *testing.T) {
+	net := Googlenet()
+	if err := net.Init(2); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range GooglenetSelectedConvNames() {
+		if _, ok := net.PrunableByName(name); !ok {
+			t.Errorf("selected layer %q not found", name)
+		}
+	}
+}
+
+func TestGooglenetInceptionOutputWidths(t *testing.T) {
+	net := Googlenet()
+	if err := net.Init(2); err != nil {
+		t.Fatal(err)
+	}
+	// 3b output = 128+192+96+64 = 480 channels at 28x28;
+	// 4e output = 832 at 14x14; 5b output = 1024 at 7x7.
+	want := map[string]nn.Shape{
+		"inception-3b": {C: 480, H: 28, W: 28},
+		"inception-4e": {C: 832, H: 14, W: 14},
+		"inception-5b": {C: 1024, H: 7, W: 7},
+	}
+	for _, l := range net.Layers() {
+		if w, ok := want[l.Name()]; ok {
+			in, _ := net.InputShapeOf(l.Name())
+			if got := l.OutShape(in); got != w {
+				t.Errorf("%s out = %v, want %v", l.Name(), got, w)
+			}
+		}
+	}
+}
+
+func TestScaledCaffenetForwardRuns(t *testing.T) {
+	net := CaffenetAt(64)
+	if err := net.Init(3); err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(3, 64, 64)
+	for i := range in.Data {
+		in.Data[i] = float32(i%17) / 17
+	}
+	out := net.Forward(in)
+	if out.Len() != 1000 {
+		t.Fatalf("output len = %d, want 1000", out.Len())
+	}
+	// Softmax output must sum to ~1.
+	if s := out.Sum(); s < 0.999 || s > 1.001 {
+		t.Fatalf("softmax sum = %v, want 1", s)
+	}
+}
+
+func TestScaledGooglenetForwardRuns(t *testing.T) {
+	net := GooglenetAt(64)
+	if err := net.Init(4); err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(3, 64, 64)
+	for i := range in.Data {
+		in.Data[i] = float32(i%13) / 13
+	}
+	out := net.Forward(in)
+	if out.Len() != 1000 {
+		t.Fatalf("output len = %d, want 1000", out.Len())
+	}
+	if s := out.Sum(); s < 0.999 || s > 1.001 {
+		t.Fatalf("softmax sum = %v, want 1", s)
+	}
+}
+
+func TestBuild(t *testing.T) {
+	for _, name := range []string{CaffenetName, GooglenetName} {
+		n, err := Build(name)
+		if err != nil {
+			t.Fatalf("Build(%q): %v", name, err)
+		}
+		if n.Name != name {
+			t.Errorf("Build(%q).Name = %q", name, n.Name)
+		}
+	}
+	if _, err := Build("resnet"); err == nil || !strings.Contains(err.Error(), "unknown model") {
+		t.Fatalf("Build(resnet) err = %v, want unknown model", err)
+	}
+}
+
+func TestConvTimeShareDominatedByConv(t *testing.T) {
+	// Figure 3's premise: convolution layers dominate inference work.
+	net := Caffenet()
+	if err := net.Init(1); err != nil {
+		t.Fatal(err)
+	}
+	var convF, totalF int64
+	for _, lc := range net.LayerCosts() {
+		totalF += lc.Cost.FLOPs
+		if lc.Layer.Kind() == "conv" {
+			convF += lc.Cost.FLOPs
+		}
+	}
+	if share := float64(convF) / float64(totalF); share < 0.85 {
+		t.Fatalf("conv FLOP share = %.2f, want > 0.85", share)
+	}
+}
+
+func TestCaffenetAtTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for side < 64")
+		}
+	}()
+	CaffenetAt(32)
+}

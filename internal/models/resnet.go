@@ -1,0 +1,48 @@
+package models
+
+import (
+	"fmt"
+
+	"ccperf/internal/nn"
+)
+
+// TinyResNetName identifies the extension model (not in the paper).
+const TinyResNetName = "tinyresnet"
+
+// TinyResNetAt builds a small residual network — stem, three basic blocks
+// (the middle one downsampling with a projection shortcut), global average
+// pooling and a classifier. It is not one of the paper's CNNs; it exists
+// to demonstrate that the library generalizes: an uncalibrated model runs
+// through the same pruning machinery and is timed by the GPU simulator's
+// effective-FLOPs fallback. side must be ≥ 32.
+func TinyResNetAt(side, classes int) (*nn.Net, error) {
+	if side < 32 {
+		return nil, fmt.Errorf("models: TinyResNetAt side %d < 32", side)
+	}
+	if classes < 2 {
+		return nil, fmt.Errorf("models: TinyResNetAt classes %d < 2", classes)
+	}
+	n := nn.NewNet(TinyResNetName, nn.Shape{C: 3, H: side, W: side})
+	block := func(name string, filters, stride int) *nn.Residual {
+		return nn.NewResidual(name,
+			nn.NewConv(name+"-conv1", filters, 3, 3, stride, stride, 1, 1, 1),
+			nn.NewBatchNorm(name+"-bn1", filters),
+			nn.NewReLU(name+"-relu"),
+			nn.NewConv(name+"-conv2", filters, 3, 3, 1, 1, 1, 1, 1),
+			nn.NewBatchNorm(name+"-bn2", filters),
+		)
+	}
+	n.Add(
+		nn.NewConv("stem", 16, 3, 3, 1, 1, 1, 1, 1),
+		nn.NewBatchNorm("stem-bn", 16),
+		nn.NewReLU("stem-relu"),
+		block("block1", 16, 1),
+		block("block2", 32, 2),
+		block("block3", 32, 1),
+		nn.NewGlobalAvgPool("gap"),
+		nn.NewFlatten("flatten"),
+		nn.NewFC("fc", classes),
+		nn.NewSoftmax("prob"),
+	)
+	return n, nil
+}

@@ -1,0 +1,85 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"ccperf/internal/prune"
+	"ccperf/internal/tensor"
+)
+
+func TestTinyResNetValidation(t *testing.T) {
+	if _, err := TinyResNetAt(16, 10); err == nil {
+		t.Fatal("expected error for small side")
+	}
+	if _, err := TinyResNetAt(32, 1); err == nil {
+		t.Fatal("expected error for 1 class")
+	}
+}
+
+func TestTinyResNetForward(t *testing.T) {
+	n, err := TinyResNetAt(32, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Init(11); err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(3, 32, 32)
+	for i := range in.Data {
+		in.Data[i] = float32(i%19)/19 - 0.5
+	}
+	out := n.Forward(in)
+	if out.Len() != 10 {
+		t.Fatalf("output len = %d", out.Len())
+	}
+	if s := out.Sum(); math.Abs(s-1) > 1e-4 {
+		t.Fatalf("softmax sum = %v", s)
+	}
+}
+
+func TestTinyResNetStructure(t *testing.T) {
+	n, err := TinyResNetAt(32, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Init(11); err != nil {
+		t.Fatal(err)
+	}
+	// stem + 2 convs × 3 blocks + 1 projection (block2) = 8 convs.
+	if got := len(n.ConvLayers()); got != 8 {
+		t.Fatalf("convs = %d, want 8", got)
+	}
+	// Prunables include the FC: 9.
+	if got := len(n.Prunables()); got != 9 {
+		t.Fatalf("prunables = %d, want 9", got)
+	}
+	// block2's downsampling created a projection named block2-proj.
+	if _, ok := n.PrunableByName("block2-proj"); !ok {
+		t.Fatal("block2 projection missing")
+	}
+}
+
+func TestTinyResNetPruningReducesWork(t *testing.T) {
+	n, err := TinyResNetAt(32, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Init(11); err != nil {
+		t.Fatal(err)
+	}
+	before := n.TotalCost().EffectiveFLOPs
+	if err := prune.Apply(n, prune.NewDegree("block3-conv2", 0.75), prune.L1Filter); err != nil {
+		t.Fatal(err)
+	}
+	after := n.TotalCost().EffectiveFLOPs
+	if after >= before {
+		t.Fatalf("pruning did not reduce effective FLOPs: %d → %d", before, after)
+	}
+	// The pruned network still produces a valid distribution.
+	in := tensor.New(3, 32, 32)
+	out := n.Forward(in)
+	if s := out.Sum(); math.Abs(s-1) > 1e-4 {
+		t.Fatalf("softmax sum after pruning = %v", s)
+	}
+}

@@ -1,0 +1,196 @@
+package nn
+
+import (
+	"math"
+
+	"ccperf/internal/tensor"
+)
+
+// ReLU applies max(0, x) element-wise.
+type ReLU struct{ name string }
+
+// NewReLU constructs a ReLU layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.name }
+
+// Kind implements Layer.
+func (r *ReLU) Kind() string { return "relu" }
+
+// OutShape implements Layer.
+func (r *ReLU) OutShape(in Shape) Shape { return in }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(in *tensor.Tensor) *tensor.Tensor {
+	out := in.Clone()
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Cost implements Layer.
+func (r *ReLU) Cost(in Shape) Cost {
+	n := int64(in.Volume())
+	return Cost{FLOPs: n, EffectiveFLOPs: n, ActivationBytes: 8 * n}
+}
+
+// LRN is AlexNet-style local response normalization across channels.
+type LRN struct {
+	name  string
+	Size  int
+	Alpha float64
+	Beta  float64
+	K     float64
+}
+
+// NewLRN constructs an LRN layer with AlexNet defaults (n=5, α=1e-4, β=0.75).
+func NewLRN(name string) *LRN {
+	return &LRN{name: name, Size: 5, Alpha: 1e-4, Beta: 0.75, K: 1}
+}
+
+// Name implements Layer.
+func (l *LRN) Name() string { return l.name }
+
+// Kind implements Layer.
+func (l *LRN) Kind() string { return "lrn" }
+
+// OutShape implements Layer.
+func (l *LRN) OutShape(in Shape) Shape { return in }
+
+// Forward implements Layer.
+func (l *LRN) Forward(in *tensor.Tensor) *tensor.Tensor {
+	c, h, w := in.Dim(0), in.Dim(1), in.Dim(2)
+	out := tensor.New(c, h, w)
+	plane := h * w
+	half := l.Size / 2
+	for y := 0; y < plane; y++ {
+		for ch := 0; ch < c; ch++ {
+			lo := ch - half
+			if lo < 0 {
+				lo = 0
+			}
+			hi := ch + half
+			if hi >= c {
+				hi = c - 1
+			}
+			var ss float64
+			for j := lo; j <= hi; j++ {
+				v := float64(in.Data[j*plane+y])
+				ss += v * v
+			}
+			denom := math.Pow(l.K+l.Alpha/float64(l.Size)*ss, l.Beta)
+			out.Data[ch*plane+y] = float32(float64(in.Data[ch*plane+y]) / denom)
+		}
+	}
+	return out
+}
+
+// Cost implements Layer. LRN does ~Size multiply-adds plus a pow per element.
+func (l *LRN) Cost(in Shape) Cost {
+	n := int64(in.Volume())
+	flops := n * int64(2*l.Size+8)
+	return Cost{FLOPs: flops, EffectiveFLOPs: flops, ActivationBytes: 8 * n}
+}
+
+// Softmax converts logits to probabilities. Numerically stabilized.
+type Softmax struct{ name string }
+
+// NewSoftmax constructs a softmax layer.
+func NewSoftmax(name string) *Softmax { return &Softmax{name: name} }
+
+// Name implements Layer.
+func (s *Softmax) Name() string { return s.name }
+
+// Kind implements Layer.
+func (s *Softmax) Kind() string { return "softmax" }
+
+// OutShape implements Layer.
+func (s *Softmax) OutShape(in Shape) Shape { return in }
+
+// Forward implements Layer.
+func (s *Softmax) Forward(in *tensor.Tensor) *tensor.Tensor {
+	out := in.Clone()
+	SoftmaxInPlace(out.Data)
+	return out
+}
+
+// SoftmaxInPlace normalizes logits to probabilities in place.
+func SoftmaxInPlace(x []float32) {
+	if len(x) == 0 {
+		return
+	}
+	mx := x[0]
+	for _, v := range x {
+		if v > mx {
+			mx = v
+		}
+	}
+	var sum float64
+	for i, v := range x {
+		e := math.Exp(float64(v - mx))
+		x[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for i := range x {
+		x[i] *= inv
+	}
+}
+
+// Cost implements Layer.
+func (s *Softmax) Cost(in Shape) Cost {
+	n := int64(in.Volume())
+	return Cost{FLOPs: 8 * n, EffectiveFLOPs: 8 * n, ActivationBytes: 8 * n}
+}
+
+// Dropout is an inference-time no-op kept so network definitions mirror the
+// training-time topology (Caffenet has dropout after fc1 and fc2).
+type Dropout struct {
+	name string
+	Rate float64
+}
+
+// NewDropout constructs an inference no-op dropout layer.
+func NewDropout(name string, rate float64) *Dropout { return &Dropout{name: name, Rate: rate} }
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return d.name }
+
+// Kind implements Layer.
+func (d *Dropout) Kind() string { return "dropout" }
+
+// OutShape implements Layer.
+func (d *Dropout) OutShape(in Shape) Shape { return in }
+
+// Forward implements Layer. At inference dropout is identity.
+func (d *Dropout) Forward(in *tensor.Tensor) *tensor.Tensor { return in }
+
+// Cost implements Layer.
+func (d *Dropout) Cost(Shape) Cost { return Cost{} }
+
+// Flatten reshapes CHW to a 1-D vector (Cx1x1 convention).
+type Flatten struct{ name string }
+
+// NewFlatten constructs a flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return f.name }
+
+// Kind implements Layer.
+func (f *Flatten) Kind() string { return "flatten" }
+
+// OutShape implements Layer.
+func (f *Flatten) OutShape(in Shape) Shape { return Shape{C: in.Volume(), H: 1, W: 1} }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(in *tensor.Tensor) *tensor.Tensor {
+	return in.Reshape(in.Len(), 1, 1)
+}
+
+// Cost implements Layer.
+func (f *Flatten) Cost(Shape) Cost { return Cost{} }

@@ -1,0 +1,87 @@
+package nn
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ccperf/internal/tensor"
+)
+
+// ForwardBatch runs a batch of CHW images through the network using a
+// worker pool — the engine-level counterpart of the GPU batch parallelism
+// the paper exploits (Section 4.2.3). workers ≤ 0 uses GOMAXPROCS.
+// Outputs are returned in input order.
+func (n *Net) ForwardBatch(images []*tensor.Tensor, workers int) []*tensor.Tensor {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(images) {
+		workers = len(images)
+	}
+	out := make([]*tensor.Tensor, len(images))
+	if workers <= 1 {
+		for i, img := range images {
+			out[i] = n.Forward(img)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = n.Forward(images[i])
+			}
+		}()
+	}
+	for i := range images {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// Classify runs one image and returns its Top-1 class index and the Top-k
+// class indices in descending probability order.
+func (n *Net) Classify(img *tensor.Tensor, k int) (top1 int, topK []int, err error) {
+	out := n.Forward(img)
+	if k < 1 || k > out.Len() {
+		return 0, nil, fmt.Errorf("nn: k=%d out of range for %d classes", k, out.Len())
+	}
+	topK = out.TopK(k)
+	return topK[0], topK, nil
+}
+
+// AccuracyOn evaluates Top-1 and Top-k accuracy of the network over a
+// labeled image set, running the batch through the worker pool.
+func (n *Net) AccuracyOn(images []*tensor.Tensor, labels []int, k, workers int) (top1, topK float64, err error) {
+	if len(images) == 0 {
+		return 0, 0, fmt.Errorf("nn: empty evaluation set")
+	}
+	if len(images) != len(labels) {
+		return 0, 0, fmt.Errorf("nn: %d images but %d labels", len(images), len(labels))
+	}
+	outs := n.ForwardBatch(images, workers)
+	if k < 1 || k > outs[0].Len() {
+		return 0, 0, fmt.Errorf("nn: k=%d out of range for %d classes", k, outs[0].Len())
+	}
+	var c1, ck int
+	for i, out := range outs {
+		tk := out.TopK(k)
+		if tk[0] == labels[i] {
+			c1++
+		}
+		for _, j := range tk {
+			if j == labels[i] {
+				ck++
+				break
+			}
+		}
+	}
+	total := float64(len(images))
+	return float64(c1) / total, float64(ck) / total, nil
+}

@@ -1,0 +1,126 @@
+package nn
+
+import (
+	"testing"
+
+	"ccperf/internal/tensor"
+)
+
+func batchNet(t *testing.T) *Net {
+	t.Helper()
+	n := NewNet("b", Shape{C: 2, H: 8, W: 8})
+	n.Add(
+		NewConv("c1", 4, 3, 3, 1, 1, 1, 1, 1),
+		NewReLU("r1"),
+		NewMaxPool("p1", 2, 2),
+		NewFlatten("f"),
+		NewFC("fc", 6),
+		NewSoftmax("sm"),
+	)
+	if err := n.Init(5); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func batchImages(n int) []*tensor.Tensor {
+	imgs := make([]*tensor.Tensor, n)
+	for i := range imgs {
+		img := tensor.New(2, 8, 8)
+		for j := range img.Data {
+			img.Data[j] = float32((i*131+j*17)%23)/23 - 0.5
+		}
+		imgs[i] = img
+	}
+	return imgs
+}
+
+func TestForwardBatchMatchesSequential(t *testing.T) {
+	n := batchNet(t)
+	imgs := batchImages(17)
+	seq := make([]*tensor.Tensor, len(imgs))
+	for i, img := range imgs {
+		seq[i] = n.Forward(img)
+	}
+	for _, workers := range []int{0, 1, 2, 4, 32} {
+		par := n.ForwardBatch(imgs, workers)
+		for i := range seq {
+			for j := range seq[i].Data {
+				if seq[i].Data[j] != par[i].Data[j] {
+					t.Fatalf("workers=%d: output %d differs at %d", workers, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestForwardBatchEmpty(t *testing.T) {
+	n := batchNet(t)
+	if out := n.ForwardBatch(nil, 4); len(out) != 0 {
+		t.Fatal("empty batch must return empty")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	n := batchNet(t)
+	img := batchImages(1)[0]
+	top1, topK, err := n.Classify(img, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topK) != 3 || topK[0] != top1 {
+		t.Fatalf("classify = %d %v", top1, topK)
+	}
+	if _, _, err := n.Classify(img, 0); err == nil {
+		t.Fatal("expected error for k=0")
+	}
+	if _, _, err := n.Classify(img, 7); err == nil {
+		t.Fatal("expected error for k > classes")
+	}
+}
+
+func TestAccuracyOn(t *testing.T) {
+	n := batchNet(t)
+	imgs := batchImages(10)
+	// Label every image with its own predicted class → accuracy 1.
+	labels := make([]int, len(imgs))
+	for i, img := range imgs {
+		top1, _, err := n.Classify(img, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels[i] = top1
+	}
+	top1, topK, err := n.AccuracyOn(imgs, labels, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top1 != 1 || topK != 1 {
+		t.Fatalf("accuracy = %v/%v, want 1/1", top1, topK)
+	}
+	// Wrong labels → 0 Top-1 (but Top-3 may still catch some).
+	for i := range labels {
+		labels[i] = (labels[i] + 1) % 6
+	}
+	top1, _, err = n.AccuracyOn(imgs, labels, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top1 != 0 {
+		t.Fatalf("shifted labels top1 = %v, want 0", top1)
+	}
+}
+
+func TestAccuracyOnValidation(t *testing.T) {
+	n := batchNet(t)
+	imgs := batchImages(3)
+	if _, _, err := n.AccuracyOn(nil, nil, 1, 1); err == nil {
+		t.Fatal("expected error for empty set")
+	}
+	if _, _, err := n.AccuracyOn(imgs, []int{1}, 1, 1); err == nil {
+		t.Fatal("expected error for label mismatch")
+	}
+	if _, _, err := n.AccuracyOn(imgs, []int{1, 2, 3}, 99, 1); err == nil {
+		t.Fatal("expected error for bad k")
+	}
+}

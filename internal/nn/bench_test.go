@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"fmt"
+	"testing"
+
+	"ccperf/internal/tensor"
+)
+
+func benchNet(b *testing.B) (*Net, *tensor.Tensor) {
+	b.Helper()
+	n := NewNet("bench", Shape{C: 3, H: 64, W: 64})
+	n.Add(
+		NewConv("c1", 32, 3, 3, 1, 1, 1, 1, 1),
+		NewReLU("r1"),
+		NewMaxPool("p1", 2, 2),
+		NewConv("c2", 64, 3, 3, 1, 1, 1, 1, 1),
+		NewReLU("r2"),
+		NewGlobalAvgPool("gap"),
+		NewFlatten("f"),
+		NewFC("fc", 100),
+		NewSoftmax("sm"),
+	)
+	if err := n.Init(1); err != nil {
+		b.Fatal(err)
+	}
+	in := tensor.New(3, 64, 64)
+	for i := range in.Data {
+		in.Data[i] = float32(i%13)/13 - 0.4
+	}
+	return n, in
+}
+
+// BenchmarkNetForward measures a full single-image forward pass.
+func BenchmarkNetForward(b *testing.B) {
+	n, in := benchNet(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n.Forward(in)
+	}
+}
+
+// BenchmarkNetForwardBatch measures engine-level batch parallelism.
+func BenchmarkNetForwardBatch(b *testing.B) {
+	n, in := benchNet(b)
+	batch := make([]*tensor.Tensor, 8)
+	for i := range batch {
+		batch[i] = in
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				n.ForwardBatch(batch, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkConvForwardDenseVsSparse measures the dense→CSR execution
+// crossover on one convolution at 0/50/90 % weight sparsity.
+func BenchmarkConvForwardDenseVsSparse(b *testing.B) {
+	in := tensor.New(48, 27, 27)
+	for i := range in.Data {
+		in.Data[i] = float32(i%11)/11 - 0.5
+	}
+	for _, sparsity := range []int{0, 50, 90} {
+		c := NewConv("c", 128, 5, 5, 1, 1, 2, 2, 1)
+		if err := c.Init(48, 7); err != nil {
+			b.Fatal(err)
+		}
+		w := c.Weights()
+		for i := range w.Data {
+			if i%100 < sparsity {
+				w.Data[i] = 0
+			}
+		}
+		c.Rebuild()
+		b.Run(fmt.Sprintf("sparsity=%d%%/csr=%v", sparsity, c.UsesSparseKernel()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.Forward(in)
+			}
+		})
+	}
+}

@@ -1,0 +1,99 @@
+package nn
+
+import (
+	"ccperf/internal/tensor"
+)
+
+// FC is a fully-connected layer. Input must be flattened (Cx1x1).
+type FC struct {
+	name string
+	Out  int
+
+	weights *tensor.Matrix // Out × In, neuron-major
+	bias    []float32
+	csr     *tensor.CSR
+	useCSR  bool
+}
+
+// NewFC constructs an uninitialized fully-connected layer.
+func NewFC(name string, out int) *FC { return &FC{name: name, Out: out} }
+
+// Name implements Layer.
+func (f *FC) Name() string { return f.name }
+
+// Kind implements Layer.
+func (f *FC) Kind() string { return "fc" }
+
+// Init allocates weights for the given input width.
+func (f *FC) Init(in int, seed int64) {
+	f.weights = tensor.NewMatrix(f.Out, in)
+	fillGaussian(f.weights.Data, seed, 0, 0.02)
+	f.bias = make([]float32, f.Out)
+	f.Rebuild()
+}
+
+// OutShape implements Layer.
+func (f *FC) OutShape(Shape) Shape { return Shape{C: f.Out, H: 1, W: 1} }
+
+// Forward implements Layer.
+func (f *FC) Forward(in *tensor.Tensor) *tensor.Tensor {
+	var y []float32
+	if f.useCSR {
+		y = tensor.SpMV(f.csr, in.Data)
+	} else {
+		y = tensor.MatVec(f.weights, in.Data)
+	}
+	for i := range y {
+		y[i] += f.bias[i]
+	}
+	return tensor.FromSlice(y, f.Out, 1, 1)
+}
+
+// Cost implements Layer.
+func (f *FC) Cost(in Shape) Cost {
+	dense := 2 * int64(f.Out) * int64(in.Volume())
+	params := int64(f.Out)*int64(in.Volume()) + int64(f.Out)
+	nnz := params
+	eff := dense
+	if f.weights != nil {
+		wnnz := int64(f.weights.NNZ())
+		nnz = wnnz + int64(f.Out)
+		eff = int64(float64(dense) * float64(wnnz) / float64(len(f.weights.Data)))
+	}
+	return Cost{
+		FLOPs:           dense,
+		EffectiveFLOPs:  eff,
+		Params:          params,
+		NNZ:             nnz,
+		WeightBytes:     4 * nnz,
+		ActivationBytes: 4 * int64(in.Volume()+f.Out),
+	}
+}
+
+// Weights implements Prunable.
+func (f *FC) Weights() *tensor.Matrix { return f.weights }
+
+// Bias returns the live bias vector.
+func (f *FC) Bias() []float32 { return f.bias }
+
+// Rebuild implements Prunable.
+func (f *FC) Rebuild() {
+	if f.weights == nil {
+		return
+	}
+	if f.weights.Sparsity() >= sparseExecThreshold {
+		f.csr = tensor.ToCSR(f.weights)
+		f.useCSR = true
+	} else {
+		f.csr = nil
+		f.useCSR = false
+	}
+}
+
+// WeightSparsity implements Prunable.
+func (f *FC) WeightSparsity() float64 {
+	if f.weights == nil {
+		return 0
+	}
+	return f.weights.Sparsity()
+}

@@ -1,0 +1,135 @@
+package nn
+
+import (
+	"fmt"
+
+	"ccperf/internal/tensor"
+)
+
+// Inception is a GoogLeNet inception-v1 block: four parallel branches whose
+// outputs are concatenated along channels.
+//
+//	branch 1: 1x1 conv
+//	branch 2: 1x1 reduce → 3x3 conv
+//	branch 3: 1x1 reduce → 5x5 conv
+//	branch 4: 3x3 maxpool → 1x1 proj
+//
+// Its six convolutions are individually prunable; the paper's Figure 7
+// prunes e.g. "inception-3a-3x3" and "inception-4d-5x5".
+type Inception struct {
+	name string
+
+	C1x1    *Conv
+	Reduce3 *Conv
+	C3x3    *Conv
+	Reduce5 *Conv
+	C5x5    *Conv
+	PoolP   *Pool
+	Proj    *Conv
+}
+
+// NewInception constructs an inception block with the given branch widths,
+// matching the Szegedy et al. table (e.g. 3a: 64, 96→128, 16→32, 32).
+func NewInception(name string, c1, r3, c3, r5, c5, proj int) *Inception {
+	b := &Inception{name: name}
+	b.C1x1 = NewConv(name+"-1x1", c1, 1, 1, 1, 1, 0, 0, 1)
+	b.Reduce3 = NewConv(name+"-3x3-reduce", r3, 1, 1, 1, 1, 0, 0, 1)
+	b.C3x3 = NewConv(name+"-3x3", c3, 3, 3, 1, 1, 1, 1, 1)
+	b.Reduce5 = NewConv(name+"-5x5-reduce", r5, 1, 1, 1, 1, 0, 0, 1)
+	b.C5x5 = NewConv(name+"-5x5", c5, 5, 5, 1, 1, 2, 2, 1)
+	b.PoolP = &Pool{name: name + "-pool", Mode: MaxPool, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	b.Proj = NewConv(name+"-pool-proj", proj, 1, 1, 1, 1, 0, 0, 1)
+	return b
+}
+
+// Name implements Layer.
+func (b *Inception) Name() string { return b.name }
+
+// Kind implements Layer.
+func (b *Inception) Kind() string { return "inception" }
+
+// Convs returns the six prunable convolutions of the block.
+func (b *Inception) Convs() []*Conv {
+	return []*Conv{b.C1x1, b.Reduce3, b.C3x3, b.Reduce5, b.C5x5, b.Proj}
+}
+
+// Init initializes all branch convolutions for inC input channels.
+func (b *Inception) Init(inC int, seed int64) error {
+	inits := []struct {
+		c  *Conv
+		in int
+	}{
+		{b.C1x1, inC},
+		{b.Reduce3, inC},
+		{b.C3x3, b.Reduce3.OutC},
+		{b.Reduce5, inC},
+		{b.C5x5, b.Reduce5.OutC},
+		{b.Proj, inC},
+	}
+	for i, x := range inits {
+		if err := x.c.Init(x.in, seed+int64(i)*7919); err != nil {
+			return fmt.Errorf("nn: inception %q: %w", b.name, err)
+		}
+	}
+	return nil
+}
+
+// OutShape implements Layer. Spatial dims are preserved by all branches.
+func (b *Inception) OutShape(in Shape) Shape {
+	return Shape{C: b.C1x1.OutC + b.C3x3.OutC + b.C5x5.OutC + b.Proj.OutC, H: in.H, W: in.W}
+}
+
+// Forward implements Layer: runs the four branches and concatenates.
+func (b *Inception) Forward(in *tensor.Tensor) *tensor.Tensor {
+	relu := func(t *tensor.Tensor) *tensor.Tensor {
+		for i, v := range t.Data {
+			if v < 0 {
+				t.Data[i] = 0
+			}
+		}
+		return t
+	}
+	o1 := relu(b.C1x1.Forward(in))
+	o2 := relu(b.C3x3.Forward(relu(b.Reduce3.Forward(in))))
+	o3 := relu(b.C5x5.Forward(relu(b.Reduce5.Forward(in))))
+	o4 := relu(b.Proj.Forward(b.PoolP.Forward(in)))
+	return ConcatChannels(o1, o2, o3, o4)
+}
+
+// Cost implements Layer: sum of branch costs.
+func (b *Inception) Cost(in Shape) Cost {
+	var c Cost
+	c.Add(b.C1x1.Cost(in))
+	r3 := b.Reduce3.Cost(in)
+	c.Add(r3)
+	c.Add(b.C3x3.Cost(b.Reduce3.OutShape(in)))
+	r5 := b.Reduce5.Cost(in)
+	c.Add(r5)
+	c.Add(b.C5x5.Cost(b.Reduce5.OutShape(in)))
+	c.Add(b.PoolP.Cost(in))
+	c.Add(b.Proj.Cost(b.PoolP.OutShape(in)))
+	return c
+}
+
+// ConcatChannels concatenates CHW tensors along the channel axis. All
+// inputs must share H and W.
+func ConcatChannels(ts ...*tensor.Tensor) *tensor.Tensor {
+	if len(ts) == 0 {
+		panic("nn: ConcatChannels with no inputs")
+	}
+	h, w := ts[0].Dim(1), ts[0].Dim(2)
+	total := 0
+	for _, t := range ts {
+		if t.Dim(1) != h || t.Dim(2) != w {
+			panic(fmt.Sprintf("nn: ConcatChannels spatial mismatch %dx%d vs %dx%d", t.Dim(1), t.Dim(2), h, w))
+		}
+		total += t.Dim(0)
+	}
+	out := tensor.New(total, h, w)
+	off := 0
+	for _, t := range ts {
+		copy(out.Data[off:], t.Data)
+		off += t.Len()
+	}
+	return out
+}

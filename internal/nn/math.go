@@ -1,0 +1,12 @@
+package nn
+
+import "math"
+
+// sqrtNeg2Log returns sqrt(-2 ln u), the Box-Muller radius.
+func sqrtNeg2Log(u float64) float64 { return math.Sqrt(-2 * math.Log(u)) }
+
+// cosTau returns cos(2πu).
+func cosTau(u float64) float64 { return math.Cos(2 * math.Pi * u) }
+
+// sinTau returns sin(2πu).
+func sinTau(u float64) float64 { return math.Sin(2 * math.Pi * u) }

@@ -1,0 +1,478 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ccperf/internal/tensor"
+)
+
+func TestConvOutShape(t *testing.T) {
+	c := NewConv("c", 96, 11, 11, 4, 4, 2, 2, 1)
+	if err := c.Init(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := c.OutShape(Shape{C: 3, H: 224, W: 224})
+	if out != (Shape{C: 96, H: 55, W: 55}) {
+		t.Fatalf("OutShape = %v, want 96x55x55", out)
+	}
+}
+
+func TestConvGroupsValidation(t *testing.T) {
+	c := NewConv("c", 4, 3, 3, 1, 1, 1, 1, 3)
+	if err := c.Init(6, 1); err == nil {
+		t.Fatal("expected error: groups=3 does not divide outC=4")
+	}
+	c2 := NewConv("c2", 6, 3, 3, 1, 1, 1, 1, 3)
+	if err := c2.Init(5, 1); err == nil {
+		t.Fatal("expected error: groups=3 does not divide inC=5")
+	}
+}
+
+func TestConvForwardKnownValues(t *testing.T) {
+	// 1 input channel 3x3, one 2x2 all-ones filter, stride 1, no pad.
+	c := NewConv("c", 1, 2, 2, 1, 1, 0, 0, 1)
+	if err := c.Init(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Weights().Data {
+		c.Weights().Data[i] = 1
+	}
+	c.Rebuild()
+	in := tensor.FromSlice([]float32{1, 2, 3, 4, 5, 6, 7, 8, 9}, 1, 3, 3)
+	out := c.Forward(in)
+	want := []float32{12, 16, 24, 28} // 2x2 window sums
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Fatalf("out = %v, want %v", out.Data, want)
+		}
+	}
+}
+
+func TestConvBias(t *testing.T) {
+	c := NewConv("c", 2, 1, 1, 1, 1, 0, 0, 1)
+	if err := c.Init(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	c.Weights().Data[0] = 1
+	c.Weights().Data[1] = 2
+	c.Bias()[0] = 10
+	c.Bias()[1] = -1
+	c.Rebuild()
+	in := tensor.FromSlice([]float32{3}, 1, 1, 1)
+	out := c.Forward(in)
+	if out.Data[0] != 13 || out.Data[1] != 5 {
+		t.Fatalf("out = %v, want [13 5]", out.Data)
+	}
+}
+
+func TestConvSparseDenseEquivalence(t *testing.T) {
+	// Prune 60% of weights, confirm CSR path gives identical output.
+	c := NewConv("c", 8, 3, 3, 1, 1, 1, 1, 1)
+	if err := c.Init(4, 7); err != nil {
+		t.Fatal(err)
+	}
+	w := c.Weights()
+	for i := range w.Data {
+		if i%5 < 3 {
+			w.Data[i] = 0
+		}
+	}
+	in := tensor.New(4, 6, 6)
+	for i := range in.Data {
+		in.Data[i] = float32((i*31)%11) / 11
+	}
+	c.Rebuild()
+	if !c.UsesSparseKernel() {
+		t.Fatal("expected sparse kernel at 60% sparsity")
+	}
+	sparse := c.Forward(in)
+
+	// Force dense path by lying about sparsity: rebuild from a dense copy.
+	dense := &Conv{
+		name: "d", OutC: c.OutC, KH: c.KH, KW: c.KW,
+		StrideH: c.StrideH, StrideW: c.StrideW, PadH: c.PadH, PadW: c.PadW, Groups: 1,
+	}
+	if err := dense.Init(4, 7); err != nil {
+		t.Fatal(err)
+	}
+	copy(dense.Weights().Data, w.Data)
+	dense.useCSR = false
+	dense.csr = nil
+	denseOut := dense.Forward(in)
+	for i := range sparse.Data {
+		if d := math.Abs(float64(sparse.Data[i] - denseOut.Data[i])); d > 1e-4 {
+			t.Fatalf("sparse/dense mismatch at %d: %v", i, d)
+		}
+	}
+}
+
+func TestConvGroupedMatchesManualSplit(t *testing.T) {
+	// A grouped conv equals two independent convs on channel halves.
+	g := NewConv("g", 4, 3, 3, 1, 1, 1, 1, 2)
+	if err := g.Init(6, 3); err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(6, 5, 5)
+	for i := range in.Data {
+		in.Data[i] = float32((i*17)%7) - 3
+	}
+	out := g.Forward(in)
+
+	for grp := 0; grp < 2; grp++ {
+		single := NewConv("s", 2, 3, 3, 1, 1, 1, 1, 1)
+		if err := single.Init(3, 99); err != nil {
+			t.Fatal(err)
+		}
+		copy(single.Weights().Data, g.Weights().Data[grp*2*27:(grp+1)*2*27])
+		single.Rebuild()
+		half := tensor.FromSlice(in.Data[grp*75:(grp+1)*75], 3, 5, 5)
+		want := single.Forward(half)
+		got := out.Data[grp*2*25 : (grp+1)*2*25]
+		for i := range want.Data {
+			if d := math.Abs(float64(want.Data[i] - got[i])); d > 1e-4 {
+				t.Fatalf("group %d mismatch at %d", grp, i)
+			}
+		}
+	}
+}
+
+func TestConvCostSparsityScaling(t *testing.T) {
+	c := NewConv("c", 16, 3, 3, 1, 1, 1, 1, 1)
+	if err := c.Init(8, 1); err != nil {
+		t.Fatal(err)
+	}
+	in := Shape{C: 8, H: 10, W: 10}
+	full := c.Cost(in)
+	if full.EffectiveFLOPs != full.FLOPs {
+		t.Fatalf("dense EffectiveFLOPs = %d, want %d", full.EffectiveFLOPs, full.FLOPs)
+	}
+	// Zero half the weights.
+	w := c.Weights()
+	for i := 0; i < len(w.Data)/2; i++ {
+		w.Data[i] = 0
+	}
+	c.Rebuild()
+	half := c.Cost(in)
+	ratio := float64(half.EffectiveFLOPs) / float64(full.FLOPs)
+	if ratio < 0.45 || ratio > 0.55 {
+		t.Fatalf("EffectiveFLOPs ratio = %v, want ~0.5", ratio)
+	}
+	if half.FLOPs != full.FLOPs {
+		t.Fatal("dense FLOPs must not change with pruning")
+	}
+}
+
+func TestReLU(t *testing.T) {
+	r := NewReLU("r")
+	in := tensor.FromSlice([]float32{-1, 0, 2, -3}, 4, 1, 1)
+	out := r.Forward(in)
+	want := []float32{0, 0, 2, 0}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Fatalf("ReLU = %v, want %v", out.Data, want)
+		}
+	}
+	if in.Data[0] != -1 {
+		t.Fatal("ReLU must not mutate its input")
+	}
+}
+
+func TestMaxPoolKnown(t *testing.T) {
+	p := NewMaxPool("p", 2, 2)
+	p.CeilMode = false
+	in := tensor.FromSlice([]float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 4, 4)
+	out := p.Forward(in)
+	want := []float32{6, 8, 14, 16}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Fatalf("MaxPool = %v, want %v", out.Data, want)
+		}
+	}
+}
+
+func TestMaxPoolCeilMode(t *testing.T) {
+	// Caffenet pool1: 55x55, k3 s2, ceil → 27x27? ceil((55-3)/2)+1 = 27.
+	p := NewMaxPool("p", 3, 2)
+	out := p.OutShape(Shape{C: 96, H: 55, W: 55})
+	if out.H != 27 || out.W != 27 {
+		t.Fatalf("pool1 out = %v, want 27x27", out)
+	}
+	// 13x13 k3 s2 ceil → 6x6.
+	out = p.OutShape(Shape{C: 256, H: 13, W: 13})
+	if out.H != 6 || out.W != 6 {
+		t.Fatalf("pool5 out = %v, want 6x6", out)
+	}
+}
+
+func TestAvgPoolAndGlobal(t *testing.T) {
+	in := tensor.FromSlice([]float32{1, 2, 3, 4}, 1, 2, 2)
+	g := NewGlobalAvgPool("g")
+	out := g.Forward(in)
+	if out.Len() != 1 || out.Data[0] != 2.5 {
+		t.Fatalf("global avg = %v, want [2.5]", out.Data)
+	}
+	if s := g.OutShape(Shape{C: 7, H: 9, W: 9}); s != (Shape{C: 7, H: 1, W: 1}) {
+		t.Fatalf("global OutShape = %v", s)
+	}
+	a := NewAvgPool("a", 2, 2)
+	a.CeilMode = false
+	out = a.Forward(in)
+	if out.Data[0] != 2.5 {
+		t.Fatalf("avg = %v, want 2.5", out.Data[0])
+	}
+}
+
+func TestLRNIdentityForZeroAlpha(t *testing.T) {
+	l := NewLRN("l")
+	l.Alpha = 0
+	in := tensor.FromSlice([]float32{1, -2, 3, 4}, 4, 1, 1)
+	out := l.Forward(in)
+	for i := range in.Data {
+		if math.Abs(float64(out.Data[i]-in.Data[i])) > 1e-6 {
+			t.Fatalf("LRN with alpha=0 must be identity, got %v", out.Data)
+		}
+	}
+}
+
+func TestLRNNormalizes(t *testing.T) {
+	l := NewLRN("l")
+	l.Alpha = 1
+	l.Size = 1
+	l.Beta = 0.5
+	l.K = 0
+	// denom = sqrt(x²) = |x| → output sign(x).
+	in := tensor.FromSlice([]float32{2, -4}, 2, 1, 1)
+	out := l.Forward(in)
+	if math.Abs(float64(out.Data[0]-1)) > 1e-5 || math.Abs(float64(out.Data[1]+1)) > 1e-5 {
+		t.Fatalf("LRN = %v, want [1 -1]", out.Data)
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	s := NewSoftmax("s")
+	in := tensor.FromSlice([]float32{1, 2, 3, 400}, 4, 1, 1)
+	out := s.Forward(in)
+	if sum := out.Sum(); math.Abs(sum-1) > 1e-5 {
+		t.Fatalf("softmax sum = %v", sum)
+	}
+	if out.ArgMax() != 3 {
+		t.Fatal("softmax must preserve argmax")
+	}
+	// Large logits must not overflow.
+	for _, v := range out.Data {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatal("softmax overflow")
+		}
+	}
+}
+
+// Property: softmax always sums to 1 and preserves order.
+func TestSoftmaxProperty(t *testing.T) {
+	f := func(a, b, c float32) bool {
+		for _, v := range []float32{a, b, c} {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) || math.Abs(float64(v)) > 80 {
+				return true
+			}
+		}
+		x := []float32{a, b, c}
+		SoftmaxInPlace(x)
+		var sum float64
+		for _, v := range x {
+			if v < 0 {
+				return false
+			}
+			sum += float64(v)
+		}
+		if math.Abs(sum-1) > 1e-4 {
+			return false
+		}
+		return (a >= b) == (x[0] >= x[1]) && (b >= c) == (x[1] >= x[2])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropoutIsIdentityAtInference(t *testing.T) {
+	d := NewDropout("d", 0.5)
+	in := tensor.FromSlice([]float32{1, 2}, 2, 1, 1)
+	if out := d.Forward(in); out != in {
+		t.Fatal("inference dropout must be identity")
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	f := NewFlatten("f")
+	in := tensor.New(2, 3, 4)
+	out := f.Forward(in)
+	if out.Dim(0) != 24 || out.Dim(1) != 1 || out.Dim(2) != 1 {
+		t.Fatalf("flatten shape = %v", out.Shape)
+	}
+}
+
+func TestFCForwardKnown(t *testing.T) {
+	fc := NewFC("fc", 2)
+	fc.Init(3, 1)
+	copy(fc.Weights().Data, []float32{1, 0, 0, 0, 1, 1})
+	fc.Bias()[1] = 5
+	fc.Rebuild()
+	in := tensor.FromSlice([]float32{7, 8, 9}, 3, 1, 1)
+	out := fc.Forward(in)
+	if out.Data[0] != 7 || out.Data[1] != 22 {
+		t.Fatalf("FC = %v, want [7 22]", out.Data)
+	}
+}
+
+func TestFCSparseDenseEquivalence(t *testing.T) {
+	fc := NewFC("fc", 10)
+	fc.Init(20, 2)
+	w := fc.Weights()
+	for i := range w.Data {
+		if i%3 != 0 {
+			w.Data[i] = 0
+		}
+	}
+	in := tensor.New(20, 1, 1)
+	for i := range in.Data {
+		in.Data[i] = float32(i) / 20
+	}
+	fc.Rebuild()
+	sparse := fc.Forward(in)
+	fc.useCSR = false
+	dense := fc.Forward(in)
+	for i := range sparse.Data {
+		if math.Abs(float64(sparse.Data[i]-dense.Data[i])) > 1e-5 {
+			t.Fatalf("FC sparse/dense mismatch at %d", i)
+		}
+	}
+}
+
+func TestInceptionShapesAndForward(t *testing.T) {
+	b := NewInception("inception-3a", 64, 96, 128, 16, 32, 32)
+	if err := b.Init(192, 5); err != nil {
+		t.Fatal(err)
+	}
+	in := Shape{C: 192, H: 8, W: 8}
+	out := b.OutShape(in)
+	if out != (Shape{C: 256, H: 8, W: 8}) {
+		t.Fatalf("inception out = %v, want 256x8x8", out)
+	}
+	x := tensor.New(192, 8, 8)
+	for i := range x.Data {
+		x.Data[i] = float32(i%9) / 9
+	}
+	y := b.Forward(x)
+	if y.Dim(0) != 256 || y.Dim(1) != 8 || y.Dim(2) != 8 {
+		t.Fatalf("forward shape = %v", y.Shape)
+	}
+	if len(b.Convs()) != 6 {
+		t.Fatalf("inception has %d convs, want 6", len(b.Convs()))
+	}
+}
+
+func TestConcatChannelsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on spatial mismatch")
+		}
+	}()
+	ConcatChannels(tensor.New(1, 2, 2), tensor.New(1, 3, 3))
+}
+
+func TestNetInitAndCosts(t *testing.T) {
+	n := NewNet("tiny", Shape{C: 3, H: 16, W: 16})
+	n.Add(
+		NewConv("c1", 8, 3, 3, 1, 1, 1, 1, 1),
+		NewReLU("r1"),
+		NewMaxPool("p1", 2, 2),
+		NewFlatten("f"),
+		NewFC("fc", 10),
+		NewSoftmax("sm"),
+	)
+	if err := n.Init(1); err != nil {
+		t.Fatal(err)
+	}
+	costs := n.LayerCosts()
+	if len(costs) != 6 {
+		t.Fatalf("%d layer costs", len(costs))
+	}
+	if costs[0].Out != (Shape{C: 8, H: 16, W: 16}) {
+		t.Fatalf("conv out = %v", costs[0].Out)
+	}
+	total := n.TotalCost()
+	if total.Params != int64(8*27+8+10*8*8*8+10) {
+		t.Fatalf("params = %d", total.Params)
+	}
+	// Prunables: conv + fc.
+	if got := len(n.Prunables()); got != 2 {
+		t.Fatalf("prunables = %d, want 2", got)
+	}
+	if _, ok := n.PrunableByName("c1"); !ok {
+		t.Fatal("PrunableByName(c1) failed")
+	}
+	if _, ok := n.PrunableByName("nope"); ok {
+		t.Fatal("PrunableByName(nope) should fail")
+	}
+}
+
+func TestNetForwardWrongShapePanics(t *testing.T) {
+	n := NewNet("x", Shape{C: 3, H: 8, W: 8})
+	n.Add(NewReLU("r"))
+	if err := n.Init(1); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong input shape")
+		}
+	}()
+	n.Forward(tensor.New(3, 4, 4))
+}
+
+func TestCostAdd(t *testing.T) {
+	a := Cost{FLOPs: 1, EffectiveFLOPs: 2, Params: 3, NNZ: 4, WeightBytes: 5, ActivationBytes: 6}
+	b := a
+	a.Add(b)
+	if a.FLOPs != 2 || a.EffectiveFLOPs != 4 || a.Params != 6 || a.NNZ != 8 || a.WeightBytes != 10 || a.ActivationBytes != 12 {
+		t.Fatalf("Cost.Add = %+v", a)
+	}
+}
+
+func TestFillGaussianDeterministic(t *testing.T) {
+	a := make([]float32, 64)
+	b := make([]float32, 64)
+	fillGaussian(a, 42, 0, 1)
+	fillGaussian(b, 42, 0, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("fillGaussian must be deterministic per seed")
+		}
+	}
+	fillGaussian(b, 43, 0, 1)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds must give different streams")
+	}
+	// Rough moment check.
+	var mean float64
+	for _, v := range a {
+		mean += float64(v)
+	}
+	mean /= float64(len(a))
+	if math.Abs(mean) > 0.5 {
+		t.Fatalf("gaussian mean = %v, want ~0", mean)
+	}
+}

@@ -1,0 +1,92 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// weightsSnapshot is the serialized form of a network's parameters, keyed
+// by prunable-layer name so a snapshot survives as long as the
+// architecture (and its layer names) is unchanged.
+type weightsSnapshot struct {
+	Version int
+	Net     string
+	Layers  map[string]layerWeights
+}
+
+type layerWeights struct {
+	Rows, Cols int
+	Data       []float32
+	Bias       []float32
+}
+
+const weightsVersion = 1
+
+// SaveWeights serializes every prunable layer's weights and biases
+// (convolutions — including those inside inception and residual blocks —
+// and fully-connected layers). The network must be initialized.
+func SaveWeights(n *Net, w io.Writer) error {
+	snap := weightsSnapshot{Version: weightsVersion, Net: n.Name, Layers: map[string]layerWeights{}}
+	for _, p := range n.Prunables() {
+		mat := p.Weights()
+		if mat == nil {
+			return fmt.Errorf("nn: layer %q not initialized", p.Name())
+		}
+		lw := layerWeights{Rows: mat.Rows, Cols: mat.Cols, Data: mat.Data}
+		switch v := p.(type) {
+		case *Conv:
+			lw.Bias = v.Bias()
+		case *FC:
+			lw.Bias = v.Bias()
+		}
+		if _, dup := snap.Layers[p.Name()]; dup {
+			return fmt.Errorf("nn: duplicate layer name %q", p.Name())
+		}
+		snap.Layers[p.Name()] = lw
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("nn: save weights: %w", err)
+	}
+	return nil
+}
+
+// LoadWeights restores parameters saved with SaveWeights into an
+// initialized network of the same architecture. Every snapshot layer must
+// exist with matching dimensions; layers absent from the snapshot are an
+// error, so a partial snapshot cannot silently half-load.
+func LoadWeights(n *Net, r io.Reader) error {
+	var snap weightsSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("nn: load weights: %w", err)
+	}
+	if snap.Version != weightsVersion {
+		return fmt.Errorf("nn: load weights: unsupported version %d", snap.Version)
+	}
+	prunables := n.Prunables()
+	if len(prunables) != len(snap.Layers) {
+		return fmt.Errorf("nn: snapshot has %d layers, network has %d", len(snap.Layers), len(prunables))
+	}
+	for _, p := range prunables {
+		lw, ok := snap.Layers[p.Name()]
+		if !ok {
+			return fmt.Errorf("nn: snapshot missing layer %q", p.Name())
+		}
+		mat := p.Weights()
+		if mat == nil {
+			return fmt.Errorf("nn: layer %q not initialized", p.Name())
+		}
+		if mat.Rows != lw.Rows || mat.Cols != lw.Cols {
+			return fmt.Errorf("nn: layer %q is %dx%d, snapshot %dx%d", p.Name(), mat.Rows, mat.Cols, lw.Rows, lw.Cols)
+		}
+		copy(mat.Data, lw.Data)
+		switch v := p.(type) {
+		case *Conv:
+			copy(v.Bias(), lw.Bias)
+		case *FC:
+			copy(v.Bias(), lw.Bias)
+		}
+		p.Rebuild()
+	}
+	return nil
+}

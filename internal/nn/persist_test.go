@@ -1,0 +1,107 @@
+package nn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ccperf/internal/tensor"
+)
+
+func persistNet(t *testing.T, seed int64) *Net {
+	t.Helper()
+	n := NewNet("p", Shape{C: 3, H: 12, W: 12})
+	n.Add(
+		NewConv("c1", 4, 3, 3, 1, 1, 1, 1, 1),
+		NewReLU("r"),
+		NewResidual("blk", NewConv("blk-c", 4, 3, 3, 1, 1, 1, 1, 1)),
+		NewFlatten("f"),
+		NewFC("fc", 5),
+		NewSoftmax("sm"),
+	)
+	if err := n.Init(seed); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestSaveLoadWeightsRoundTrip(t *testing.T) {
+	src := persistNet(t, 1)
+	// Perturb a bias so the snapshot is not just the init state.
+	p, _ := src.PrunableByName("c1")
+	p.(*Conv).Bias()[0] = 7
+	in := tensor.New(3, 12, 12)
+	for i := range in.Data {
+		in.Data[i] = float32(i%7) / 7
+	}
+	want := src.Forward(in)
+
+	var buf bytes.Buffer
+	if err := SaveWeights(src, &buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := persistNet(t, 99) // different init
+	if err := LoadWeights(dst, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got := dst.Forward(in)
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("outputs differ at %d after weight load", i)
+		}
+	}
+}
+
+func TestLoadWeightsSparseStateRestored(t *testing.T) {
+	src := persistNet(t, 2)
+	p, _ := src.PrunableByName("c1")
+	w := p.Weights()
+	for i := 0; i < len(w.Data)/2; i++ {
+		w.Data[i] = 0
+	}
+	p.Rebuild()
+	var buf bytes.Buffer
+	if err := SaveWeights(src, &buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := persistNet(t, 3)
+	if err := LoadWeights(dst, &buf); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := dst.PrunableByName("c1")
+	if q.WeightSparsity() < 0.4 {
+		t.Fatalf("sparsity not restored: %v", q.WeightSparsity())
+	}
+}
+
+func TestLoadWeightsArchitectureMismatch(t *testing.T) {
+	src := persistNet(t, 4)
+	var buf bytes.Buffer
+	if err := SaveWeights(src, &buf); err != nil {
+		t.Fatal(err)
+	}
+	other := NewNet("q", Shape{C: 3, H: 12, W: 12})
+	other.Add(NewConv("c1", 8, 3, 3, 1, 1, 1, 1, 1)) // wrong width + missing layers
+	if err := other.Init(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadWeights(other, &buf); err == nil {
+		t.Fatal("expected error for architecture mismatch")
+	}
+}
+
+func TestLoadWeightsGarbage(t *testing.T) {
+	n := persistNet(t, 5)
+	if err := LoadWeights(n, strings.NewReader("junk")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestSaveWeightsUninitialized(t *testing.T) {
+	n := NewNet("u", Shape{C: 1, H: 8, W: 8})
+	n.Add(NewConv("c", 2, 3, 3, 1, 1, 1, 1, 1))
+	var buf bytes.Buffer
+	if err := SaveWeights(n, &buf); err == nil {
+		t.Fatal("expected error for uninitialized net")
+	}
+}

@@ -1,0 +1,141 @@
+package nn
+
+import (
+	"math"
+
+	"ccperf/internal/tensor"
+)
+
+// PoolMode selects the pooling reduction.
+type PoolMode int
+
+// Pooling modes.
+const (
+	MaxPool PoolMode = iota
+	AvgPool
+)
+
+// Pool is a 2-D spatial pooling layer. Caffe-style ceil-mode output sizing
+// is used (Caffenet's pool layers round up), controlled by CeilMode.
+type Pool struct {
+	name             string
+	Mode             PoolMode
+	KH, KW           int
+	StrideH, StrideW int
+	PadH, PadW       int
+	CeilMode         bool
+	// Global makes the kernel cover the whole input plane regardless of
+	// KH/KW (GoogLeNet's final average pool, kept size-independent so
+	// reduced-resolution model variants stay valid).
+	Global bool
+}
+
+// NewGlobalAvgPool constructs a pooling layer that averages each full
+// channel plane to 1x1.
+func NewGlobalAvgPool(name string) *Pool {
+	return &Pool{name: name, Mode: AvgPool, Global: true, KH: 1, KW: 1, StrideH: 1, StrideW: 1}
+}
+
+// NewMaxPool constructs a max-pooling layer with ceil-mode sizing.
+func NewMaxPool(name string, k, stride int) *Pool {
+	return &Pool{name: name, Mode: MaxPool, KH: k, KW: k, StrideH: stride, StrideW: stride, CeilMode: true}
+}
+
+// NewAvgPool constructs an average-pooling layer with ceil-mode sizing.
+func NewAvgPool(name string, k, stride int) *Pool {
+	return &Pool{name: name, Mode: AvgPool, KH: k, KW: k, StrideH: stride, StrideW: stride, CeilMode: true}
+}
+
+// Name implements Layer.
+func (p *Pool) Name() string { return p.name }
+
+// Kind implements Layer.
+func (p *Pool) Kind() string { return "pool" }
+
+func (p *Pool) outDim(in, k, stride, pad int) int {
+	if p.CeilMode {
+		return int(math.Ceil(float64(in+2*pad-k)/float64(stride))) + 1
+	}
+	return (in+2*pad-k)/stride + 1
+}
+
+// effective returns the kernel/stride/pad actually used for the input.
+func (p *Pool) effective(in Shape) (kh, kw, sh, sw, ph, pw int) {
+	if p.Global {
+		return in.H, in.W, 1, 1, 0, 0
+	}
+	return p.KH, p.KW, p.StrideH, p.StrideW, p.PadH, p.PadW
+}
+
+// OutShape implements Layer.
+func (p *Pool) OutShape(in Shape) Shape {
+	if p.Global {
+		return Shape{C: in.C, H: 1, W: 1}
+	}
+	return Shape{
+		C: in.C,
+		H: p.outDim(in.H, p.KH, p.StrideH, p.PadH),
+		W: p.outDim(in.W, p.KW, p.StrideW, p.PadW),
+	}
+}
+
+// Forward implements Layer.
+func (p *Pool) Forward(in *tensor.Tensor) *tensor.Tensor {
+	inS := Shape{C: in.Dim(0), H: in.Dim(1), W: in.Dim(2)}
+	outS := p.OutShape(inS)
+	kh, kw, sh, sw, padH, padW := p.effective(inS)
+	out := tensor.New(outS.C, outS.H, outS.W)
+	for c := 0; c < inS.C; c++ {
+		src := in.Data[c*inS.H*inS.W:]
+		dst := out.Data[c*outS.H*outS.W:]
+		for oy := 0; oy < outS.H; oy++ {
+			for ox := 0; ox < outS.W; ox++ {
+				y0 := oy*sh - padH
+				x0 := ox*sw - padW
+				var acc float32
+				n := 0
+				first := true
+				for ky := 0; ky < kh; ky++ {
+					iy := y0 + ky
+					if iy < 0 || iy >= inS.H {
+						continue
+					}
+					for kx := 0; kx < kw; kx++ {
+						ix := x0 + kx
+						if ix < 0 || ix >= inS.W {
+							continue
+						}
+						v := src[iy*inS.W+ix]
+						if p.Mode == MaxPool {
+							if first || v > acc {
+								acc = v
+							}
+							first = false
+						} else {
+							acc += v
+							n++
+						}
+					}
+				}
+				if p.Mode == AvgPool && n > 0 {
+					acc /= float32(n)
+				}
+				dst[oy*outS.W+ox] = acc
+			}
+		}
+	}
+	return out
+}
+
+// Cost implements Layer. Pooling is memory bound: one compare/add per
+// window element, no parameters.
+func (p *Pool) Cost(in Shape) Cost {
+	out := p.OutShape(in)
+	kh, kw, _, _, _, _ := p.effective(in)
+	flops := int64(out.Volume()) * int64(kh*kw)
+	return Cost{
+		FLOPs:           flops,
+		EffectiveFLOPs:  flops,
+		ActivationBytes: 4 * int64(in.Volume()+out.Volume()),
+	}
+}

@@ -1,0 +1,218 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"ccperf/internal/tensor"
+)
+
+// BatchNorm is inference-time batch normalization: per-channel
+// y = γ·(x−μ)/√(σ²+ε) + β with frozen statistics. Extends the layer
+// library beyond the two paper CNNs (ResNet-era networks need it).
+type BatchNorm struct {
+	name  string
+	Gamma []float32
+	Beta  []float32
+	Mean  []float32
+	Var   []float32
+	Eps   float64
+}
+
+// NewBatchNorm constructs an identity-initialized batch norm for c channels.
+func NewBatchNorm(name string, c int) *BatchNorm {
+	bn := &BatchNorm{
+		name:  name,
+		Gamma: make([]float32, c),
+		Beta:  make([]float32, c),
+		Mean:  make([]float32, c),
+		Var:   make([]float32, c),
+		Eps:   1e-5,
+	}
+	for i := range bn.Gamma {
+		bn.Gamma[i] = 1
+		bn.Var[i] = 1
+	}
+	return bn
+}
+
+// Name implements Layer.
+func (bn *BatchNorm) Name() string { return bn.name }
+
+// Kind implements Layer.
+func (bn *BatchNorm) Kind() string { return "batchnorm" }
+
+// OutShape implements Layer.
+func (bn *BatchNorm) OutShape(in Shape) Shape { return in }
+
+// Forward implements Layer.
+func (bn *BatchNorm) Forward(in *tensor.Tensor) *tensor.Tensor {
+	c, h, w := in.Dim(0), in.Dim(1), in.Dim(2)
+	if c != len(bn.Gamma) {
+		panic(fmt.Sprintf("nn: batchnorm %q has %d channels, input has %d", bn.name, len(bn.Gamma), c))
+	}
+	out := tensor.New(c, h, w)
+	plane := h * w
+	for ch := 0; ch < c; ch++ {
+		scale := float32(float64(bn.Gamma[ch]) / math.Sqrt(float64(bn.Var[ch])+bn.Eps))
+		shift := bn.Beta[ch] - bn.Mean[ch]*scale
+		src := in.Data[ch*plane : (ch+1)*plane]
+		dst := out.Data[ch*plane : (ch+1)*plane]
+		for i, v := range src {
+			dst[i] = v*scale + shift
+		}
+	}
+	return out
+}
+
+// Cost implements Layer: two FLOPs per element plus the per-channel
+// parameters.
+func (bn *BatchNorm) Cost(in Shape) Cost {
+	n := int64(in.Volume())
+	params := int64(4 * len(bn.Gamma))
+	return Cost{
+		FLOPs: 2 * n, EffectiveFLOPs: 2 * n,
+		Params: params, NNZ: params,
+		WeightBytes: 4 * params, ActivationBytes: 8 * n,
+	}
+}
+
+// Residual is a ResNet-style block: out = ReLU(body(x) + shortcut(x)).
+// The shortcut is identity when shapes match, or a 1x1 projection
+// convolution otherwise. Its convolutions are prunable like any other.
+type Residual struct {
+	name string
+	body []Layer
+	proj *Conv // nil for identity shortcut
+}
+
+// NewResidual constructs a residual block around body layers. Init decides
+// whether a projection shortcut is needed.
+func NewResidual(name string, body ...Layer) *Residual {
+	return &Residual{name: name, body: body}
+}
+
+// Name implements Layer.
+func (r *Residual) Name() string { return r.name }
+
+// Kind implements Layer.
+func (r *Residual) Kind() string { return "residual" }
+
+// Body returns the inner layers.
+func (r *Residual) Body() []Layer { return r.body }
+
+// Projection returns the shortcut conv, or nil for an identity shortcut.
+func (r *Residual) Projection() *Conv { return r.proj }
+
+// Init wires the body and creates a projection if the output shape differs
+// from the input.
+func (r *Residual) Init(in Shape, seed int64) error {
+	s := in
+	for i, l := range r.body {
+		switch v := l.(type) {
+		case *Conv:
+			if err := v.Init(s.C, seed+int64(i)*271); err != nil {
+				return err
+			}
+		case *FC:
+			return fmt.Errorf("nn: residual %q cannot contain FC layers", r.name)
+		case *Inception:
+			if err := v.Init(s.C, seed+int64(i)*271); err != nil {
+				return err
+			}
+		case *Residual:
+			if err := v.Init(s, seed+int64(i)*271); err != nil {
+				return err
+			}
+		}
+		s = l.OutShape(s)
+	}
+	if s == in {
+		r.proj = nil
+		return nil
+	}
+	if s.H == 0 || s.W == 0 {
+		return fmt.Errorf("nn: residual %q body collapses spatial dims", r.name)
+	}
+	strideH := in.H / s.H
+	strideW := in.W / s.W
+	if strideH < 1 || strideW < 1 || strideH*s.H != in.H || strideW*s.W != in.W {
+		return fmt.Errorf("nn: residual %q body shape %v incompatible with input %v", r.name, s, in)
+	}
+	r.proj = NewConv(r.name+"-proj", s.C, 1, 1, strideH, strideW, 0, 0, 1)
+	return r.proj.Init(in.C, seed+7)
+}
+
+// OutShape implements Layer.
+func (r *Residual) OutShape(in Shape) Shape {
+	s := in
+	for _, l := range r.body {
+		s = l.OutShape(s)
+	}
+	return s
+}
+
+// Forward implements Layer.
+func (r *Residual) Forward(in *tensor.Tensor) *tensor.Tensor {
+	x := in
+	for _, l := range r.body {
+		x = l.Forward(x)
+	}
+	var short *tensor.Tensor
+	if r.proj != nil {
+		short = r.proj.Forward(in)
+	} else {
+		short = in
+	}
+	if x.Len() != short.Len() {
+		panic(fmt.Sprintf("nn: residual %q add mismatch %v vs %v", r.name, x.Shape, short.Shape))
+	}
+	out := x.Clone()
+	for i := range out.Data {
+		v := out.Data[i] + short.Data[i]
+		if v < 0 {
+			v = 0
+		}
+		out.Data[i] = v
+	}
+	return out
+}
+
+// Cost implements Layer: body + projection + the add/relu.
+func (r *Residual) Cost(in Shape) Cost {
+	var c Cost
+	s := in
+	for _, l := range r.body {
+		c.Add(l.Cost(s))
+		s = l.OutShape(s)
+	}
+	if r.proj != nil {
+		c.Add(r.proj.Cost(in))
+	}
+	n := int64(s.Volume())
+	c.FLOPs += 2 * n
+	c.EffectiveFLOPs += 2 * n
+	c.ActivationBytes += 8 * n
+	return c
+}
+
+// Prunables returns the block's prunable convolutions (body + projection).
+func (r *Residual) Prunables() []Prunable {
+	var out []Prunable
+	for _, l := range r.body {
+		switch v := l.(type) {
+		case *Conv:
+			out = append(out, v)
+		case *Inception:
+			for _, c := range v.Convs() {
+				out = append(out, c)
+			}
+		case *Residual:
+			out = append(out, v.Prunables()...)
+		}
+	}
+	if r.proj != nil {
+		out = append(out, r.proj)
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"ccperf/internal/tensor"
+)
+
+func TestBatchNormIdentityInit(t *testing.T) {
+	bn := NewBatchNorm("bn", 3)
+	in := tensor.New(3, 4, 4)
+	for i := range in.Data {
+		in.Data[i] = float32(i%7) - 3
+	}
+	out := bn.Forward(in)
+	for i := range in.Data {
+		if math.Abs(float64(out.Data[i]-in.Data[i])) > 1e-4 {
+			t.Fatalf("identity-init batchnorm changed values at %d", i)
+		}
+	}
+}
+
+func TestBatchNormNormalizes(t *testing.T) {
+	bn := NewBatchNorm("bn", 1)
+	bn.Mean[0] = 2
+	bn.Var[0] = 4
+	bn.Gamma[0] = 3
+	bn.Beta[0] = 1
+	// y = 3·(x−2)/2 + 1.
+	in := tensor.FromSlice([]float32{2, 4, 0}, 1, 3, 1)
+	out := bn.Forward(in)
+	want := []float32{1, 4, -2}
+	for i, w := range want {
+		if math.Abs(float64(out.Data[i]-w)) > 1e-3 {
+			t.Fatalf("bn[%d] = %v, want %v", i, out.Data[i], w)
+		}
+	}
+}
+
+func TestBatchNormChannelMismatchPanics(t *testing.T) {
+	bn := NewBatchNorm("bn", 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for channel mismatch")
+		}
+	}()
+	bn.Forward(tensor.New(3, 2, 2))
+}
+
+func TestResidualIdentityShortcut(t *testing.T) {
+	// Body preserves shape → identity shortcut, no projection.
+	r := NewResidual("res",
+		NewConv("c1", 4, 3, 3, 1, 1, 1, 1, 1),
+		NewReLU("r1"),
+		NewConv("c2", 4, 3, 3, 1, 1, 1, 1, 1),
+	)
+	in := Shape{C: 4, H: 6, W: 6}
+	if err := r.Init(in, 3); err != nil {
+		t.Fatal(err)
+	}
+	if r.Projection() != nil {
+		t.Fatal("identity shortcut should have no projection")
+	}
+	if got := r.OutShape(in); got != in {
+		t.Fatalf("OutShape = %v", got)
+	}
+	x := tensor.New(4, 6, 6)
+	for i := range x.Data {
+		x.Data[i] = float32(i%5) / 5
+	}
+	out := r.Forward(x)
+	if out.Dim(0) != 4 || out.Dim(1) != 6 {
+		t.Fatalf("forward shape %v", out.Shape)
+	}
+	// Output is ReLU'd: non-negative.
+	for _, v := range out.Data {
+		if v < 0 {
+			t.Fatal("residual output must be non-negative after ReLU")
+		}
+	}
+	if len(r.Prunables()) != 2 {
+		t.Fatalf("prunables = %d, want 2", len(r.Prunables()))
+	}
+}
+
+func TestResidualZeroBodyIsReLUIdentity(t *testing.T) {
+	// With a body conv of all-zero weights, out = ReLU(x).
+	c := NewConv("c", 3, 3, 3, 1, 1, 1, 1, 1)
+	r := NewResidual("res", c)
+	in := Shape{C: 3, H: 4, W: 4}
+	if err := r.Init(in, 1); err != nil {
+		t.Fatal(err)
+	}
+	w := c.Weights()
+	for i := range w.Data {
+		w.Data[i] = 0
+	}
+	c.Rebuild()
+	x := tensor.New(3, 4, 4)
+	for i := range x.Data {
+		x.Data[i] = float32(i) - 20
+	}
+	out := r.Forward(x)
+	for i, v := range x.Data {
+		want := v
+		if want < 0 {
+			want = 0
+		}
+		if out.Data[i] != want {
+			t.Fatalf("at %d: %v, want relu(%v)", i, out.Data[i], v)
+		}
+	}
+}
+
+func TestResidualProjectionShortcut(t *testing.T) {
+	// Body downsamples and widens → 1x1 stride-2 projection.
+	r := NewResidual("res",
+		NewConv("c1", 8, 3, 3, 2, 2, 1, 1, 1),
+	)
+	in := Shape{C: 4, H: 8, W: 8}
+	if err := r.Init(in, 5); err != nil {
+		t.Fatal(err)
+	}
+	p := r.Projection()
+	if p == nil {
+		t.Fatal("expected projection shortcut")
+	}
+	if p.OutC != 8 || p.StrideH != 2 {
+		t.Fatalf("projection = %+v", p)
+	}
+	x := tensor.New(4, 8, 8)
+	out := r.Forward(x)
+	if out.Dim(0) != 8 || out.Dim(1) != 4 || out.Dim(2) != 4 {
+		t.Fatalf("forward shape %v", out.Shape)
+	}
+	// Projection is prunable too.
+	if len(r.Prunables()) != 2 {
+		t.Fatalf("prunables = %d, want body conv + projection", len(r.Prunables()))
+	}
+}
+
+func TestResidualRejectsFC(t *testing.T) {
+	r := NewResidual("res", NewFC("fc", 4))
+	if err := r.Init(Shape{C: 4, H: 4, W: 4}, 1); err == nil {
+		t.Fatal("expected error for FC in residual body")
+	}
+}
+
+func TestResidualInNet(t *testing.T) {
+	n := NewNet("resnetish", Shape{C: 3, H: 16, W: 16})
+	n.Add(
+		NewConv("stem", 8, 3, 3, 1, 1, 1, 1, 1),
+		NewBatchNorm("bn0", 8),
+		NewReLU("r0"),
+		NewResidual("block1",
+			NewConv("b1c1", 8, 3, 3, 1, 1, 1, 1, 1),
+			NewBatchNorm("b1bn", 8),
+			NewReLU("b1r"),
+			NewConv("b1c2", 8, 3, 3, 1, 1, 1, 1, 1),
+		),
+		NewResidual("block2",
+			NewConv("b2c1", 16, 3, 3, 2, 2, 1, 1, 1),
+		),
+		NewGlobalAvgPool("gap"),
+		NewFlatten("f"),
+		NewFC("fc", 10),
+		NewSoftmax("sm"),
+	)
+	if err := n.Init(7); err != nil {
+		t.Fatal(err)
+	}
+	// Prunables: stem + 2 in block1 + (1 body + proj) in block2 + fc = 6.
+	if got := len(n.Prunables()); got != 6 {
+		t.Fatalf("prunables = %d, want 6", got)
+	}
+	if got := len(n.ConvLayers()); got != 5 {
+		t.Fatalf("convs = %d, want 5", got)
+	}
+	x := tensor.New(3, 16, 16)
+	for i := range x.Data {
+		x.Data[i] = float32(i%11) / 11
+	}
+	out := n.Forward(x)
+	if out.Len() != 10 {
+		t.Fatalf("output len = %d", out.Len())
+	}
+	if s := out.Sum(); math.Abs(s-1) > 1e-4 {
+		t.Fatalf("softmax sum = %v", s)
+	}
+	// Cost accounting covers the whole net.
+	if c := n.TotalCost(); c.FLOPs <= 0 || c.Params <= 0 {
+		t.Fatalf("cost = %+v", c)
+	}
+	// Pruning a residual-body conv through the net works.
+	p, ok := n.PrunableByName("b1c2")
+	if !ok {
+		t.Fatal("b1c2 not found")
+	}
+	w := p.Weights()
+	for i := range w.Data {
+		w.Data[i] = 0
+	}
+	p.Rebuild()
+	if p.WeightSparsity() != 1 {
+		t.Fatal("sparsity accounting broken for residual conv")
+	}
+}

@@ -1,0 +1,133 @@
+package prune
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ccperf/internal/nn"
+	"ccperf/internal/tensor"
+)
+
+func TestMethodStringUnknown(t *testing.T) {
+	if got := Method(99).String(); !strings.Contains(got, "99") {
+		t.Fatalf("unknown method string = %q", got)
+	}
+}
+
+func TestWeightsDirect(t *testing.T) {
+	w := tensor.NewMatrix(4, 4)
+	for i := range w.Data {
+		w.Data[i] = float32(i + 1)
+	}
+	if err := Weights(w, 0.5, L1Filter); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Sparsity(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("sparsity = %v", got)
+	}
+	if err := Weights(w, -1, L1Filter); err == nil {
+		t.Fatal("expected ratio error")
+	}
+	if err := Weights(w, 0.5, Method(99)); err == nil {
+		t.Fatal("expected unknown-method error")
+	}
+	if err := Weights(w, 0, Magnitude); err != nil {
+		t.Fatal("ratio 0 must be a no-op")
+	}
+}
+
+func TestUniformDegree(t *testing.T) {
+	d := Uniform([]string{"a", "b"}, 0.3)
+	if d.Ratio("a") != 0.3 || d.Ratio("b") != 0.3 || d.Ratio("c") != 0 {
+		t.Fatalf("Uniform = %+v", d)
+	}
+}
+
+func TestNewDegreeOddPairsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for odd pairs")
+		}
+	}()
+	NewDegree("a")
+}
+
+func TestApplyInvalidDegree(t *testing.T) {
+	n := nn.NewNet("t", nn.Shape{C: 3, H: 8, W: 8})
+	n.Add(nn.NewConv("c", 4, 3, 3, 1, 1, 1, 1, 1))
+	if err := n.Init(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Apply(n, NewDegree("c", 1.7), L1Filter); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestSampleDegreesFilteredRespectsKeep(t *testing.T) {
+	layers := []string{"a", "b"}
+	ratios := Range(0, 0.9, 0.1)
+	// Keep only degrees whose total pruning is mild.
+	keep := func(d Degree) bool { return d.Ratio("a")+d.Ratio("b") <= 0.5 }
+	ds := SampleDegreesFiltered(layers, ratios, 20, 3, keep)
+	if len(ds) != 20 {
+		t.Fatalf("sampled %d", len(ds))
+	}
+	if ds[0].Label() != "nonpruned" {
+		t.Fatal("first must be nonpruned")
+	}
+	for _, d := range ds[1:] {
+		if !keep(d) {
+			t.Fatalf("filter violated by %s", d.Label())
+		}
+	}
+	// Deterministic.
+	ds2 := SampleDegreesFiltered(layers, ratios, 20, 3, keep)
+	for i := range ds {
+		if ds[i].Label() != ds2[i].Label() {
+			t.Fatal("not deterministic")
+		}
+	}
+	// Impossible filter: only the unpruned degree survives.
+	none := SampleDegreesFiltered(layers, ratios, 20, 3, func(Degree) bool { return false })
+	if len(none) != 1 {
+		t.Fatalf("impossible filter yielded %d degrees", len(none))
+	}
+}
+
+func TestGridMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched grid")
+		}
+	}()
+	Grid([]string{"a"}, [][]float64{{0.1}, {0.2}})
+}
+
+func TestParseDegreeRoundTrip(t *testing.T) {
+	cases := []Degree{
+		{},
+		NewDegree("conv1", 0.3),
+		NewDegree("conv1", 0.3, "conv2", 0.55),
+	}
+	for _, want := range cases {
+		got, err := ParseDegree(want.Label())
+		if err != nil {
+			t.Fatalf("ParseDegree(%q): %v", want.Label(), err)
+		}
+		if got.Label() != want.Label() {
+			t.Fatalf("round trip %q → %q", want.Label(), got.Label())
+		}
+	}
+	if d, err := ParseDegree("nonpruned"); err != nil || !d.IsUnpruned() {
+		t.Fatalf("nonpruned: %v %v", d, err)
+	}
+}
+
+func TestParseDegreeErrors(t *testing.T) {
+	for _, bad := range []string{"conv1", "conv1@x", "@30", "conv1@150"} {
+		if _, err := ParseDegree(bad); err == nil {
+			t.Errorf("ParseDegree(%q) should fail", bad)
+		}
+	}
+}

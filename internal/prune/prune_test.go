@@ -1,0 +1,323 @@
+package prune
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ccperf/internal/nn"
+)
+
+func newConv(t *testing.T, out, in int) *nn.Conv {
+	t.Helper()
+	c := nn.NewConv("c", out, 3, 3, 1, 1, 1, 1, 1)
+	if err := c.Init(in, 42); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestL1FilterPrunesLowestNormRows(t *testing.T) {
+	c := newConv(t, 4, 2)
+	w := c.Weights()
+	// Give rows clearly ordered norms: row0 smallest, row3 largest.
+	for r := 0; r < 4; r++ {
+		row := w.Row(r)
+		for j := range row {
+			row[j] = float32(r + 1)
+		}
+	}
+	if err := Layer(c, 0.5, L1Filter); err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range w.Row(0) {
+		if v != 0 {
+			t.Fatalf("row0[%d] = %v, want 0", j, v)
+		}
+	}
+	for j, v := range w.Row(1) {
+		if v != 0 {
+			t.Fatalf("row1[%d] = %v, want 0", j, v)
+		}
+	}
+	for _, r := range []int{2, 3} {
+		for j, v := range w.Row(r) {
+			if v == 0 {
+				t.Fatalf("row%d[%d] pruned, should survive", r, j)
+			}
+		}
+	}
+}
+
+func TestMagnitudeReachesTargetSparsity(t *testing.T) {
+	c := newConv(t, 8, 4)
+	for _, ratio := range []float64{0.1, 0.3, 0.5, 0.9} {
+		cc := newConv(t, 8, 4)
+		if err := Layer(cc, ratio, Magnitude); err != nil {
+			t.Fatal(err)
+		}
+		got := cc.WeightSparsity()
+		if math.Abs(got-ratio) > 0.02 {
+			t.Errorf("ratio %v: sparsity = %v", ratio, got)
+		}
+	}
+	_ = c
+}
+
+func TestMagnitudeRemovesSmallestFirst(t *testing.T) {
+	c := newConv(t, 2, 1)
+	w := c.Weights()
+	for i := range w.Data {
+		w.Data[i] = float32(i + 1) // 1..18
+	}
+	if err := Layer(c, 0.5, Magnitude); err != nil {
+		t.Fatal(err)
+	}
+	// Smallest half (1..9) must be zero, largest half intact.
+	for i := 0; i < 9; i++ {
+		if w.Data[i] != 0 {
+			t.Fatalf("data[%d] = %v, want 0", i, w.Data[i])
+		}
+	}
+	for i := 9; i < 18; i++ {
+		if w.Data[i] == 0 {
+			t.Fatalf("data[%d] pruned, should survive", i)
+		}
+	}
+}
+
+func TestFilterMethodsSparsityMatchesRatio(t *testing.T) {
+	for _, m := range []Method{L1Filter, StructuredScore, GreedyCost} {
+		c := newConv(t, 10, 4)
+		if err := Layer(c, 0.3, m); err != nil {
+			t.Fatal(err)
+		}
+		// 3 of 10 filters zeroed → sparsity 0.3 exactly.
+		if got := c.WeightSparsity(); math.Abs(got-0.3) > 1e-9 {
+			t.Errorf("%v sparsity = %v, want 0.3", m, got)
+		}
+	}
+}
+
+func TestGreedyCostAgreesWithL1OnSimpleCase(t *testing.T) {
+	// With uniform work, greedy-cost degenerates to L1 ordering.
+	a := newConv(t, 6, 3)
+	b := newConv(t, 6, 3)
+	copy(b.Weights().Data, a.Weights().Data)
+	if err := Layer(a, 0.5, L1Filter); err != nil {
+		t.Fatal(err)
+	}
+	if err := Layer(b, 0.5, GreedyCost); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Weights().Data {
+		az := a.Weights().Data[i] == 0
+		bz := b.Weights().Data[i] == 0
+		if az != bz {
+			t.Fatalf("greedy-cost and l1-filter diverge at %d", i)
+		}
+	}
+}
+
+func TestLayerRatioValidation(t *testing.T) {
+	c := newConv(t, 4, 2)
+	if err := Layer(c, -0.1, L1Filter); err == nil {
+		t.Fatal("expected error for negative ratio")
+	}
+	if err := Layer(c, 1.5, L1Filter); err == nil {
+		t.Fatal("expected error for ratio > 1")
+	}
+	if err := Layer(c, 0, L1Filter); err != nil {
+		t.Fatalf("ratio 0 must be a no-op, got %v", err)
+	}
+}
+
+func TestLayerUninitializedErrors(t *testing.T) {
+	c := nn.NewConv("c", 4, 3, 3, 1, 1, 1, 1, 1) // no Init
+	if err := Layer(c, 0.5, L1Filter); err == nil {
+		t.Fatal("expected error for uninitialized layer")
+	}
+}
+
+func TestMethodStringRoundTrip(t *testing.T) {
+	for _, m := range []Method{L1Filter, Magnitude, StructuredScore, GreedyCost} {
+		got, err := ParseMethod(m.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != m {
+			t.Fatalf("round trip %v → %v", m, got)
+		}
+	}
+	if _, err := ParseMethod("bogus"); err == nil {
+		t.Fatal("expected error for unknown method")
+	}
+}
+
+func TestDegreeLabel(t *testing.T) {
+	d := NewDegree("conv2", 0.5, "conv1", 0.3)
+	if got := d.Label(); got != "conv1@30+conv2@50" {
+		t.Fatalf("Label = %q", got)
+	}
+	empty := Degree{}
+	if got := empty.Label(); got != "nonpruned" {
+		t.Fatalf("empty Label = %q", got)
+	}
+	zeroOnly := NewDegree("conv1", 0.0)
+	if got := zeroOnly.Label(); got != "nonpruned" {
+		t.Fatalf("zero Label = %q", got)
+	}
+	if !zeroOnly.IsUnpruned() {
+		t.Fatal("zero-ratio degree must be unpruned")
+	}
+	if d.IsUnpruned() {
+		t.Fatal("nonzero degree must not be unpruned")
+	}
+}
+
+func TestDegreeCloneIndependent(t *testing.T) {
+	d := NewDegree("conv1", 0.3)
+	c := d.Clone()
+	c.Ratios["conv1"] = 0.9
+	if d.Ratios["conv1"] != 0.3 {
+		t.Fatal("Clone must not share map")
+	}
+}
+
+func TestDegreeValidate(t *testing.T) {
+	if err := NewDegree("x", 1.2).Validate(); err == nil {
+		t.Fatal("expected validation error")
+	}
+	if err := NewDegree("x", 0.5).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyToNet(t *testing.T) {
+	n := nn.NewNet("t", nn.Shape{C: 3, H: 16, W: 16})
+	n.Add(
+		nn.NewConv("conv1", 8, 3, 3, 1, 1, 1, 1, 1),
+		nn.NewConv("conv2", 8, 3, 3, 1, 1, 1, 1, 1),
+	)
+	if err := n.Init(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Apply(n, NewDegree("conv1", 0.5), L1Filter); err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := n.PrunableByName("conv1")
+	p2, _ := n.PrunableByName("conv2")
+	if p1.WeightSparsity() < 0.49 {
+		t.Fatalf("conv1 sparsity = %v", p1.WeightSparsity())
+	}
+	if p2.WeightSparsity() != 0 {
+		t.Fatalf("conv2 sparsity = %v, want 0", p2.WeightSparsity())
+	}
+	if err := Apply(n, NewDegree("missing", 0.5), L1Filter); err == nil {
+		t.Fatal("expected error for unknown layer")
+	}
+}
+
+func TestSweepSingleLayer(t *testing.T) {
+	ds := SweepSingleLayer("conv1", 0.9, 0.1)
+	if len(ds) != 10 {
+		t.Fatalf("sweep len = %d, want 10", len(ds))
+	}
+	if ds[0].Ratio("conv1") != 0 || math.Abs(ds[9].Ratio("conv1")-0.9) > 1e-9 {
+		t.Fatalf("sweep endpoints wrong: %v .. %v", ds[0].Ratio("conv1"), ds[9].Ratio("conv1"))
+	}
+}
+
+func TestGrid(t *testing.T) {
+	ds := Grid([]string{"a", "b"}, [][]float64{Range(0, 0.4, 0.1), Range(0, 0.5, 0.1)})
+	if len(ds) != 5*6 {
+		t.Fatalf("grid len = %d, want 30", len(ds))
+	}
+	// Last varies fastest: first 6 entries all have a=0.
+	for i := 0; i < 6; i++ {
+		if ds[i].Ratio("a") != 0 {
+			t.Fatalf("grid order wrong at %d", i)
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	r := Range(0, 0.5, 0.1)
+	want := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
+	if len(r) != len(want) {
+		t.Fatalf("Range = %v", r)
+	}
+	for i, w := range want {
+		if math.Abs(r[i]-w) > 1e-9 {
+			t.Fatalf("Range[%d] = %v, want %v", i, r[i], w)
+		}
+	}
+}
+
+func TestSampleDegreesDistinctAndDeterministic(t *testing.T) {
+	layers := []string{"conv1", "conv2", "conv3"}
+	ratios := Range(0, 0.9, 0.1)
+	a := SampleDegrees(layers, ratios, 60, 7)
+	b := SampleDegrees(layers, ratios, 60, 7)
+	if len(a) != 60 {
+		t.Fatalf("sampled %d degrees, want 60", len(a))
+	}
+	seen := map[string]bool{}
+	for i := range a {
+		if a[i].Label() != b[i].Label() {
+			t.Fatal("SampleDegrees must be deterministic")
+		}
+		if seen[a[i].Label()] {
+			t.Fatalf("duplicate degree %q", a[i].Label())
+		}
+		seen[a[i].Label()] = true
+	}
+	if a[0].Label() != "nonpruned" {
+		t.Fatal("first sampled degree must be nonpruned")
+	}
+}
+
+// Property: for any ratio in [0,1], L1-filter pruning yields weight
+// sparsity ≥ round(ratio·rows)/rows and never un-prunes.
+func TestL1FilterSparsityProperty(t *testing.T) {
+	f := func(tenths uint8) bool {
+		ratio := float64(tenths%11) / 10
+		c := nn.NewConv("c", 10, 3, 3, 1, 1, 1, 1, 1)
+		if err := c.Init(4, int64(tenths)); err != nil {
+			return false
+		}
+		if err := Layer(c, ratio, L1Filter); err != nil {
+			return false
+		}
+		want := math.Round(ratio*10) / 10
+		return c.WeightSparsity() >= want-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: pruning is monotone — a higher ratio never yields lower sparsity.
+func TestPruneMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		prev := -1.0
+		for _, ratio := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1} {
+			c := nn.NewConv("c", 16, 3, 3, 1, 1, 1, 1, 1)
+			if err := c.Init(4, seed); err != nil {
+				return false
+			}
+			if err := Layer(c, ratio, Magnitude); err != nil {
+				return false
+			}
+			s := c.WeightSparsity()
+			if s < prev {
+				return false
+			}
+			prev = s
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+package prune
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// SweepSingleLayer returns degrees pruning one layer at ratios 0..max in
+// the given step (inclusive), the x-axis of Figures 6 and 7.
+func SweepSingleLayer(layer string, max, step float64) []Degree {
+	var out []Degree
+	for r := 0.0; r <= max+1e-9; r += step {
+		out = append(out, NewDegree(layer, round3(r)))
+	}
+	return out
+}
+
+// Grid returns the cross product of per-layer ratio lists, e.g. Figure 11's
+// conv1 {0..0.4} × conv2 {0..0.5} grid. Layer order fixes enumeration
+// order: the last layer varies fastest.
+func Grid(layers []string, ratios [][]float64) []Degree {
+	if len(layers) != len(ratios) {
+		panic("prune: Grid layers/ratios length mismatch")
+	}
+	out := []Degree{{Ratios: map[string]float64{}}}
+	for li, layer := range layers {
+		var next []Degree
+		for _, d := range out {
+			for _, r := range ratios[li] {
+				c := d.Clone()
+				c.Ratios[layer] = round3(r)
+				next = append(next, c)
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+// Range returns {from, from+step, ..., to} inclusive.
+func Range(from, to, step float64) []float64 {
+	var out []float64
+	for v := from; v <= to+1e-9; v += step {
+		out = append(out, round3(v))
+	}
+	return out
+}
+
+// SampleDegrees draws n distinct random degrees over the given layers, each
+// layer ratio drawn from ratios, deterministically from seed. It is used to
+// build the 60-variant Caffenet set of Figures 9–10. The unpruned degree is
+// always included as the first element.
+func SampleDegrees(layers []string, ratios []float64, n int, seed int64) []Degree {
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[string]bool{}
+	out := []Degree{{Ratios: map[string]float64{}}}
+	seen["nonpruned"] = true
+	for attempts := 0; len(out) < n && attempts < n*100; attempts++ {
+		d := Degree{Ratios: make(map[string]float64, len(layers))}
+		for _, l := range layers {
+			d.Ratios[l] = ratios[rng.Intn(len(ratios))]
+		}
+		if lbl := d.Label(); !seen[lbl] {
+			seen[lbl] = true
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out[1:], func(a, b int) bool { return out[a+1].Label() < out[b+1].Label() })
+	return out
+}
+
+// SampleDegreesFiltered draws n distinct random degrees like SampleDegrees
+// but rejects any degree for which keep returns false — used to build the
+// paper's 60-variant Caffenet set spanning a wide but *live* accuracy range
+// (Figure 9's points start around 15 % Top-1; fully-destroyed models are
+// not in the space).
+func SampleDegreesFiltered(layers []string, ratios []float64, n int, seed int64, keep func(Degree) bool) []Degree {
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[string]bool{"nonpruned": true}
+	out := []Degree{{Ratios: map[string]float64{}}}
+	for attempts := 0; len(out) < n && attempts < n*1000; attempts++ {
+		d := Degree{Ratios: make(map[string]float64, len(layers))}
+		for _, l := range layers {
+			d.Ratios[l] = ratios[rng.Intn(len(ratios))]
+		}
+		lbl := d.Label()
+		if seen[lbl] || !keep(d) {
+			continue
+		}
+		seen[lbl] = true
+		out = append(out, d)
+	}
+	sort.Slice(out[1:], func(a, b int) bool { return out[a+1].Label() < out[b+1].Label() })
+	return out
+}
+
+func round3(v float64) float64 {
+	return float64(int(v*1000+0.5)) / 1000
+}

@@ -1,0 +1,256 @@
+// Package report renders experiment results as aligned text tables, CSV,
+// and ASCII plots — the output layer of cmd/paperbench and the benchmark
+// harness, which regenerate every table and figure of the paper as text.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table accumulates rows and renders them column-aligned.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// Row appends a row; values are formatted with %v.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e12:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Len returns the row count.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// CSV writes the table in CSV form (no quoting beyond commas→semicolons;
+// experiment labels contain no commas).
+func (t *Table) CSV(w io.Writer) {
+	esc := func(s string) string { return strings.ReplaceAll(s, ",", ";") }
+	cells := make([]string, len(t.headers))
+	for i, h := range t.headers {
+		cells[i] = esc(h)
+	}
+	fmt.Fprintln(w, strings.Join(cells, ","))
+	for _, r := range t.rows {
+		cells = cells[:0]
+		for _, c := range r {
+			cells = append(cells, esc(c))
+		}
+		fmt.Fprintln(w, strings.Join(cells, ","))
+	}
+}
+
+// Series is one named line of an ASCII plot.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Plot renders series as a width×height ASCII scatter. Each series uses
+// its own marker rune.
+type Plot struct {
+	Title, XLabel, YLabel string
+	Width, Height         int
+	series                []Series
+}
+
+// NewPlot creates a plot with sensible terminal dimensions.
+func NewPlot(title, xlabel, ylabel string) *Plot {
+	return &Plot{Title: title, XLabel: xlabel, YLabel: ylabel, Width: 64, Height: 16}
+}
+
+// Add appends a series.
+func (p *Plot) Add(s Series) { p.series = append(p.series, s) }
+
+var markers = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// Render draws the plot.
+func (p *Plot) Render(w io.Writer) {
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range p.series {
+		for i := range s.X {
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		fmt.Fprintf(w, "%s\n  (no data)\n", p.Title)
+		return
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, p.Height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", p.Width))
+	}
+	for si, s := range p.series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			x := int((s.X[i] - minX) / (maxX - minX) * float64(p.Width-1))
+			y := int((s.Y[i] - minY) / (maxY - minY) * float64(p.Height-1))
+			grid[p.Height-1-y][x] = m
+		}
+	}
+	fmt.Fprintf(w, "%s\n", p.Title)
+	fmt.Fprintf(w, "  %s (y: %.3g..%.3g)\n", p.YLabel, minY, maxY)
+	for _, row := range grid {
+		fmt.Fprintf(w, "  |%s\n", string(row))
+	}
+	fmt.Fprintf(w, "  +%s\n", strings.Repeat("-", p.Width))
+	fmt.Fprintf(w, "  %s (x: %.3g..%.3g)", p.XLabel, minX, maxX)
+	var legend []string
+	for si, s := range p.series {
+		legend = append(legend, fmt.Sprintf("%c=%s", markers[si%len(markers)], s.Name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(w, "   [%s]", strings.Join(legend, " "))
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the plot to a string.
+func (p *Plot) String() string {
+	var b strings.Builder
+	p.Render(&b)
+	return b.String()
+}
+
+// Bar renders a single-line percentage bar (Figure 3 style).
+func Bar(label string, share float64, width int) string {
+	n := int(share*float64(width) + 0.5)
+	if n > width {
+		n = width
+	}
+	return fmt.Sprintf("%-22s %5.1f%% |%s%s|", label, share*100,
+		strings.Repeat("#", n), strings.Repeat(" ", width-n))
+}
+
+// Histogram renders values into n equal-width buckets as horizontal bars —
+// used for latency distributions from the cluster simulator.
+func Histogram(title, unit string, values []float64, buckets, width int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(values) == 0 {
+		b.WriteString("  (no data)\n")
+		return b.String()
+	}
+	if buckets < 1 {
+		buckets = 10
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	counts := make([]int, buckets)
+	for _, v := range values {
+		i := int((v - lo) / (hi - lo) * float64(buckets))
+		if i >= buckets {
+			i = buckets - 1
+		}
+		counts[i]++
+	}
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	for i, c := range counts {
+		bLo := lo + (hi-lo)*float64(i)/float64(buckets)
+		bHi := lo + (hi-lo)*float64(i+1)/float64(buckets)
+		n := 0
+		if maxC > 0 {
+			n = c * width / maxC
+		}
+		fmt.Fprintf(&b, "  %8.2f–%-8.2f %s %4d %s\n", bLo, bHi, unit, c, strings.Repeat("#", n))
+	}
+	return b.String()
+}

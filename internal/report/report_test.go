@@ -1,0 +1,129 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("T", "name", "value")
+	tb.Row("alpha", 1.5)
+	tb.Row("b", 200.0)
+	tb.Row("c", 42)
+	out := tb.String()
+	if !strings.Contains(out, "T\n") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.50") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	if !strings.Contains(out, "200") {
+		t.Fatalf("float formatting:\n%s", out)
+	}
+	if tb.Len() != 3 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	// Alignment: all lines equal-prefix columns; headers and separator
+	// exist.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Fatalf("missing separator:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.Row("x,y", 1)
+	var b strings.Builder
+	tb.CSV(&b)
+	want := "a,b\nx;y,1\n"
+	if b.String() != want {
+		t.Fatalf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		3.14159: "3.14",
+		123.456: "123.5",
+		0.01234: "0.0123",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPlotRender(t *testing.T) {
+	p := NewPlot("Curve", "x", "y")
+	p.Add(Series{Name: "s1", X: []float64{0, 1, 2}, Y: []float64{0, 1, 4}})
+	p.Add(Series{Name: "s2", X: []float64{0, 1, 2}, Y: []float64{4, 1, 0}})
+	out := p.String()
+	if !strings.Contains(out, "Curve") || !strings.Contains(out, "*=s1") || !strings.Contains(out, "+=s2") {
+		t.Fatalf("plot output:\n%s", out)
+	}
+	if !strings.Contains(out, "x: 0..2") {
+		t.Fatalf("x range missing:\n%s", out)
+	}
+	// Marker characters present.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+}
+
+func TestPlotEmptyAndDegenerate(t *testing.T) {
+	p := NewPlot("Empty", "x", "y")
+	if out := p.String(); !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot: %s", out)
+	}
+	p2 := NewPlot("Flat", "x", "y")
+	p2.Add(Series{Name: "s", X: []float64{1, 1}, Y: []float64{2, 2}})
+	out := p2.String()
+	if !strings.Contains(out, "Flat") {
+		t.Fatalf("degenerate plot crashed or lost title:\n%s", out)
+	}
+}
+
+func TestBar(t *testing.T) {
+	b := Bar("conv1", 0.51, 40)
+	if !strings.Contains(b, "conv1") || !strings.Contains(b, "51.0%") {
+		t.Fatalf("Bar = %q", b)
+	}
+	if strings.Count(b, "#") != 20 {
+		t.Fatalf("Bar hashes = %d, want 20: %q", strings.Count(b, "#"), b)
+	}
+	over := Bar("x", 1.5, 10)
+	if strings.Count(over, "#") != 10 {
+		t.Fatalf("Bar must clamp: %q", over)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	out := Histogram("Waits", "s", []float64{0, 1, 1, 2, 9}, 3, 20)
+	if !strings.Contains(out, "Waits") {
+		t.Fatalf("missing title: %s", out)
+	}
+	// 3 buckets over [0,9]: [0,3)=4, [3,6)=0, [6,9]=1.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "4 ####################") {
+		t.Fatalf("first bucket: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "0 ") || strings.Contains(lines[2], "#") {
+		t.Fatalf("empty bucket: %q", lines[2])
+	}
+	if empty := Histogram("E", "s", nil, 3, 10); !strings.Contains(empty, "no data") {
+		t.Fatalf("empty: %s", empty)
+	}
+	flat := Histogram("F", "s", []float64{2, 2}, 0, 10)
+	if !strings.Contains(flat, "F") {
+		t.Fatalf("flat: %s", flat)
+	}
+}

@@ -1,0 +1,78 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchMatrix(rows, cols int, density float64, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		if rng.Float64() < density {
+			m.Data[i] = rng.Float32() - 0.5
+		}
+	}
+	return m
+}
+
+// BenchmarkMatMul measures the dense GEMM kernel at the Caffenet conv2
+// shape (the hottest kernel of the inference engine).
+func BenchmarkMatMul(b *testing.B) {
+	a := benchMatrix(256, 1200, 1, 1)
+	x := benchMatrix(1200, 729, 1, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMul(a, x)
+	}
+}
+
+// BenchmarkParallelMatMul measures the row-parallel GEMM at worker counts.
+func BenchmarkParallelMatMul(b *testing.B) {
+	a := benchMatrix(256, 1200, 1, 1)
+	x := benchMatrix(1200, 729, 1, 2)
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ParallelMatMul(a, x, w)
+			}
+		})
+	}
+}
+
+// BenchmarkSpMM measures the sparse kernel pruned layers execute through.
+func BenchmarkSpMM(b *testing.B) {
+	for _, density := range []float64{0.5, 0.1} {
+		s := ToCSR(benchMatrix(256, 1200, density, 3))
+		x := benchMatrix(1200, 729, 1, 4)
+		b.Run(fmt.Sprintf("density=%.0f%%", density*100), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				SpMM(s, x)
+			}
+		})
+	}
+}
+
+// BenchmarkIm2Col measures the convolution lowering at Caffenet conv2
+// geometry.
+func BenchmarkIm2Col(b *testing.B) {
+	g := ConvGeom{InC: 48, InH: 27, InW: 27, KH: 5, KW: 5, StrideH: 1, StrideW: 1, PadH: 2, PadW: 2}
+	in := make([]float32, g.InC*g.InH*g.InW)
+	for i := range in {
+		in[i] = float32(i%7) - 3
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Im2Col(g, in)
+	}
+}
+
+// BenchmarkToCSR measures sparse-structure construction after pruning.
+func BenchmarkToCSR(b *testing.B) {
+	m := benchMatrix(256, 1200, 0.5, 5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ToCSR(m)
+	}
+}

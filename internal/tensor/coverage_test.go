@@ -1,0 +1,201 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMatrixSetCloneSparsity(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 42)
+	if m.At(1, 2) != 42 {
+		t.Fatal("Set/At broken")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 7)
+	if m.At(0, 0) != 0 {
+		t.Fatal("Clone aliases data")
+	}
+	if got := m.Sparsity(); math.Abs(got-5.0/6) > 1e-9 {
+		t.Fatalf("Sparsity = %v", got)
+	}
+	if (&Matrix{}).Sparsity() != 0 {
+		t.Fatal("empty matrix sparsity")
+	}
+}
+
+func TestMatrixConstructorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"NewMatrix-negative":    func() { NewMatrix(-1, 3) },
+		"MatrixFromSlice-wrong": func() { MatrixFromSlice([]float32{1, 2}, 2, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestParallelMatMulSmallFallsBackSerial(t *testing.T) {
+	// Tiny product takes the serial path; workers clamp to rows.
+	a := MatrixFromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := MatrixFromSlice([]float32{5, 6, 7, 8}, 2, 2)
+	got := ParallelMatMul(a, b, 100)
+	want := MatMul(a, b)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatal("parallel fallback differs")
+		}
+	}
+	// Large product with explicit worker count exercises the parallel path.
+	big := NewMatrix(64, 64)
+	for i := range big.Data {
+		big.Data[i] = float32(i % 9)
+	}
+	p := ParallelMatMul(big, big, 3)
+	s := MatMul(big, big)
+	for i := range s.Data {
+		if p.Data[i] != s.Data[i] {
+			t.Fatal("parallel big product differs")
+		}
+	}
+}
+
+func TestParallelMatMulMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ParallelMatMul(NewMatrix(2, 3), NewMatrix(4, 2), 2)
+}
+
+func TestMatVecAndSpMVMismatchPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"MatVec": func() { MatVec(NewMatrix(2, 3), []float32{1}) },
+		"SpMV":   func() { SpMV(ToCSR(NewMatrix(2, 3)), []float32{1}) },
+		"SpMM":   func() { SpMM(ToCSR(NewMatrix(2, 3)), NewMatrix(2, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCSRSparsityAndEmpty(t *testing.T) {
+	m := MatrixFromSlice([]float32{0, 1, 0, 0}, 2, 2)
+	if got := ToCSR(m).Sparsity(); got != 0.75 {
+		t.Fatalf("CSR sparsity = %v", got)
+	}
+	empty := ToCSR(NewMatrix(0, 0))
+	if empty.Sparsity() != 0 {
+		t.Fatal("empty CSR sparsity")
+	}
+}
+
+func TestCol2ImAdjointProperty(t *testing.T) {
+	// <Im2Col(x), Y> == <x, Col2Im(Y)> — the defining adjoint identity
+	// backprop relies on.
+	g := ConvGeom{InC: 2, InH: 6, InW: 6, KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1}
+	rng := rand.New(rand.NewSource(9))
+	x := make([]float32, g.InC*g.InH*g.InW)
+	for i := range x {
+		x[i] = rng.Float32() - 0.5
+	}
+	cols := Im2Col(g, x)
+	y := NewMatrix(cols.Rows, cols.Cols)
+	for i := range y.Data {
+		y.Data[i] = rng.Float32() - 0.5
+	}
+	var lhs float64
+	for i := range cols.Data {
+		lhs += float64(cols.Data[i]) * float64(y.Data[i])
+	}
+	back := Col2Im(g, y)
+	var rhs float64
+	for i := range x {
+		rhs += float64(x[i]) * float64(back[i])
+	}
+	if math.Abs(lhs-rhs) > 1e-3 {
+		t.Fatalf("adjoint identity broken: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestCol2ImShapePanics(t *testing.T) {
+	g := ConvGeom{InC: 1, InH: 4, InW: 4, KH: 2, KW: 2, StrideH: 2, StrideW: 2}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong cols shape")
+		}
+	}()
+	Col2Im(g, NewMatrix(3, 3))
+}
+
+func TestTensorMiscCoverage(t *testing.T) {
+	tt := FromSlice([]float32{-1, 2, -3}, 3)
+	if got := tt.AbsSum(); got != 6 {
+		t.Fatalf("AbsSum = %v", got)
+	}
+	if s := tt.String(); !strings.Contains(s, "Tensor[3]") {
+		t.Fatalf("String = %q", s)
+	}
+	if (&Tensor{}).Sparsity() != 0 {
+		t.Fatal("empty tensor sparsity")
+	}
+	// Reshape volume mismatch panics.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected Reshape panic")
+			}
+		}()
+		tt.Reshape(2, 2)
+	}()
+	// AddScaled mismatch panics.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected AddScaled panic")
+			}
+		}()
+		tt.AddScaled(New(5), 1)
+	}()
+	// offset rank mismatch panics.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected At panic")
+			}
+		}()
+		tt.At(0, 0)
+	}()
+	// ArgMax empty panics.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected ArgMax panic")
+			}
+		}()
+		(&Tensor{}).ArgMax()
+	}()
+	// TopK too large panics.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected TopK panic")
+			}
+		}()
+		tt.TopK(9)
+	}()
+}

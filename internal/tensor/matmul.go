@@ -1,0 +1,155 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major 2-D view. Rows*Cols == len(Data).
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative matrix dims %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// MatrixFromSlice wraps data without copying.
+func MatrixFromSlice(data []float32, rows, cols int) *Matrix {
+	if rows*cols != len(data) {
+		panic(fmt.Sprintf("tensor: matrix %dx%d needs %d elements, got %d", rows, cols, rows*cols, len(data)))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (r,c).
+func (m *Matrix) At(r, c int) float32 { return m.Data[r*m.Cols+c] }
+
+// Set stores v at (r,c).
+func (m *Matrix) Set(r, c int, v float32) { m.Data[r*m.Cols+c] = v }
+
+// Row returns a slice aliasing row r.
+func (m *Matrix) Row(r int) []float32 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// NNZ returns the number of non-zero entries.
+func (m *Matrix) NNZ() int {
+	n := 0
+	for _, v := range m.Data {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Sparsity returns the zero fraction in [0,1].
+func (m *Matrix) Sparsity() float64 {
+	if len(m.Data) == 0 {
+		return 0
+	}
+	return 1 - float64(m.NNZ())/float64(len(m.Data))
+}
+
+// MatMul computes C = A × B with a cache-friendly ikj loop order.
+// It panics on dimension mismatch.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewMatrix(a.Rows, b.Cols)
+	matMulInto(a, b, c, 0, a.Rows)
+	return c
+}
+
+// matMulInto computes rows [r0,r1) of C = A×B.
+func matMulInto(a, b, c *Matrix, r0, r1 int) {
+	n := b.Cols
+	for i := r0; i < r1; i++ {
+		ci := c.Data[i*n : (i+1)*n]
+		ai := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for k, av := range ai {
+			if av == 0 {
+				continue
+			}
+			bk := b.Data[k*n : (k+1)*n]
+			for j, bv := range bk {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// ParallelMatMul computes C = A × B splitting rows of A across workers.
+// workers <= 0 uses GOMAXPROCS.
+func ParallelMatMul(a, b *Matrix, workers int) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: ParallelMatMul %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	c := NewMatrix(a.Rows, b.Cols)
+	if workers <= 1 || a.Rows*b.Cols < 1<<14 {
+		matMulInto(a, b, c, 0, a.Rows)
+		return c
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Rows + workers - 1) / workers
+	for r0 := 0; r0 < a.Rows; r0 += chunk {
+		r1 := r0 + chunk
+		if r1 > a.Rows {
+			r1 = a.Rows
+		}
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			matMulInto(a, b, c, r0, r1)
+		}(r0, r1)
+	}
+	wg.Wait()
+	return c
+}
+
+// MatVec computes y = A × x. It panics on dimension mismatch.
+func MatVec(a *Matrix, x []float32) []float32 {
+	if a.Cols != len(x) {
+		panic(fmt.Sprintf("tensor: MatVec %dx%d × %d", a.Rows, a.Cols, len(x)))
+	}
+	y := make([]float32, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		var s float32
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// Transpose returns Aᵀ.
+func Transpose(a *Matrix) *Matrix {
+	t := NewMatrix(a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			t.Data[j*a.Rows+i] = a.Data[i*a.Cols+j]
+		}
+	}
+	return t
+}

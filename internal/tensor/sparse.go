@@ -1,0 +1,104 @@
+package tensor
+
+import "fmt"
+
+// CSR is a compressed-sparse-row matrix. Pruned CNN layers are executed
+// through CSR kernels, mirroring the sparse-BLAS extensions of the Caffe
+// fork the paper uses.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int32   // len Rows+1
+	ColIdx     []int32   // len NNZ
+	Val        []float32 // len NNZ
+}
+
+// ToCSR converts a dense matrix to CSR, dropping exact zeros.
+func ToCSR(m *Matrix) *CSR {
+	c := &CSR{Rows: m.Rows, Cols: m.Cols, RowPtr: make([]int32, m.Rows+1)}
+	nnz := m.NNZ()
+	c.ColIdx = make([]int32, 0, nnz)
+	c.Val = make([]float32, 0, nnz)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			if v != 0 {
+				c.ColIdx = append(c.ColIdx, int32(j))
+				c.Val = append(c.Val, v)
+			}
+		}
+		c.RowPtr[i+1] = int32(len(c.Val))
+	}
+	return c
+}
+
+// ToDense converts back to a dense matrix.
+func (c *CSR) ToDense() *Matrix {
+	m := NewMatrix(c.Rows, c.Cols)
+	for i := 0; i < c.Rows; i++ {
+		for p := c.RowPtr[i]; p < c.RowPtr[i+1]; p++ {
+			m.Data[i*c.Cols+int(c.ColIdx[p])] = c.Val[p]
+		}
+	}
+	return m
+}
+
+// NNZ returns the stored non-zero count.
+func (c *CSR) NNZ() int { return len(c.Val) }
+
+// Sparsity returns the zero fraction in [0,1].
+func (c *CSR) Sparsity() float64 {
+	total := c.Rows * c.Cols
+	if total == 0 {
+		return 0
+	}
+	return 1 - float64(len(c.Val))/float64(total)
+}
+
+// At returns element (r,c) by scanning row r.
+func (c *CSR) At(r, col int) float32 {
+	for p := c.RowPtr[r]; p < c.RowPtr[r+1]; p++ {
+		if int(c.ColIdx[p]) == col {
+			return c.Val[p]
+		}
+	}
+	return 0
+}
+
+// SpMM computes C = S × B where S is sparse and B dense.
+// This is the kernel pruned convolution layers run through: its work is
+// proportional to NNZ(S)·B.Cols rather than S.Rows·S.Cols·B.Cols.
+func SpMM(s *CSR, b *Matrix) *Matrix {
+	if s.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: SpMM %dx%d × %dx%d", s.Rows, s.Cols, b.Rows, b.Cols))
+	}
+	c := NewMatrix(s.Rows, b.Cols)
+	n := b.Cols
+	for i := 0; i < s.Rows; i++ {
+		ci := c.Data[i*n : (i+1)*n]
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			k := int(s.ColIdx[p])
+			v := s.Val[p]
+			bk := b.Data[k*n : (k+1)*n]
+			for j, bv := range bk {
+				ci[j] += v * bv
+			}
+		}
+	}
+	return c
+}
+
+// SpMV computes y = S × x.
+func SpMV(s *CSR, x []float32) []float32 {
+	if s.Cols != len(x) {
+		panic(fmt.Sprintf("tensor: SpMV %dx%d × %d", s.Rows, s.Cols, len(x)))
+	}
+	y := make([]float32, s.Rows)
+	for i := 0; i < s.Rows; i++ {
+		var sum float32
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			sum += s.Val[p] * x[int(s.ColIdx[p])]
+		}
+		y[i] = sum
+	}
+	return y
+}

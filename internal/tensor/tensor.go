@@ -1,0 +1,241 @@
+// Package tensor provides dense and sparse numerical containers and the
+// linear-algebra kernels (GEMM, im2col) that the CNN inference engine in
+// internal/nn is built on. Everything is float32, matching the precision
+// CNN inference frameworks use on GPU.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense, row-major N-dimensional array of float32.
+// The zero value is an empty tensor.
+type Tensor struct {
+	Shape   []int
+	Data    []float32
+	strides []int
+}
+
+// New allocates a zero-filled tensor with the given shape.
+// It panics if any dimension is negative.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	t := &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+	t.computeStrides()
+	return t
+}
+
+// FromSlice wraps data in a tensor of the given shape. The data is not
+// copied. It panics if len(data) does not match the shape volume.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v needs %d elements, got %d", shape, n, len(data)))
+	}
+	t := &Tensor{Shape: append([]int(nil), shape...), Data: data}
+	t.computeStrides()
+	return t
+}
+
+func (t *Tensor) computeStrides() {
+	t.strides = make([]int, len(t.Shape))
+	s := 1
+	for i := len(t.Shape) - 1; i >= 0; i-- {
+		t.strides[i] = s
+		s *= t.Shape[i]
+	}
+}
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.Shape) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float32 {
+	return t.Data[t.offset(idx)]
+}
+
+// Set stores v at the given multi-index.
+func (t *Tensor) Set(v float32, idx ...int) {
+	t.Data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match tensor rank %d", len(idx), len(t.Shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.Shape))
+		}
+		off += x * t.strides[i]
+	}
+	return off
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a view with a new shape covering the same data.
+// It panics if the volumes differ.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)", t.Shape, len(t.Data), shape, n))
+	}
+	v := &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
+	v.computeStrides()
+	return v
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	clear(t.Data)
+}
+
+// Scale multiplies every element by s in place.
+func (t *Tensor) Scale(s float32) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// AddScaled adds s*o to t element-wise in place.
+// It panics if shapes mismatch in volume.
+func (t *Tensor) AddScaled(o *Tensor, s float32) {
+	if len(t.Data) != len(o.Data) {
+		panic("tensor: AddScaled volume mismatch")
+	}
+	for i := range t.Data {
+		t.Data[i] += s * o.Data[i]
+	}
+}
+
+// Sum returns the sum of all elements in float64 for stability.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += float64(v)
+	}
+	return s
+}
+
+// AbsSum returns the L1 norm of all elements.
+func (t *Tensor) AbsSum() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += math.Abs(float64(v))
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute element value, or 0 for an empty tensor.
+func (t *Tensor) MaxAbs() float32 {
+	var m float32
+	for _, v := range t.Data {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// NNZ returns the number of non-zero elements.
+func (t *Tensor) NNZ() int {
+	n := 0
+	for _, v := range t.Data {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Sparsity returns the fraction of elements that are exactly zero, in [0,1].
+// An empty tensor has sparsity 0.
+func (t *Tensor) Sparsity() float64 {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	return 1 - float64(t.NNZ())/float64(len(t.Data))
+}
+
+// ArgMax returns the index of the largest element. Ties resolve to the
+// earliest index. It panics on an empty tensor.
+func (t *Tensor) ArgMax() int {
+	if len(t.Data) == 0 {
+		panic("tensor: ArgMax of empty tensor")
+	}
+	best, bv := 0, t.Data[0]
+	for i, v := range t.Data {
+		if v > bv {
+			best, bv = i, v
+		}
+	}
+	return best
+}
+
+// TopK returns the indices of the k largest elements in descending value
+// order. It panics if k exceeds the element count.
+func (t *Tensor) TopK(k int) []int {
+	if k > len(t.Data) {
+		panic(fmt.Sprintf("tensor: TopK k=%d > len=%d", k, len(t.Data)))
+	}
+	// Simple selection: k is small (e.g. 5 for Top-5 accuracy).
+	idx := make([]int, 0, k)
+	used := make([]bool, len(t.Data))
+	for j := 0; j < k; j++ {
+		best := -1
+		var bv float32
+		for i, v := range t.Data {
+			if used[i] {
+				continue
+			}
+			if best < 0 || v > bv {
+				best, bv = i, v
+			}
+		}
+		used[best] = true
+		idx = append(idx, best)
+	}
+	return idx
+}
+
+// String renders a compact description, not full contents.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor%v nnz=%d", t.Shape, t.NNZ())
+}

@@ -1,0 +1,404 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndLen(t *testing.T) {
+	tt := New(2, 3, 4)
+	if tt.Len() != 24 {
+		t.Fatalf("Len = %d, want 24", tt.Len())
+	}
+	if tt.Rank() != 3 {
+		t.Fatalf("Rank = %d, want 3", tt.Rank())
+	}
+	for i, want := range []int{2, 3, 4} {
+		if tt.Dim(i) != want {
+			t.Errorf("Dim(%d) = %d, want %d", i, tt.Dim(i), want)
+		}
+	}
+}
+
+func TestNewNegativeDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dimension")
+		}
+	}()
+	New(2, -1)
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	tt := New(3, 4, 5)
+	tt.Set(42, 1, 2, 3)
+	if got := tt.At(1, 2, 3); got != 42 {
+		t.Fatalf("At = %v, want 42", got)
+	}
+	// Row-major offset: 1*20 + 2*5 + 3 = 33.
+	if tt.Data[33] != 42 {
+		t.Fatalf("expected offset 33 set, data[33]=%v", tt.Data[33])
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	tt := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	tt.At(2, 0)
+}
+
+func TestFromSliceWrongLenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong data length")
+		}
+	}()
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	tt := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	v := tt.Reshape(3, 2)
+	v.Set(99, 0, 1)
+	if tt.At(0, 1) != 99 {
+		t.Fatal("Reshape must alias underlying data")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	tt := FromSlice([]float32{1, 2}, 2)
+	c := tt.Clone()
+	c.Data[0] = 9
+	if tt.Data[0] != 1 {
+		t.Fatal("Clone must not alias data")
+	}
+}
+
+func TestFillZeroScale(t *testing.T) {
+	tt := New(4)
+	tt.Fill(2)
+	tt.Scale(3)
+	if got := tt.Sum(); got != 24 {
+		t.Fatalf("Sum = %v, want 24", got)
+	}
+	tt.Zero()
+	if got := tt.Sum(); got != 0 {
+		t.Fatalf("Sum after Zero = %v, want 0", got)
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3}, 3)
+	b := FromSlice([]float32{10, 20, 30}, 3)
+	a.AddScaled(b, 0.5)
+	want := []float32{6, 12, 18}
+	for i, w := range want {
+		if a.Data[i] != w {
+			t.Errorf("a[%d] = %v, want %v", i, a.Data[i], w)
+		}
+	}
+}
+
+func TestSparsityAndNNZ(t *testing.T) {
+	tt := FromSlice([]float32{0, 1, 0, 2}, 4)
+	if tt.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", tt.NNZ())
+	}
+	if got := tt.Sparsity(); got != 0.5 {
+		t.Fatalf("Sparsity = %v, want 0.5", got)
+	}
+}
+
+func TestArgMaxAndTopK(t *testing.T) {
+	tt := FromSlice([]float32{3, 9, 1, 9, 5}, 5)
+	if got := tt.ArgMax(); got != 1 {
+		t.Fatalf("ArgMax = %d, want 1 (earliest tie)", got)
+	}
+	top := tt.TopK(3)
+	want := []int{1, 3, 4}
+	for i, w := range want {
+		if top[i] != w {
+			t.Fatalf("TopK = %v, want %v", top, want)
+		}
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	tt := FromSlice([]float32{-7, 3, 5}, 3)
+	if got := tt.MaxAbs(); got != 7 {
+		t.Fatalf("MaxAbs = %v, want 7", got)
+	}
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := MatrixFromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := MatrixFromSlice([]float32{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := []float32{58, 64, 139, 154}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Fatalf("MatMul = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestMatMulMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for dim mismatch")
+		}
+	}()
+	MatMul(NewMatrix(2, 3), NewMatrix(2, 2))
+}
+
+func TestParallelMatMulMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewMatrix(37, 53)
+	b := NewMatrix(53, 29)
+	for i := range a.Data {
+		a.Data[i] = rng.Float32() - 0.5
+	}
+	for i := range b.Data {
+		b.Data[i] = rng.Float32() - 0.5
+	}
+	s := MatMul(a, b)
+	for _, w := range []int{1, 2, 4, 8} {
+		p := ParallelMatMul(a, b, w)
+		for i := range s.Data {
+			if math.Abs(float64(s.Data[i]-p.Data[i])) > 1e-5 {
+				t.Fatalf("workers=%d: mismatch at %d: %v vs %v", w, i, s.Data[i], p.Data[i])
+			}
+		}
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a := MatrixFromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	y := MatVec(a, []float32{1, 1})
+	if y[0] != 3 || y[1] != 7 {
+		t.Fatalf("MatVec = %v, want [3 7]", y)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := MatrixFromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	at := Transpose(a)
+	if at.Rows != 3 || at.Cols != 2 {
+		t.Fatalf("Transpose shape %dx%d", at.Rows, at.Cols)
+	}
+	if at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Fatal("Transpose values wrong")
+	}
+}
+
+func TestCSRRoundTrip(t *testing.T) {
+	m := MatrixFromSlice([]float32{0, 1, 0, 2, 0, 0, 3, 0, 4}, 3, 3)
+	c := ToCSR(m)
+	if c.NNZ() != 4 {
+		t.Fatalf("NNZ = %d, want 4", c.NNZ())
+	}
+	d := c.ToDense()
+	for i := range m.Data {
+		if d.Data[i] != m.Data[i] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+	if c.At(2, 0) != 3 || c.At(1, 1) != 0 {
+		t.Fatal("CSR.At wrong")
+	}
+}
+
+func TestSpMMMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := NewMatrix(20, 30)
+	for i := range a.Data {
+		if rng.Float64() < 0.3 { // 70% sparse
+			a.Data[i] = rng.Float32() - 0.5
+		}
+	}
+	b := NewMatrix(30, 17)
+	for i := range b.Data {
+		b.Data[i] = rng.Float32() - 0.5
+	}
+	dense := MatMul(a, b)
+	sparse := SpMM(ToCSR(a), b)
+	for i := range dense.Data {
+		if math.Abs(float64(dense.Data[i]-sparse.Data[i])) > 1e-5 {
+			t.Fatalf("SpMM mismatch at %d", i)
+		}
+	}
+}
+
+func TestSpMVMatchesMatVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := NewMatrix(15, 25)
+	for i := range a.Data {
+		if rng.Float64() < 0.4 {
+			a.Data[i] = rng.Float32() - 0.5
+		}
+	}
+	x := make([]float32, 25)
+	for i := range x {
+		x[i] = rng.Float32()
+	}
+	want := MatVec(a, x)
+	got := SpMV(ToCSR(a), x)
+	for i := range want {
+		if math.Abs(float64(want[i]-got[i])) > 1e-5 {
+			t.Fatalf("SpMV mismatch at %d", i)
+		}
+	}
+}
+
+// Property: CSR round-trip preserves any dense matrix exactly.
+func TestCSRRoundTripProperty(t *testing.T) {
+	f := func(vals []float32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		cols := 1 + len(vals)%7
+		rows := (len(vals) + cols - 1) / cols
+		padded := make([]float32, rows*cols)
+		copy(padded, vals)
+		// Replace NaN: NaN != NaN would break comparison, and weights are
+		// never NaN in practice.
+		for i, v := range padded {
+			if math.IsNaN(float64(v)) {
+				padded[i] = 0
+			}
+		}
+		m := MatrixFromSlice(padded, rows, cols)
+		d := ToCSR(m).ToDense()
+		for i := range m.Data {
+			if d.Data[i] != m.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sparsity of CSR equals sparsity of the dense source.
+func TestCSRSparsityProperty(t *testing.T) {
+	f := func(seed int64, sparseTenths uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := float64(sparseTenths%11) / 10
+		m := NewMatrix(8, 9)
+		for i := range m.Data {
+			if rng.Float64() >= p {
+				m.Data[i] = rng.Float32() + 0.1
+			}
+		}
+		return ToCSR(m).NNZ() == m.NNZ()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIm2ColIdentityKernel(t *testing.T) {
+	// 1x1 kernel, stride 1, no pad: im2col is the identity layout.
+	g := ConvGeom{InC: 2, InH: 3, InW: 3, KH: 1, KW: 1, StrideH: 1, StrideW: 1}
+	in := make([]float32, 18)
+	for i := range in {
+		in[i] = float32(i)
+	}
+	m := Im2Col(g, in)
+	if m.Rows != 2 || m.Cols != 9 {
+		t.Fatalf("shape %dx%d, want 2x9", m.Rows, m.Cols)
+	}
+	for i, v := range in {
+		if m.Data[i] != v {
+			t.Fatalf("identity layout broken at %d", i)
+		}
+	}
+}
+
+func TestIm2ColConvMatchesDirect(t *testing.T) {
+	// Compare im2col+GEMM convolution against direct nested-loop conv.
+	g := ConvGeom{InC: 3, InH: 8, InW: 8, KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	in := make([]float32, g.InC*g.InH*g.InW)
+	for i := range in {
+		in[i] = rng.Float32() - 0.5
+	}
+	outC := 4
+	w := NewMatrix(outC, g.InC*g.KH*g.KW)
+	for i := range w.Data {
+		w.Data[i] = rng.Float32() - 0.5
+	}
+	got := MatMul(w, Im2Col(g, in))
+
+	oh, ow := g.OutH(), g.OutW()
+	for oc := 0; oc < outC; oc++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var s float32
+				for c := 0; c < g.InC; c++ {
+					for kh := 0; kh < g.KH; kh++ {
+						for kw := 0; kw < g.KW; kw++ {
+							iy := oy*g.StrideH - g.PadH + kh
+							ix := ox*g.StrideW - g.PadW + kw
+							if iy < 0 || iy >= g.InH || ix < 0 || ix >= g.InW {
+								continue
+							}
+							s += w.At(oc, (c*g.KH+kh)*g.KW+kw) * in[c*g.InH*g.InW+iy*g.InW+ix]
+						}
+					}
+				}
+				if d := math.Abs(float64(s - got.At(oc, oy*ow+ox))); d > 1e-4 {
+					t.Fatalf("conv mismatch at oc=%d oy=%d ox=%d: diff %v", oc, oy, ox, d)
+				}
+			}
+		}
+	}
+}
+
+func TestConvGeomOutDims(t *testing.T) {
+	// Caffenet conv1: 224x224x3, 11x11 kernel, stride 4 → 55x55 (with pad 2
+	// per the Caffe prototxt — the paper's Table 1 output size).
+	g := ConvGeom{InC: 3, InH: 224, InW: 224, KH: 11, KW: 11, StrideH: 4, StrideW: 4, PadH: 2, PadW: 2}
+	// (224 + 4 - 11)/4 + 1 = 55 with pad 2? (224+4-11)=217, /4=54, +1=55.
+	if g.OutH() != 55 || g.OutW() != 55 {
+		t.Fatalf("conv1 out = %dx%d, want 55x55", g.OutH(), g.OutW())
+	}
+}
+
+func TestConvGeomValidate(t *testing.T) {
+	bad := []ConvGeom{
+		{InC: 0, InH: 1, InW: 1, KH: 1, KW: 1, StrideH: 1, StrideW: 1},
+		{InC: 1, InH: 1, InW: 1, KH: 0, KW: 1, StrideH: 1, StrideW: 1},
+		{InC: 1, InH: 1, InW: 1, KH: 1, KW: 1, StrideH: 0, StrideW: 1},
+		{InC: 1, InH: 1, InW: 1, KH: 1, KW: 1, StrideH: 1, StrideW: 1, PadH: -1},
+		{InC: 1, InH: 2, InW: 2, KH: 5, KW: 5, StrideH: 1, StrideW: 1},
+	}
+	for i, g := range bad {
+		if g.Validate() == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, g)
+		}
+	}
+	good := ConvGeom{InC: 3, InH: 224, InW: 224, KH: 11, KW: 11, StrideH: 4, StrideW: 4, PadH: 2, PadW: 2}
+	if err := good.Validate(); err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestConvFLOPs(t *testing.T) {
+	g := ConvGeom{InC: 3, InH: 4, InW: 4, KH: 2, KW: 2, StrideH: 2, StrideW: 2}
+	// out 2x2, macs = 5 filters * 12 * 4 = 240, flops = 480
+	if got := ConvFLOPs(g, 5); got != 480 {
+		t.Fatalf("ConvFLOPs = %d, want 480", got)
+	}
+}

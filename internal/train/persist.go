@@ -1,0 +1,66 @@
+package train
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// snapshot is the gob-serializable form of a SmallCNN: configuration plus
+// flat weight/bias payloads (momentum buffers are transient).
+type snapshot struct {
+	Version    int
+	Cfg        Config
+	W1, W2, Wf []float32
+	B1, B2, Bf []float32
+}
+
+const snapshotVersion = 1
+
+// Save serializes the model (weights and biases; training state such as
+// momentum is not persisted) so an expensively trained network can be
+// reloaded across processes.
+func (m *SmallCNN) Save(w io.Writer) error {
+	s := snapshot{
+		Version: snapshotVersion,
+		Cfg:     m.cfg,
+		W1:      m.W1.Data, W2: m.W2.Data, Wf: m.Wf.Data,
+		B1: m.B1, B2: m.B2, Bf: m.Bf,
+	}
+	if err := gob.NewEncoder(w).Encode(s); err != nil {
+		return fmt.Errorf("train: save: %w", err)
+	}
+	return nil
+}
+
+// Load reconstructs a model saved with Save.
+func Load(r io.Reader) (*SmallCNN, error) {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("train: load: %w", err)
+	}
+	if s.Version != snapshotVersion {
+		return nil, fmt.Errorf("train: load: unsupported snapshot version %d", s.Version)
+	}
+	m, err := New(s.Cfg)
+	if err != nil {
+		return nil, fmt.Errorf("train: load: %w", err)
+	}
+	for _, cp := range []struct {
+		dst, src []float32
+		name     string
+	}{
+		{m.W1.Data, s.W1, "W1"},
+		{m.W2.Data, s.W2, "W2"},
+		{m.Wf.Data, s.Wf, "Wf"},
+		{m.B1, s.B1, "B1"},
+		{m.B2, s.B2, "B2"},
+		{m.Bf, s.Bf, "Bf"},
+	} {
+		if len(cp.dst) != len(cp.src) {
+			return nil, fmt.Errorf("train: load: %s length %d, want %d", cp.name, len(cp.src), len(cp.dst))
+		}
+		copy(cp.dst, cp.src)
+	}
+	return m, nil
+}

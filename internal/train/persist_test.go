@@ -1,0 +1,55 @@
+package train
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m, val := trained(t)
+	a1, k1, err := m.Evaluate(val, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, k2, err := loaded.Evaluate(val, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 || k1 != k2 {
+		t.Fatalf("accuracy changed over save/load: %v/%v → %v/%v", a1, k1, a2, k2)
+	}
+	// Loaded model is trainable (fresh momentum buffers).
+	tr, _ := smallData(t)
+	opts := DefaultOpts()
+	opts.Epochs = 1
+	if _, err := loaded.Train(tr, opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a gob stream")); err == nil {
+		t.Fatal("expected error for garbage input")
+	}
+}
+
+func TestLoadTruncated(t *testing.T) {
+	m, _ := trained(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := bytes.NewReader(buf.Bytes()[:buf.Len()/2])
+	if _, err := Load(trunc); err == nil {
+		t.Fatal("expected error for truncated stream")
+	}
+}

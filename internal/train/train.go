@@ -1,0 +1,428 @@
+// Package train implements a small trainable CNN with explicit
+// backpropagation and SGD, used by the empirical accuracy evaluator: the
+// paper's accuracy curves come from ImageNet-trained models we cannot
+// obtain offline, so this package demonstrates the sweet-spot phenomenon on
+// a network actually trained in Go — real training, real L1-filter pruning,
+// real re-evaluation.
+package train
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ccperf/internal/dataset"
+	"ccperf/internal/nn"
+	"ccperf/internal/prune"
+	"ccperf/internal/tensor"
+)
+
+// Config describes the small CNN: conv(3x3)-ReLU-pool2 ×2, then FC.
+type Config struct {
+	Input   nn.Shape
+	Conv1   int // filters in conv1
+	Conv2   int // filters in conv2
+	Classes int
+	Seed    int64
+}
+
+// SmallCNN is the trainable network. Weight matrices are filter-major so
+// prune.Weights applies directly.
+type SmallCNN struct {
+	cfg Config
+
+	g1, g2 tensor.ConvGeom // conv geometries
+	p1Out  nn.Shape        // shape after pool1
+	p2Out  nn.Shape        // shape after pool2
+
+	W1, W2, Wf *tensor.Matrix
+	B1, B2, Bf []float32
+
+	// momentum buffers
+	vW1, vW2, vWf *tensor.Matrix
+	vB1, vB2, vBf []float32
+}
+
+// New builds and randomly initializes the network.
+func New(cfg Config) (*SmallCNN, error) {
+	if cfg.Input.H < 8 || cfg.Input.W < 8 {
+		return nil, fmt.Errorf("train: input %v too small (need ≥8x8)", cfg.Input)
+	}
+	if cfg.Conv1 < 1 || cfg.Conv2 < 1 || cfg.Classes < 2 {
+		return nil, fmt.Errorf("train: bad config %+v", cfg)
+	}
+	m := &SmallCNN{cfg: cfg}
+	m.g1 = tensor.ConvGeom{
+		InC: cfg.Input.C, InH: cfg.Input.H, InW: cfg.Input.W,
+		KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+	}
+	c1Out := nn.Shape{C: cfg.Conv1, H: m.g1.OutH(), W: m.g1.OutW()}
+	m.p1Out = nn.Shape{C: c1Out.C, H: c1Out.H / 2, W: c1Out.W / 2}
+	m.g2 = tensor.ConvGeom{
+		InC: cfg.Conv1, InH: m.p1Out.H, InW: m.p1Out.W,
+		KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+	}
+	c2Out := nn.Shape{C: cfg.Conv2, H: m.g2.OutH(), W: m.g2.OutW()}
+	m.p2Out = nn.Shape{C: c2Out.C, H: c2Out.H / 2, W: c2Out.W / 2}
+	if m.p1Out.H < 1 || m.p2Out.H < 1 {
+		return nil, fmt.Errorf("train: input %v too small after pooling", cfg.Input)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m.W1 = heInit(cfg.Conv1, cfg.Input.C*9, rng)
+	m.B1 = make([]float32, cfg.Conv1)
+	m.W2 = heInit(cfg.Conv2, cfg.Conv1*9, rng)
+	m.B2 = make([]float32, cfg.Conv2)
+	m.Wf = heInit(cfg.Classes, m.p2Out.Volume(), rng)
+	m.Bf = make([]float32, cfg.Classes)
+
+	m.vW1 = tensor.NewMatrix(m.W1.Rows, m.W1.Cols)
+	m.vW2 = tensor.NewMatrix(m.W2.Rows, m.W2.Cols)
+	m.vWf = tensor.NewMatrix(m.Wf.Rows, m.Wf.Cols)
+	m.vB1 = make([]float32, len(m.B1))
+	m.vB2 = make([]float32, len(m.B2))
+	m.vBf = make([]float32, len(m.Bf))
+	return m, nil
+}
+
+func heInit(rows, cols int, rng *rand.Rand) *tensor.Matrix {
+	w := tensor.NewMatrix(rows, cols)
+	std := math.Sqrt(2 / float64(cols))
+	for i := range w.Data {
+		w.Data[i] = float32(rng.NormFloat64() * std)
+	}
+	return w
+}
+
+// cache holds forward intermediates for one sample's backward pass.
+type cache struct {
+	x1cols *tensor.Matrix // im2col of input
+	a1     []float32      // conv1 pre-pool post-relu activations
+	relu1  []bool
+	amax1  []int // argmax indices of pool1
+	x2cols *tensor.Matrix
+	a2     []float32
+	relu2  []bool
+	amax2  []int
+	flat   []float32 // pool2 output (fc input)
+	probs  []float32
+}
+
+// forward runs one image, filling the cache when not nil.
+func (m *SmallCNN) forward(img *tensor.Tensor, cc *cache) []float32 {
+	// conv1 + relu
+	x1 := tensor.Im2Col(m.g1, img.Data)
+	z1 := tensor.MatMul(m.W1, x1)
+	plane1 := m.g1.OutH() * m.g1.OutW()
+	relu1 := make([]bool, m.cfg.Conv1*plane1)
+	for f := 0; f < m.cfg.Conv1; f++ {
+		row := z1.Row(f)
+		b := m.B1[f]
+		for i := range row {
+			v := row[i] + b
+			if v > 0 {
+				row[i] = v
+				relu1[f*plane1+i] = true
+			} else {
+				row[i] = 0
+			}
+		}
+	}
+	// pool1 (2x2, stride 2)
+	p1, amax1 := maxPool2(z1.Data, m.cfg.Conv1, m.g1.OutH(), m.g1.OutW())
+
+	// conv2 + relu
+	x2 := tensor.Im2Col(m.g2, p1)
+	z2 := tensor.MatMul(m.W2, x2)
+	plane2 := m.g2.OutH() * m.g2.OutW()
+	relu2 := make([]bool, m.cfg.Conv2*plane2)
+	for f := 0; f < m.cfg.Conv2; f++ {
+		row := z2.Row(f)
+		b := m.B2[f]
+		for i := range row {
+			v := row[i] + b
+			if v > 0 {
+				row[i] = v
+				relu2[f*plane2+i] = true
+			} else {
+				row[i] = 0
+			}
+		}
+	}
+	// pool2
+	p2, amax2 := maxPool2(z2.Data, m.cfg.Conv2, m.g2.OutH(), m.g2.OutW())
+
+	// fc + softmax
+	logits := tensor.MatVec(m.Wf, p2)
+	for i := range logits {
+		logits[i] += m.Bf[i]
+	}
+	probs := append([]float32(nil), logits...)
+	nn.SoftmaxInPlace(probs)
+
+	if cc != nil {
+		cc.x1cols, cc.a1, cc.relu1, cc.amax1 = x1, z1.Data, relu1, amax1
+		cc.x2cols, cc.a2, cc.relu2, cc.amax2 = x2, z2.Data, relu2, amax2
+		cc.flat, cc.probs = p2, probs
+	}
+	return probs
+}
+
+// maxPool2 performs 2x2/2 max pooling over CHW data, returning pooled data
+// and per-output argmax source indices (into the input plane layout).
+func maxPool2(data []float32, c, h, w int) ([]float32, []int) {
+	oh, ow := h/2, w/2
+	out := make([]float32, c*oh*ow)
+	amax := make([]int, c*oh*ow)
+	for ch := 0; ch < c; ch++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := float32(0)
+				bi := -1
+				for dy := 0; dy < 2; dy++ {
+					for dx := 0; dx < 2; dx++ {
+						iy, ix := oy*2+dy, ox*2+dx
+						idx := ch*h*w + iy*w + ix
+						if bi < 0 || data[idx] > best {
+							best, bi = data[idx], idx
+						}
+					}
+				}
+				oi := ch*oh*ow + oy*ow + ox
+				out[oi] = best
+				amax[oi] = bi
+			}
+		}
+	}
+	return out, amax
+}
+
+// Predict returns class probabilities for one image.
+func (m *SmallCNN) Predict(img *tensor.Tensor) []float32 {
+	return m.forward(img, nil)
+}
+
+// Opts are training hyperparameters.
+type Opts struct {
+	Epochs   int
+	LR       float64
+	Momentum float64
+	// Decay multiplies LR after each epoch (1 = constant).
+	Decay float64
+	Seed  int64
+}
+
+// DefaultOpts trains quickly to a usable accuracy on the synthetic task
+// (per-sample SGD diverges at higher rates; 0.01/0.5 converges reliably).
+func DefaultOpts() Opts {
+	return Opts{Epochs: 6, LR: 0.01, Momentum: 0.5, Decay: 0.9, Seed: 1}
+}
+
+// Train runs SGD over the dataset. Returns the final average training loss.
+func (m *SmallCNN) Train(ds *dataset.Dataset, o Opts) (float64, error) {
+	if ds.Classes != m.cfg.Classes {
+		return 0, fmt.Errorf("train: dataset has %d classes, model %d", ds.Classes, m.cfg.Classes)
+	}
+	if o.Epochs < 1 {
+		return 0, fmt.Errorf("train: need ≥1 epoch")
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	order := make([]int, ds.Len())
+	for i := range order {
+		order[i] = i
+	}
+	lr := o.LR
+	var lastLoss float64
+	for e := 0; e < o.Epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var sum float64
+		for _, idx := range order {
+			sum += m.step(ds.Images[idx], ds.Labels[idx], lr, o.Momentum)
+		}
+		lastLoss = sum / float64(ds.Len())
+		lr *= o.Decay
+	}
+	return lastLoss, nil
+}
+
+// step runs one SGD update and returns the sample's cross-entropy loss.
+func (m *SmallCNN) step(img *tensor.Tensor, label int, lr, mom float64) float64 {
+	var cc cache
+	m.forward(img, &cc)
+	loss := -logf(cc.probs[label])
+
+	// dLogits = probs − onehot
+	dLogits := append([]float32(nil), cc.probs...)
+	dLogits[label] -= 1
+
+	// FC backward.
+	dWf := tensor.NewMatrix(m.Wf.Rows, m.Wf.Cols)
+	dFlat := make([]float32, len(cc.flat))
+	for o := 0; o < m.Wf.Rows; o++ {
+		g := dLogits[o]
+		if g == 0 {
+			continue
+		}
+		wrow := m.Wf.Row(o)
+		drow := dWf.Row(o)
+		for i, x := range cc.flat {
+			drow[i] = g * x
+			dFlat[i] += g * wrow[i]
+		}
+	}
+
+	// pool2 backward → conv2 activation grad.
+	plane2 := m.g2.OutH() * m.g2.OutW()
+	dA2 := make([]float32, m.cfg.Conv2*plane2)
+	for oi, src := range cc.amax2 {
+		dA2[src] += dFlat[oi]
+	}
+	// relu2 backward.
+	for i := range dA2 {
+		if !cc.relu2[i] {
+			dA2[i] = 0
+		}
+	}
+	// conv2 backward: dW2 = dZ2 × x2ᵀ; dP1 = col2im(W2ᵀ × dZ2).
+	dZ2 := tensor.MatrixFromSlice(dA2, m.cfg.Conv2, plane2)
+	dW2 := tensor.MatMul(dZ2, tensor.Transpose(cc.x2cols))
+	dB2 := rowSums(dZ2)
+	dP1cols := tensor.MatMul(tensor.Transpose(m.W2), dZ2)
+	dP1 := tensor.Col2Im(m.g2, dP1cols)
+
+	// pool1 backward.
+	plane1 := m.g1.OutH() * m.g1.OutW()
+	dA1 := make([]float32, m.cfg.Conv1*plane1)
+	for oi, src := range cc.amax1 {
+		dA1[src] += dP1[oi]
+	}
+	for i := range dA1 {
+		if !cc.relu1[i] {
+			dA1[i] = 0
+		}
+	}
+	dZ1 := tensor.MatrixFromSlice(dA1, m.cfg.Conv1, plane1)
+	dW1 := tensor.MatMul(dZ1, tensor.Transpose(cc.x1cols))
+	dB1 := rowSums(dZ1)
+
+	// SGD with momentum. Pruned (exactly zero) weights stay zero so that
+	// evaluation after pruning reflects the pruned structure.
+	applySGD(m.W1, m.vW1, dW1, lr, mom)
+	applySGD(m.W2, m.vW2, dW2, lr, mom)
+	applySGD(m.Wf, m.vWf, dWf, lr, mom)
+	applySGDVec(m.B1, m.vB1, dB1, lr, mom)
+	applySGDVec(m.B2, m.vB2, dB2, lr, mom)
+	applySGDVec(m.Bf, m.vBf, dLogits, lr, mom)
+	return loss
+}
+
+func rowSums(m *tensor.Matrix) []float32 {
+	out := make([]float32, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var s float32
+		for _, v := range m.Row(i) {
+			s += v
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func applySGD(w, v, g *tensor.Matrix, lr, mom float64) {
+	for i := range w.Data {
+		v.Data[i] = float32(mom)*v.Data[i] - float32(lr)*g.Data[i]
+		if w.Data[i] == 0 && v.Data[i] != 0 {
+			// Respect pruning masks: a zeroed weight stays zeroed only if
+			// it was pruned; during normal training exact zeros are
+			// measure-zero, so this has no effect pre-pruning.
+			continue
+		}
+		w.Data[i] += v.Data[i]
+	}
+}
+
+func applySGDVec(w, v, g []float32, lr, mom float64) {
+	for i := range w {
+		v[i] = float32(mom)*v[i] - float32(lr)*g[i]
+		w[i] += v[i]
+	}
+}
+
+func logf(x float32) float64 {
+	if x < 1e-12 {
+		x = 1e-12
+	}
+	return math.Log(float64(x))
+}
+
+// Evaluate returns Top-1 and Top-k accuracy over a dataset.
+func (m *SmallCNN) Evaluate(ds *dataset.Dataset, k int) (top1, topK float64, err error) {
+	if ds.Len() == 0 {
+		return 0, 0, fmt.Errorf("train: empty dataset")
+	}
+	if k < 1 || k > m.cfg.Classes {
+		return 0, 0, fmt.Errorf("train: k=%d out of range", k)
+	}
+	var c1, ck int
+	for i, img := range ds.Images {
+		probs := m.Predict(img)
+		pt := tensor.FromSlice(probs, len(probs))
+		if pt.ArgMax() == ds.Labels[i] {
+			c1++
+		}
+		for _, j := range pt.TopK(k) {
+			if j == ds.Labels[i] {
+				ck++
+				break
+			}
+		}
+	}
+	n := float64(ds.Len())
+	return float64(c1) / n, float64(ck) / n, nil
+}
+
+// Clone deep-copies the model (weights only; momentum buffers reset).
+func (m *SmallCNN) Clone() *SmallCNN {
+	c := *m
+	c.W1, c.W2, c.Wf = m.W1.Clone(), m.W2.Clone(), m.Wf.Clone()
+	c.B1 = append([]float32(nil), m.B1...)
+	c.B2 = append([]float32(nil), m.B2...)
+	c.Bf = append([]float32(nil), m.Bf...)
+	c.vW1 = tensor.NewMatrix(m.W1.Rows, m.W1.Cols)
+	c.vW2 = tensor.NewMatrix(m.W2.Rows, m.W2.Cols)
+	c.vWf = tensor.NewMatrix(m.Wf.Rows, m.Wf.Cols)
+	c.vB1 = make([]float32, len(m.B1))
+	c.vB2 = make([]float32, len(m.B2))
+	c.vBf = make([]float32, len(m.Bf))
+	return &c
+}
+
+// ConvWeights returns the weight matrix of conv layer 1 or 2.
+func (m *SmallCNN) ConvWeights(layer int) (*tensor.Matrix, error) {
+	switch layer {
+	case 1:
+		return m.W1, nil
+	case 2:
+		return m.W2, nil
+	default:
+		return nil, fmt.Errorf("train: no conv layer %d", layer)
+	}
+}
+
+// PruneConv prunes conv layer 1 or 2 by ratio with the given method.
+func (m *SmallCNN) PruneConv(layer int, ratio float64, method prune.Method) error {
+	w, err := m.ConvWeights(layer)
+	if err != nil {
+		return err
+	}
+	return prune.Weights(w, ratio, method)
+}
+
+// Sparsity returns the weight sparsity of a conv layer.
+func (m *SmallCNN) Sparsity(layer int) (float64, error) {
+	w, err := m.ConvWeights(layer)
+	if err != nil {
+		return 0, err
+	}
+	return w.Sparsity(), nil
+}

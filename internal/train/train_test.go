@@ -1,0 +1,196 @@
+package train
+
+import (
+	"testing"
+
+	"ccperf/internal/dataset"
+	"ccperf/internal/nn"
+	"ccperf/internal/prune"
+)
+
+func smallData(t *testing.T) (*dataset.Dataset, *dataset.Dataset) {
+	t.Helper()
+	ds, err := dataset.Synthetic(dataset.Config{
+		Classes: 8, PerClass: 60,
+		Shape: nn.Shape{C: 1, H: 16, W: 16},
+		Noise: 1.0, Shift: 2, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.Split(0.75)
+}
+
+func trained(t *testing.T) (*SmallCNN, *dataset.Dataset) {
+	t.Helper()
+	tr, val := smallData(t)
+	m, err := New(Config{Input: nn.Shape{C: 1, H: 16, W: 16}, Conv1: 8, Conv2: 16, Classes: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Train(tr, DefaultOpts()); err != nil {
+		t.Fatal(err)
+	}
+	return m, val
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{Input: nn.Shape{C: 1, H: 4, W: 4}, Conv1: 4, Conv2: 4, Classes: 4},
+		{Input: nn.Shape{C: 1, H: 16, W: 16}, Conv1: 0, Conv2: 4, Classes: 4},
+		{Input: nn.Shape{C: 1, H: 16, W: 16}, Conv1: 4, Conv2: 4, Classes: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: expected config error", i)
+		}
+	}
+}
+
+func TestTrainingLearns(t *testing.T) {
+	m, val := trained(t)
+	top1, top3, err := m.Evaluate(val, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chance is 12.5% top-1; a trained model must do far better.
+	if top1 < 0.5 {
+		t.Fatalf("top1 = %v, want ≥ 0.5 (chance 0.125)", top1)
+	}
+	if top3 < top1 {
+		t.Fatalf("top3 (%v) < top1 (%v)", top3, top1)
+	}
+}
+
+func TestTrainingLossDecreases(t *testing.T) {
+	tr, _ := smallData(t)
+	m, err := New(Config{Input: nn.Shape{C: 1, H: 16, W: 16}, Conv1: 8, Conv2: 16, Classes: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOpts()
+	opts.Epochs = 1
+	first, err := m.Train(tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	later, err := m.Train(tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if later >= first {
+		t.Fatalf("loss did not decrease: %v → %v", first, later)
+	}
+}
+
+func TestPruningSweetSpotEmerges(t *testing.T) {
+	// The paper's core premise, validated empirically: mild L1-filter
+	// pruning of a real trained network costs little accuracy; deep
+	// pruning destroys it.
+	m, val := trained(t)
+	base, _, err := m.Evaluate(val, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mild := m.Clone()
+	if err := mild.PruneConv(2, 0.25, prune.L1Filter); err != nil {
+		t.Fatal(err)
+	}
+	mildAcc, _, _ := mild.Evaluate(val, 3)
+
+	deep := m.Clone()
+	if err := deep.PruneConv(2, 0.9, prune.L1Filter); err != nil {
+		t.Fatal(err)
+	}
+	deepAcc, _, _ := deep.Evaluate(val, 3)
+
+	if base-mildAcc > 0.15 {
+		t.Errorf("mild pruning cost %.2f accuracy (base %.2f → %.2f), sweet-spot missing", base-mildAcc, base, mildAcc)
+	}
+	if deepAcc >= mildAcc {
+		t.Errorf("deep pruning (%.2f) must hurt more than mild (%.2f)", deepAcc, mildAcc)
+	}
+}
+
+func TestPruneSparsity(t *testing.T) {
+	m, _ := trained(t)
+	if err := m.PruneConv(1, 0.5, prune.L1Filter); err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Sparsity(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0.45 || s > 0.55 {
+		t.Fatalf("sparsity = %v, want ~0.5", s)
+	}
+	if _, err := m.ConvWeights(3); err == nil {
+		t.Fatal("expected error for conv layer 3")
+	}
+	if err := m.PruneConv(9, 0.5, prune.L1Filter); err == nil {
+		t.Fatal("expected error for bad layer")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m, val := trained(t)
+	c := m.Clone()
+	if err := c.PruneConv(1, 0.9, prune.L1Filter); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := m.Sparsity(1)
+	if s > 0.05 {
+		t.Fatalf("pruning a clone changed the original (sparsity %v)", s)
+	}
+	a1, _, _ := m.Evaluate(val, 3)
+	a2, _, _ := c.Evaluate(val, 3)
+	if a1 == a2 {
+		t.Log("warning: clone accuracy unchanged after 90% prune (possible but unlikely)")
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	m, val := trained(t)
+	if _, _, err := m.Evaluate(val, 0); err == nil {
+		t.Fatal("expected error for k=0")
+	}
+	if _, _, err := m.Evaluate(val, 99); err == nil {
+		t.Fatal("expected error for k > classes")
+	}
+	empty := &dataset.Dataset{Classes: 8, Shape: val.Shape}
+	if _, _, err := m.Evaluate(empty, 3); err == nil {
+		t.Fatal("expected error for empty dataset")
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	tr, _ := smallData(t)
+	m, _ := New(Config{Input: nn.Shape{C: 1, H: 16, W: 16}, Conv1: 4, Conv2: 4, Classes: 8, Seed: 1})
+	if _, err := m.Train(tr, Opts{Epochs: 0}); err == nil {
+		t.Fatal("expected error for 0 epochs")
+	}
+	wrong := &dataset.Dataset{Classes: 3, Shape: tr.Shape}
+	if _, err := m.Train(wrong, DefaultOpts()); err == nil {
+		t.Fatal("expected error for class mismatch")
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	tr, val := smallData(t)
+	mk := func() float64 {
+		m, err := New(Config{Input: nn.Shape{C: 1, H: 16, W: 16}, Conv1: 8, Conv2: 16, Classes: 8, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := DefaultOpts()
+		opts.Epochs = 2
+		if _, err := m.Train(tr, opts); err != nil {
+			t.Fatal(err)
+		}
+		a, _, _ := m.Evaluate(val, 3)
+		return a
+	}
+	if mk() != mk() {
+		t.Fatal("training must be deterministic for fixed seeds")
+	}
+}

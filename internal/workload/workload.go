@@ -1,0 +1,155 @@
+// Package workload generates deterministic request-arrival traces for the
+// paper's motivating scenario (Section 1): an Internet service feeding a
+// CNN inference pipeline. The paper sizes its experiments with fixed image
+// counts; this package supplies the time dimension — diurnal, bursty and
+// uniform arrival patterns — so examples can plan window by window.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Pattern selects an arrival shape.
+type Pattern int
+
+// Arrival patterns.
+const (
+	// Uniform spreads the daily volume evenly.
+	Uniform Pattern = iota
+	// Diurnal follows a day/night sinusoid with an evening peak, the
+	// shape of consumer photo-upload traffic.
+	Diurnal
+	// Bursty is diurnal plus random spikes (viral events).
+	Bursty
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case Uniform:
+		return "uniform"
+	case Diurnal:
+		return "diurnal"
+	case Bursty:
+		return "bursty"
+	default:
+		return fmt.Sprintf("pattern(%d)", int(p))
+	}
+}
+
+// Trace is a sequence of per-window request counts.
+type Trace struct {
+	Pattern Pattern
+	Windows []int64
+}
+
+// Total returns the trace's request sum.
+func (t *Trace) Total() int64 {
+	var s int64
+	for _, w := range t.Windows {
+		s += w
+	}
+	return s
+}
+
+// Peak returns the largest window.
+func (t *Trace) Peak() int64 {
+	var m int64
+	for _, w := range t.Windows {
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// Config parameterizes trace generation.
+type Config struct {
+	Pattern Pattern
+	// DailyTotal is the target number of requests per day.
+	DailyTotal int64
+	// Windows is the number of windows per day (e.g. 24 for hourly).
+	Windows int
+	// BurstProb is the per-window probability of a spike (Bursty only).
+	BurstProb float64
+	// BurstScale multiplies a window during a spike (Bursty only).
+	BurstScale float64
+	Seed       int64
+}
+
+// Generate builds one day's trace. The realized total matches DailyTotal
+// exactly for Uniform and Diurnal; bursts add volume on top.
+func Generate(cfg Config) (*Trace, error) {
+	if cfg.DailyTotal <= 0 {
+		return nil, fmt.Errorf("workload: non-positive daily total %d", cfg.DailyTotal)
+	}
+	if cfg.Windows < 1 {
+		return nil, fmt.Errorf("workload: need ≥1 window, got %d", cfg.Windows)
+	}
+	tr := &Trace{Pattern: cfg.Pattern, Windows: make([]int64, cfg.Windows)}
+	switch cfg.Pattern {
+	case Uniform:
+		fillProportional(tr.Windows, flatWeights(cfg.Windows), cfg.DailyTotal)
+	case Diurnal:
+		fillProportional(tr.Windows, diurnalWeights(cfg.Windows), cfg.DailyTotal)
+	case Bursty:
+		fillProportional(tr.Windows, diurnalWeights(cfg.Windows), cfg.DailyTotal)
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		prob := cfg.BurstProb
+		if prob <= 0 {
+			prob = 0.08
+		}
+		scale := cfg.BurstScale
+		if scale <= 1 {
+			scale = 3
+		}
+		for i := range tr.Windows {
+			if rng.Float64() < prob {
+				tr.Windows[i] = int64(float64(tr.Windows[i]) * scale)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("workload: unknown pattern %v", cfg.Pattern)
+	}
+	return tr, nil
+}
+
+func flatWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// diurnalWeights peaks around 3/4 of the day (early evening) and bottoms
+// out before dawn, with a 4:1 peak-to-trough ratio.
+func diurnalWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		phase := 2 * math.Pi * (float64(i)/float64(n) - 0.75)
+		w[i] = 1 + 0.6*math.Cos(phase)
+	}
+	return w
+}
+
+// fillProportional distributes total across windows ∝ weights, assigning
+// remainders to the largest windows so the sum is exact.
+func fillProportional(dst []int64, weights []float64, total int64) {
+	var wsum float64
+	for _, w := range weights {
+		wsum += w
+	}
+	var assigned int64
+	maxIdx := 0
+	for i, w := range weights {
+		dst[i] = int64(float64(total) * w / wsum)
+		assigned += dst[i]
+		if w > weights[maxIdx] {
+			maxIdx = i
+		}
+	}
+	dst[maxIdx] += total - assigned
+}

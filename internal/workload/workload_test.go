@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{DailyTotal: 0, Windows: 24}); err == nil {
+		t.Fatal("expected error for zero total")
+	}
+	if _, err := Generate(Config{DailyTotal: 100, Windows: 0}); err == nil {
+		t.Fatal("expected error for zero windows")
+	}
+	if _, err := Generate(Config{DailyTotal: 100, Windows: 4, Pattern: Pattern(99)}); err == nil {
+		t.Fatal("expected error for unknown pattern")
+	}
+}
+
+func TestUniformExactTotal(t *testing.T) {
+	tr, err := Generate(Config{Pattern: Uniform, DailyTotal: 1001, Windows: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Total() != 1001 {
+		t.Fatalf("total = %d", tr.Total())
+	}
+	// Uniform: windows differ by at most the remainder.
+	min, max := tr.Windows[0], tr.Windows[0]
+	for _, w := range tr.Windows {
+		if w < min {
+			min = w
+		}
+		if w > max {
+			max = w
+		}
+	}
+	if max-min > 17 { // remainder lands on one window
+		t.Fatalf("uniform spread %d..%d", min, max)
+	}
+}
+
+func TestDiurnalShape(t *testing.T) {
+	tr, err := Generate(Config{Pattern: Diurnal, DailyTotal: 240_000, Windows: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Total() != 240_000 {
+		t.Fatalf("total = %d", tr.Total())
+	}
+	// Peak in the evening hours (window 18 ± 3), trough before dawn.
+	peakIdx, troughIdx := 0, 0
+	for i, w := range tr.Windows {
+		if w > tr.Windows[peakIdx] {
+			peakIdx = i
+		}
+		if w < tr.Windows[troughIdx] {
+			troughIdx = i
+		}
+	}
+	if peakIdx < 15 || peakIdx > 21 {
+		t.Errorf("peak at window %d, want evening", peakIdx)
+	}
+	if troughIdx > 12 {
+		t.Errorf("trough at window %d, want pre-dawn", troughIdx)
+	}
+	ratio := float64(tr.Peak()) / float64(tr.Windows[troughIdx])
+	if ratio < 2 || ratio > 6 {
+		t.Errorf("peak/trough = %v, want ~4", ratio)
+	}
+}
+
+func TestBurstyAddsSpikes(t *testing.T) {
+	base, _ := Generate(Config{Pattern: Diurnal, DailyTotal: 240_000, Windows: 24})
+	burst, err := Generate(Config{Pattern: Bursty, DailyTotal: 240_000, Windows: 24, Seed: 5, BurstProb: 0.3, BurstScale: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if burst.Total() <= base.Total() {
+		t.Fatalf("bursty total %d not above diurnal %d", burst.Total(), base.Total())
+	}
+	// Deterministic per seed.
+	again, _ := Generate(Config{Pattern: Bursty, DailyTotal: 240_000, Windows: 24, Seed: 5, BurstProb: 0.3, BurstScale: 4})
+	for i := range burst.Windows {
+		if burst.Windows[i] != again.Windows[i] {
+			t.Fatal("bursty trace not deterministic")
+		}
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	for p, want := range map[Pattern]string{Uniform: "uniform", Diurnal: "diurnal", Bursty: "bursty"} {
+		if p.String() != want {
+			t.Fatalf("%v", p)
+		}
+	}
+	if Pattern(7).String() == "" {
+		t.Fatal("unknown pattern string")
+	}
+}
+
+// Property: Uniform and Diurnal realize the daily total exactly for any
+// window count and total.
+func TestExactTotalProperty(t *testing.T) {
+	f := func(totRaw uint32, winRaw uint8) bool {
+		total := int64(totRaw%1_000_000) + 1
+		windows := int(winRaw%96) + 1
+		for _, p := range []Pattern{Uniform, Diurnal} {
+			tr, err := Generate(Config{Pattern: p, DailyTotal: total, Windows: windows})
+			if err != nil || tr.Total() != total {
+				return false
+			}
+			for _, w := range tr.Windows {
+				if w < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,28 @@
+package ccperf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON serializes the experiment result (ID, title, findings and the
+// rendered text) as indented JSON, for downstream tooling that wants the
+// paper-vs-measured comparisons machine-readable.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("ccperf: encode result %s: %w", r.ID, err)
+	}
+	return nil
+}
+
+// ResultFromJSON decodes a result written by WriteJSON.
+func ResultFromJSON(r io.Reader) (*Result, error) {
+	var out Result
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("ccperf: decode result: %w", err)
+	}
+	return &out, nil
+}

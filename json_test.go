@@ -1,0 +1,34 @@
+package ccperf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	r := runExp(t, "table3")
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"ID\": \"table3\"") {
+		t.Fatalf("json = %s", buf.String())
+	}
+	back, err := ResultFromJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != r.ID || back.Title != r.Title || back.Text != r.Text {
+		t.Fatal("round trip lost fields")
+	}
+	if len(back.Findings) != len(r.Findings) {
+		t.Fatal("round trip lost findings")
+	}
+}
+
+func TestResultFromJSONGarbage(t *testing.T) {
+	if _, err := ResultFromJSON(strings.NewReader("{broken")); err == nil {
+		t.Fatal("expected error for broken JSON")
+	}
+}
