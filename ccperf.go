@@ -135,6 +135,10 @@ type Request struct {
 	// instance's throughput instead of the paper's even split
 	// (Equation 4) — see internal/cloud.Distribution.
 	CapacityWeighted bool
+	// Workers bounds the enumeration worker pool used by Frontiers
+	// (default: runtime.NumCPU()). Telemetry reports pool utilization at
+	// the chosen size under explore.worker_utilization.
+	Workers int
 }
 
 func (r *Request) defaults() {
@@ -207,7 +211,7 @@ func (p *Planner) space(r *Request) (*explore.Space, explore.Input, error) {
 	if r.CapacityWeighted {
 		dist = cloud.CapacityWeighted
 	}
-	sp := &explore.Space{Harness: p.sys.harness, Degrees: degrees, Pool: pool, W: r.Images, Dist: dist}
+	sp := &explore.Space{Harness: p.sys.harness, Degrees: degrees, Pool: pool, W: r.Images, Dist: dist, Workers: r.Workers}
 	in := explore.Input{
 		Degrees: degrees, Pool: pool, W: r.Images,
 		Deadline: deadline, Budget: budget, Metric: metric, Dist: dist,

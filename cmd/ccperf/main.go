@@ -8,11 +8,14 @@
 //	ccperf tables                                  # Tables 1 and 3
 //	ccperf compress                                # quantization & weight sharing
 //	ccperf empirical                               # trained-and-pruned accuracy
+//	ccperf serve -addr :8080                       # live telemetry endpoint
+//	ccperf benchjson < bench.txt                   # bench output → telemetry JSON
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,6 +30,7 @@ import (
 	"ccperf/internal/nn"
 	"ccperf/internal/prune"
 	"ccperf/internal/report"
+	"ccperf/internal/telemetry"
 	"ccperf/internal/train"
 	"ccperf/internal/workload"
 )
@@ -59,6 +63,10 @@ func main() {
 		err = simulateCmd(args)
 	case "spec":
 		err = specCmd(args)
+	case "serve":
+		err = serveCmd(args)
+	case "benchjson":
+		err = benchjsonCmd(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -85,7 +93,61 @@ commands:
   compress      quantization / weight-sharing memory-accuracy table
   empirical     prune a really trained CNN and report measured accuracy
   simulate      discrete-event day simulation of a fleet serving a trace
-  spec          build a custom CNN from a spec file, cost it, sweep pruning`)
+  spec          build a custom CNN from a spec file, cost it, sweep pruning
+  serve         HTTP telemetry endpoint: /metrics, /trace, /debug/pprof/
+  benchjson     convert 'go test -bench' output to telemetry snapshot JSON
+
+telemetry flags (pareto, allocate, simulate):
+  -metrics-out <file>   write the run's metrics snapshot as JSON
+  -trace-out <file>     write the run's spans as JSON (.chrome.json for
+                        the Chrome trace_event format)
+  -workers <n>          exploration worker-pool size (pareto/allocate;
+                        default: number of CPUs)
+
+see docs/TELEMETRY.md for metric names and endpoint routes`)
+}
+
+// telemetryFlags registers the artifact flags shared by the run commands.
+func telemetryFlags(fs *flag.FlagSet) (metricsOut, traceOut *string) {
+	metricsOut = fs.String("metrics-out", "", "write telemetry metrics snapshot JSON to this file")
+	traceOut = fs.String("trace-out", "", "write telemetry span dump JSON to this file (Chrome format if it ends in .chrome.json)")
+	return metricsOut, traceOut
+}
+
+// writeTelemetry dumps the process-wide registry and tracer to the
+// requested artifact files, creating parent directories.
+func writeTelemetry(metricsOut, traceOut string) error {
+	write := func(path string, emit func(io.Writer) error) error {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if metricsOut != "" {
+		if err := write(metricsOut, telemetry.Default.WriteJSON); err != nil {
+			return fmt.Errorf("metrics-out: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: metrics snapshot → %s\n", metricsOut)
+	}
+	if traceOut != "" {
+		emit := telemetry.DefaultTracer.WriteJSON
+		if strings.HasSuffix(traceOut, ".chrome.json") {
+			emit = telemetry.DefaultTracer.WriteChromeTrace
+		}
+		if err := write(traceOut, emit); err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: span dump → %s\n", traceOut)
+	}
+	return nil
 }
 
 func modelFlag(fs *flag.FlagSet) *string {
@@ -180,13 +242,15 @@ func paretoCmd(args []string) error {
 	fs := flag.NewFlagSet("pareto", flag.ExitOnError)
 	model := modelFlag(fs)
 	images, deadline, budget, variants, top5 := requestFlags(fs)
+	workers := fs.Int("workers", 0, "exploration worker-pool size (0 = number of CPUs)")
+	metricsOut, traceOut := telemetryFlags(fs)
 	fs.Parse(args)
 
 	p, err := ccperf.NewPlanner(*model)
 	if err != nil {
 		return err
 	}
-	req := ccperf.Request{Images: *images, DeadlineHours: *deadline, BudgetUSD: *budget, Variants: *variants, UseTop5: *top5}
+	req := ccperf.Request{Images: *images, DeadlineHours: *deadline, BudgetUSD: *budget, Variants: *variants, UseTop5: *top5, Workers: *workers}
 	if err := req.Validate(); err != nil {
 		return err
 	}
@@ -205,7 +269,7 @@ func paretoCmd(args []string) error {
 		}
 		fmt.Println(tb.String())
 	}
-	return nil
+	return writeTelemetry(*metricsOut, *traceOut)
 }
 
 func allocate(args []string) error {
@@ -213,13 +277,15 @@ func allocate(args []string) error {
 	model := modelFlag(fs)
 	images, deadline, budget, variants, top5 := requestFlags(fs)
 	exhaustive := fs.Bool("exhaustive", false, "also run the brute-force baseline")
+	workers := fs.Int("workers", 0, "exploration worker-pool size (0 = number of CPUs)")
+	metricsOut, traceOut := telemetryFlags(fs)
 	fs.Parse(args)
 
 	p, err := ccperf.NewPlanner(*model)
 	if err != nil {
 		return err
 	}
-	req := ccperf.Request{Images: *images, DeadlineHours: *deadline, BudgetUSD: *budget, Variants: *variants, UseTop5: *top5}
+	req := ccperf.Request{Images: *images, DeadlineHours: *deadline, BudgetUSD: *budget, Variants: *variants, UseTop5: *top5, Workers: *workers}
 	if err := req.Validate(); err != nil {
 		return err
 	}
@@ -235,7 +301,7 @@ func allocate(args []string) error {
 		}
 		printPlan("Exhaustive baseline", best)
 	}
-	return nil
+	return writeTelemetry(*metricsOut, *traceOut)
 }
 
 func printPlan(name string, pl ccperf.Plan) {
@@ -356,6 +422,7 @@ func simulateCmd(args []string) error {
 	slack := fs.Float64("slack", 0.5, "per-job deadline as a fraction of the window")
 	degreeSpec := fs.String("degree", "", "degree of pruning, e.g. \"conv1@30+conv2@50\" (empty = unpruned)")
 	seed := fs.Int64("seed", 9, "trace seed")
+	metricsOut, traceOut := telemetryFlags(fs)
 	fs.Parse(args)
 
 	var pat workload.Pattern
@@ -403,6 +470,76 @@ func simulateCmd(args []string) error {
 	fmt.Printf("misses  : %d of %d jobs\n", res.Misses, len(res.Jobs))
 	fmt.Printf("util    : %.0f%% average\n", res.AverageUtilization()*100)
 	fmt.Printf("cost    : $%.2f for the 24 h rental\n", res.Cost)
+	return writeTelemetry(*metricsOut, *traceOut)
+}
+
+// serveCmd exposes the live telemetry surface. With -demo it first runs a
+// small joint-space enumeration so the endpoint has data to show.
+func serveCmd(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	model := modelFlag(fs)
+	demo := fs.Bool("demo", false, "run a small pareto enumeration first to populate metrics")
+	fs.Parse(args)
+
+	if *demo {
+		p, err := ccperf.NewPlanner(*model)
+		if err != nil {
+			return err
+		}
+		if _, _, _, err := p.Frontiers(ccperf.Request{Images: ccperf.W1M, DeadlineHours: 0.63}); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "serve: demo enumeration done, metrics populated")
+	}
+	fmt.Fprintf(os.Stderr, "serve: listening on %s (/metrics, /trace, /debug/pprof/, /debug/vars)\n", *addr)
+	return telemetry.Serve(*addr, nil, nil)
+}
+
+// benchjsonCmd converts `go test -bench` output (stdin or -in) into the
+// telemetry snapshot JSON format, so benchmark trajectories across PRs
+// diff with the same tooling as -metrics-out artifacts:
+//
+//	go test -run - -bench . -benchtime 1x | ccperf benchjson -out out/BENCH_pr1.json
+func benchjsonCmd(args []string) error {
+	fs := flag.NewFlagSet("benchjson", flag.ExitOnError)
+	in := fs.String("in", "", "bench output file (default stdin)")
+	out := fs.String("out", "", "output JSON file (default stdout)")
+	fs.Parse(args)
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	results, err := telemetry.ParseBench(r)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("benchjson: no benchmark result lines found")
+	}
+	snap := telemetry.BenchSnapshot(results)
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		if err := os.MkdirAll(filepath.Dir(*out), 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := telemetry.WriteSnapshotJSON(w, snap); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks\n", len(results))
 	return nil
 }
 

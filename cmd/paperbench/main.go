@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"ccperf"
+	"ccperf/internal/telemetry"
 )
 
 func main() {
@@ -22,6 +23,8 @@ func main() {
 	out := flag.String("out", "", "directory to write per-experiment text files")
 	jsonOut := flag.Bool("json", false, "also write machine-readable .json files (requires -out)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	metricsOut := flag.String("metrics-out", "", "write the regeneration's telemetry metrics snapshot JSON to this file")
+	traceOut := flag.String("trace-out", "", "write the regeneration's telemetry span dump JSON to this file")
 	flag.Parse()
 
 	if *list {
@@ -67,9 +70,42 @@ func main() {
 			}
 		}
 	}
+	if err := writeTelemetry(*metricsOut, *traceOut); err != nil {
+		fatal(err)
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeTelemetry dumps the process-wide registry/tracer the experiments
+// recorded into while regenerating.
+func writeTelemetry(metricsOut, traceOut string) error {
+	write := func(path string, emit func(f *os.File) error) error {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if metricsOut != "" {
+		if err := write(metricsOut, func(f *os.File) error { return telemetry.Default.WriteJSON(f) }); err != nil {
+			return err
+		}
+	}
+	if traceOut != "" {
+		if err := write(traceOut, func(f *os.File) error { return telemetry.DefaultTracer.WriteJSON(f) }); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func render(res *ccperf.Result, d time.Duration) string {

@@ -1,10 +1,12 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"ccperf/internal/cloud"
+	"ccperf/internal/telemetry"
 )
 
 // Predictor selects how the autoscaler estimates a window's load.
@@ -82,7 +84,22 @@ func RunAutoscaled(cfg AutoscaleConfig, windows []int64, chunk int64, slack floa
 		return nil, fmt.Errorf("cluster: no windows")
 	}
 
-	// Fleet sizing per window.
+	_, finishRun := telemetry.StartSpan(context.Background(), "cluster.autoscale")
+	defer finishRun(
+		telemetry.L("predictor", cfg.Predictor.String()),
+		telemetry.L("windows", len(windows)),
+	)
+	reg := telemetry.Default
+	scaleUps := reg.Counter("autoscale.scale_up_events")
+	scaleDowns := reg.Counter("autoscale.scale_down_events")
+	added := reg.Counter("autoscale.instances_added")
+	removed := reg.Counter("autoscale.instances_removed")
+	loadError := reg.Histogram("autoscale.load_error_pct", loadErrorBuckets)
+
+	// Fleet sizing per window. Each decision is published: scale events
+	// with the instance delta, and the predictor's per-window load error
+	// as |predicted−actual|/actual percent (actual 0 with a non-zero
+	// prediction counts as 100% error).
 	active := make([]int, len(windows))
 	for w := range windows {
 		load := windows[w]
@@ -93,6 +110,15 @@ func RunAutoscaled(cfg AutoscaleConfig, windows []int64, chunk int64, slack floa
 				load = windows[w-1]
 			}
 		}
+		actual := windows[w]
+		switch {
+		case actual > 0:
+			loadError.Observe(math.Abs(float64(load-actual)) / float64(actual) * 100)
+		case load > 0:
+			loadError.Observe(100)
+		default:
+			loadError.Observe(0)
+		}
 		needRate := float64(load) / cfg.WindowSeconds
 		n := int(math.Ceil(needRate / (cfg.Instance.Rate() * cfg.TargetUtil)))
 		if n < cfg.Min {
@@ -102,7 +128,26 @@ func RunAutoscaled(cfg AutoscaleConfig, windows []int64, chunk int64, slack floa
 			n = cfg.Max
 		}
 		active[w] = n
+		prev := cfg.Min
+		if w > 0 {
+			prev = active[w-1]
+		}
+		switch {
+		case n > prev:
+			scaleUps.Inc()
+			added.Add(int64(n - prev))
+		case n < prev:
+			scaleDowns.Inc()
+			removed.Add(int64(prev - n))
+		}
 	}
+	peak := 0
+	for _, n := range active {
+		if n > peak {
+			peak = n
+		}
+	}
+	reg.Gauge("autoscale.peak_active").Set(float64(peak))
 
 	jobs := JobsFromWindows(windows, cfg.WindowSeconds, chunk, slack)
 	res := &AutoscaleResult{Active: active}
@@ -185,8 +230,13 @@ func RunAutoscaled(cfg AutoscaleConfig, windows []int64, chunk int64, slack floa
 	}
 	res.P50Wait, res.P95Wait, res.MaxWait = percentiles(waits)
 	res.P50Response, res.P95Response, res.MaxResponse = percentiles(resps)
+	recordRun(&res.Result, "cluster.autoscale.dispatch")
 	return res, nil
 }
+
+// loadErrorBuckets covers predictor load error of 0–200% in 5% steps;
+// burst onsets under the Reactive predictor land in the high tail.
+var loadErrorBuckets = telemetry.LinearBuckets(0, 5, 41)
 
 // SpecFor captures an instance type's service rates from a cloud.Perf into
 // an InstanceSpec for the autoscaler.

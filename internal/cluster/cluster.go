@@ -14,11 +14,13 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"ccperf/internal/cloud"
+	"ccperf/internal/telemetry"
 )
 
 // Job is one unit of arriving work.
@@ -157,7 +159,29 @@ func Run(cfg Config, jobs []Job) (*Result, error) {
 	}
 	res.P50Wait, res.P95Wait, res.MaxWait = percentiles(waits)
 	res.P50Response, res.P95Response, res.MaxResponse = percentiles(resps)
+	recordRun(res, "cluster.run")
 	return res, nil
+}
+
+// recordRun publishes a simulation's outcome: per-job wait/response
+// distributions in simulated seconds, job and deadline-miss counts, and
+// one span carrying the headline stats.
+func recordRun(res *Result, spanName string) {
+	reg := telemetry.Default
+	reg.Counter("cluster.jobs_dispatched").Add(int64(len(res.Jobs)))
+	reg.Counter("cluster.deadline_misses").Add(int64(res.Misses))
+	wait := reg.Histogram("cluster.job_wait_seconds", nil)
+	resp := reg.Histogram("cluster.job_response_seconds", nil)
+	for _, s := range res.Jobs {
+		wait.Observe(s.Wait())
+		resp.Observe(s.Response())
+	}
+	_, finish := telemetry.StartSpan(context.Background(), spanName)
+	finish(
+		telemetry.L("jobs", len(res.Jobs)),
+		telemetry.L("misses", res.Misses),
+		telemetry.L("utilization", res.AverageUtilization()),
+	)
 }
 
 // percentiles returns (p50, p95, max) of xs.

@@ -8,11 +8,13 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"ccperf/internal/accuracy"
 	"ccperf/internal/cloud"
@@ -20,6 +22,7 @@ import (
 	"ccperf/internal/metrics"
 	"ccperf/internal/pareto"
 	"ccperf/internal/prune"
+	"ccperf/internal/telemetry"
 )
 
 // Candidate is one point of the joint space: a degree of pruning hosted on
@@ -45,6 +48,25 @@ type Space struct {
 	// Dist selects the workload distribution; the zero value is the
 	// paper's Equation 4 even split.
 	Dist cloud.Distribution
+	// Workers bounds the enumeration worker pool; 0 or negative means
+	// runtime.NumCPU(). The pool never exceeds |P| (one degree is the
+	// unit of work).
+	Workers int
+}
+
+// workers resolves the effective worker-pool size.
+func (s *Space) workers() int {
+	w := s.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > len(s.Degrees) {
+		w = len(s.Degrees)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Enumerate evaluates the analytical model on every (degree, non-empty
@@ -53,21 +75,43 @@ type Space struct {
 // evaluated concurrently (each degree's block of the result is
 // independent); output order is deterministic: degree-major, subsets in
 // mask order.
+//
+// Telemetry: emits one explore.enumerate span with a child explore.worker
+// span per pool worker, counts candidates/degrees, observes per-degree
+// wall time in explore.degree_seconds, and reports aggregate pool
+// utilization (worker busy time over pool wall time) in
+// explore.worker_utilization.
 func (s *Space) Enumerate() ([]Candidate, error) {
+	reg := telemetry.Default
+	ctx, finishEnum := telemetry.StartSpan(context.Background(), "explore.enumerate")
 	configs := cloud.Subsets(s.Pool)
 	out := make([]Candidate, len(configs)*len(s.Degrees))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(s.Degrees) {
-		workers = len(s.Degrees)
-	}
+	workers := s.workers()
+	reg.Gauge("explore.workers").Set(float64(workers))
+	degreeSeconds := reg.Histogram("explore.degree_seconds", nil)
+	candidates := reg.Counter("explore.candidates_enumerated")
+	degreesDone := reg.Counter("explore.degrees_evaluated")
+
 	var wg sync.WaitGroup
 	jobs := make(chan int)
 	errs := make([]error, len(s.Degrees))
+	busyNanos := make([]int64, workers)
+	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			_, finishWorker := telemetry.StartSpan(ctx, "explore.worker")
+			degrees := 0
+			defer func() {
+				finishWorker(
+					telemetry.L("worker", w),
+					telemetry.L("degrees", degrees),
+					telemetry.L("busy_seconds", float64(busyNanos[w])/1e9),
+				)
+			}()
 			for di := range jobs {
+				dstart := time.Now()
 				d := s.Degrees[di]
 				acc, err := s.Harness.Eval.Evaluate(d)
 				if err != nil {
@@ -84,14 +128,33 @@ func (s *Space) Enumerate() ([]Candidate, error) {
 					}
 					out[base+ci] = Candidate{Degree: d, Acc: acc, Config: cfg, Seconds: est.Seconds, Cost: est.Cost}
 				}
+				el := time.Since(dstart)
+				busyNanos[w] += el.Nanoseconds()
+				degrees++
+				degreesDone.Inc()
+				candidates.Add(int64(len(configs)))
+				degreeSeconds.Observe(el.Seconds())
 			}
-		}()
+		}(w)
 	}
 	for di := range s.Degrees {
 		jobs <- di
 	}
 	close(jobs)
 	wg.Wait()
+	wall := time.Since(start).Seconds()
+	if wall > 0 {
+		var busy int64
+		for _, b := range busyNanos {
+			busy += b
+		}
+		reg.Gauge("explore.worker_utilization").Set(float64(busy) / 1e9 / (wall * float64(workers)))
+	}
+	finishEnum(
+		telemetry.L("degrees", len(s.Degrees)),
+		telemetry.L("configs", len(configs)),
+		telemetry.L("workers", workers),
+	)
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -101,11 +164,27 @@ func (s *Space) Enumerate() ([]Candidate, error) {
 }
 
 // Feasible filters candidates by deadline (seconds) and budget (dollars).
-// Use math.Inf(1) to leave a constraint unbounded.
+// Use math.Inf(1) to leave a constraint unbounded. Counters record how the
+// space shrank: explore.feasible, explore.pruned_deadline and
+// explore.pruned_budget (a candidate violating both constraints increments
+// both pruned counters).
 func Feasible(cands []Candidate, deadline, budget float64) []Candidate {
+	reg := telemetry.Default
+	feasible := reg.Counter("explore.feasible")
+	byDeadline := reg.Counter("explore.pruned_deadline")
+	byBudget := reg.Counter("explore.pruned_budget")
 	var out []Candidate
 	for _, c := range cands {
-		if c.Seconds <= deadline && c.Cost <= budget {
+		overDeadline := c.Seconds > deadline
+		overBudget := c.Cost > budget
+		if overDeadline {
+			byDeadline.Inc()
+		}
+		if overBudget {
+			byBudget.Inc()
+		}
+		if !overDeadline && !overBudget {
+			feasible.Inc()
 			out = append(out, c)
 		}
 	}
@@ -197,10 +276,15 @@ type Result struct {
 // and added greedily until the configuration meets both T′ and C′. The
 // first success is returned — by construction the highest-accuracy degree
 // that the greedy order can satisfy.
-func Allocate(h *measure.Harness, in Input) (Result, error) {
+func Allocate(h *measure.Harness, in Input) (res Result, err error) {
 	if len(in.Pool) == 0 {
 		return Result{}, fmt.Errorf("explore: empty resource pool")
 	}
+	_, finish := telemetry.StartSpan(context.Background(), "explore.allocate")
+	defer func() {
+		telemetry.Default.Counter("explore.allocate_ops").Add(int64(res.Ops))
+		finish(telemetry.L("found", res.Found), telemetry.L("ops", res.Ops))
+	}()
 	ranks, ops, err := rankDegrees(h, in)
 	if err != nil {
 		return Result{}, err
@@ -289,10 +373,15 @@ func rankDegrees(h *measure.Harness, in Input) ([]degreeRank, int, error) {
 // non-empty subset of G (|P|·(2^|G|−1) model evaluations) and return the
 // feasible candidate with maximal accuracy, ties broken by minimal cost
 // then minimal time.
-func Exhaustive(h *measure.Harness, in Input) (Result, error) {
+func Exhaustive(h *measure.Harness, in Input) (out Result, err error) {
 	if len(in.Pool) == 0 {
 		return Result{}, fmt.Errorf("explore: empty resource pool")
 	}
+	_, finish := telemetry.StartSpan(context.Background(), "explore.exhaustive")
+	defer func() {
+		telemetry.Default.Counter("explore.exhaustive_ops").Add(int64(out.Ops))
+		finish(telemetry.L("found", out.Found), telemetry.L("ops", out.Ops))
+	}()
 	configs := cloud.Subsets(in.Pool)
 	best := Result{}
 	ops := 0

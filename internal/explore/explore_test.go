@@ -2,12 +2,14 @@ package explore
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
 	"ccperf/internal/cloud"
 	"ccperf/internal/measure"
 	"ccperf/internal/models"
 	"ccperf/internal/prune"
+	"ccperf/internal/telemetry"
 )
 
 func harness(t *testing.T) *measure.Harness {
@@ -294,6 +296,86 @@ func TestEnumerateDeterministicUnderConcurrency(t *testing.T) {
 			a[i].Degree.Label() != b[i].Degree.Label() || a[i].Config.Label() != b[i].Config.Label() {
 			t.Fatalf("enumeration not deterministic at %d", i)
 		}
+	}
+}
+
+// TestWorkersConfigurable pins the worker-pool contract: identical output
+// at every pool size, default runtime.NumCPU() capped by |P|, floor of 1.
+func TestWorkersConfigurable(t *testing.T) {
+	h := harness(t)
+	base := Space{Harness: h, Degrees: someDegrees(), Pool: smallPool(t), W: 100_000}
+	want, err := base.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 16} {
+		sp := base
+		sp.Workers = workers
+		got, err := sp.Enumerate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i].Seconds != want[i].Seconds || got[i].Cost != want[i].Cost ||
+				got[i].Degree.Label() != want[i].Degree.Label() || got[i].Config.Label() != want[i].Config.Label() {
+				t.Fatalf("workers=%d: candidate %d differs", workers, i)
+			}
+		}
+	}
+	if w := base.workers(); w != min(runtime.NumCPU(), len(base.Degrees)) {
+		t.Fatalf("default workers = %d", w)
+	}
+	one := Space{Harness: h, Degrees: someDegrees(), Workers: -5}
+	if one.workers() != 1 {
+		t.Fatalf("negative workers must floor at 1, got %d", one.workers())
+	}
+}
+
+// TestEnumerateTelemetry checks the instrumentation contract the CLI
+// artifacts rely on: one explore.worker span per pool worker and candidate
+// counters matching the enumeration size.
+func TestEnumerateTelemetry(t *testing.T) {
+	telemetry.Reset()
+	defer telemetry.Reset()
+	h := harness(t)
+	sp := Space{Harness: h, Degrees: someDegrees(), Pool: smallPool(t), W: 100_000, Workers: 2}
+	cands, err := sp.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := telemetry.Default.Counter("explore.candidates_enumerated").Value(); got != int64(len(cands)) {
+		t.Fatalf("candidates counter = %d, want %d", got, len(cands))
+	}
+	if got := telemetry.Default.Counter("explore.degrees_evaluated").Value(); got != int64(len(sp.Degrees)) {
+		t.Fatalf("degrees counter = %d, want %d", got, len(sp.Degrees))
+	}
+	if got := telemetry.Default.Gauge("explore.workers").Value(); got != 2 {
+		t.Fatalf("workers gauge = %v, want 2", got)
+	}
+	if h := telemetry.Default.Histogram("explore.degree_seconds", nil); h.Count() != int64(len(sp.Degrees)) {
+		t.Fatalf("degree_seconds count = %d, want %d", h.Count(), len(sp.Degrees))
+	}
+	var workerSpans, enumSpans int
+	for _, s := range telemetry.DefaultTracer.Spans() {
+		switch s.Name {
+		case "explore.worker":
+			workerSpans++
+		case "explore.enumerate":
+			enumSpans++
+		}
+	}
+	if workerSpans != 2 || enumSpans != 1 {
+		t.Fatalf("spans: worker=%d enumerate=%d, want 2/1", workerSpans, enumSpans)
+	}
+
+	// Feasible records how the space shrank.
+	feas := Feasible(cands, math.Inf(1), math.Inf(1))
+	if got := telemetry.Default.Counter("explore.feasible").Value(); got != int64(len(feas)) {
+		t.Fatalf("feasible counter = %d, want %d", got, len(feas))
+	}
+	Feasible(cands, 0, math.Inf(1)) // everything misses the zero deadline
+	if got := telemetry.Default.Counter("explore.pruned_deadline").Value(); got != int64(len(cands)) {
+		t.Fatalf("pruned_deadline = %d, want %d", got, len(cands))
 	}
 }
 

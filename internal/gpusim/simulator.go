@@ -7,6 +7,7 @@ import (
 	"ccperf/internal/cloud"
 	"ccperf/internal/nn"
 	"ccperf/internal/prune"
+	"ccperf/internal/telemetry"
 )
 
 // k80EffGFLOPS is the effective sustained throughput used for models
@@ -91,7 +92,10 @@ func (s *Simulator) BatchTime(m ModelRun, dev *Device, gpus, b int) (float64, er
 	}
 	perGPU := float64(b) / float64(gpus)
 	u := dev.Utilization(int(math.Ceil(perGPU)))
-	return overhead/dev.SpeedFactor + perGPU*perImage/(u*dev.SpeedFactor), nil
+	t := overhead/dev.SpeedFactor + perGPU*perImage/(u*dev.SpeedFactor)
+	telemetry.Default.Counter("gpusim.batch_time_calls").Inc()
+	telemetry.Default.Histogram("gpusim.batch_seconds", nil).Observe(t)
+	return t, nil
 }
 
 // MaxBatch returns b_i for an instance utilizing the given GPU count.
@@ -204,6 +208,7 @@ func (s *Simulator) LayerTimes(m ModelRun, dev *Device, gpus, b int) ([]LayerTim
 			sec := total * weights[i] / sum
 			out = append(out, LayerTime{Name: l.Name(), Kind: l.Kind(), Seconds: sec, Share: weights[i] / sum})
 		}
+		recordLayerTimes(out)
 		return out, nil
 	}
 
@@ -219,7 +224,20 @@ func (s *Simulator) LayerTimes(m ModelRun, dev *Device, gpus, b int) ([]LayerTim
 		w := float64(lc.Cost.EffectiveFLOPs) / sum
 		out = append(out, LayerTime{Name: lc.Layer.Name(), Kind: lc.Layer.Kind(), Seconds: total * w, Share: w})
 	}
+	recordLayerTimes(out)
 	return out, nil
+}
+
+// recordLayerTimes publishes a layer split into the telemetry registry:
+// one simulated-seconds histogram per layer kind ("gpusim.layer_seconds.conv",
+// ".fc", …) so a characterization run exposes the Figure 3 shape at
+// /metrics without re-deriving it.
+func recordLayerTimes(lts []LayerTime) {
+	reg := telemetry.Default
+	reg.Counter("gpusim.layer_times_calls").Inc()
+	for _, lt := range lts {
+		reg.Histogram("gpusim.layer_seconds."+lt.Kind, nil).Observe(lt.Seconds)
+	}
 }
 
 // InstancePerf adapts the simulator to cloud.Perf for a fixed model run,

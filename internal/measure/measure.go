@@ -15,6 +15,7 @@ import (
 	"ccperf/internal/metrics"
 	"ccperf/internal/nn"
 	"ccperf/internal/prune"
+	"ccperf/internal/telemetry"
 )
 
 // DefaultReps is the paper's repetition count (run three times, keep the
@@ -50,14 +51,18 @@ func (h *Harness) run(d prune.Degree) gpusim.ModelRun {
 }
 
 // BatchSeconds measures the time of one batch of b images on gpus GPUs of
-// the instance, as the minimum over repetitions (Section 3.3).
+// the instance, as the minimum over repetitions (Section 3.3). Telemetry
+// records the repetition count (measure.reps_total), the kept minimum
+// (measure.batch_seconds) and the rep-to-rep jitter spread the minimum
+// cancelled, as (max−min)/min percent (measure.jitter_spread_pct).
 func (h *Harness) BatchSeconds(d prune.Degree, inst *cloud.Instance, gpus, b int) (float64, error) {
 	dev, err := h.Sim.Device(inst.GPU)
 	if err != nil {
 		return 0, err
 	}
-	best := math.Inf(1)
-	for rep := 1; rep <= h.reps(); rep++ {
+	best, worst := math.Inf(1), math.Inf(-1)
+	reps := h.reps()
+	for rep := 1; rep <= reps; rep++ {
 		t, err := h.Sim.JitteredBatchTime(h.run(d), dev, gpus, b, rep)
 		if err != nil {
 			return 0, err
@@ -65,9 +70,22 @@ func (h *Harness) BatchSeconds(d prune.Degree, inst *cloud.Instance, gpus, b int
 		if t < best {
 			best = t
 		}
+		if t > worst {
+			worst = t
+		}
+	}
+	reg := telemetry.Default
+	reg.Counter("measure.reps_total").Add(int64(reps))
+	reg.Histogram("measure.batch_seconds", nil).Observe(best)
+	if reps > 1 && best > 0 {
+		reg.Histogram("measure.jitter_spread_pct", jitterBuckets).Observe((worst - best) / best * 100)
 	}
 	return best, nil
 }
+
+// jitterBuckets covers jitter spreads of 0–20% in 0.5% steps — the
+// simulator's virtualization noise sits well inside this range.
+var jitterBuckets = telemetry.LinearBuckets(0, 0.5, 41)
 
 // TotalSeconds measures the time to infer w images on one instance using
 // gpus GPUs (0 ⇒ all), at saturated batch size.

@@ -10,18 +10,23 @@ import (
 )
 
 // TAR returns t/a: the time (seconds) to achieve one unit of accuracy,
-// for accuracy a ∈ (0,1]. A zero or negative accuracy yields +Inf, making
-// useless configurations sort last.
+// for accuracy a ∈ (0,1]. Any input outside the measurable domain — zero,
+// negative or NaN accuracy, negative or NaN time — yields +Inf, so useless
+// configurations sort last. The NaN check must be explicit: `NaN <= 0` is
+// false, so a bare `a <= 0` guard would let NaN flow through the division
+// and break every sort comparing against the result.
 func TAR(tSeconds, a float64) float64 {
-	if a <= 0 {
+	if math.IsNaN(a) || a <= 0 || math.IsNaN(tSeconds) || tSeconds < 0 {
 		return math.Inf(1)
 	}
 	return tSeconds / a
 }
 
 // CAR returns c/a: the cost (dollars) to achieve one unit of accuracy.
+// Degenerate inputs (NaN or non-positive accuracy, NaN or negative cost)
+// yield +Inf, same as TAR.
 func CAR(cost, a float64) float64 {
-	if a <= 0 {
+	if math.IsNaN(a) || a <= 0 || math.IsNaN(cost) || cost < 0 {
 		return math.Inf(1)
 	}
 	return cost / a

@@ -28,6 +28,56 @@ func TestCAR(t *testing.T) {
 	}
 }
 
+// TestDegenerateInputs pins the "useless configurations sort last"
+// contract over the whole degenerate domain. `NaN <= 0` is false, so
+// before the explicit NaN guard a NaN accuracy produced a NaN ratio —
+// which compares false with everything and silently corrupts the sorts in
+// internal/explore.
+func TestDegenerateInputs(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name       string
+		numer, acc float64
+		wantInf    bool
+	}{
+		{"valid", 100, 0.5, false},
+		{"zero numerator", 0, 0.5, false},
+		{"zero accuracy", 100, 0, true},
+		{"negative accuracy", 100, -0.1, true},
+		{"NaN accuracy", 100, nan, true},
+		{"NaN numerator", nan, 0.5, true},
+		{"negative numerator", -1, 0.5, true},
+		{"both NaN", nan, nan, true},
+		{"accuracy above one still divides", 50, 2, false}, // out of domain but well-defined
+	}
+	for _, tc := range cases {
+		for fname, f := range map[string]func(float64, float64) float64{"TAR": TAR, "CAR": CAR} {
+			got := f(tc.numer, tc.acc)
+			if math.IsNaN(got) {
+				t.Fatalf("%s/%s: got NaN — degenerate inputs must map to +Inf", fname, tc.name)
+			}
+			if gotInf := math.IsInf(got, 1); gotInf != tc.wantInf {
+				t.Fatalf("%s/%s: IsInf=%v, want %v (got %v)", fname, tc.name, gotInf, tc.wantInf, got)
+			}
+			if !tc.wantInf && got != tc.numer/tc.acc {
+				t.Fatalf("%s/%s: got %v, want %v", fname, tc.name, got, tc.numer/tc.acc)
+			}
+		}
+	}
+}
+
+// TestDegenerateSortsLast is the contract the guard exists for: any
+// degenerate record must order strictly after any real one under an
+// ascending TAR sort.
+func TestDegenerateSortsLast(t *testing.T) {
+	good := TAR(1e9, 0.01) // terrible but real
+	for _, bad := range []float64{TAR(10, math.NaN()), TAR(math.NaN(), 0.5), TAR(10, 0)} {
+		if !(good < bad) {
+			t.Fatalf("real TAR %v must sort before degenerate %v", good, bad)
+		}
+	}
+}
+
 func TestLowerIsBetterOrdering(t *testing.T) {
 	// Same time, higher accuracy → lower (better) TAR.
 	if TAR(100, 0.8) >= TAR(100, 0.4) {

@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one parsed `go test -bench` result line.
+type BenchResult struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped,
+	// e.g. "BenchmarkSpaceEnumeration" or "BenchmarkAlgorithm1VsExhaustive/greedy".
+	Name string
+	// Iterations is b.N for the reported run.
+	Iterations int64
+	// Values maps unit → value, e.g. "ns/op" → 123456, "model-evals" → 42.
+	Values map[string]float64
+}
+
+// ParseBench extracts benchmark result lines from `go test -bench` output,
+// tolerating interleaved experiment printouts, goos/pkg headers and PASS
+// trailers. Lines that do not look like results are skipped silently; a
+// line that starts like a result but fails to parse is an error.
+func ParseBench(r io.Reader) ([]BenchResult, error) {
+	var out []BenchResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// A result line is "BenchmarkName-P N value unit [value unit]...".
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue // e.g. the bare "BenchmarkFoo" line printed before a run
+		}
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // not an iteration count ⇒ not a result line
+		}
+		res := BenchResult{
+			Name:       trimProcSuffix(fields[0]),
+			Iterations: n,
+			Values:     make(map[string]float64, (len(fields)-2)/2),
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("telemetry: bad bench value %q in %q: %v", fields[i], line, err)
+			}
+			res.Values[fields[i+1]] = v
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// trimProcSuffix drops the trailing -GOMAXPROCS from a benchmark name,
+// keeping sub-benchmark paths intact ("BenchmarkX/sub=1-8" → "BenchmarkX/sub=1").
+func trimProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// BenchSnapshot converts parsed benchmark results into the telemetry
+// Snapshot schema: each (benchmark, unit) pair becomes a gauge named
+// "bench.<Name>.<unit>" and each benchmark's iteration count a counter
+// "bench.<Name>.iterations". Writing these with Registry-compatible JSON
+// means perf trajectories across PRs diff with the same tooling as
+// `-metrics-out` artifacts.
+func BenchSnapshot(results []BenchResult) Snapshot {
+	s := Snapshot{
+		UnixNano: now(),
+		Counters: make(map[string]int64),
+		Gauges:   make(map[string]float64),
+	}
+	for _, r := range results {
+		s.Counters["bench."+r.Name+".iterations"] = r.Iterations
+		for unit, v := range r.Values {
+			s.Gauges["bench."+r.Name+"."+sanitizeUnit(unit)] = v
+		}
+	}
+	return s
+}
+
+// sanitizeUnit makes a bench unit safe as a metric-name segment.
+func sanitizeUnit(u string) string {
+	return strings.NewReplacer("/", "_per_", " ", "_").Replace(u)
+}

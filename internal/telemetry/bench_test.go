@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: ccperf
+BenchmarkSpaceEnumeration
+BenchmarkSpaceEnumeration-8   	      10	 123456789 ns/op	 2048 B/op	      12 allocs/op
+BenchmarkAlgorithm1VsExhaustive/greedy-8         	     100	   1234567 ns/op	        86.0 model-evals
+==== fig9 — some experiment printout that must be ignored
+  feasible configurations          paper: 7654    measured: 7654
+BenchmarkAblationBatchSize/batch=300-8           	     500	    234567 ns/op	      3760 sim-seconds-50k
+PASS
+ok  	ccperf	12.345s
+`
+
+func TestParseBench(t *testing.T) {
+	results, err := ParseBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d, want 3: %+v", len(results), results)
+	}
+	r0 := results[0]
+	if r0.Name != "BenchmarkSpaceEnumeration" || r0.Iterations != 10 {
+		t.Fatalf("r0 = %+v", r0)
+	}
+	if r0.Values["ns/op"] != 123456789 || r0.Values["B/op"] != 2048 || r0.Values["allocs/op"] != 12 {
+		t.Fatalf("r0 values = %+v", r0.Values)
+	}
+	r1 := results[1]
+	if r1.Name != "BenchmarkAlgorithm1VsExhaustive/greedy" {
+		t.Fatalf("sub-benchmark name = %q", r1.Name)
+	}
+	if r1.Values["model-evals"] != 86 {
+		t.Fatalf("custom metric = %v", r1.Values["model-evals"])
+	}
+	r2 := results[2]
+	if r2.Name != "BenchmarkAblationBatchSize/batch=300" || r2.Values["sim-seconds-50k"] != 3760 {
+		t.Fatalf("r2 = %+v", r2)
+	}
+}
+
+func TestParseBenchBadValue(t *testing.T) {
+	_, err := ParseBench(strings.NewReader("BenchmarkX-8 10 oops ns/op\n"))
+	if err == nil {
+		t.Fatal("expected error for malformed value")
+	}
+}
+
+func TestBenchSnapshot(t *testing.T) {
+	results, err := ParseBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := BenchSnapshot(results)
+	if s.Counters["bench.BenchmarkSpaceEnumeration.iterations"] != 10 {
+		t.Fatalf("counters = %+v", s.Counters)
+	}
+	if s.Gauges["bench.BenchmarkSpaceEnumeration.ns_per_op"] != 123456789 {
+		t.Fatalf("gauges = %+v", s.Gauges)
+	}
+	if s.Gauges["bench.BenchmarkAlgorithm1VsExhaustive/greedy.model-evals"] != 86 {
+		t.Fatalf("custom gauge missing: %+v", s.Gauges)
+	}
+	if s.UnixNano == 0 {
+		t.Fatal("snapshot must be timestamped")
+	}
+}

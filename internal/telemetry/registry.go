@@ -1,0 +1,442 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metrics. The zero value is not usable; construct
+// with NewRegistry. Lookup is a read-locked map hit; metric updates after
+// lookup are lock-free, so instrumented code should hold on to the metric
+// rather than re-resolve it per event when convenient (re-resolving is
+// still safe and cheap).
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds on first use (later calls may pass nil buckets). Bounds
+// must be strictly increasing; an implicit +Inf overflow bucket is always
+// appended. Nil or empty buckets on first use fall back to DurationBuckets.
+func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.histograms[name]; ok {
+		return h
+	}
+	h = NewHistogram(buckets)
+	r.histograms[name] = h
+	return h
+}
+
+// Reset removes every metric.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = make(map[string]*Counter)
+	r.gauges = make(map[string]*Gauge)
+	r.histograms = make(map[string]*Histogram)
+}
+
+// Snapshot captures the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{UnixNano: now()}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for name, h := range r.histograms {
+			s.Histograms[name] = h.Snapshot()
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteText writes a plain-text rendering, one metric per line, sorted by
+// name — the `/metrics` default, meant for curl and grep.
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	for _, name := range sortedKeys(s.Counters) {
+		if _, err := fmt.Fprintf(w, "counter %s %d\n", name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "gauge %s %g\n", name, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		if _, err := fmt.Fprintf(w, "histogram %s count=%d sum=%g min=%g max=%g mean=%g p50=%g p90=%g p99=%g\n",
+			name, h.Count, h.Sum, h.Min, h.Max, h.Mean, h.P50, h.P90, h.P99); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n < 0 is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-written float value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add atomically adds delta to the gauge.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution with lock-free observation.
+// Percentiles are estimated by linear interpolation inside the bucket that
+// contains the requested rank, so their error is bounded by bucket width.
+type Histogram struct {
+	bounds []float64 // strictly increasing upper bounds; +Inf implicit
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    floatAdder
+	min    floatMin
+	max    floatMax
+}
+
+// DurationBuckets covers wall-clock and simulated durations in seconds,
+// 1 µs to ~9 h in ×2 steps — the default when a histogram is created with
+// nil bounds.
+var DurationBuckets = ExpBuckets(1e-6, 2, 35)
+
+// ExpBuckets returns n exponentially spaced upper bounds starting at start
+// and multiplying by factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n upper bounds start, start+width, …
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + width*float64(i)
+	}
+	return out
+}
+
+// NewHistogram builds a histogram with the given upper bounds (nil/empty ⇒
+// DurationBuckets). Bounds must be strictly increasing.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DurationBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram bounds not increasing at %d: %v", i, bounds))
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	h.min.store(math.Inf(1))
+	h.max.store(math.Inf(-1))
+	return h
+}
+
+// Observe records one value. Non-finite observations are dropped — a NaN
+// or ±Inf would poison the sum and break JSON export (JSON has no Inf).
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+	h.min.observe(v)
+	h.max.observe(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Quantile estimates the q-quantile (q in [0,1]) by interpolating within
+// the owning bucket. Returns 0 with no observations. The overflow bucket
+// reports the observed maximum; the first bucket interpolates from the
+// observed minimum.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i == len(h.bounds) {
+				return h.max.load()
+			}
+			lo := h.min.load()
+			if i > 0 && h.bounds[i-1] > lo {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			if mx := h.max.load(); mx < hi {
+				hi = mx
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	return h.max.load()
+}
+
+// Snapshot captures the histogram's state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.load(),
+	}
+	if s.Count == 0 {
+		return s
+	}
+	s.Min = h.min.load()
+	s.Max = h.max.load()
+	s.Mean = s.Sum / float64(s.Count)
+	s.P50 = h.Quantile(0.50)
+	s.P90 = h.Quantile(0.90)
+	s.P99 = h.Quantile(0.99)
+	s.Buckets = make([]BucketCount, 0, len(h.counts))
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue // sparse export: most buckets are empty
+		}
+		ub := math.Inf(1)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		s.Buckets = append(s.Buckets, BucketCount{UpperBound: ub, Count: n})
+	}
+	return s
+}
+
+// MarshalJSON encodes the +Inf overflow bound as the string "+Inf".
+func (b BucketCount) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if !math.IsInf(b.UpperBound, 1) {
+		le = strconv.FormatFloat(b.UpperBound, 'g', -1, 64)
+	}
+	return json.Marshal(struct {
+		LE    string `json:"le"`
+		Count int64  `json:"count"`
+	}{le, b.Count})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (b *BucketCount) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		LE    string `json:"le"`
+		Count int64  `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	if raw.LE == "+Inf" {
+		b.UpperBound = math.Inf(1)
+	} else {
+		v, err := strconv.ParseFloat(raw.LE, 64)
+		if err != nil {
+			return fmt.Errorf("telemetry: bad bucket bound %q: %v", raw.LE, err)
+		}
+		b.UpperBound = v
+	}
+	b.Count = raw.Count
+	return nil
+}
+
+// floatAdder is an atomic float64 accumulator.
+type floatAdder struct{ bits atomic.Uint64 }
+
+func (f *floatAdder) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *floatAdder) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// floatMin tracks an atomic running minimum.
+type floatMin struct{ bits atomic.Uint64 }
+
+func (f *floatMin) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *floatMin) load() float64   { return math.Float64frombits(f.bits.Load()) }
+func (f *floatMin) observe(v float64) {
+	for {
+		old := f.bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// floatMax tracks an atomic running maximum.
+type floatMax struct{ bits atomic.Uint64 }
+
+func (f *floatMax) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *floatMax) load() float64   { return math.Float64frombits(f.bits.Load()) }
+func (f *floatMax) observe(v float64) {
+	for {
+		old := f.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}

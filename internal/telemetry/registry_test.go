@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotonic
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("c") != c {
+		t.Fatal("Counter must memoize by name")
+	}
+	g := r.Gauge("g")
+	g.Set(2.5)
+	g.Add(0.5)
+	if g.Value() != 3 {
+		t.Fatalf("gauge = %v, want 3", g.Value())
+	}
+}
+
+// TestConcurrentUpdates hammers one counter, gauge and histogram from many
+// goroutines; run with -race this is the concurrency-safety proof, and the
+// totals prove no update is lost.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("events")
+			g := r.Gauge("acc")
+			h := r.Histogram("dist", LinearBuckets(0, 10, 100))
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 1000))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("events").Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := r.Gauge("acc").Value(); got != workers*per {
+		t.Fatalf("gauge = %v, want %d", got, workers*per)
+	}
+	if got := r.Histogram("dist", nil).Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+// TestHistogramPercentiles checks the interpolated quantiles against a
+// known distribution: the integers 1..10000 shuffled. Exact percentiles
+// are 5000/9000/9900; bucket width 100 bounds the estimation error.
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram(LinearBuckets(0, 100, 101))
+	vals := make([]float64, 10000)
+	for i := range vals {
+		vals[i] = float64(i + 1)
+	}
+	rng := rand.New(rand.NewSource(7))
+	rng.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 5000}, {0.90, 9000}, {0.99, 9900},
+	} {
+		got := h.Quantile(tc.q)
+		if math.Abs(got-tc.want) > 100 {
+			t.Fatalf("q%.0f = %v, want %v ± 100", tc.q*100, got, tc.want)
+		}
+	}
+	s := h.Snapshot()
+	if s.Min != 1 || s.Max != 10000 || s.Count != 10000 {
+		t.Fatalf("snapshot min/max/count = %v/%v/%d", s.Min, s.Max, s.Count)
+	}
+	if math.Abs(s.Mean-5000.5) > 1e-6 {
+		t.Fatalf("mean = %v, want 5000.5", s.Mean)
+	}
+	if s.P50 != h.Quantile(0.5) || s.P90 != h.Quantile(0.9) || s.P99 != h.Quantile(0.99) {
+		t.Fatal("snapshot percentiles disagree with Quantile")
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	if h.Count() != 0 {
+		t.Fatal("non-finite observations must be dropped")
+	}
+	h.Observe(5) // overflow bucket
+	h.Observe(5)
+	if got := h.Quantile(0.99); got != 5 {
+		t.Fatalf("overflow quantile = %v, want observed max 5", got)
+	}
+	s := h.Snapshot()
+	if len(s.Buckets) != 1 || !math.IsInf(s.Buckets[0].UpperBound, 1) || s.Buckets[0].Count != 2 {
+		t.Fatalf("buckets = %+v", s.Buckets)
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := NewHistogram(LinearBuckets(0, 1, 10))
+	h.Observe(3.5)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); math.Abs(got-3.5) > 0.5 {
+			t.Fatalf("single-value quantile(%v) = %v, want ≈3.5", q, got)
+		}
+	}
+}
+
+func TestBadBucketsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-increasing bounds must panic")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}
+
+// TestSnapshotJSONRoundTrip marshals a populated snapshot (including the
+// +Inf overflow bucket) and unmarshals it back unchanged.
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(3)
+	r.Gauge("b").Set(1.25)
+	h := r.Histogram("h", []float64{1, 10})
+	for _, v := range []float64{0.5, 5, 500} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	orig := r.Snapshot()
+	if back.Counters["a"] != orig.Counters["a"] || back.Gauges["b"] != orig.Gauges["b"] {
+		t.Fatalf("round-trip mismatch: %+v vs %+v", back, orig)
+	}
+	oh, bh := orig.Histograms["h"], back.Histograms["h"]
+	if bh.Count != oh.Count || bh.Sum != oh.Sum || bh.P50 != oh.P50 || bh.P90 != oh.P90 || bh.P99 != oh.P99 {
+		t.Fatalf("histogram round-trip mismatch: %+v vs %+v", bh, oh)
+	}
+	if len(bh.Buckets) != len(oh.Buckets) {
+		t.Fatalf("bucket count mismatch: %d vs %d", len(bh.Buckets), len(oh.Buckets))
+	}
+	for i := range bh.Buckets {
+		ob, bb := oh.Buckets[i], bh.Buckets[i]
+		same := ob.Count == bb.Count &&
+			(ob.UpperBound == bb.UpperBound || (math.IsInf(ob.UpperBound, 1) && math.IsInf(bb.UpperBound, 1)))
+		if !same {
+			t.Fatalf("bucket %d mismatch: %+v vs %+v", i, bb, ob)
+		}
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.count").Inc()
+	r.Gauge("a.gauge").Set(2)
+	r.Histogram("m.hist", []float64{1, 2, 4}).Observe(1.5)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"counter z.count 1", "gauge a.gauge 2", "histogram m.hist count=1", "p99="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	r.Reset()
+	if r.Counter("c").Value() != 0 {
+		t.Fatal("reset must clear counters")
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if exp[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v", exp)
+		}
+	}
+	lin := LinearBuckets(10, 5, 3)
+	if lin[0] != 10 || lin[2] != 20 {
+		t.Fatalf("LinearBuckets = %v", lin)
+	}
+	// The default duration buckets must be valid histogram bounds.
+	NewHistogram(nil)
+}

@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHandlerRoutes(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits").Add(2)
+	reg.Histogram("lat", []float64{1, 2, 4}).Observe(1.5)
+	tr := NewTracer(8)
+	_, finish := tr.StartSpan(context.Background(), "req")
+	finish()
+
+	srv := httptest.NewServer(Handler(reg, tr))
+	defer srv.Close()
+
+	for _, path := range []string{"/", "/metrics", "/trace", "/debug/pprof/", "/debug/vars"} {
+		if code, _ := get(t, srv, path); code != http.StatusOK {
+			t.Fatalf("GET %s = %d, want 200", path, code)
+		}
+	}
+
+	_, text := get(t, srv, "/metrics")
+	if !strings.Contains(text, "counter hits 2") || !strings.Contains(text, "histogram lat") {
+		t.Fatalf("/metrics text = %q", text)
+	}
+
+	_, body := get(t, srv, "/metrics?format=json")
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics json invalid: %v", err)
+	}
+	if snap.Counters["hits"] != 2 || snap.Histograms["lat"].Count != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+
+	_, body = get(t, srv, "/trace")
+	var dump TraceDump
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatalf("/trace json invalid: %v", err)
+	}
+	if len(dump.Spans) != 1 || dump.Spans[0].Name != "req" {
+		t.Fatalf("trace = %+v", dump)
+	}
+
+	_, body = get(t, srv, "/trace?format=chrome")
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("/trace chrome invalid: %v", err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("chrome events = %d", len(events))
+	}
+
+	if code, _ := get(t, srv, "/nope"); code != http.StatusNotFound {
+		t.Fatal("unknown path must 404")
+	}
+}
+
+// TestHandlerDefaults covers the nil → Default fallback and the one-shot
+// expvar publication (a second Handler must not panic on re-publish).
+func TestHandlerDefaults(t *testing.T) {
+	Reset()
+	Default.Counter("x").Inc()
+	srv := httptest.NewServer(Handler(nil, nil))
+	defer srv.Close()
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "counter x 1") {
+		t.Fatalf("default handler: code=%d body=%q", code, body)
+	}
+	Handler(nil, nil) // second publication must not panic
+	code, body = get(t, srv, "/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, "ccperf") {
+		t.Fatalf("/debug/vars must include the ccperf registry: code=%d", code)
+	}
+	Reset()
+}

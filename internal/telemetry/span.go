@@ -1,0 +1,231 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Label is one key/value annotation on a finished span.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L builds a Label, formatting any value.
+func L(key string, value any) Label {
+	switch v := value.(type) {
+	case string:
+		return Label{Key: key, Value: v}
+	case float64:
+		return Label{Key: key, Value: strconv.FormatFloat(v, 'g', -1, 64)}
+	default:
+		return Label{Key: key, Value: fmt.Sprint(v)}
+	}
+}
+
+// SpanRecord is one finished span as stored in the ring and exported.
+type SpanRecord struct {
+	ID            uint64  `json:"id"`
+	Parent        uint64  `json:"parent,omitempty"`
+	Name          string  `json:"name"`
+	StartUnixNano int64   `json:"start_unix_nano"`
+	DurationNanos int64   `json:"duration_ns"`
+	Labels        []Label `json:"labels,omitempty"`
+}
+
+// Tracer collects finished spans into a bounded ring: the most recent
+// `capacity` spans are kept, older ones are overwritten. The zero value is
+// not usable; construct with NewTracer.
+type Tracer struct {
+	mu     sync.Mutex
+	ring   []SpanRecord
+	next   int    // ring write position
+	total  uint64 // spans ever finished (= dropped + retained)
+	lastID uint64
+	cap    int
+}
+
+// NewTracer returns a tracer retaining up to capacity spans (min 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]SpanRecord, 0, capacity), cap: capacity}
+}
+
+type spanCtxKey struct{}
+
+// FinishFunc ends a span, attaching any labels. It is safe to call from
+// the goroutine that started the span; calling it more than once records
+// the span more than once (don't).
+type FinishFunc func(labels ...Label)
+
+// StartSpan opens a span on this tracer. The returned context carries the
+// span's identity so children started from it record their parent; the
+// returned FinishFunc stamps the duration and commits the span to the
+// ring. Typical use:
+//
+//	ctx, finish := tr.StartSpan(ctx, "explore.worker")
+//	defer finish(telemetry.L("worker", i))
+func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, FinishFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var parent uint64
+	if p, ok := ctx.Value(spanCtxKey{}).(uint64); ok {
+		parent = p
+	}
+	t.mu.Lock()
+	t.lastID++
+	id := t.lastID
+	t.mu.Unlock()
+	start := time.Now()
+	ctx = context.WithValue(ctx, spanCtxKey{}, id)
+	return ctx, func(labels ...Label) {
+		rec := SpanRecord{
+			ID:            id,
+			Parent:        parent,
+			Name:          name,
+			StartUnixNano: start.UnixNano(),
+			DurationNanos: time.Since(start).Nanoseconds(),
+			Labels:        labels,
+		}
+		t.mu.Lock()
+		if len(t.ring) < t.cap {
+			t.ring = append(t.ring, rec)
+		} else {
+			t.ring[t.next] = rec
+		}
+		t.next = (t.next + 1) % t.cap
+		t.total++
+		t.mu.Unlock()
+	}
+}
+
+// StartSpan opens a span on DefaultTracer.
+func StartSpan(ctx context.Context, name string) (context.Context, FinishFunc) {
+	return DefaultTracer.StartSpan(ctx, name)
+}
+
+// Spans returns the retained spans ordered by start time.
+func (t *Tracer) Spans() []SpanRecord {
+	t.mu.Lock()
+	out := append([]SpanRecord(nil), t.ring...)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(a, b int) bool { return out[a].StartUnixNano < out[b].StartUnixNano })
+	return out
+}
+
+// Len returns the number of retained spans.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ring)
+}
+
+// Total returns the number of spans ever finished on this tracer,
+// including those overwritten in the ring.
+func (t *Tracer) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Reset drops all retained spans (span IDs keep increasing).
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	t.ring = t.ring[:0]
+	t.next = 0
+	t.total = 0
+	t.mu.Unlock()
+}
+
+// TraceDump is the `/trace` and `-trace-out` JSON artifact.
+type TraceDump struct {
+	UnixNano int64        `json:"unix_nano"`
+	Total    uint64       `json:"total_spans"`
+	Dropped  uint64       `json:"dropped_spans"`
+	Spans    []SpanRecord `json:"spans"`
+}
+
+// Dump captures the tracer's retained spans.
+func (t *Tracer) Dump() TraceDump {
+	spans := t.Spans()
+	total := t.Total()
+	return TraceDump{
+		UnixNano: now(),
+		Total:    total,
+		Dropped:  total - uint64(len(spans)),
+		Spans:    spans,
+	}
+}
+
+// WriteJSON writes the trace dump as indented JSON.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Dump())
+}
+
+// WriteChromeTrace writes the retained spans in the Chrome trace_event
+// array format, loadable in chrome://tracing and https://ui.perfetto.dev.
+// A root span and each of its direct children get their own track (tid);
+// deeper descendants join their top-level ancestor's track. Concurrent
+// siblings — the explore workers under one enumeration — therefore render
+// as separate lanes instead of overlapping on the root's.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	parent := make(map[uint64]uint64, len(spans))
+	for _, s := range spans {
+		parent[s.ID] = s.Parent
+	}
+	// lane climbs to the ancestor sitting directly below the root (or the
+	// root itself, for root spans).
+	lane := func(id uint64) uint64 {
+		for {
+			p, ok := parent[id]
+			if !ok || p == 0 {
+				return id
+			}
+			if gp, ok := parent[p]; !ok || gp == 0 {
+				return id
+			}
+			id = p
+		}
+	}
+	type event struct {
+		Name string            `json:"name"`
+		Ph   string            `json:"ph"`
+		Ts   float64           `json:"ts"`  // microseconds
+		Dur  float64           `json:"dur"` // microseconds
+		Pid  int               `json:"pid"`
+		Tid  uint64            `json:"tid"`
+		Args map[string]string `json:"args,omitempty"`
+	}
+	events := make([]event, 0, len(spans))
+	for _, s := range spans {
+		ev := event{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   float64(s.StartUnixNano) / 1e3,
+			Dur:  float64(s.DurationNanos) / 1e3,
+			Pid:  1,
+			Tid:  lane(s.ID),
+		}
+		if len(s.Labels) > 0 {
+			ev.Args = make(map[string]string, len(s.Labels))
+			for _, l := range s.Labels {
+				ev.Args[l.Key] = l.Value
+			}
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

@@ -1,0 +1,200 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestSpanBasics(t *testing.T) {
+	tr := NewTracer(16)
+	ctx, finish := tr.StartSpan(context.Background(), "root")
+	_, childFinish := tr.StartSpan(ctx, "child")
+	childFinish(L("k", "v"), L("n", 42), L("f", 2.5))
+	finish()
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	var root, child SpanRecord
+	for _, s := range spans {
+		switch s.Name {
+		case "root":
+			root = s
+		case "child":
+			child = s
+		}
+	}
+	if child.Parent != root.ID {
+		t.Fatalf("child parent = %d, want %d", child.Parent, root.ID)
+	}
+	if root.Parent != 0 {
+		t.Fatalf("root parent = %d, want 0", root.Parent)
+	}
+	if child.DurationNanos < 0 {
+		t.Fatal("negative duration")
+	}
+	if len(child.Labels) != 3 || child.Labels[0] != (Label{"k", "v"}) ||
+		child.Labels[1] != (Label{"n", "42"}) || child.Labels[2] != (Label{"f", "2.5"}) {
+		t.Fatalf("labels = %+v", child.Labels)
+	}
+}
+
+func TestSpanNilContext(t *testing.T) {
+	tr := NewTracer(4)
+	_, finish := tr.StartSpan(nil, "s") //nolint:staticcheck // nil ctx is part of the contract
+	finish()
+	if tr.Len() != 1 {
+		t.Fatal("span not recorded")
+	}
+}
+
+// TestRingWraparound finishes more spans than the ring holds and checks
+// that exactly the most recent `capacity` survive and the drop count is
+// reported.
+func TestRingWraparound(t *testing.T) {
+	const capacity, n = 8, 30
+	tr := NewTracer(capacity)
+	for i := 0; i < n; i++ {
+		_, finish := tr.StartSpan(context.Background(), fmt.Sprintf("s%02d", i))
+		finish()
+	}
+	if tr.Len() != capacity {
+		t.Fatalf("ring len = %d, want %d", tr.Len(), capacity)
+	}
+	dump := tr.Dump()
+	if dump.Total != n || dump.Dropped != n-capacity {
+		t.Fatalf("total/dropped = %d/%d, want %d/%d", dump.Total, dump.Dropped, n, n-capacity)
+	}
+	names := make(map[string]bool)
+	for _, s := range dump.Spans {
+		names[s.Name] = true
+	}
+	for i := n - capacity; i < n; i++ {
+		if !names[fmt.Sprintf("s%02d", i)] {
+			t.Fatalf("recent span s%02d evicted; retained %v", i, names)
+		}
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	const workers, per = 8, 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				_, finish := tr.StartSpan(context.Background(), "w")
+				finish(L("worker", w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Total() != workers*per {
+		t.Fatalf("total = %d, want %d", tr.Total(), workers*per)
+	}
+	// Span IDs must be unique among retained spans.
+	seen := make(map[uint64]bool)
+	for _, s := range tr.Spans() {
+		if seen[s.ID] {
+			t.Fatalf("duplicate span ID %d", s.ID)
+		}
+		seen[s.ID] = true
+	}
+}
+
+// TestTraceJSONRoundTrip dumps a trace to JSON and back.
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := NewTracer(4)
+	ctx, finish := tr.StartSpan(context.Background(), "outer")
+	_, inner := tr.StartSpan(ctx, "inner")
+	inner(L("x", 1))
+	finish()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back TraceDump
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	orig := tr.Dump()
+	if back.Total != orig.Total || back.Dropped != orig.Dropped || len(back.Spans) != len(orig.Spans) {
+		t.Fatalf("round-trip header mismatch: %+v vs %+v", back, orig)
+	}
+	for i := range back.Spans {
+		b, o := back.Spans[i], orig.Spans[i]
+		if b.ID != o.ID || b.Parent != o.Parent || b.Name != o.Name ||
+			b.StartUnixNano != o.StartUnixNano || b.DurationNanos != o.DurationNanos ||
+			len(b.Labels) != len(o.Labels) {
+			t.Fatalf("span %d mismatch: %+v vs %+v", i, b, o)
+		}
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := NewTracer(8)
+	// root → two concurrent workers, one with a nested step — the shape
+	// explore.Enumerate produces.
+	ctx, root := tr.StartSpan(context.Background(), "enumerate")
+	w1ctx, w1 := tr.StartSpan(ctx, "worker1")
+	_, w2 := tr.StartSpan(ctx, "worker2")
+	_, step := tr.StartSpan(w1ctx, "step")
+	step()
+	w1(L("worker", 0))
+	w2(L("worker", 1))
+	root()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("events = %d, want 4", len(events))
+	}
+	tids := make(map[string]float64, 4)
+	for _, ev := range events {
+		if ev["ph"] != "X" {
+			t.Fatalf("phase = %v, want X", ev["ph"])
+		}
+		tids[ev["name"].(string)] = ev["tid"].(float64)
+	}
+	if math.IsNaN(tids["worker1"]) || tids["worker1"] == tids["worker2"] {
+		t.Fatalf("concurrent workers must get separate tracks: %v", tids)
+	}
+	if tids["step"] != tids["worker1"] {
+		t.Fatalf("nested step must share its worker's track: %v", tids)
+	}
+	if tids["enumerate"] == tids["worker1"] || tids["enumerate"] == tids["worker2"] {
+		t.Fatalf("root must keep its own track: %v", tids)
+	}
+}
+
+func TestTracerReset(t *testing.T) {
+	tr := NewTracer(4)
+	_, finish := tr.StartSpan(context.Background(), "s")
+	finish()
+	tr.Reset()
+	if tr.Len() != 0 || tr.Total() != 0 {
+		t.Fatal("reset must clear the ring")
+	}
+}
+
+func TestDefaultStartSpan(t *testing.T) {
+	DefaultTracer.Reset()
+	_, finish := StartSpan(context.Background(), "default")
+	finish()
+	if DefaultTracer.Len() == 0 {
+		t.Fatal("package-level StartSpan must record on DefaultTracer")
+	}
+	DefaultTracer.Reset()
+}

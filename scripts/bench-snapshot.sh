@@ -1,0 +1,18 @@
+#!/bin/sh
+# Capture the root-package benchmarks as a telemetry Snapshot JSON so perf
+# trajectories can be diffed across PRs (see docs/TELEMETRY.md).
+#
+#   scripts/bench-snapshot.sh                # out/BENCH_<git-sha>.json
+#   scripts/bench-snapshot.sh out/BENCH.json # explicit path
+#   BENCHTIME=1s scripts/bench-snapshot.sh   # longer runs (default 1x smoke)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+sha=$(git rev-parse --short HEAD 2>/dev/null || echo nogit)
+out=${1:-out/BENCH_${sha}.json}
+benchtime=${BENCHTIME:-1x}
+
+go test -run - -bench . -benchtime "$benchtime" . |
+    go run ./cmd/ccperf benchjson -out "$out"
+echo "bench snapshot: $out"

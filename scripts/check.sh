@@ -1,0 +1,29 @@
+#!/bin/sh
+# Tier-1+ gate: everything a PR must pass before merge (see ROADMAP.md).
+# Runs formatting, vet, build, the full test suite under the race
+# detector, and a one-iteration benchmark smoke pass.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== bench smoke (go test -run - -bench . -benchtime 1x)"
+go test -run - -bench . -benchtime 1x .
+
+echo "check.sh: all gates passed"
