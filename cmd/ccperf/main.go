@@ -8,6 +8,7 @@
 //	ccperf tables                                  # Tables 1 and 3
 //	ccperf compress                                # quantization & weight sharing
 //	ccperf empirical                               # trained-and-pruned accuracy
+//	ccperf loadtest -requests 2000 -duration 10s   # replay a trace against the gateway
 //	ccperf serve -addr :8080                       # live telemetry endpoint
 //	ccperf benchjson < bench.txt                   # bench output → telemetry JSON
 package main
@@ -16,9 +17,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"time"
 
 	"ccperf"
 	"ccperf/internal/cloud"
@@ -30,6 +34,7 @@ import (
 	"ccperf/internal/nn"
 	"ccperf/internal/prune"
 	"ccperf/internal/report"
+	"ccperf/internal/serving"
 	"ccperf/internal/telemetry"
 	"ccperf/internal/train"
 	"ccperf/internal/workload"
@@ -61,6 +66,8 @@ func main() {
 		err = empiricalCmd(args)
 	case "simulate":
 		err = simulateCmd(args)
+	case "loadtest":
+		err = loadtestCmd(args)
 	case "spec":
 		err = specCmd(args)
 	case "serve":
@@ -93,18 +100,22 @@ commands:
   compress      quantization / weight-sharing memory-accuracy table
   empirical     prune a really trained CNN and report measured accuracy
   simulate      discrete-event day simulation of a fleet serving a trace
+  loadtest      replay a trace against the online gateway (batching, shedding,
+                load-adaptive pruning) and report latency/accuracy/cost
   spec          build a custom CNN from a spec file, cost it, sweep pruning
   serve         HTTP telemetry endpoint: /metrics, /trace, /debug/pprof/
+                (-gateway also mounts the live inference gateway at /infer)
   benchjson     convert 'go test -bench' output to telemetry snapshot JSON
 
-telemetry flags (pareto, allocate, simulate):
+telemetry flags (pareto, allocate, simulate, loadtest):
   -metrics-out <file>   write the run's metrics snapshot as JSON
   -trace-out <file>     write the run's spans as JSON (.chrome.json for
                         the Chrome trace_event format)
   -workers <n>          exploration worker-pool size (pareto/allocate;
                         default: number of CPUs)
 
-see docs/TELEMETRY.md for metric names and endpoint routes`)
+see docs/TELEMETRY.md for metric names and endpoint routes,
+docs/SERVING.md for the gateway architecture and loadtest usage`)
 }
 
 // telemetryFlags registers the artifact flags shared by the run commands.
@@ -425,16 +436,9 @@ func simulateCmd(args []string) error {
 	metricsOut, traceOut := telemetryFlags(fs)
 	fs.Parse(args)
 
-	var pat workload.Pattern
-	switch *pattern {
-	case "uniform":
-		pat = workload.Uniform
-	case "diurnal":
-		pat = workload.Diurnal
-	case "bursty":
-		pat = workload.Bursty
-	default:
-		return fmt.Errorf("unknown pattern %q", *pattern)
+	pat, err := parsePattern(*pattern)
+	if err != nil {
+		return err
 	}
 	trace, err := workload.Generate(workload.Config{
 		Pattern: pat, DailyTotal: *daily, Windows: 24, Seed: *seed,
@@ -465,21 +469,143 @@ func simulateCmd(args []string) error {
 	}
 	fmt.Printf("trace   : %s, %d photos (%d jobs), peak hour %d\n", pat, trace.Total(), len(jobs), trace.Peak())
 	fmt.Printf("fleet   : %s at degree %s\n", cfg.Label(), degree.Label())
-	fmt.Printf("latency : p50 %.1f min, p95 %.1f min, max %.1f min\n",
-		res.P50Response/60, res.P95Response/60, res.MaxResponse/60)
+	fmt.Printf("latency : p50 %.1f min, p95 %.1f min, p99 %.1f min, max %.1f min\n",
+		res.P50Response/60, res.P95Response/60, res.P99Response/60, res.MaxResponse/60)
 	fmt.Printf("misses  : %d of %d jobs\n", res.Misses, len(res.Jobs))
 	fmt.Printf("util    : %.0f%% average\n", res.AverageUtilization()*100)
 	fmt.Printf("cost    : $%.2f for the 24 h rental\n", res.Cost)
 	return writeTelemetry(*metricsOut, *traceOut)
 }
 
+// parsePattern maps a CLI pattern name to the workload constant.
+func parsePattern(name string) (workload.Pattern, error) {
+	switch name {
+	case "uniform":
+		return workload.Uniform, nil
+	case "diurnal":
+		return workload.Diurnal, nil
+	case "bursty":
+		return workload.Bursty, nil
+	default:
+		return 0, fmt.Errorf("unknown pattern %q", name)
+	}
+}
+
+// parseRatios parses a comma-separated ladder spec like "0,0.5,0.9".
+// Empty means the serving package's default ladder.
+func parseRatios(spec string) ([]float64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, ",")
+	ratios := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		r, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("ladder ratio %q: %w", p, err)
+		}
+		if r < 0 || r >= 1 {
+			return nil, fmt.Errorf("ladder ratio %v out of [0,1)", r)
+		}
+		ratios = append(ratios, r)
+	}
+	return ratios, nil
+}
+
+// loadtestCmd replays a compressed-day trace open-loop against an
+// in-process serving gateway (dynamic batching, bounded admission,
+// load-adaptive pruning) and prints the latency/accuracy/cost report.
+func loadtestCmd(args []string) error {
+	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
+	requests := fs.Int64("requests", 2000, "total requests replayed")
+	duration := fs.Duration("duration", 10*time.Second, "wall-clock replay length (the whole trace compresses into it)")
+	pattern := fs.String("pattern", "bursty", "arrival pattern: uniform, diurnal, bursty")
+	windows := fs.Int("windows", 12, "windows in the trace")
+	seed := fs.Int64("seed", 9, "trace and arrival seed")
+	replicas := fs.Int("replicas", 2, "replica batchers")
+	queueCap := fs.Int("queue", 0, "admission queue bound (0 = 64×replicas)")
+	maxBatch := fs.Int("max-batch", 8, "dynamic batch size cap")
+	batchTimeout := fs.Duration("batch-timeout", 2*time.Millisecond, "longest wait to fill a batch")
+	slo := fs.Duration("slo", 50*time.Millisecond, "p99 latency objective the controller defends")
+	deadline := fs.Duration("deadline", 0, "per-request deadline (0 = none)")
+	cooldown := fs.Duration("cooldown", 500*time.Millisecond, "idle tail so the controller can restore accuracy")
+	ladderSpec := fs.String("ladder", "", "comma-separated prune ratios, e.g. 0,0.5,0.9 (default 0,0.3,0.5,0.7,0.9)")
+	instance := fs.String("instance", "p2.xlarge", "instance type for the rental-cost estimate (one per replica)")
+	metricsOut, traceOut := telemetryFlags(fs)
+	fs.Parse(args)
+
+	pat, err := parsePattern(*pattern)
+	if err != nil {
+		return err
+	}
+	trace, err := workload.Generate(workload.Config{
+		Pattern: pat, DailyTotal: *requests, Windows: *windows, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	ratios, err := parseRatios(*ladderSpec)
+	if err != nil {
+		return err
+	}
+	ladder, err := serving.DemoLadder(ratios)
+	if err != nil {
+		return err
+	}
+	inst, err := cloud.ByName(*instance)
+	if err != nil {
+		return err
+	}
+	g, err := serving.New(serving.Config{
+		Ladder:       ladder,
+		Replicas:     *replicas,
+		QueueCap:     *queueCap,
+		MaxBatch:     *maxBatch,
+		BatchTimeout: *batchTimeout,
+		SLO:          *slo,
+		Deadline:     *deadline,
+	})
+	if err != nil {
+		return err
+	}
+	g.Start()
+	rep, err := serving.RunLoad(g, serving.LoadConfig{
+		Trace:    trace,
+		Duration: *duration,
+		Seed:     *seed,
+		Deadline: *deadline,
+		Cooldown: *cooldown,
+	})
+	g.Stop()
+	if err != nil {
+		return err
+	}
+	resolved := g.Config()
+	fmt.Printf("trace    : %s, %d requests over %d windows in %s (peak window %d)\n",
+		pat, trace.Total(), len(trace.Windows), *duration, trace.Peak())
+	fmt.Printf("gateway  : %d replicas × batch ≤%d, queue %d, SLO %s, ladder %d variants\n",
+		resolved.Replicas, resolved.MaxBatch, resolved.QueueCap, resolved.SLO, len(ladder))
+	fmt.Print(rep.String())
+	cost := inst.PricePerSecond() * rep.WallSeconds * float64(resolved.Replicas)
+	fmt.Printf("cost     : $%.4f (%d×%s for %.2f s; $%.2f/h fleet)\n",
+		cost, resolved.Replicas, inst.Name, rep.WallSeconds,
+		inst.PricePerHour*float64(resolved.Replicas))
+	return writeTelemetry(*metricsOut, *traceOut)
+}
+
 // serveCmd exposes the live telemetry surface. With -demo it first runs a
-// small joint-space enumeration so the endpoint has data to show.
+// small joint-space enumeration so the endpoint has data to show; with
+// -gateway it also starts an inference gateway and mounts its /infer and
+// /gateway/status routes on the same listener.
 func serveCmd(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	model := modelFlag(fs)
 	demo := fs.Bool("demo", false, "run a small pareto enumeration first to populate metrics")
+	gateway := fs.Bool("gateway", false, "mount the online inference gateway at /infer and /gateway/status")
+	replicas := fs.Int("replicas", 2, "gateway replica batchers (with -gateway)")
+	slo := fs.Duration("slo", 50*time.Millisecond, "gateway p99 latency objective (with -gateway)")
+	ladderSpec := fs.String("ladder", "", "gateway prune-ratio ladder, e.g. 0,0.5,0.9 (with -gateway)")
 	fs.Parse(args)
 
 	if *demo {
@@ -492,8 +618,31 @@ func serveCmd(args []string) error {
 		}
 		fmt.Fprintln(os.Stderr, "serve: demo enumeration done, metrics populated")
 	}
+	handler := telemetry.Handler(nil, nil)
+	if *gateway {
+		ratios, err := parseRatios(*ladderSpec)
+		if err != nil {
+			return err
+		}
+		ladder, err := serving.DemoLadder(ratios)
+		if err != nil {
+			return err
+		}
+		g, err := serving.New(serving.Config{Ladder: ladder, Replicas: *replicas, SLO: *slo})
+		if err != nil {
+			return err
+		}
+		g.Start()
+		mux := http.NewServeMux()
+		mux.Handle("/infer", serving.Handler(g))
+		mux.Handle("/gateway/status", serving.Handler(g))
+		mux.Handle("/", handler)
+		handler = mux
+		fmt.Fprintf(os.Stderr, "serve: gateway up (%d replicas, %d-variant ladder, SLO %s)\n",
+			g.Config().Replicas, len(ladder), g.Config().SLO)
+	}
 	fmt.Fprintf(os.Stderr, "serve: listening on %s (/metrics, /trace, /debug/pprof/, /debug/vars)\n", *addr)
-	return telemetry.Serve(*addr, nil, nil)
+	return http.ListenAndServe(*addr, handler)
 }
 
 // benchjsonCmd converts `go test -bench` output (stdin or -in) into the

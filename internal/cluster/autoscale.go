@@ -228,8 +228,8 @@ func RunAutoscaled(cfg AutoscaleConfig, windows []int64, chunk int64, slack floa
 		waits[i] = s.Wait()
 		resps[i] = s.Response()
 	}
-	res.P50Wait, res.P95Wait, res.MaxWait = percentiles(waits)
-	res.P50Response, res.P95Response, res.MaxResponse = percentiles(resps)
+	res.P50Wait, res.P95Wait, res.P99Wait, res.MaxWait = percentiles(waits)
+	res.P50Response, res.P95Response, res.P99Response, res.MaxResponse = percentiles(resps)
 	recordRun(&res.Result, "cluster.autoscale.dispatch")
 	return res, nil
 }

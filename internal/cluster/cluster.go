@@ -69,8 +69,8 @@ type Result struct {
 	Utilization []float64
 	Misses      int
 
-	P50Wait, P95Wait, MaxWait             float64
-	P50Response, P95Response, MaxResponse float64
+	P50Wait, P95Wait, P99Wait, MaxWait                 float64
+	P50Response, P95Response, P99Response, MaxResponse float64
 }
 
 // Run simulates the jobs on the fleet.
@@ -157,8 +157,8 @@ func Run(cfg Config, jobs []Job) (*Result, error) {
 		waits[i] = s.Wait()
 		resps[i] = s.Response()
 	}
-	res.P50Wait, res.P95Wait, res.MaxWait = percentiles(waits)
-	res.P50Response, res.P95Response, res.MaxResponse = percentiles(resps)
+	res.P50Wait, res.P95Wait, res.P99Wait, res.MaxWait = percentiles(waits)
+	res.P50Response, res.P95Response, res.P99Response, res.MaxResponse = percentiles(resps)
 	recordRun(res, "cluster.run")
 	return res, nil
 }
@@ -184,15 +184,17 @@ func recordRun(res *Result, spanName string) {
 	)
 }
 
-// percentiles returns (p50, p95, max) of xs.
-func percentiles(xs []float64) (p50, p95, max float64) {
+// percentiles returns (p50, p95, p99, max) of xs. p99 is the SLO
+// percentile the serving gateway targets, reported here too so simulated
+// and served tail latencies are directly comparable.
+func percentiles(xs []float64) (p50, p95, p99, max float64) {
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
 	at := func(q float64) float64 {
 		idx := int(q * float64(len(s)-1))
 		return s[idx]
 	}
-	return at(0.50), at(0.95), s[len(s)-1]
+	return at(0.50), at(0.95), at(0.99), s[len(s)-1]
 }
 
 // JobsFromWindows converts a per-window request trace into jobs: each

@@ -167,6 +167,12 @@ func TestPercentileStats(t *testing.T) {
 	if res.P95Wait != 80 { // index int(0.95·9)=8
 		t.Fatalf("p95 wait = %v", res.P95Wait)
 	}
+	if res.P99Wait != 80 { // index int(0.99·9)=8
+		t.Fatalf("p99 wait = %v", res.P99Wait)
+	}
+	if res.P99Response < res.P95Response || res.P99Response > res.MaxResponse {
+		t.Fatalf("p99 response %v outside [p95 %v, max %v]", res.P99Response, res.P95Response, res.MaxResponse)
+	}
 	if res.AverageUtilization() <= 0 {
 		t.Fatal("utilization")
 	}
@@ -194,6 +200,61 @@ func TestJobsFromWindows(t *testing.T) {
 	// Arrivals within a window spread uniformly and stay inside it.
 	if jobs[1].Arrival <= jobs[0].Arrival || jobs[2].Arrival >= 3600 {
 		t.Fatalf("spread = %v %v %v", jobs[0].Arrival, jobs[1].Arrival, jobs[2].Arrival)
+	}
+}
+
+func TestJobsFromWindowsZeroCountWindows(t *testing.T) {
+	// All-zero trace produces no jobs at all.
+	if jobs := JobsFromWindows([]int64{0, 0, 0}, 3600, 100, 0.5); len(jobs) != 0 {
+		t.Fatalf("all-zero windows produced %d jobs", len(jobs))
+	}
+	// Zero windows are skipped but don't shift later windows' arrivals.
+	jobs := JobsFromWindows([]int64{0, 50}, 60, 100, 0.5)
+	if len(jobs) != 1 {
+		t.Fatalf("%d jobs", len(jobs))
+	}
+	if jobs[0].Arrival != 60 {
+		t.Fatalf("arrival = %v, want window-1 start 60", jobs[0].Arrival)
+	}
+	if jobs[0].ID != 0 {
+		t.Fatalf("job IDs must stay dense, got first ID %d", jobs[0].ID)
+	}
+}
+
+func TestJobsFromWindowsChunkLargerThanWindow(t *testing.T) {
+	// Chunk exceeds each window's volume: one job per window carrying the
+	// whole window, arriving at the window start.
+	jobs := JobsFromWindows([]int64{30, 70}, 10, 1000, 0.5)
+	if len(jobs) != 2 {
+		t.Fatalf("%d jobs, want 2", len(jobs))
+	}
+	if jobs[0].Images != 30 || jobs[1].Images != 70 {
+		t.Fatalf("images = %d,%d", jobs[0].Images, jobs[1].Images)
+	}
+	if jobs[0].Arrival != 0 || jobs[1].Arrival != 10 {
+		t.Fatalf("arrivals = %v,%v", jobs[0].Arrival, jobs[1].Arrival)
+	}
+}
+
+func TestJobsFromWindowsZeroSlackMeansNoDeadline(t *testing.T) {
+	jobs := JobsFromWindows([]int64{100}, 3600, 50, 0)
+	if len(jobs) != 2 {
+		t.Fatalf("%d jobs", len(jobs))
+	}
+	for _, j := range jobs {
+		if j.Deadline != 0 {
+			t.Fatalf("slack=0 should leave deadline unset, got %v", j.Deadline)
+		}
+	}
+	// Non-positive chunk falls back to 1 image per job.
+	jobs = JobsFromWindows([]int64{3}, 60, 0, 0)
+	if len(jobs) != 3 {
+		t.Fatalf("chunk=0: %d jobs, want 3 single-image jobs", len(jobs))
+	}
+	for _, j := range jobs {
+		if j.Images != 1 {
+			t.Fatalf("chunk=0 job images = %d", j.Images)
+		}
 	}
 }
 

@@ -1,0 +1,138 @@
+package serving
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func startHTTPGateway(t *testing.T, cfg Config) (*Gateway, *httptest.Server) {
+	t.Helper()
+	g := testGateway(t, cfg)
+	g.Start()
+	srv := httptest.NewServer(Handler(g))
+	t.Cleanup(func() {
+		srv.Close()
+		g.Stop()
+	})
+	return g, srv
+}
+
+func postInfer(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/infer", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestHTTPInferWithSeed(t *testing.T) {
+	_, srv := startHTTPGateway(t, Config{})
+	resp := postInfer(t, srv.URL, InferRequest{Seed: 42})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out InferResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Class < 0 || out.Class >= TinyClasses {
+		t.Fatalf("class %d", out.Class)
+	}
+	if out.Degree != "nonpruned" || out.TotalMS <= 0 {
+		t.Fatalf("response %+v", out)
+	}
+}
+
+func TestHTTPInferWithExplicitImage(t *testing.T) {
+	_, srv := startHTTPGateway(t, Config{})
+	img := make([]float32, TinyShape.Volume())
+	for i := range img {
+		img[i] = float32(i%7) - 3
+	}
+	resp := postInfer(t, srv.URL, InferRequest{Image: img})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPInferRejectsBadInput(t *testing.T) {
+	_, srv := startHTTPGateway(t, Config{})
+	// Wrong image length.
+	resp := postInfer(t, srv.URL, InferRequest{Image: []float32{1, 2, 3}})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("short image: status %d", resp.StatusCode)
+	}
+	// Malformed JSON.
+	r2, err := http.Post(srv.URL+"/infer", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON: status %d", r2.StatusCode)
+	}
+	// GET not allowed.
+	r3, err := http.Get(srv.URL + "/infer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: status %d", r3.StatusCode)
+	}
+}
+
+func TestHTTPExpiredDeadlineMapsTo504(t *testing.T) {
+	// A deadline far shorter than the batch timeout expires in the queue.
+	_, srv := startHTTPGateway(t, Config{BatchTimeout: 50 * time.Millisecond, MaxBatch: 64})
+	resp := postInfer(t, srv.URL, InferRequest{Seed: 1, DeadlineMS: 0.001})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout && resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 504 (or rare 200 if dispatched instantly)", resp.StatusCode)
+	}
+}
+
+func TestHTTPStatusEndpoint(t *testing.T) {
+	g, srv := startHTTPGateway(t, Config{})
+	postInfer(t, srv.URL, InferRequest{Seed: 9}).Body.Close()
+	resp, err := http.Get(srv.URL + "/gateway/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Served < 1 || st.QueueCap != g.Config().QueueCap {
+		t.Fatalf("status = %+v", st)
+	}
+	if st.Degree != "nonpruned" {
+		t.Fatalf("degree = %q", st.Degree)
+	}
+}
+
+func TestHTTPStoppedGatewayMapsTo503(t *testing.T) {
+	g := testGateway(t, Config{})
+	g.Start()
+	srv := httptest.NewServer(Handler(g))
+	defer srv.Close()
+	g.Stop()
+	resp := postInfer(t, srv.URL, InferRequest{Seed: 1})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+}

@@ -1,0 +1,495 @@
+// Package serving is the online inference gateway: it turns the paper's
+// static cost-accuracy knob (the degree of pruning) into a runtime control
+// loop. Where internal/cluster *simulates* a fleet serving a day of
+// traffic, serving actually accepts requests, batches them, runs them
+// through the real internal/nn forward path, and answers under a deadline.
+//
+// Three mechanisms cooperate:
+//
+//   - A bounded admission queue with per-request deadlines. When the queue
+//     is full, new requests are shed immediately (ErrOverloaded) instead of
+//     growing latency without bound; requests whose deadline passes while
+//     queued are dropped before dispatch (ErrExpired).
+//   - Per-replica dynamic batchers. Each replica coalesces queued requests
+//     up to Config.MaxBatch or until Config.BatchTimeout after the first
+//     request of the batch, whichever comes first, then executes the batch
+//     through nn.(*Net).ForwardBatch — the serving-side analogue of the
+//     GPU batch saturation of Figure 5.
+//   - A load-adaptive pruning controller (controller.go) that moves the
+//     whole pool along a ladder of pre-pruned model variants when the
+//     observed p99 latency or queue pressure violates the SLO — trading
+//     accuracy for throughput along exactly the axis of Figures 6–8.
+//
+// Every admission decision, batch execution and ladder move is recorded in
+// internal/telemetry (metric names in docs/SERVING.md).
+package serving
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ccperf/internal/telemetry"
+	"ccperf/internal/tensor"
+)
+
+// Errors returned by Submit and reported in Response.Err.
+var (
+	// ErrOverloaded means the admission queue was full (load shedding).
+	ErrOverloaded = errors.New("serving: overloaded, request shed")
+	// ErrExpired means the request's deadline passed while it queued.
+	ErrExpired = errors.New("serving: deadline expired before dispatch")
+	// ErrStopped means the gateway is shut down.
+	ErrStopped = errors.New("serving: gateway stopped")
+)
+
+// Config parameterizes a Gateway. Zero fields take the documented defaults.
+type Config struct {
+	// Ladder is the variant ladder, least-pruned (most accurate) first.
+	// Required, at least one variant.
+	Ladder []Variant
+	// Replicas is the number of batcher goroutines (default 2) — the
+	// in-process stand-in for fleet size.
+	Replicas int
+	// QueueCap bounds the admission queue (default 64·Replicas).
+	QueueCap int
+	// MaxBatch caps a dynamic batch (default 8).
+	MaxBatch int
+	// BatchTimeout is the longest a batch waits to fill after its first
+	// request (default 2ms).
+	BatchTimeout time.Duration
+	// Deadline is the default per-request deadline applied at admission
+	// when the caller supplies none (0 = no deadline).
+	Deadline time.Duration
+	// SLO is the p99 latency target the controller defends (default
+	// 50ms). Control is disabled when the ladder has a single variant.
+	SLO time.Duration
+	// ControlInterval is the controller tick period (default SLO, min 1ms).
+	ControlInterval time.Duration
+	// DegradeUtilization is the queue-fullness fraction that triggers
+	// degradation even before p99 catches up (default 0.75).
+	DegradeUtilization float64
+	// RestoreFraction: the interval p99 must stay under SLO·RestoreFraction
+	// to count as healthy (default 0.5).
+	RestoreFraction float64
+	// HoldIntervals is the number of consecutive healthy intervals before
+	// one restoration step (default 3).
+	HoldIntervals int
+	// ForwardWorkers sizes each batch execution's worker pool (default 1;
+	// replicas already run in parallel).
+	ForwardWorkers int
+	// Registry and Tracer receive telemetry (nil = package defaults).
+	Registry *telemetry.Registry
+	Tracer   *telemetry.Tracer
+}
+
+func (c *Config) defaults() error {
+	if len(c.Ladder) == 0 {
+		return fmt.Errorf("serving: config needs a non-empty Ladder")
+	}
+	for i, v := range c.Ladder {
+		if v.Net == nil {
+			return fmt.Errorf("serving: ladder variant %d has nil net", i)
+		}
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64 * c.Replicas
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.BatchTimeout <= 0 {
+		c.BatchTimeout = 2 * time.Millisecond
+	}
+	if c.SLO <= 0 {
+		c.SLO = 50 * time.Millisecond
+	}
+	if c.ControlInterval <= 0 {
+		c.ControlInterval = c.SLO
+	}
+	if c.ControlInterval < time.Millisecond {
+		c.ControlInterval = time.Millisecond
+	}
+	if c.DegradeUtilization <= 0 || c.DegradeUtilization > 1 {
+		c.DegradeUtilization = 0.75
+	}
+	if c.RestoreFraction <= 0 || c.RestoreFraction >= 1 {
+		c.RestoreFraction = 0.5
+	}
+	if c.HoldIntervals <= 0 {
+		c.HoldIntervals = 3
+	}
+	if c.ForwardWorkers <= 0 {
+		c.ForwardWorkers = 1
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.Default
+	}
+	if c.Tracer == nil {
+		c.Tracer = telemetry.DefaultTracer
+	}
+	return nil
+}
+
+// Response is one request's outcome.
+type Response struct {
+	ID    int64
+	Err   error
+	Class int // Top-1 class index (valid when Err == nil)
+	// Variant is the ladder index the request was served at; Degree and
+	// Accuracy describe that variant.
+	Variant  int
+	Degree   string
+	Accuracy float64
+	// Queue is admission→dispatch wait; Total is admission→completion
+	// latency; Batch is the executed batch size.
+	Queue time.Duration
+	Total time.Duration
+	Batch int
+}
+
+// request is the queued form of one submission.
+type request struct {
+	id       int64
+	img      *tensor.Tensor
+	deadline time.Time // zero = none
+	enqueued time.Time
+	done     chan Response
+}
+
+// Gateway is the online inference service. Construct with New, then Start;
+// Submit/Infer from any goroutine; Stop for a graceful drain.
+type Gateway struct {
+	cfg   Config
+	queue chan *request
+
+	nextID   atomic.Int64
+	variant  atomic.Int64 // current ladder index
+	stopping atomic.Bool
+	stopCh   chan struct{}
+	started  atomic.Bool
+
+	submits sync.WaitGroup // in-flight Submit calls
+	workers sync.WaitGroup // replica + controller goroutines
+
+	// window collects the current control interval's total latencies
+	// (seconds); the controller swaps it out each tick.
+	windowMu sync.Mutex
+	window   []float64
+
+	healthy int // consecutive healthy intervals (controller goroutine only)
+
+	m gatewayMetrics
+}
+
+// gatewayMetrics holds the resolved telemetry instruments so hot paths
+// skip the registry map lookups.
+type gatewayMetrics struct {
+	admitted, shed, expired, served *telemetry.Counter
+	degrades, restores              *telemetry.Counter
+	batches                         *telemetry.Counter
+	queueDepth, variantGauge        *telemetry.Gauge
+	queueWait, total                *telemetry.Histogram
+	batchSize                       *telemetry.Histogram
+}
+
+// New validates the config and builds a gateway (not yet serving).
+func New(cfg Config) (*Gateway, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	g := &Gateway{
+		cfg:    cfg,
+		queue:  make(chan *request, cfg.QueueCap),
+		stopCh: make(chan struct{}),
+	}
+	reg := cfg.Registry
+	g.m = gatewayMetrics{
+		admitted:     reg.Counter("serving.admitted_total"),
+		shed:         reg.Counter("serving.shed_total"),
+		expired:      reg.Counter("serving.expired_total"),
+		served:       reg.Counter("serving.served_total"),
+		degrades:     reg.Counter("serving.degrade_total"),
+		restores:     reg.Counter("serving.restore_total"),
+		batches:      reg.Counter("serving.batches_total"),
+		queueDepth:   reg.Gauge("serving.queue_depth"),
+		variantGauge: reg.Gauge("serving.variant"),
+		queueWait:    reg.Histogram("serving.queue_seconds", nil),
+		total:        reg.Histogram("serving.request_seconds", nil),
+		batchSize:    reg.Histogram("serving.batch_size", telemetry.LinearBuckets(1, 1, 64)),
+	}
+	g.m.variantGauge.Set(0)
+	return g, nil
+}
+
+// Config returns the resolved (defaulted) configuration.
+func (g *Gateway) Config() Config { return g.cfg }
+
+// Start launches the replica batchers and the pruning controller.
+func (g *Gateway) Start() {
+	if !g.started.CompareAndSwap(false, true) {
+		return
+	}
+	for r := 0; r < g.cfg.Replicas; r++ {
+		g.workers.Add(1)
+		go g.replica(r)
+	}
+	if len(g.cfg.Ladder) > 1 {
+		g.workers.Add(1)
+		go g.controlLoop()
+	}
+}
+
+// Stop drains and shuts down: in-flight submissions land, queued requests
+// are served, goroutines exit. Safe to call once; Submit after (or during)
+// Stop returns ErrStopped.
+func (g *Gateway) Stop() {
+	if !g.stopping.CompareAndSwap(false, true) {
+		return
+	}
+	g.submits.Wait() // no new queue sends after this
+	close(g.stopCh)
+	g.workers.Wait()
+	// Everything left in the queue was drained by the replicas; a request
+	// could only still sit here if Start was never called.
+	for {
+		select {
+		case r := <-g.queue:
+			r.done <- Response{ID: r.id, Err: ErrStopped}
+		default:
+			return
+		}
+	}
+}
+
+// Submit enqueues one image for inference and returns a channel that will
+// receive exactly one Response. deadline zero applies Config.Deadline.
+// Shedding and shutdown are reported as errors immediately.
+func (g *Gateway) Submit(img *tensor.Tensor, deadline time.Time) (<-chan Response, error) {
+	if img == nil {
+		return nil, fmt.Errorf("serving: nil image")
+	}
+	g.submits.Add(1)
+	defer g.submits.Done()
+	if g.stopping.Load() {
+		return nil, ErrStopped
+	}
+	now := time.Now()
+	if deadline.IsZero() && g.cfg.Deadline > 0 {
+		deadline = now.Add(g.cfg.Deadline)
+	}
+	r := &request{
+		id:       g.nextID.Add(1),
+		img:      img,
+		deadline: deadline,
+		enqueued: now,
+		done:     make(chan Response, 1),
+	}
+	select {
+	case g.queue <- r:
+		g.m.admitted.Inc()
+		g.m.queueDepth.Set(float64(len(g.queue)))
+		return r.done, nil
+	default:
+		g.m.shed.Inc()
+		return nil, ErrOverloaded
+	}
+}
+
+// Infer is the synchronous form of Submit: it blocks until the response
+// (including admission errors, reported in Response.Err).
+func (g *Gateway) Infer(ctx context.Context, img *tensor.Tensor, deadline time.Time) Response {
+	ch, err := g.Submit(img, deadline)
+	if err != nil {
+		return Response{Err: err}
+	}
+	select {
+	case resp := <-ch:
+		return resp
+	case <-ctx.Done():
+		// The batcher still owns the request and will complete it; the
+		// caller just stopped waiting.
+		return Response{Err: ctx.Err()}
+	}
+}
+
+// replica is one dynamic batcher: wait for a first request, fill the batch
+// until MaxBatch or BatchTimeout, drop expired entries, execute, respond.
+func (g *Gateway) replica(idx int) {
+	defer g.workers.Done()
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		var first *request
+		select {
+		case first = <-g.queue:
+		case <-g.stopCh:
+			g.drain(idx)
+			return
+		}
+		batch := make([]*request, 1, g.cfg.MaxBatch)
+		batch[0] = first
+		timer.Reset(g.cfg.BatchTimeout)
+	fill:
+		for len(batch) < g.cfg.MaxBatch {
+			select {
+			case r := <-g.queue:
+				batch = append(batch, r)
+			case <-timer.C:
+				break fill
+			case <-g.stopCh:
+				// Flush what we have; the post-stop drain picks up the rest.
+				break fill
+			}
+		}
+		stopTimer(timer)
+		g.execute(idx, batch)
+	}
+}
+
+func stopTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+}
+
+// drain serves whatever is still queued at shutdown, in MaxBatch groups.
+// Multiple replicas drain concurrently until the queue is empty.
+func (g *Gateway) drain(idx int) {
+	for {
+		batch := make([]*request, 0, g.cfg.MaxBatch)
+		for len(batch) < g.cfg.MaxBatch {
+			select {
+			case r := <-g.queue:
+				batch = append(batch, r)
+			default:
+				goto flush
+			}
+		}
+	flush:
+		if len(batch) == 0 {
+			return
+		}
+		g.execute(idx, batch)
+	}
+}
+
+// execute runs one coalesced batch: expired requests are answered with
+// ErrExpired, the rest go through the current variant's forward path.
+func (g *Gateway) execute(replica int, batch []*request) {
+	now := time.Now()
+	live := batch[:0]
+	for _, r := range batch {
+		if !r.deadline.IsZero() && now.After(r.deadline) {
+			g.m.expired.Inc()
+			r.done <- Response{ID: r.id, Err: ErrExpired, Queue: now.Sub(r.enqueued), Total: now.Sub(r.enqueued)}
+			continue
+		}
+		live = append(live, r)
+	}
+	g.m.queueDepth.Set(float64(len(g.queue)))
+	if len(live) == 0 {
+		return
+	}
+	vi := int(g.variant.Load())
+	v := &g.cfg.Ladder[vi]
+	imgs := make([]*tensor.Tensor, len(live))
+	for i, r := range live {
+		imgs[i] = r.img
+	}
+	_, finish := g.cfg.Tracer.StartSpan(context.Background(), "serving.batch")
+	outs := v.Net.ForwardBatch(imgs, g.cfg.ForwardWorkers)
+	finish(
+		telemetry.L("replica", replica),
+		telemetry.L("batch", len(live)),
+		telemetry.L("variant", v.Degree.Label()),
+	)
+	g.m.batches.Inc()
+	g.m.batchSize.Observe(float64(len(live)))
+	done := time.Now()
+	for i, r := range live {
+		total := done.Sub(r.enqueued)
+		g.m.served.Inc()
+		g.m.queueWait.Observe(now.Sub(r.enqueued).Seconds())
+		g.m.total.Observe(total.Seconds())
+		g.observeLatency(total.Seconds())
+		r.done <- Response{
+			ID:       r.id,
+			Class:    outs[i].TopK(1)[0],
+			Variant:  vi,
+			Degree:   v.Degree.Label(),
+			Accuracy: v.Accuracy,
+			Queue:    now.Sub(r.enqueued),
+			Total:    total,
+			Batch:    len(live),
+		}
+	}
+}
+
+// observeLatency adds one completed-request latency to the controller's
+// current interval window.
+func (g *Gateway) observeLatency(sec float64) {
+	g.windowMu.Lock()
+	g.window = append(g.window, sec)
+	g.windowMu.Unlock()
+}
+
+// takeWindow swaps out the interval window.
+func (g *Gateway) takeWindow() []float64 {
+	g.windowMu.Lock()
+	w := g.window
+	g.window = nil
+	g.windowMu.Unlock()
+	return w
+}
+
+// Stats is a point-in-time view of the gateway's counters, for /status and
+// the loadtest report.
+type Stats struct {
+	Variant    int     `json:"variant"`
+	Degree     string  `json:"degree"`
+	Accuracy   float64 `json:"accuracy"`
+	QueueDepth int     `json:"queue_depth"`
+	QueueCap   int     `json:"queue_cap"`
+	Admitted   int64   `json:"admitted"`
+	Served     int64   `json:"served"`
+	Shed       int64   `json:"shed"`
+	Expired    int64   `json:"expired"`
+	Batches    int64   `json:"batches"`
+	Degrades   int64   `json:"degrades"`
+	Restores   int64   `json:"restores"`
+}
+
+// Stats snapshots the gateway.
+func (g *Gateway) Stats() Stats {
+	vi := int(g.variant.Load())
+	v := g.cfg.Ladder[vi]
+	return Stats{
+		Variant:    vi,
+		Degree:     v.Degree.Label(),
+		Accuracy:   v.Accuracy,
+		QueueDepth: len(g.queue),
+		QueueCap:   g.cfg.QueueCap,
+		Admitted:   g.m.admitted.Value(),
+		Served:     g.m.served.Value(),
+		Shed:       g.m.shed.Value(),
+		Expired:    g.m.expired.Value(),
+		Batches:    g.m.batches.Value(),
+		Degrades:   g.m.degrades.Value(),
+		Restores:   g.m.restores.Value(),
+	}
+}
+
+// CurrentVariant returns the ladder index requests are being served at.
+func (g *Gateway) CurrentVariant() int { return int(g.variant.Load()) }

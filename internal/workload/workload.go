@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 )
 
 // Pattern selects an arrival shape.
@@ -114,6 +115,36 @@ func Generate(cfg Config) (*Trace, error) {
 		return nil, fmt.Errorf("workload: unknown pattern %v", cfg.Pattern)
 	}
 	return tr, nil
+}
+
+// ArrivalTimes expands a trace's per-window counts into individual arrival
+// timestamps (seconds from trace start, sorted ascending). Within each
+// window the arrivals are a Poisson process conditioned on the window's
+// count — i.e. sorted iid-uniform offsets, the standard order-statistics
+// construction — so inter-arrival gaps are exponential-like and bursts
+// cluster naturally. The expansion is deterministic per seed, and every
+// window contributes exactly its count: len(result) == t.Total().
+func ArrivalTimes(t *Trace, windowSeconds float64, seed int64) []float64 {
+	if t == nil || windowSeconds <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, 0, t.Total())
+	for w, count := range t.Windows {
+		if count <= 0 {
+			continue
+		}
+		base := float64(w) * windowSeconds
+		offsets := make([]float64, count)
+		for i := range offsets {
+			offsets[i] = rng.Float64() * windowSeconds
+		}
+		sort.Float64s(offsets)
+		for _, o := range offsets {
+			out = append(out, base+o)
+		}
+	}
+	return out
 }
 
 func flatWeights(n int) []float64 {

@@ -99,6 +99,86 @@ func TestPatternString(t *testing.T) {
 	}
 }
 
+func TestArrivalTimesWindowSums(t *testing.T) {
+	tr, err := Generate(Config{Pattern: Bursty, DailyTotal: 5000, Windows: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const windowSec = 10.0
+	at := ArrivalTimes(tr, windowSec, 99)
+	if int64(len(at)) != tr.Total() {
+		t.Fatalf("got %d arrivals, trace total %d", len(at), tr.Total())
+	}
+	// Sorted ascending, and each window realizes exactly its count.
+	perWindow := make([]int64, len(tr.Windows))
+	for i, a := range at {
+		if i > 0 && a < at[i-1] {
+			t.Fatalf("arrivals not sorted at %d: %v < %v", i, a, at[i-1])
+		}
+		w := int(a / windowSec)
+		if w < 0 || w >= len(tr.Windows) {
+			t.Fatalf("arrival %v outside trace horizon", a)
+		}
+		perWindow[w]++
+	}
+	for w := range perWindow {
+		if perWindow[w] != tr.Windows[w] {
+			t.Fatalf("window %d has %d arrivals, trace says %d", w, perWindow[w], tr.Windows[w])
+		}
+	}
+}
+
+func TestArrivalTimesDeterministic(t *testing.T) {
+	tr, _ := Generate(Config{Pattern: Diurnal, DailyTotal: 1200, Windows: 6})
+	a := ArrivalTimes(tr, 5, 42)
+	b := ArrivalTimes(tr, 5, 42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := ArrivalTimes(tr, 5, 43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical arrivals")
+	}
+}
+
+func TestArrivalTimesEdgeCases(t *testing.T) {
+	if got := ArrivalTimes(nil, 10, 1); got != nil {
+		t.Fatalf("nil trace: %v", got)
+	}
+	tr := &Trace{Windows: []int64{5}}
+	if got := ArrivalTimes(tr, 0, 1); got != nil {
+		t.Fatalf("zero window seconds: %v", got)
+	}
+	// Zero-count windows contribute nothing but keep later windows aligned.
+	tr = &Trace{Windows: []int64{0, 3, 0, 2}}
+	at := ArrivalTimes(tr, 10, 7)
+	if len(at) != 5 {
+		t.Fatalf("got %d arrivals, want 5", len(at))
+	}
+	for _, a := range at[:3] {
+		if a < 10 || a >= 20 {
+			t.Fatalf("arrival %v outside window 1", a)
+		}
+	}
+	for _, a := range at[3:] {
+		if a < 30 || a >= 40 {
+			t.Fatalf("arrival %v outside window 3", a)
+		}
+	}
+}
+
 // Property: Uniform and Diurnal realize the daily total exactly for any
 // window count and total.
 func TestExactTotalProperty(t *testing.T) {

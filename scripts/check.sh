@@ -24,6 +24,11 @@ echo "== go test -race ./..."
 go test -race ./...
 
 echo "== bench smoke (go test -run - -bench . -benchtime 1x)"
-go test -run - -bench . -benchtime 1x .
+go test -run - -bench . -benchtime 1x . ./internal/serving
+
+echo "== loadtest smoke (race-enabled gateway replay)"
+go run -race ./cmd/ccperf loadtest \
+    -requests 300 -duration 2s -windows 4 -replicas 1 \
+    -queue 16 -max-batch 4 -slo 5ms -deadline 250ms -cooldown 300ms
 
 echo "check.sh: all gates passed"
