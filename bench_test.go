@@ -10,6 +10,7 @@ package ccperf
 // of the regeneration itself.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -80,7 +81,7 @@ func BenchmarkAlgorithm1VsExhaustive(b *testing.B) {
 	b.Run("greedy", func(b *testing.B) {
 		var ops int
 		for i := 0; i < b.N; i++ {
-			plan, err := planner.Allocate(req)
+			plan, err := planner.Allocate(context.Background(), req)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -91,7 +92,7 @@ func BenchmarkAlgorithm1VsExhaustive(b *testing.B) {
 	b.Run("exhaustive", func(b *testing.B) {
 		var ops int
 		for i := 0; i < b.N; i++ {
-			plan, err := planner.AllocateExhaustive(req)
+			plan, err := planner.AllocateExhaustive(context.Background(), req)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -235,10 +236,10 @@ func BenchmarkSpaceEnumeration(b *testing.B) {
 	}
 	degrees := prune.SampleDegreesFiltered(models.CaffenetConvNames(), prune.Range(0, 0.9, 0.1), 60, SpaceSeed, keep)
 	pool := cloud.BuildPool(cloud.P2Types(), 3)
-	sp := &explore.Space{Harness: h, Degrees: degrees, Pool: pool, W: W1M}
+	sp := &explore.Space{Pred: h, Degrees: degrees, Pool: pool, W: W1M}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cands, err := sp.Enumerate()
+		cands, err := sp.Enumerate(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

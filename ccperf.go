@@ -23,11 +23,13 @@
 package ccperf
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"ccperf/internal/accuracy"
 	"ccperf/internal/cloud"
+	"ccperf/internal/engine"
 	"ccperf/internal/explore"
 	"ccperf/internal/measure"
 	"ccperf/internal/metrics"
@@ -46,6 +48,7 @@ const (
 type System struct {
 	Model   string
 	harness *measure.Harness
+	engine  *engine.Cache
 }
 
 // NewSystem builds a measurement system for a paper model ("caffenet" or
@@ -55,11 +58,17 @@ func NewSystem(model string) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{Model: model, harness: h}, nil
+	return &System{Model: model, harness: h, engine: engine.NewCache(h)}, nil
 }
 
 // Harness exposes the underlying measurement harness for advanced use.
 func (s *System) Harness() *measure.Harness { return s.harness }
+
+// Predictor exposes the system's shared memoizing prediction engine. Every
+// planner, simulator or serving layer built on this system should consume
+// predictions through it, so repeated (degree, instance-type) evaluations
+// are made once per process.
+func (s *System) Predictor() engine.Predictor { return s.engine }
 
 // Baseline returns the unpruned Top-1/Top-5 accuracy.
 func (s *System) Baseline() (top1, top5 float64) {
@@ -70,12 +79,12 @@ func (s *System) Baseline() (top1, top5 float64) {
 // Measure runs the full measurement of one degree of pruning on one
 // instance type for w images: inference time, pro-rated cost, accuracy,
 // TAR and CAR (Section 3.3's output list).
-func (s *System) Measure(d prune.Degree, instance string, w int64) (metrics.Record, error) {
+func (s *System) Measure(ctx context.Context, d prune.Degree, instance string, w int64) (metrics.Record, error) {
 	inst, err := cloud.ByName(instance)
 	if err != nil {
 		return metrics.Record{}, err
 	}
-	return s.harness.Record(d, inst, 0, w)
+	return s.harness.Record(ctx, d, inst, 0, w)
 }
 
 // SweetSpot describes a layer's sweet-spot region (Observation 1): the
@@ -88,14 +97,14 @@ type SweetSpot struct {
 
 // SweetSpots sweeps each layer at 10% steps on p2.xlarge and reports the
 // sweet-spot end per layer.
-func (s *System) SweetSpots(layers []string, w int64) ([]SweetSpot, error) {
+func (s *System) SweetSpots(ctx context.Context, layers []string, w int64) ([]SweetSpot, error) {
 	inst, err := cloud.ByName("p2.xlarge")
 	if err != nil {
 		return nil, err
 	}
 	var out []SweetSpot
 	for _, layer := range layers {
-		pts, err := s.harness.LayerSweep(layer, prune.Range(0, 0.9, 0.1), inst, w)
+		pts, err := s.harness.LayerSweep(ctx, layer, prune.Range(0, 0.9, 0.1), inst, w)
 		if err != nil {
 			return nil, err
 		}
@@ -211,7 +220,7 @@ func (p *Planner) space(r *Request) (*explore.Space, explore.Input, error) {
 	if r.CapacityWeighted {
 		dist = cloud.CapacityWeighted
 	}
-	sp := &explore.Space{Harness: p.sys.harness, Degrees: degrees, Pool: pool, W: r.Images, Dist: dist, Workers: r.Workers}
+	sp := &explore.Space{Pred: p.sys.engine, Degrees: degrees, Pool: pool, W: r.Images, Dist: dist, Workers: r.Workers}
 	in := explore.Input{
 		Degrees: degrees, Pool: pool, W: r.Images,
 		Deadline: deadline, Budget: budget, Metric: metric, Dist: dist,
@@ -237,19 +246,19 @@ func (p *Planner) degrees(r *Request) []prune.Degree {
 		layers = models.GooglenetSelectedConvNames()
 	}
 	keep := func(d prune.Degree) bool {
-		a, err := p.sys.harness.Eval.Evaluate(d)
+		a, err := p.sys.engine.Accuracy(context.Background(), d)
 		return err == nil && a.Top1 >= 0.15
 	}
 	return prune.SampleDegreesFiltered(layers, prune.Range(0, 0.9, 0.1), r.Variants, r.Seed, keep)
 }
 
 // Allocate runs Algorithm 1: greedy TAR/CAR-guided allocation.
-func (p *Planner) Allocate(r Request) (Plan, error) {
+func (p *Planner) Allocate(ctx context.Context, r Request) (Plan, error) {
 	_, in, err := p.space(&r)
 	if err != nil {
 		return Plan{}, err
 	}
-	res, err := explore.Allocate(p.sys.harness, in)
+	res, err := explore.Allocate(ctx, p.sys.engine, in)
 	if err != nil {
 		return Plan{}, err
 	}
@@ -257,12 +266,12 @@ func (p *Planner) Allocate(r Request) (Plan, error) {
 }
 
 // AllocateExhaustive runs the exponential brute-force baseline.
-func (p *Planner) AllocateExhaustive(r Request) (Plan, error) {
+func (p *Planner) AllocateExhaustive(ctx context.Context, r Request) (Plan, error) {
 	_, in, err := p.space(&r)
 	if err != nil {
 		return Plan{}, err
 	}
-	res, err := explore.Exhaustive(p.sys.harness, in)
+	res, err := explore.Exhaustive(ctx, p.sys.engine, in)
 	if err != nil {
 		return Plan{}, err
 	}
@@ -292,12 +301,12 @@ type FrontierPoint struct {
 // Frontiers enumerates the joint space under the request's constraints and
 // returns (feasible count, time-accuracy frontier, cost-accuracy frontier)
 // — the machinery of Figures 9 and 10.
-func (p *Planner) Frontiers(r Request) (int, []FrontierPoint, []FrontierPoint, error) {
+func (p *Planner) Frontiers(ctx context.Context, r Request) (int, []FrontierPoint, []FrontierPoint, error) {
 	sp, in, err := p.space(&r)
 	if err != nil {
 		return 0, nil, nil, err
 	}
-	cands, err := sp.Enumerate()
+	cands, err := sp.Enumerate(ctx)
 	if err != nil {
 		return 0, nil, nil, err
 	}

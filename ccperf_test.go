@@ -1,6 +1,7 @@
 package ccperf
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -29,14 +30,14 @@ func TestSystemMeasure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec, err := sys.Measure(prune.NewDegree("conv2", 0.5), "p2.xlarge", W50k)
+	rec, err := sys.Measure(context.Background(), prune.NewDegree("conv2", 0.5), "p2.xlarge", W50k)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rec.Seconds/60 < 15 || rec.Seconds/60 > 18 {
 		t.Fatalf("conv2@50%% time = %v min, want ~16.7", rec.Seconds/60)
 	}
-	if _, err := sys.Measure(prune.Degree{}, "nope", W50k); err == nil {
+	if _, err := sys.Measure(context.Background(), prune.Degree{}, "nope", W50k); err == nil {
 		t.Fatal("expected error for unknown instance")
 	}
 }
@@ -46,7 +47,7 @@ func TestSystemSweetSpots(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	spots, err := sys.SweetSpots([]string{"conv1", "conv2"}, W50k)
+	spots, err := sys.SweetSpots(context.Background(), []string{"conv1", "conv2"}, W50k)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestPlannerAllocateRespectsConstraints(t *testing.T) {
 		t.Fatal(err)
 	}
 	req := Request{Images: W1M, DeadlineHours: 0.63, BudgetUSD: 5}
-	plan, err := p.Allocate(req)
+	plan, err := p.Allocate(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,11 +95,11 @@ func TestPlannerGreedyNeverBeatsExhaustive(t *testing.T) {
 	}
 	for _, budget := range []float64{3, 5, 8} {
 		req := Request{Images: W1M, DeadlineHours: 0.75, BudgetUSD: budget, Variants: 25}
-		g, err := p.Allocate(req)
+		g, err := p.Allocate(context.Background(), req)
 		if err != nil {
 			t.Fatal(err)
 		}
-		e, err := p.AllocateExhaustive(req)
+		e, err := p.AllocateExhaustive(context.Background(), req)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -119,7 +120,7 @@ func TestPlannerFrontiers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n, tf, cf, err := p.Frontiers(Request{Images: W1M, DeadlineHours: 0.63, Variants: 20})
+	n, tf, cf, err := p.Frontiers(context.Background(), Request{Images: W1M, DeadlineHours: 0.63, Variants: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestPlannerUnknownPoolType(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = p.Allocate(Request{Images: 100, PoolTypes: []string{"m5.large"}})
+	_, err = p.Allocate(context.Background(), Request{Images: 100, PoolTypes: []string{"m5.large"}})
 	if err == nil || !strings.Contains(err.Error(), "unknown instance") {
 		t.Fatalf("err = %v", err)
 	}
@@ -168,7 +169,7 @@ func TestGooglenetPlanner(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := p.Allocate(Request{Images: 200_000, DeadlineHours: 5, BudgetUSD: 50, Variants: 10})
+	plan, err := p.Allocate(context.Background(), Request{Images: 200_000, DeadlineHours: 5, BudgetUSD: 50, Variants: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,13 +187,13 @@ func TestCapacityWeightedNeverSlower(t *testing.T) {
 		t.Fatal(err)
 	}
 	base := Request{Images: W1M, DeadlineHours: 0.4, BudgetUSD: 4, Variants: 20}
-	even, err := p.Allocate(base)
+	even, err := p.Allocate(context.Background(), base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	weighted := base
 	weighted.CapacityWeighted = true
-	w, err := p.Allocate(weighted)
+	w, err := p.Allocate(context.Background(), weighted)
 	if err != nil {
 		t.Fatal(err)
 	}

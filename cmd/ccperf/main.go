@@ -14,11 +14,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -46,18 +48,22 @@ func main() {
 		os.Exit(2)
 	}
 	cmd, args := os.Args[1], os.Args[2:]
+	// Interrupt (Ctrl-C) cancels the context, which propagates down to the
+	// exploration workers and measurement loops.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	var err error
 	switch cmd {
 	case "characterize":
 		err = characterize(args)
 	case "sweep":
-		err = sweep(args)
+		err = sweep(ctx, args)
 	case "sweetspots":
-		err = sweetspots(args)
+		err = sweetspots(ctx, args)
 	case "pareto":
-		err = paretoCmd(args)
+		err = paretoCmd(ctx, args)
 	case "allocate":
-		err = allocate(args)
+		err = allocate(ctx, args)
 	case "tables":
 		err = tables()
 	case "compress":
@@ -71,7 +77,7 @@ func main() {
 	case "spec":
 		err = specCmd(args)
 	case "serve":
-		err = serveCmd(args)
+		err = serveCmd(ctx, args)
 	case "benchjson":
 		err = benchjsonCmd(args)
 	case "help", "-h", "--help":
@@ -182,7 +188,7 @@ func characterize(args []string) error {
 	return nil
 }
 
-func sweep(args []string) error {
+func sweep(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	model := modelFlag(fs)
 	layer := fs.String("layer", "conv2", "layer to prune")
@@ -198,7 +204,7 @@ func sweep(args []string) error {
 	if err != nil {
 		return err
 	}
-	pts, err := sys.Harness().LayerSweep(*layer, prune.Range(0, 0.9, 0.1), inst, *images)
+	pts, err := sys.Harness().LayerSweep(ctx, *layer, prune.Range(0, 0.9, 0.1), inst, *images)
 	if err != nil {
 		return err
 	}
@@ -211,7 +217,7 @@ func sweep(args []string) error {
 	return nil
 }
 
-func sweetspots(args []string) error {
+func sweetspots(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("sweetspots", flag.ExitOnError)
 	model := modelFlag(fs)
 	images := fs.Int64("images", ccperf.W50k, "inference workload size")
@@ -227,7 +233,7 @@ func sweetspots(args []string) error {
 	} else {
 		layers = models.GooglenetSelectedConvNames()
 	}
-	spots, err := sys.SweetSpots(layers, *images)
+	spots, err := sys.SweetSpots(ctx, layers, *images)
 	if err != nil {
 		return err
 	}
@@ -249,7 +255,7 @@ func requestFlags(fs *flag.FlagSet) (*int64, *float64, *float64, *int, *bool) {
 	return images, deadline, budget, variants, top5
 }
 
-func paretoCmd(args []string) error {
+func paretoCmd(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("pareto", flag.ExitOnError)
 	model := modelFlag(fs)
 	images, deadline, budget, variants, top5 := requestFlags(fs)
@@ -265,7 +271,7 @@ func paretoCmd(args []string) error {
 	if err := req.Validate(); err != nil {
 		return err
 	}
-	n, tf, cf, err := p.Frontiers(req)
+	n, tf, cf, err := p.Frontiers(ctx, req)
 	if err != nil {
 		return err
 	}
@@ -283,7 +289,7 @@ func paretoCmd(args []string) error {
 	return writeTelemetry(*metricsOut, *traceOut)
 }
 
-func allocate(args []string) error {
+func allocate(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("allocate", flag.ExitOnError)
 	model := modelFlag(fs)
 	images, deadline, budget, variants, top5 := requestFlags(fs)
@@ -300,13 +306,13 @@ func allocate(args []string) error {
 	if err := req.Validate(); err != nil {
 		return err
 	}
-	plan, err := p.Allocate(req)
+	plan, err := p.Allocate(ctx, req)
 	if err != nil {
 		return err
 	}
 	printPlan("Algorithm 1 (TAR/CAR greedy)", plan)
 	if *exhaustive {
-		best, err := p.AllocateExhaustive(req)
+		best, err := p.AllocateExhaustive(ctx, req)
 		if err != nil {
 			return err
 		}
@@ -459,11 +465,7 @@ func simulateCmd(args []string) error {
 		return err
 	}
 	jobs := cluster.JobsFromWindows(trace.Windows, 3600, *chunk, *slack)
-	res, err := cluster.Run(cluster.Config{
-		Fleet:   cfg.Instances,
-		Perf:    sys.Harness().Perf(degree, 0),
-		Horizon: 24 * 3600,
-	}, jobs)
+	res, err := cluster.Run(cluster.ConfigFor(sys.Predictor(), degree, cfg.Instances, 24*3600), jobs)
 	if err != nil {
 		return err
 	}
@@ -597,7 +599,7 @@ func loadtestCmd(args []string) error {
 // small joint-space enumeration so the endpoint has data to show; with
 // -gateway it also starts an inference gateway and mounts its /infer and
 // /gateway/status routes on the same listener.
-func serveCmd(args []string) error {
+func serveCmd(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	model := modelFlag(fs)
@@ -613,7 +615,7 @@ func serveCmd(args []string) error {
 		if err != nil {
 			return err
 		}
-		if _, _, _, err := p.Frontiers(ccperf.Request{Images: ccperf.W1M, DeadlineHours: 0.63}); err != nil {
+		if _, _, _, err := p.Frontiers(ctx, ccperf.Request{Images: ccperf.W1M, DeadlineHours: 0.63}); err != nil {
 			return err
 		}
 		fmt.Fprintln(os.Stderr, "serve: demo enumeration done, metrics populated")

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,6 +16,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	planner, err := ccperf.NewPlanner(ccperf.Caffenet)
 	if err != nil {
 		log.Fatal(err)
@@ -28,11 +30,11 @@ func main() {
 		"Budget ($)", "Greedy Top-1 (%)", "Greedy cost ($)", "Optimal Top-1 (%)", "Optimal cost ($)", "Greedy evals", "Exhaustive evals")
 	for _, budget := range []float64{2.5, 3, 4, 5, 6, 8} {
 		req := ccperf.Request{Images: images, DeadlineHours: deadlineH, BudgetUSD: budget}
-		greedy, err := planner.Allocate(req)
+		greedy, err := planner.Allocate(ctx, req)
 		if err != nil {
 			log.Fatal(err)
 		}
-		exact, err := planner.AllocateExhaustive(req)
+		exact, err := planner.AllocateExhaustive(ctx, req)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -52,7 +54,7 @@ func main() {
 	// At the mid budget, show the cost-accuracy frontier the consumer is
 	// actually choosing from.
 	req := ccperf.Request{Images: images, BudgetUSD: 5}
-	n, _, costFrontier, err := planner.Frontiers(req)
+	n, _, costFrontier, err := planner.Frontiers(ctx, req)
 	if err != nil {
 		log.Fatal(err)
 	}

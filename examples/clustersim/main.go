@@ -76,7 +76,7 @@ func main() {
 		for _, d := range degrees {
 			res, err := cluster.Run(cluster.Config{
 				Fleet:   f.fleet,
-				Perf:    sys.Harness().Perf(d.d, 0),
+				Perf:    sys.Predictor().Perf(d.d, 0),
 				Horizon: 24 * 3600,
 			}, jobs)
 			if err != nil {
@@ -97,7 +97,7 @@ func main() {
 	// lags it by an hour and pays at burst onset.
 	at := report.NewTable("Autoscaled p2.xlarge fleet (sweet-spot degree, 5-min boot delay)",
 		"Predictor", "p50 resp (min)", "p95 resp (min)", "Misses", "Util (%)", "Cost ($/day)", "Peak fleet")
-	perf := sys.Harness().Perf(prune.NewDegree("conv1", 0.3, "conv2", 0.5), 0)
+	perf := sys.Predictor().Perf(prune.NewDegree("conv1", 0.3, "conv2", 0.5), 0)
 	specXL, err := cluster.SpecFor(xl, perf)
 	if err != nil {
 		log.Fatal(err)
@@ -130,7 +130,7 @@ func main() {
 	for _, d := range degrees {
 		res, err := cluster.Run(cluster.Config{
 			Fleet:   fleets[0].fleet,
-			Perf:    sys.Harness().Perf(d.d, 0),
+			Perf:    sys.Predictor().Perf(d.d, 0),
 			Horizon: 24 * 3600,
 		}, jobs)
 		if err != nil {

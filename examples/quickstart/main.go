@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// 1. A measurement system for the paper's Caffenet CNN.
 	sys, err := ccperf.NewSystem(ccperf.Caffenet)
 	if err != nil {
@@ -24,7 +26,7 @@ func main() {
 	// 2. Measure a degree of pruning on one EC2 instance: time, pro-rated
 	// cost, accuracy, and the paper's TAR/CAR metrics.
 	degree := prune.NewDegree("conv1", 0.3, "conv2", 0.5) // Figure 8's conv1-2
-	rec, err := sys.Measure(degree, "p2.xlarge", 50_000)
+	rec, err := sys.Measure(ctx, degree, "p2.xlarge", 50_000)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,7 +36,7 @@ func main() {
 
 	// 3. Find each layer's sweet-spot: the deepest pruning with no
 	// accuracy loss (Observation 1).
-	spots, err := sys.SweetSpots([]string{"conv1", "conv2", "conv3"}, 50_000)
+	spots, err := sys.SweetSpots(ctx, []string{"conv1", "conv2", "conv3"}, 50_000)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,7 +51,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	plan, err := planner.Allocate(ccperf.Request{
+	plan, err := planner.Allocate(ctx, ccperf.Request{
 		Images:        1_000_000,
 		DeadlineHours: 0.66,
 		BudgetUSD:     5,

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,6 +30,7 @@ const (
 )
 
 func main() {
+	ctx := context.Background()
 	planner, err := ccperf.NewPlanner(ccperf.Caffenet)
 	if err != nil {
 		log.Fatal(err)
@@ -60,7 +62,7 @@ func main() {
 		misses := 0
 		var top5 float64
 		for _, photos := range trace.Windows {
-			rec, err := sys.Measure(p.d, "p2.16xlarge", photos)
+			rec, err := sys.Measure(ctx, p.d, "p2.16xlarge", photos)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -83,7 +85,7 @@ func main() {
 	var dayCost float64
 	adaptMisses := 0
 	for hour, photos := range trace.Windows {
-		plan, err := planner.Allocate(ccperf.Request{
+		plan, err := planner.Allocate(ctx, ccperf.Request{
 			Images:        photos,
 			DeadlineHours: deadlineHours,
 			BudgetUSD:     hourlyBudget,

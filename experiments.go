@@ -1,12 +1,14 @@
 package ccperf
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
 
 	"ccperf/internal/cloud"
+	"ccperf/internal/engine"
 	"ccperf/internal/explore"
 	"ccperf/internal/measure"
 	"ccperf/internal/metrics"
@@ -165,7 +167,7 @@ func expFig3() (*Result, error) {
 	if err := net.Init(1); err != nil {
 		return nil, err
 	}
-	shares, err := h.LayerDistribution(net, prune.Degree{}, p2xlarge())
+	shares, err := h.LayerDistribution(context.Background(), net, prune.Degree{}, p2xlarge())
 	if err != nil {
 		return nil, err
 	}
@@ -203,7 +205,7 @@ func expFig4() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		pts, err := h.SingleInferenceSweep(layers, prune.Range(0, 0.9, 0.1), p2xlarge())
+		pts, err := h.SingleInferenceSweep(context.Background(), layers, prune.Range(0, 0.9, 0.1), p2xlarge())
 		if err != nil {
 			return nil, err
 		}
@@ -255,7 +257,7 @@ func expFig5() (*Result, error) {
 		return nil, err
 	}
 	parallel := []int{1, 5, 10, 20, 50, 100, 150, 200, 300, 400, 600, 800, 1000, 1400, 2000}
-	pts, err := h.SaturationSweep(parallel, p2xlarge(), W50k)
+	pts, err := h.SaturationSweep(context.Background(), parallel, p2xlarge(), W50k)
 	if err != nil {
 		return nil, err
 	}
@@ -293,7 +295,7 @@ func layerSweepExperiment(model string, layers []string, w int64) (*Result, erro
 	}
 	var eps []endpoints
 	for _, layer := range layers {
-		pts, err := h.LayerSweep(layer, prune.Range(0, 0.9, 0.1), p2xlarge(), w)
+		pts, err := h.LayerSweep(context.Background(), layer, prune.Range(0, 0.9, 0.1), p2xlarge(), w)
 		if err != nil {
 			return nil, err
 		}
@@ -374,7 +376,7 @@ func expFig8() (*Result, error) {
 	tb := report.NewTable("", "Prune configuration", "Time (min)", "Top-1 (%)", "Top-5 (%)")
 	vals := map[string]metrics.Record{}
 	for _, c := range cases {
-		rec, err := h.Record(c.d, p2xlarge(), 0, W50k)
+		rec, err := h.Record(context.Background(), c.d, p2xlarge(), 0, W50k)
 		if err != nil {
 			return nil, err
 		}
@@ -407,8 +409,8 @@ func fig9Space() (*explore.Space, []explore.Candidate, error) {
 	}
 	degrees := prune.SampleDegreesFiltered(models.CaffenetConvNames(), prune.Range(0, 0.9, 0.1), 60, SpaceSeed, keep)
 	pool := cloud.BuildPool(cloud.P2Types(), 3)
-	sp := &explore.Space{Harness: h, Degrees: degrees, Pool: pool, W: W1M}
-	cands, err := sp.Enumerate()
+	sp := &explore.Space{Pred: engine.NewCache(h), Degrees: degrees, Pool: pool, W: W1M}
+	cands, err := sp.Enumerate(context.Background())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -581,7 +583,7 @@ func expFig11() (*Result, error) {
 	}
 	var pts []pt
 	for _, d := range grid {
-		rec, err := h.Record(d, p2xlarge(), 0, W50k)
+		rec, err := h.Record(context.Background(), d, p2xlarge(), 0, W50k)
 		if err != nil {
 			return nil, err
 		}
@@ -632,11 +634,11 @@ func expFig12() (*Result, error) {
 	tb := report.NewTable("", "Resource type", "CAR Top-1 all GPUs ($)", "CAR Top-5 all GPUs ($)", "CAR Top-1 one GPU ($)", "CAR Top-5 one GPU ($)")
 	carAll := map[string]float64{}
 	for _, inst := range cloud.Catalog() {
-		allSec, err := h.TotalSeconds(d, inst, 0, W50k)
+		allSec, err := h.TotalSeconds(context.Background(), d, inst, 0, W50k)
 		if err != nil {
 			return nil, err
 		}
-		oneSec, err := h.TotalSeconds(d, inst, 1, W50k)
+		oneSec, err := h.TotalSeconds(context.Background(), d, inst, 1, W50k)
 		if err != nil {
 			return nil, err
 		}
@@ -687,11 +689,11 @@ func expAlg1() (*Result, error) {
 		DeadlineHours: Fig9DeadlineSeconds / 3600,
 		BudgetUSD:     Fig10BudgetUSD,
 	}
-	greedy, err := p.Allocate(req)
+	greedy, err := p.Allocate(context.Background(), req)
 	if err != nil {
 		return nil, err
 	}
-	exact, err := p.AllocateExhaustive(req)
+	exact, err := p.AllocateExhaustive(context.Background(), req)
 	if err != nil {
 		return nil, err
 	}

@@ -1,11 +1,13 @@
 package ccperf
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
 	"ccperf/internal/cloud"
+	"ccperf/internal/engine"
 	"ccperf/internal/explore"
 	"ccperf/internal/models"
 	"ccperf/internal/prune"
@@ -52,6 +54,7 @@ func expRobustness() (*Result, error) {
 		return nil, err
 	}
 	pool := cloud.BuildPool(cloud.P2Types(), 3)
+	cache := engine.NewCache(h)
 	tb := report.NewTable("", "Seed", "Feasible (T')", "Time-frontier", "Cost-frontier", "Best Top-1 (%)", "Max time cut (%)")
 	minFr, maxFr := math.MaxInt, 0
 	for _, seed := range []int64{7, 21, 42, 99, 1234} {
@@ -60,8 +63,8 @@ func expRobustness() (*Result, error) {
 			return err == nil && a.Top1 >= 0.15
 		}
 		degrees := prune.SampleDegreesFiltered(models.CaffenetConvNames(), prune.Range(0, 0.9, 0.1), 60, seed, keep)
-		sp := &explore.Space{Harness: h, Degrees: degrees, Pool: pool, W: W1M}
-		cands, err := sp.Enumerate()
+		sp := &explore.Space{Pred: cache, Degrees: degrees, Pool: pool, W: W1M}
+		cands, err := sp.Enumerate(context.Background())
 		if err != nil {
 			return nil, err
 		}

@@ -210,3 +210,85 @@ func TestEstimateMonotoneProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSubsetsExactCount pins the 2^n−1 invariant the exploration layer's
+// complexity claims rest on, across pool sizes.
+func TestSubsetsExactCount(t *testing.T) {
+	a, _ := ByName("p2.xlarge")
+	b, _ := ByName("p2.8xlarge")
+	for n := 1; n <= 6; n++ {
+		pool := make([]*Instance, n)
+		for i := range pool {
+			if i%2 == 0 {
+				pool[i] = a
+			} else {
+				pool[i] = b
+			}
+		}
+		cfgs := Subsets(pool)
+		if want := (1 << n) - 1; len(cfgs) != want {
+			t.Fatalf("n=%d: subsets = %d, want %d", n, len(cfgs), want)
+		}
+		for _, c := range cfgs {
+			if c.Empty() {
+				t.Fatalf("n=%d: empty subset emitted", n)
+			}
+		}
+	}
+}
+
+// TestUniqueMultisetsIdempotent pins dedup idempotence and first-seen
+// ordering: a second pass changes nothing, and surviving labels keep the
+// order of their first appearance.
+func TestUniqueMultisetsIdempotent(t *testing.T) {
+	pool := BuildPool(P2Types(), 2)
+	cfgs := Subsets(pool)
+	once := UniqueMultisets(cfgs)
+	twice := UniqueMultisets(once)
+	if len(once) != len(twice) {
+		t.Fatalf("idempotence broken: %d then %d", len(once), len(twice))
+	}
+	for i := range once {
+		if once[i].Label() != twice[i].Label() {
+			t.Fatalf("order changed at %d: %s vs %s", i, once[i].Label(), twice[i].Label())
+		}
+	}
+	// First-seen order: each label's first index in cfgs must be increasing.
+	last := -1
+	for _, u := range once {
+		l := u.Label()
+		first := -1
+		for i, c := range cfgs {
+			if c.Label() == l {
+				first = i
+				break
+			}
+		}
+		if first <= last {
+			t.Fatalf("label %s out of first-seen order (index %d after %d)", l, first, last)
+		}
+		last = first
+	}
+}
+
+// TestConfigLabelOrderInvariant pins that Label is a canonical multiset
+// rendering: any permutation of the same instances produces the identical,
+// name-sorted label.
+func TestConfigLabelOrderInvariant(t *testing.T) {
+	a, _ := ByName("p2.xlarge")
+	b, _ := ByName("p2.8xlarge")
+	c, _ := ByName("p2.16xlarge")
+	want := NewConfig(a, a, b, c).Label()
+	perms := [][]*Instance{
+		{a, a, b, c}, {c, b, a, a}, {a, b, a, c}, {b, a, c, a}, {c, a, b, a},
+	}
+	for _, p := range perms {
+		if got := NewConfig(p...).Label(); got != want {
+			t.Fatalf("permutation label = %q, want %q", got, want)
+		}
+	}
+	// Sorted type names: p2.16xlarge < p2.8xlarge < p2.xlarge lexically.
+	if want != "1xp2.16xlarge+1xp2.8xlarge+2xp2.xlarge" {
+		t.Fatalf("canonical label = %q", want)
+	}
+}

@@ -1,6 +1,7 @@
 package cloud
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -69,5 +70,37 @@ func TestParseConfigRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestParseConfigMalformed covers the error paths one by one: unknown
+// types, empty specs, and malformed count prefixes.
+func TestParseConfigMalformed(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // substring of the error
+	}{
+		{"", "empty configuration"},
+		{"   ", "empty configuration"},
+		{"empty", "empty configuration"},
+		{"+", "no instances"},
+		{"+,+", "no instances"},
+		{"nosuch.type", "unknown instance"},
+		{"2xnosuch.type", "unknown instance"},
+		{"p2.xlarge+bogus", "unknown instance"},
+		{"0xp2.xlarge", "non-positive count"},
+		{"-3xp2.xlarge", "non-positive count"},
+		{"1.5xp2.xlarge", "unknown instance"}, // non-integer prefix is read as a name
+		{"xp2.xlarge", "unknown instance"},    // bare leading x is part of the name
+	}
+	for _, c := range cases {
+		_, err := ParseConfig(c.in)
+		if err == nil {
+			t.Errorf("ParseConfig(%q) should fail", c.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseConfig(%q) error = %v, want substring %q", c.in, err, c.want)
+		}
 	}
 }

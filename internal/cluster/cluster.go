@@ -20,6 +20,8 @@ import (
 	"sort"
 
 	"ccperf/internal/cloud"
+	"ccperf/internal/engine"
+	"ccperf/internal/prune"
 	"ccperf/internal/telemetry"
 )
 
@@ -52,12 +54,20 @@ func (s JobStat) Response() float64 { return s.Finish - s.Job.Arrival }
 type Config struct {
 	// Fleet is the rented instance set (billed for the whole horizon).
 	Fleet []*cloud.Instance
-	// Perf supplies batch times (typically measure.Harness.Perf at a
-	// fixed degree of pruning).
+	// Perf supplies batch times (typically engine.Predictor.Perf at a
+	// fixed degree of pruning — see ConfigFor).
 	Perf cloud.Perf
 	// Horizon is the billing horizon in seconds; 0 bills until the last
 	// job finishes.
 	Horizon float64
+}
+
+// ConfigFor builds a simulation Config whose service times come from the
+// given predictor at a fixed degree of pruning — pass an engine.Cache and
+// the fleet simulation reuses the same memoized batch-time evaluations as
+// the exploration and serving layers.
+func ConfigFor(pred engine.Predictor, d prune.Degree, fleet []*cloud.Instance, horizon float64) Config {
+	return Config{Fleet: fleet, Perf: pred.Perf(d, 0), Horizon: horizon}
 }
 
 // Result summarizes a run.

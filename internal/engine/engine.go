@@ -1,0 +1,60 @@
+// Package engine unifies the system's prediction paths behind one
+// interface. The paper's analytical models (Section 3.4, Equations 1–4)
+// exist to make one measurement serve many configurations: a single
+// per-batch time t_{b,a} answers for every multiset configuration that
+// includes the instance type, and a single per-degree accuracy answers for
+// every resource configuration hosting that degree. Predictor is that
+// contract — "given a degree of pruning and a resource, what does one
+// batch cost, what does the workload cost, how accurate is the model" —
+// and Cache is the memoization layer that makes predictions cheap enough
+// to reuse across the joint-space exploration (internal/explore), the
+// fleet simulator (internal/cluster) and the serving ladder
+// (internal/serving).
+//
+// The canonical implementation is *measure.Harness (the run-3-take-min
+// measurement harness over the calibrated GPU simulator); wrap it in
+// NewCache and every consumer shares one set of evaluations. Memoization
+// is sound because the substrate is deterministic: the simulator's
+// virtualization jitter is a pure function of the run identity
+// (gpusim.JitteredBatchTime), so re-evaluating a key can never produce a
+// different value.
+package engine
+
+import (
+	"context"
+
+	"ccperf/internal/accuracy"
+	"ccperf/internal/cloud"
+	"ccperf/internal/prune"
+)
+
+// AccuracySource predicts inference accuracy as a function of the degree
+// of pruning — the slice of Predictor the serving ladder's calibration
+// needs.
+type AccuracySource interface {
+	// Accuracy returns the Top-1/Top-5 accuracy of the model pruned by d.
+	Accuracy(ctx context.Context, d prune.Degree) (accuracy.TopK, error)
+}
+
+// Predictor answers the three questions every planning, simulation and
+// serving layer asks, for one model. Implementations must be
+// deterministic — the same arguments always yield the same value — and
+// safe for concurrent use; both properties are what allow Cache to
+// memoize and deduplicate evaluations.
+type Predictor interface {
+	AccuracySource
+
+	// BatchSeconds predicts the time of one batch of b images on gpus
+	// GPUs of the instance (0 < gpus ≤ inst.GPUs), at degree d — the
+	// measured t_{b,a} of Section 3.3.
+	BatchSeconds(ctx context.Context, d prune.Degree, inst *cloud.Instance, gpus, b int) (float64, error)
+
+	// TotalSeconds predicts the time to infer w images on one instance
+	// using gpus GPUs (0 ⇒ all), at saturated batch size.
+	TotalSeconds(ctx context.Context, d prune.Degree, inst *cloud.Instance, gpus int, w int64) (float64, error)
+
+	// Perf adapts the predictor to the analytical model's cloud.Perf
+	// (Equations 1–4) at degree d, utilizing gpus GPUs per instance
+	// (0 ⇒ all).
+	Perf(d prune.Degree, gpus int) cloud.Perf
+}

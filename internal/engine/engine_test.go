@@ -1,0 +1,255 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ccperf/internal/accuracy"
+	"ccperf/internal/cloud"
+	"ccperf/internal/prune"
+	"ccperf/internal/telemetry"
+)
+
+// fakePredictor counts evaluations and can block or fail on demand.
+type fakePredictor struct {
+	batchCalls atomic.Int64
+	totalCalls atomic.Int64
+	accCalls   atomic.Int64
+	perfCalls  atomic.Int64
+
+	block chan struct{} // if non-nil, BatchSeconds waits for it
+	fail  atomic.Bool   // if set, evaluations error
+}
+
+func (f *fakePredictor) BatchSeconds(ctx context.Context, d prune.Degree, inst *cloud.Instance, gpus, b int) (float64, error) {
+	f.batchCalls.Add(1)
+	if f.block != nil {
+		<-f.block
+	}
+	if f.fail.Load() {
+		return 0, errors.New("boom")
+	}
+	return float64(gpus*b) + d.Ratio("conv1"), nil
+}
+
+func (f *fakePredictor) TotalSeconds(ctx context.Context, d prune.Degree, inst *cloud.Instance, gpus int, w int64) (float64, error) {
+	f.totalCalls.Add(1)
+	if f.fail.Load() {
+		return 0, errors.New("boom")
+	}
+	return float64(w), nil
+}
+
+func (f *fakePredictor) Accuracy(ctx context.Context, d prune.Degree) (accuracy.TopK, error) {
+	f.accCalls.Add(1)
+	if f.fail.Load() {
+		return accuracy.TopK{}, errors.New("boom")
+	}
+	return accuracy.TopK{Top1: 0.56, Top5: 0.8}, nil
+}
+
+func (f *fakePredictor) Perf(d prune.Degree, gpus int) cloud.Perf {
+	return fakePerf{f: f}
+}
+
+type fakePerf struct{ f *fakePredictor }
+
+func (p fakePerf) BatchTime(it *cloud.Instance, b int) float64 {
+	p.f.perfCalls.Add(1)
+	return float64(b) * 0.001
+}
+
+func (p fakePerf) MaxBatch(it *cloud.Instance) int { return 300 * it.GPUs }
+
+func p2(t *testing.T) *cloud.Instance {
+	t.Helper()
+	i, err := cloud.ByName("p2.xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return i
+}
+
+func TestCacheMemoizesEachNamespace(t *testing.T) {
+	telemetry.Reset()
+	defer telemetry.Reset()
+	f := &fakePredictor{}
+	c := NewCache(f)
+	ctx := context.Background()
+	d := prune.NewDegree("conv1", 0.5)
+	inst := p2(t)
+
+	for i := 0; i < 3; i++ {
+		if _, err := c.BatchSeconds(ctx, d, inst, 1, 300); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.TotalSeconds(ctx, d, inst, 0, 50_000); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Accuracy(ctx, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.batchCalls.Load(); got != 1 {
+		t.Fatalf("batch evaluations = %d, want 1", got)
+	}
+	if got := f.totalCalls.Load(); got != 1 {
+		t.Fatalf("total evaluations = %d, want 1", got)
+	}
+	if got := f.accCalls.Load(); got != 1 {
+		t.Fatalf("accuracy evaluations = %d, want 1", got)
+	}
+	if got := telemetry.Default.Counter("engine.cache_misses").Value(); got != 3 {
+		t.Fatalf("cache_misses = %d, want 3", got)
+	}
+	if got := telemetry.Default.Counter("engine.cache_hits").Value(); got != 6 {
+		t.Fatalf("cache_hits = %d, want 6", got)
+	}
+	if got := c.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	if got := telemetry.Default.Gauge("engine.cache_entries").Value(); got != 3 {
+		t.Fatalf("cache_entries gauge = %v, want 3", got)
+	}
+	if h := telemetry.Default.Histogram("engine.fill_seconds", nil); h.Count() != 3 {
+		t.Fatalf("fill_seconds count = %d, want 3", h.Count())
+	}
+}
+
+func TestCacheDistinguishesKeys(t *testing.T) {
+	f := &fakePredictor{}
+	c := NewCache(f)
+	ctx := context.Background()
+	inst := p2(t)
+	d1 := prune.NewDegree("conv1", 0.3)
+	d2 := prune.NewDegree("conv1", 0.7)
+
+	a, _ := c.BatchSeconds(ctx, d1, inst, 1, 300)
+	b, _ := c.BatchSeconds(ctx, d2, inst, 1, 300)
+	if a == b {
+		t.Fatalf("distinct degrees collided: %v == %v", a, b)
+	}
+	c.BatchSeconds(ctx, d1, inst, 2, 300) // distinct gpus
+	c.BatchSeconds(ctx, d1, inst, 1, 600) // distinct batch
+	if got := f.batchCalls.Load(); got != 4 {
+		t.Fatalf("batch evaluations = %d, want 4", got)
+	}
+}
+
+func TestCacheDedupsInFlight(t *testing.T) {
+	telemetry.Reset()
+	defer telemetry.Reset()
+	f := &fakePredictor{block: make(chan struct{})}
+	c := NewCache(f)
+	ctx := context.Background()
+	d := prune.Degree{}
+	inst := p2(t)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	results := make([]float64, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.BatchSeconds(ctx, d, inst, 1, 300)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Let the waiters pile up on the in-flight entry, then release.
+	for f.batchCalls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(f.block)
+	wg.Wait()
+
+	if got := f.batchCalls.Load(); got != 1 {
+		t.Fatalf("in-flight dedup failed: %d evaluations, want 1", got)
+	}
+	for i := 1; i < workers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("waiter %d got %v, want %v", i, results[i], results[0])
+		}
+	}
+	if got := telemetry.Default.Counter("engine.dedup_waits").Value(); got < 1 {
+		t.Fatalf("dedup_waits = %d, want ≥ 1", got)
+	}
+}
+
+func TestCacheDoesNotCacheErrors(t *testing.T) {
+	f := &fakePredictor{}
+	f.fail.Store(true)
+	c := NewCache(f)
+	ctx := context.Background()
+	d := prune.Degree{}
+	inst := p2(t)
+
+	if _, err := c.BatchSeconds(ctx, d, inst, 1, 300); err == nil {
+		t.Fatal("expected error")
+	}
+	f.fail.Store(false)
+	v, err := c.BatchSeconds(ctx, d, inst, 1, 300)
+	if err != nil {
+		t.Fatalf("retry after failure: %v", err)
+	}
+	if v != 300 {
+		t.Fatalf("retried value = %v, want 300", v)
+	}
+	if got := f.batchCalls.Load(); got != 2 {
+		t.Fatalf("evaluations = %d, want 2 (error must not be cached)", got)
+	}
+	if got := c.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1 (failed entry evicted)", got)
+	}
+}
+
+func TestCacheWaiterHonorsContext(t *testing.T) {
+	f := &fakePredictor{block: make(chan struct{})}
+	defer close(f.block)
+	c := NewCache(f)
+	d := prune.Degree{}
+	inst := p2(t)
+
+	go c.BatchSeconds(context.Background(), d, inst, 1, 300)
+	for f.batchCalls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.BatchSeconds(ctx, d, inst, 1, 300); !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter error = %v, want context.Canceled", err)
+	}
+}
+
+func TestCachedPerfMemoizesBatchTime(t *testing.T) {
+	f := &fakePredictor{}
+	c := NewCache(f)
+	inst := p2(t)
+	perf := c.Perf(prune.NewDegree("conv2", 0.5), 0)
+
+	a := perf.BatchTime(inst, 300)
+	b := perf.BatchTime(inst, 300)
+	if a != b {
+		t.Fatalf("cached BatchTime differs: %v vs %v", a, b)
+	}
+	if got := f.perfCalls.Load(); got != 1 {
+		t.Fatalf("perf evaluations = %d, want 1", got)
+	}
+	// A second adapter for the same degree shares the cache.
+	perf2 := c.Perf(prune.NewDegree("conv2", 0.5), 0)
+	perf2.BatchTime(inst, 300)
+	if got := f.perfCalls.Load(); got != 1 {
+		t.Fatalf("perf evaluations after second adapter = %d, want 1", got)
+	}
+	if got := perf.MaxBatch(inst); got != 300*inst.GPUs {
+		t.Fatalf("MaxBatch = %d", got)
+	}
+}

@@ -1,0 +1,71 @@
+package explore
+
+import (
+	"context"
+	"testing"
+
+	"ccperf/internal/cloud"
+	"ccperf/internal/engine"
+	"ccperf/internal/measure"
+	"ccperf/internal/models"
+	"ccperf/internal/prune"
+)
+
+// benchSpace builds an enumeration over a pool spanning three instance
+// types (two of each), so the 2^6−1 = 63 subsets collapse onto only three
+// distinct per-instance-type evaluations per degree when cached.
+func benchSpace(b *testing.B, pred engine.Predictor) Space {
+	b.Helper()
+	pool := make([]*cloud.Instance, 0, 6)
+	for _, name := range []string{"p2.xlarge", "p2.8xlarge", "p2.16xlarge"} {
+		inst, err := cloud.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pool = append(pool, inst, inst)
+	}
+	degrees := []prune.Degree{
+		{},
+		prune.NewDegree("conv1", 0.3),
+		prune.NewDegree("conv2", 0.5),
+		prune.NewDegree("conv1", 0.5, "conv2", 0.5),
+		prune.NewDegree("conv1", 0.7, "conv2", 0.8),
+	}
+	return Space{Pred: pred, Degrees: degrees, Pool: pool, W: 1_000_000}
+}
+
+func benchHarness(b *testing.B) *measure.Harness {
+	b.Helper()
+	h, err := measure.NewHarness(models.CaffenetName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return h
+}
+
+// BenchmarkEnumerate compares the joint-space enumeration with and without
+// the engine cache. The cached variant shares one cache across iterations —
+// the steady state of a CLI invocation that enumerates, filters, then
+// enumerates again for another frontier.
+func BenchmarkEnumerate(b *testing.B) {
+	b.Run("uncached", func(b *testing.B) {
+		sp := benchSpace(b, benchHarness(b))
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sp.Enumerate(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		sp := benchSpace(b, engine.NewCache(benchHarness(b)))
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sp.Enumerate(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -5,6 +5,11 @@
 // cost-accuracy Pareto frontiers (Figures 9–10); and Algorithm 1 — the
 // TAR/CAR-guided greedy resource allocation that replaces the exponential
 // subset search with an O(|G| log |G|)-per-degree heuristic (Section 4.5.3).
+//
+// All searches consume predictions through engine.Predictor; pass an
+// engine.Cache (wrapping the measurement harness) and every (degree,
+// instance-type) evaluation is made once and shared across the |P|·(2^|G|−1)
+// configurations that reuse it.
 package explore
 
 import (
@@ -18,7 +23,7 @@ import (
 
 	"ccperf/internal/accuracy"
 	"ccperf/internal/cloud"
-	"ccperf/internal/measure"
+	"ccperf/internal/engine"
 	"ccperf/internal/metrics"
 	"ccperf/internal/pareto"
 	"ccperf/internal/prune"
@@ -41,7 +46,7 @@ func (c Candidate) Hours() float64 { return c.Seconds / 3600 }
 
 // Space is the joint exploration space.
 type Space struct {
-	Harness *measure.Harness
+	Pred    engine.Predictor
 	Degrees []prune.Degree    // P: the pruned application versions
 	Pool    []*cloud.Instance // G: the available resource instances
 	W       int64             // images to infer
@@ -74,16 +79,17 @@ func (s *Space) workers() int {
 // evaluations — the exponential space Algorithm 1 avoids. Degrees are
 // evaluated concurrently (each degree's block of the result is
 // independent); output order is deterministic: degree-major, subsets in
-// mask order.
+// mask order. Cancelling ctx stops feeding the pool, drains in-flight
+// workers promptly and returns ctx's error.
 //
 // Telemetry: emits one explore.enumerate span with a child explore.worker
 // span per pool worker, counts candidates/degrees, observes per-degree
 // wall time in explore.degree_seconds, and reports aggregate pool
 // utilization (worker busy time over pool wall time) in
 // explore.worker_utilization.
-func (s *Space) Enumerate() ([]Candidate, error) {
+func (s *Space) Enumerate(ctx context.Context) ([]Candidate, error) {
 	reg := telemetry.Default
-	ctx, finishEnum := telemetry.StartSpan(context.Background(), "explore.enumerate")
+	spanCtx, finishEnum := telemetry.StartSpan(ctx, "explore.enumerate")
 	configs := cloud.Subsets(s.Pool)
 	out := make([]Candidate, len(configs)*len(s.Degrees))
 	workers := s.workers()
@@ -101,7 +107,7 @@ func (s *Space) Enumerate() ([]Candidate, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			_, finishWorker := telemetry.StartSpan(ctx, "explore.worker")
+			_, finishWorker := telemetry.StartSpan(spanCtx, "explore.worker")
 			degrees := 0
 			defer func() {
 				finishWorker(
@@ -111,14 +117,18 @@ func (s *Space) Enumerate() ([]Candidate, error) {
 				)
 			}()
 			for di := range jobs {
+				if err := ctx.Err(); err != nil {
+					errs[di] = err
+					continue
+				}
 				dstart := time.Now()
 				d := s.Degrees[di]
-				acc, err := s.Harness.Eval.Evaluate(d)
+				acc, err := s.Pred.Accuracy(ctx, d)
 				if err != nil {
 					errs[di] = err
 					continue
 				}
-				perf := s.Harness.Perf(d, 0)
+				perf := s.Pred.Perf(d, 0)
 				base := di * len(configs)
 				for ci, cfg := range configs {
 					est, err := cloud.EstimateRunWith(cfg, s.W, perf, s.Dist)
@@ -137,8 +147,13 @@ func (s *Space) Enumerate() ([]Candidate, error) {
 			}
 		}(w)
 	}
+feed:
 	for di := range s.Degrees {
-		jobs <- di
+		select {
+		case jobs <- di:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
@@ -155,6 +170,9 @@ func (s *Space) Enumerate() ([]Candidate, error) {
 		telemetry.L("configs", len(configs)),
 		telemetry.L("workers", workers),
 	)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -275,22 +293,26 @@ type Result struct {
 // ascending TAR); for each degree, instances are sorted by ascending CAR
 // and added greedily until the configuration meets both T′ and C′. The
 // first success is returned — by construction the highest-accuracy degree
-// that the greedy order can satisfy.
-func Allocate(h *measure.Harness, in Input) (res Result, err error) {
+// that the greedy order can satisfy. Cancelling ctx aborts the search
+// between evaluations.
+func Allocate(ctx context.Context, p engine.Predictor, in Input) (res Result, err error) {
 	if len(in.Pool) == 0 {
 		return Result{}, fmt.Errorf("explore: empty resource pool")
 	}
-	_, finish := telemetry.StartSpan(context.Background(), "explore.allocate")
+	_, finish := telemetry.StartSpan(ctx, "explore.allocate")
 	defer func() {
 		telemetry.Default.Counter("explore.allocate_ops").Add(int64(res.Ops))
 		finish(telemetry.L("found", res.Found), telemetry.L("ops", res.Ops))
 	}()
-	ranks, ops, err := rankDegrees(h, in)
+	ranks, ops, err := rankDegrees(ctx, p, in)
 	if err != nil {
 		return Result{}, err
 	}
 	for _, dr := range ranks {
-		perf := h.Perf(dr.d, 0)
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		perf := p.Perf(dr.d, 0)
 		// Sort G ascending by CAR: cost of running the whole workload on
 		// that instance alone, per unit accuracy.
 		type gCar struct {
@@ -343,16 +365,16 @@ func Allocate(h *measure.Harness, in Input) (res Result, err error) {
 
 // rankDegrees sorts P by (accuracy desc, TAR asc) per Algorithm 1 line 1.
 // TAR is computed on the first pool instance as the reference resource.
-func rankDegrees(h *measure.Harness, in Input) ([]degreeRank, int, error) {
+func rankDegrees(ctx context.Context, p engine.Predictor, in Input) ([]degreeRank, int, error) {
 	ref := in.Pool[0]
 	ranks := make([]degreeRank, 0, len(in.Degrees))
 	ops := 0
 	for _, d := range in.Degrees {
-		acc, err := h.Eval.Evaluate(d)
+		acc, err := p.Accuracy(ctx, d)
 		if err != nil {
 			return nil, ops, err
 		}
-		sec, err := h.TotalSeconds(d, ref, 0, in.W)
+		sec, err := p.TotalSeconds(ctx, d, ref, 0, in.W)
 		if err != nil {
 			return nil, ops, err
 		}
@@ -372,12 +394,12 @@ func rankDegrees(h *measure.Harness, in Input) ([]degreeRank, int, error) {
 // Exhaustive is the brute-force baseline: evaluate every degree on every
 // non-empty subset of G (|P|·(2^|G|−1) model evaluations) and return the
 // feasible candidate with maximal accuracy, ties broken by minimal cost
-// then minimal time.
-func Exhaustive(h *measure.Harness, in Input) (out Result, err error) {
+// then minimal time. Cancelling ctx aborts between degrees.
+func Exhaustive(ctx context.Context, p engine.Predictor, in Input) (out Result, err error) {
 	if len(in.Pool) == 0 {
 		return Result{}, fmt.Errorf("explore: empty resource pool")
 	}
-	_, finish := telemetry.StartSpan(context.Background(), "explore.exhaustive")
+	_, finish := telemetry.StartSpan(ctx, "explore.exhaustive")
 	defer func() {
 		telemetry.Default.Counter("explore.exhaustive_ops").Add(int64(out.Ops))
 		finish(telemetry.L("found", out.Found), telemetry.L("ops", out.Ops))
@@ -386,12 +408,15 @@ func Exhaustive(h *measure.Harness, in Input) (out Result, err error) {
 	best := Result{}
 	ops := 0
 	for _, d := range in.Degrees {
-		acc, err := h.Eval.Evaluate(d)
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		acc, err := p.Accuracy(ctx, d)
 		if err != nil {
 			return Result{}, err
 		}
 		a := in.Metric.Pick(acc)
-		perf := h.Perf(d, 0)
+		perf := p.Perf(d, 0)
 		for _, cfg := range configs {
 			est, err := cloud.EstimateRunWith(cfg, in.W, perf, in.Dist)
 			if err != nil {

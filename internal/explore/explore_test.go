@@ -1,11 +1,14 @@
 package explore
 
 import (
+	"context"
+	"errors"
 	"math"
 	"runtime"
 	"testing"
 
 	"ccperf/internal/cloud"
+	"ccperf/internal/engine"
 	"ccperf/internal/measure"
 	"ccperf/internal/models"
 	"ccperf/internal/prune"
@@ -45,8 +48,8 @@ func someDegrees() []prune.Degree {
 
 func TestEnumerateCount(t *testing.T) {
 	h := harness(t)
-	sp := Space{Harness: h, Degrees: someDegrees(), Pool: smallPool(t), W: 100_000}
-	cands, err := sp.Enumerate()
+	sp := Space{Pred: h, Degrees: someDegrees(), Pool: smallPool(t), W: 100_000}
+	cands, err := sp.Enumerate(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,6 +61,38 @@ func TestEnumerateCount(t *testing.T) {
 		if c.Seconds <= 0 || c.Cost <= 0 || !c.Acc.Valid() {
 			t.Fatalf("bad candidate %+v", c)
 		}
+	}
+}
+
+func TestEnumerateCachedMatchesUncached(t *testing.T) {
+	h := harness(t)
+	ctx := context.Background()
+	plain := Space{Pred: h, Degrees: someDegrees(), Pool: smallPool(t), W: 100_000}
+	want, err := plain.Enumerate(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := plain
+	cached.Pred = engine.NewCache(h)
+	got, err := cached.Enumerate(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i].Seconds != want[i].Seconds || got[i].Cost != want[i].Cost ||
+			got[i].Acc != want[i].Acc || got[i].Config.Label() != want[i].Config.Label() {
+			t.Fatalf("cached enumeration diverges at %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEnumerateCanceled(t *testing.T) {
+	h := harness(t)
+	sp := Space{Pred: h, Degrees: someDegrees(), Pool: smallPool(t), W: 100_000}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sp.Enumerate(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Enumerate error = %v, want context.Canceled", err)
 	}
 }
 
@@ -78,8 +113,8 @@ func TestFeasibleFilter(t *testing.T) {
 
 func TestFrontierPicksNonDominated(t *testing.T) {
 	h := harness(t)
-	sp := Space{Harness: h, Degrees: someDegrees(), Pool: smallPool(t), W: 100_000}
-	cands, err := sp.Enumerate()
+	sp := Space{Pred: h, Degrees: someDegrees(), Pool: smallPool(t), W: 100_000}
+	cands, err := sp.Enumerate(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,8 +147,8 @@ func TestFrontierPicksNonDominated(t *testing.T) {
 
 func TestCostFrontier(t *testing.T) {
 	h := harness(t)
-	sp := Space{Harness: h, Degrees: someDegrees(), Pool: smallPool(t), W: 100_000}
-	cands, _ := sp.Enumerate()
+	sp := Space{Pred: h, Degrees: someDegrees(), Pool: smallPool(t), W: 100_000}
+	cands, _ := sp.Enumerate(context.Background())
 	fr := Frontier(cands, ByCost, Top1)
 	for i := 1; i < len(fr); i++ {
 		if fr[i].Cost <= fr[i-1].Cost {
@@ -131,7 +166,7 @@ func TestAllocateMeetsConstraints(t *testing.T) {
 		Deadline: 2 * 3600,
 		Budget:   5,
 	}
-	res, err := Allocate(h, in)
+	res, err := Allocate(context.Background(), h, in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +195,7 @@ func TestAllocatePrefersAccuracy(t *testing.T) {
 		Deadline: math.Inf(1),
 		Budget:   math.Inf(1),
 	}
-	res, err := Allocate(h, in)
+	res, err := Allocate(context.Background(), h, in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +223,7 @@ func TestAllocateInfeasible(t *testing.T) {
 		Deadline: 60, // one minute: impossible
 		Budget:   0.01,
 	}
-	res, err := Allocate(h, in)
+	res, err := Allocate(context.Background(), h, in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,16 +234,37 @@ func TestAllocateInfeasible(t *testing.T) {
 
 func TestAllocateEmptyPool(t *testing.T) {
 	h := harness(t)
-	if _, err := Allocate(h, Input{Degrees: someDegrees()}); err == nil {
+	ctx := context.Background()
+	if _, err := Allocate(ctx, h, Input{Degrees: someDegrees()}); err == nil {
 		t.Fatal("expected error for empty pool")
 	}
-	if _, err := Exhaustive(h, Input{Degrees: someDegrees()}); err == nil {
+	if _, err := Exhaustive(ctx, h, Input{Degrees: someDegrees()}); err == nil {
 		t.Fatal("expected error for empty pool")
+	}
+}
+
+func TestAllocateCanceled(t *testing.T) {
+	h := harness(t)
+	in := Input{
+		Degrees:  someDegrees(),
+		Pool:     smallPool(t),
+		W:        100_000,
+		Deadline: math.Inf(1),
+		Budget:   math.Inf(1),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Allocate(ctx, h, in); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Allocate error = %v, want context.Canceled", err)
+	}
+	if _, err := Exhaustive(ctx, h, in); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Exhaustive error = %v, want context.Canceled", err)
 	}
 }
 
 func TestGreedyVsExhaustive(t *testing.T) {
 	h := harness(t)
+	ctx := context.Background()
 	in := Input{
 		Degrees:  someDegrees(),
 		Pool:     smallPool(t),
@@ -216,11 +272,11 @@ func TestGreedyVsExhaustive(t *testing.T) {
 		Deadline: 1.5 * 3600,
 		Budget:   6,
 	}
-	greedy, err := Allocate(h, in)
+	greedy, err := Allocate(ctx, h, in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	exact, err := Exhaustive(h, in)
+	exact, err := Exhaustive(ctx, h, in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,12 +338,13 @@ func TestCandidateHours(t *testing.T) {
 
 func TestEnumerateDeterministicUnderConcurrency(t *testing.T) {
 	h := harness(t)
-	sp := Space{Harness: h, Degrees: someDegrees(), Pool: smallPool(t), W: 200_000}
-	a, err := sp.Enumerate()
+	ctx := context.Background()
+	sp := Space{Pred: h, Degrees: someDegrees(), Pool: smallPool(t), W: 200_000}
+	a, err := sp.Enumerate(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := sp.Enumerate()
+	b, err := sp.Enumerate(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,15 +360,16 @@ func TestEnumerateDeterministicUnderConcurrency(t *testing.T) {
 // at every pool size, default runtime.NumCPU() capped by |P|, floor of 1.
 func TestWorkersConfigurable(t *testing.T) {
 	h := harness(t)
-	base := Space{Harness: h, Degrees: someDegrees(), Pool: smallPool(t), W: 100_000}
-	want, err := base.Enumerate()
+	ctx := context.Background()
+	base := Space{Pred: h, Degrees: someDegrees(), Pool: smallPool(t), W: 100_000}
+	want, err := base.Enumerate(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{1, 2, 16} {
 		sp := base
 		sp.Workers = workers
-		got, err := sp.Enumerate()
+		got, err := sp.Enumerate(ctx)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -325,7 +383,7 @@ func TestWorkersConfigurable(t *testing.T) {
 	if w := base.workers(); w != min(runtime.NumCPU(), len(base.Degrees)) {
 		t.Fatalf("default workers = %d", w)
 	}
-	one := Space{Harness: h, Degrees: someDegrees(), Workers: -5}
+	one := Space{Pred: h, Degrees: someDegrees(), Workers: -5}
 	if one.workers() != 1 {
 		t.Fatalf("negative workers must floor at 1, got %d", one.workers())
 	}
@@ -338,8 +396,8 @@ func TestEnumerateTelemetry(t *testing.T) {
 	telemetry.Reset()
 	defer telemetry.Reset()
 	h := harness(t)
-	sp := Space{Harness: h, Degrees: someDegrees(), Pool: smallPool(t), W: 100_000, Workers: 2}
-	cands, err := sp.Enumerate()
+	sp := Space{Pred: h, Degrees: someDegrees(), Pool: smallPool(t), W: 100_000, Workers: 2}
+	cands, err := sp.Enumerate(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -381,8 +439,8 @@ func TestEnumerateTelemetry(t *testing.T) {
 
 func TestJointFrontier(t *testing.T) {
 	h := harness(t)
-	sp := Space{Harness: h, Degrees: someDegrees(), Pool: smallPool(t), W: 200_000}
-	cands, err := sp.Enumerate()
+	sp := Space{Pred: h, Degrees: someDegrees(), Pool: smallPool(t), W: 200_000}
+	cands, err := sp.Enumerate(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

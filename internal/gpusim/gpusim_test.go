@@ -380,3 +380,38 @@ func TestDeviceForUnknown(t *testing.T) {
 		t.Fatal("expected error for unknown GPU kind")
 	}
 }
+
+// TestJitterDeterministicAcrossSimulators pins the property the engine
+// cache's memoization soundness rests on: jittered measurements are a pure
+// function of the run identity, with no per-Simulator state — two
+// independent simulators agree on every (degree, device, gpus, batch, rep)
+// point, so re-evaluating a cache key can never yield a different value.
+func TestJitterDeterministicAcrossSimulators(t *testing.T) {
+	s1, s2 := New(), New()
+	for _, kind := range []cloud.GPUKind{cloud.K80, cloud.M60} {
+		d1, err := s1.Device(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := s2.Device(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, deg := range []prune.Degree{{}, prune.NewDegree("conv1", 0.3), prune.NewDegree("conv1", 0.5, "conv2", 0.7)} {
+			run := caffenetRun(deg)
+			for rep := 0; rep <= 3; rep++ {
+				a, err := s1.JitteredBatchTime(run, d1, 1, 300, rep)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := s2.JitteredBatchTime(run, d2, 1, 300, rep)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if a != b {
+					t.Fatalf("%s %s rep %d: %v vs %v", kind, deg.Label(), rep, a, b)
+				}
+			}
+		}
+	}
+}

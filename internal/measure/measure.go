@@ -3,14 +3,20 @@
 // minimum to cancel cloud jitter — exactly the paper's methodology — and
 // emits records of time, cost, Top-1/Top-5 accuracy, TAR and CAR per
 // degree of pruning and resource configuration.
+//
+// Harness is the canonical engine.Predictor implementation: wrap it in
+// engine.NewCache and the exploration, cluster-simulation and serving
+// layers share one memoized set of measurements.
 package measure
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"ccperf/internal/accuracy"
 	"ccperf/internal/cloud"
+	"ccperf/internal/engine"
 	"ccperf/internal/gpusim"
 	"ccperf/internal/metrics"
 	"ccperf/internal/nn"
@@ -29,6 +35,8 @@ type Harness struct {
 	// Reps is the repetition count; 0 means DefaultReps.
 	Reps int
 }
+
+var _ engine.Predictor = (*Harness)(nil)
 
 // NewHarness builds a harness with the calibrated evaluator for model.
 func NewHarness(model string) (*Harness, error) {
@@ -55,7 +63,10 @@ func (h *Harness) run(d prune.Degree) gpusim.ModelRun {
 // records the repetition count (measure.reps_total), the kept minimum
 // (measure.batch_seconds) and the rep-to-rep jitter spread the minimum
 // cancelled, as (max−min)/min percent (measure.jitter_spread_pct).
-func (h *Harness) BatchSeconds(d prune.Degree, inst *cloud.Instance, gpus, b int) (float64, error) {
+func (h *Harness) BatchSeconds(ctx context.Context, d prune.Degree, inst *cloud.Instance, gpus, b int) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	dev, err := h.Sim.Device(inst.GPU)
 	if err != nil {
 		return 0, err
@@ -89,26 +100,36 @@ var jitterBuckets = telemetry.LinearBuckets(0, 0.5, 41)
 
 // TotalSeconds measures the time to infer w images on one instance using
 // gpus GPUs (0 ⇒ all), at saturated batch size.
-func (h *Harness) TotalSeconds(d prune.Degree, inst *cloud.Instance, gpus int, w int64) (float64, error) {
+func (h *Harness) TotalSeconds(ctx context.Context, d prune.Degree, inst *cloud.Instance, gpus int, w int64) (float64, error) {
 	if gpus <= 0 {
 		gpus = inst.GPUs
 	}
 	b := h.Sim.MaxBatch(gpus)
-	bt, err := h.BatchSeconds(d, inst, gpus, b)
+	bt, err := h.BatchSeconds(ctx, d, inst, gpus, b)
 	if err != nil {
 		return 0, err
 	}
 	return math.Ceil(float64(w)/float64(b)) * bt, nil
 }
 
+// Accuracy returns the Top-1/Top-5 accuracy of the model pruned by d —
+// the evaluator's curves behind one context-aware door, completing the
+// engine.Predictor contract.
+func (h *Harness) Accuracy(ctx context.Context, d prune.Degree) (accuracy.TopK, error) {
+	if err := ctx.Err(); err != nil {
+		return accuracy.TopK{}, err
+	}
+	return h.Eval.Evaluate(d)
+}
+
 // Record measures one (degree, instance) pair end to end: time, pro-rated
 // cost, accuracy, TAR and CAR.
-func (h *Harness) Record(d prune.Degree, inst *cloud.Instance, gpus int, w int64) (metrics.Record, error) {
-	sec, err := h.TotalSeconds(d, inst, gpus, w)
+func (h *Harness) Record(ctx context.Context, d prune.Degree, inst *cloud.Instance, gpus int, w int64) (metrics.Record, error) {
+	sec, err := h.TotalSeconds(ctx, d, inst, gpus, w)
 	if err != nil {
 		return metrics.Record{}, err
 	}
-	acc, err := h.Eval.Evaluate(d)
+	acc, err := h.Accuracy(ctx, d)
 	if err != nil {
 		return metrics.Record{}, err
 	}
@@ -138,7 +159,10 @@ type LayerShare struct {
 // LayerDistribution measures the per-layer execution-time distribution on
 // the instance at saturated batch (Figure 3). net must be the initialized
 // network matching the harness's model.
-func (h *Harness) LayerDistribution(net *nn.Net, d prune.Degree, inst *cloud.Instance) ([]LayerShare, error) {
+func (h *Harness) LayerDistribution(ctx context.Context, net *nn.Net, d prune.Degree, inst *cloud.Instance) ([]LayerShare, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	dev, err := h.Sim.Device(inst.GPU)
 	if err != nil {
 		return nil, err
@@ -166,15 +190,15 @@ type SweepPoint struct {
 // LayerSweep prunes a single layer at each ratio and measures total time
 // and accuracy for w images on the instance — one sub-figure of
 // Figure 6/7.
-func (h *Harness) LayerSweep(layer string, ratios []float64, inst *cloud.Instance, w int64) ([]SweepPoint, error) {
+func (h *Harness) LayerSweep(ctx context.Context, layer string, ratios []float64, inst *cloud.Instance, w int64) ([]SweepPoint, error) {
 	out := make([]SweepPoint, 0, len(ratios))
 	for _, r := range ratios {
 		d := prune.NewDegree(layer, r)
-		sec, err := h.TotalSeconds(d, inst, 0, w)
+		sec, err := h.TotalSeconds(ctx, d, inst, 0, w)
 		if err != nil {
 			return nil, err
 		}
-		acc, err := h.Eval.Evaluate(d)
+		acc, err := h.Accuracy(ctx, d)
 		if err != nil {
 			return nil, err
 		}
@@ -191,10 +215,10 @@ type SingleInferencePoint struct {
 
 // SingleInferenceSweep measures batch-1 latency under uniform pruning of
 // the given layers at each ratio (Figure 4).
-func (h *Harness) SingleInferenceSweep(layers []string, ratios []float64, inst *cloud.Instance) ([]SingleInferencePoint, error) {
+func (h *Harness) SingleInferenceSweep(ctx context.Context, layers []string, ratios []float64, inst *cloud.Instance) ([]SingleInferencePoint, error) {
 	out := make([]SingleInferencePoint, 0, len(ratios))
 	for _, r := range ratios {
-		t, err := h.BatchSeconds(prune.Uniform(layers, r), inst, 1, 1)
+		t, err := h.BatchSeconds(ctx, prune.Uniform(layers, r), inst, 1, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -211,10 +235,10 @@ type SaturationPoint struct {
 
 // SaturationSweep measures total time for w images at each parallel
 // inference count on one GPU of the instance (Figure 5).
-func (h *Harness) SaturationSweep(parallel []int, inst *cloud.Instance, w int64) ([]SaturationPoint, error) {
+func (h *Harness) SaturationSweep(ctx context.Context, parallel []int, inst *cloud.Instance, w int64) ([]SaturationPoint, error) {
 	out := make([]SaturationPoint, 0, len(parallel))
 	for _, b := range parallel {
-		bt, err := h.BatchSeconds(prune.Degree{}, inst, 1, b)
+		bt, err := h.BatchSeconds(ctx, prune.Degree{}, inst, 1, b)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -35,7 +36,7 @@ func TestNewHarnessUnknownModel(t *testing.T) {
 
 func TestTotalSecondsNear19Min(t *testing.T) {
 	h := harness(t)
-	sec, err := h.TotalSeconds(prune.Degree{}, inst(t, "p2.xlarge"), 0, 50_000)
+	sec, err := h.TotalSeconds(context.Background(), prune.Degree{}, inst(t, "p2.xlarge"), 0, 50_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,11 +53,11 @@ func TestRunThreeTakeMin(t *testing.T) {
 	h9 := harness(t)
 	h9.Reps = 9
 	p := inst(t, "p2.xlarge")
-	a, err := h1.BatchSeconds(prune.Degree{}, p, 1, 300)
+	a, err := h1.BatchSeconds(context.Background(), prune.Degree{}, p, 1, 300)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := h9.BatchSeconds(prune.Degree{}, p, 1, 300)
+	b, err := h9.BatchSeconds(context.Background(), prune.Degree{}, p, 1, 300)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestRunThreeTakeMin(t *testing.T) {
 
 func TestRecordFields(t *testing.T) {
 	h := harness(t)
-	r, err := h.Record(prune.NewDegree("conv1", 0.2, "conv2", 0.2), inst(t, "p2.xlarge"), 0, 50_000)
+	r, err := h.Record(context.Background(), prune.NewDegree("conv1", 0.2, "conv2", 0.2), inst(t, "p2.xlarge"), 0, 50_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestRecordFields(t *testing.T) {
 
 func TestLayerSweepMonotoneTime(t *testing.T) {
 	h := harness(t)
-	pts, err := h.LayerSweep("conv2", prune.Range(0, 0.9, 0.1), inst(t, "p2.xlarge"), 50_000)
+	pts, err := h.LayerSweep(context.Background(), "conv2", prune.Range(0, 0.9, 0.1), inst(t, "p2.xlarge"), 50_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestLayerSweepMonotoneTime(t *testing.T) {
 
 func TestSingleInferenceSweepEndpoints(t *testing.T) {
 	h := harness(t)
-	pts, err := h.SingleInferenceSweep(models.CaffenetConvNames(), prune.Range(0, 0.9, 0.1), inst(t, "p2.xlarge"))
+	pts, err := h.SingleInferenceSweep(context.Background(), models.CaffenetConvNames(), prune.Range(0, 0.9, 0.1), inst(t, "p2.xlarge"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestSingleInferenceSweepEndpoints(t *testing.T) {
 
 func TestSaturationSweepAndKnee(t *testing.T) {
 	h := harness(t)
-	pts, err := h.SaturationSweep([]int{1, 10, 50, 100, 200, 300, 600, 1200, 2000}, inst(t, "p2.xlarge"), 50_000)
+	pts, err := h.SaturationSweep(context.Background(), []int{1, 10, 50, 100, 200, 300, 600, 1200, 2000}, inst(t, "p2.xlarge"), 50_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestLayerDistributionMatchesFigure3(t *testing.T) {
 	if err := net.Init(1); err != nil {
 		t.Fatal(err)
 	}
-	shares, err := h.LayerDistribution(net, prune.Degree{}, inst(t, "p2.xlarge"))
+	shares, err := h.LayerDistribution(context.Background(), net, prune.Degree{}, inst(t, "p2.xlarge"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestPerfAdapterConsistentWithTotalSeconds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct, err := h.TotalSeconds(d, p, 0, 50_000)
+	direct, err := h.TotalSeconds(context.Background(), d, p, 0, 50_000)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,9 +1,11 @@
 package serving
 
 import (
+	"context"
 	"fmt"
 
-	"ccperf/internal/accuracy"
+	"ccperf/internal/engine"
+	"ccperf/internal/measure"
 	"ccperf/internal/models"
 	"ccperf/internal/nn"
 	"ccperf/internal/prune"
@@ -21,10 +23,12 @@ type Variant struct {
 
 // BuildLadder constructs the variant ladder: for each degree (least pruned
 // first) it builds a fresh network, applies the degree with the method,
-// and attaches the evaluator's Top-1 accuracy. Building each variant once
-// up front is what makes runtime switching free — the controller flips an
-// index instead of re-pruning live weights.
-func BuildLadder(build func() (*nn.Net, error), degrees []prune.Degree, m prune.Method, eval accuracy.Evaluator) ([]Variant, error) {
+// and attaches the Top-1 accuracy predicted by src (any engine
+// AccuracySource — pass an engine.Cache to share calibration evaluations
+// with the planning layers, or nil to skip calibration). Building each
+// variant once up front is what makes runtime switching free — the
+// controller flips an index instead of re-pruning live weights.
+func BuildLadder(ctx context.Context, build func() (*nn.Net, error), degrees []prune.Degree, m prune.Method, src engine.AccuracySource) ([]Variant, error) {
 	if len(degrees) == 0 {
 		return nil, fmt.Errorf("serving: empty degree ladder")
 	}
@@ -38,8 +42,8 @@ func BuildLadder(build func() (*nn.Net, error), degrees []prune.Degree, m prune.
 			return nil, fmt.Errorf("serving: pruning variant %s: %w", d.Label(), err)
 		}
 		v := Variant{Degree: d, Net: net}
-		if eval != nil {
-			a, err := eval.Evaluate(d)
+		if src != nil {
+			a, err := src.Accuracy(ctx, d)
 			if err != nil {
 				return nil, fmt.Errorf("serving: evaluating variant %s: %w", d.Label(), err)
 			}
@@ -94,7 +98,7 @@ func DemoLadder(ratios []float64) ([]Variant, error) {
 	if len(ratios) == 0 {
 		ratios = DefaultLadderRatios
 	}
-	eval, err := accuracy.NewCalibrated(models.CaffenetName)
+	h, err := measure.NewHarness(models.CaffenetName)
 	if err != nil {
 		return nil, err
 	}
@@ -105,5 +109,5 @@ func DemoLadder(ratios []float64) ([]Variant, error) {
 		}
 		degrees[i] = prune.Uniform([]string{"conv1", "conv2"}, r)
 	}
-	return BuildLadder(TinyNet, degrees, prune.L1Filter, eval)
+	return BuildLadder(context.Background(), TinyNet, degrees, prune.L1Filter, engine.NewCache(h))
 }

@@ -24,7 +24,7 @@ echo "== go test -race ./..."
 go test -race ./...
 
 echo "== bench smoke (go test -run - -bench . -benchtime 1x)"
-go test -run - -bench . -benchtime 1x . ./internal/serving
+go test -run - -bench . -benchtime 1x . ./internal/explore ./internal/serving
 
 echo "== loadtest smoke (race-enabled gateway replay)"
 go run -race ./cmd/ccperf loadtest \
