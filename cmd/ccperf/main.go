@@ -31,6 +31,7 @@ import (
 	"ccperf/internal/cluster"
 	"ccperf/internal/compress"
 	"ccperf/internal/dataset"
+	"ccperf/internal/fault"
 	"ccperf/internal/gpusim"
 	"ccperf/internal/models"
 	"ccperf/internal/nn"
@@ -71,7 +72,7 @@ func main() {
 	case "empirical":
 		err = empiricalCmd(args)
 	case "simulate":
-		err = simulateCmd(args)
+		err = simulateCmd(ctx, args)
 	case "loadtest":
 		err = loadtestCmd(args)
 	case "spec":
@@ -106,8 +107,12 @@ commands:
   compress      quantization / weight-sharing memory-accuracy table
   empirical     prune a really trained CNN and report measured accuracy
   simulate      discrete-event day simulation of a fleet serving a trace
+                (-faults injects preemptions/stragglers; -retry-budget caps
+                re-dispatches of interrupted jobs)
   loadtest      replay a trace against the online gateway (batching, shedding,
                 load-adaptive pruning) and report latency/accuracy/cost
+                (-chaos or -faults injects crashes/errors; -max-error-rate
+                gates the exit status)
   spec          build a custom CNN from a spec file, cost it, sweep pruning
   serve         HTTP telemetry endpoint: /metrics, /trace, /debug/pprof/
                 (-gateway also mounts the live inference gateway at /infer)
@@ -121,7 +126,8 @@ telemetry flags (pareto, allocate, simulate, loadtest):
                         default: number of CPUs)
 
 see docs/TELEMETRY.md for metric names and endpoint routes,
-docs/SERVING.md for the gateway architecture and loadtest usage`)
+docs/SERVING.md for the gateway architecture and loadtest usage,
+docs/RESILIENCE.md for the fault-spec grammar and chaos workflows`)
 }
 
 // telemetryFlags registers the artifact flags shared by the run commands.
@@ -428,8 +434,9 @@ func empiricalCmd(args []string) error {
 }
 
 // simulateCmd runs a 24-hour discrete-event simulation of a fleet serving
-// a request trace at a chosen degree of pruning.
-func simulateCmd(args []string) error {
+// a request trace at a chosen degree of pruning, optionally under an
+// injected fault schedule (preemptions, stragglers).
+func simulateCmd(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
 	model := modelFlag(fs)
 	fleetSpec := fs.String("fleet", "3xp2.xlarge", "fleet, e.g. \"2xp2.xlarge+1xg3.4xlarge\"")
@@ -439,10 +446,16 @@ func simulateCmd(args []string) error {
 	slack := fs.Float64("slack", 0.5, "per-job deadline as a fraction of the window")
 	degreeSpec := fs.String("degree", "", "degree of pruning, e.g. \"conv1@30+conv2@50\" (empty = unpruned)")
 	seed := fs.Int64("seed", 9, "trace seed")
+	faultSpec := fs.String("faults", "", "fault schedule, e.g. \"preempt@0:3600,slow@1:1800+900x2.5,seed=7\" (see docs/RESILIENCE.md)")
+	retryBudget := fs.Int("retry-budget", 0, "re-dispatches per interrupted job (0 = default 2, negative = none)")
 	metricsOut, traceOut := telemetryFlags(fs)
 	fs.Parse(args)
 
 	pat, err := parsePattern(*pattern)
+	if err != nil {
+		return err
+	}
+	faults, err := fault.ParseSchedule(*faultSpec)
 	if err != nil {
 		return err
 	}
@@ -465,7 +478,10 @@ func simulateCmd(args []string) error {
 		return err
 	}
 	jobs := cluster.JobsFromWindows(trace.Windows, 3600, *chunk, *slack)
-	res, err := cluster.Run(cluster.ConfigFor(sys.Predictor(), degree, cfg.Instances, 24*3600), jobs)
+	rcfg := cluster.ConfigFor(sys.Predictor(), degree, cfg.Instances, 24*3600)
+	rcfg.Faults = faults
+	rcfg.RetryBudget = *retryBudget
+	res, err := cluster.Run(ctx, rcfg, jobs)
 	if err != nil {
 		return err
 	}
@@ -476,6 +492,12 @@ func simulateCmd(args []string) error {
 	fmt.Printf("misses  : %d of %d jobs\n", res.Misses, len(res.Jobs))
 	fmt.Printf("util    : %.0f%% average\n", res.AverageUtilization()*100)
 	fmt.Printf("cost    : $%.2f for the 24 h rental\n", res.Cost)
+	if len(faults.Events) > 0 {
+		fmt.Printf("faults  : %d preemptions, %d retries, %d failed jobs, %.0f s wasted\n",
+			res.Preemptions, res.Retries, res.FailedJobs, res.WastedSeconds)
+		fmt.Printf("goodput : %.0f img/s finished (%d images), $%.2f per million images\n",
+			res.Goodput, res.FinishedImages, res.CostPerMillionImages())
+	}
 	return writeTelemetry(*metricsOut, *traceOut)
 }
 
@@ -533,12 +555,30 @@ func loadtestCmd(args []string) error {
 	cooldown := fs.Duration("cooldown", 500*time.Millisecond, "idle tail so the controller can restore accuracy")
 	ladderSpec := fs.String("ladder", "", "comma-separated prune ratios, e.g. 0,0.5,0.9 (default 0,0.3,0.5,0.7,0.9)")
 	instance := fs.String("instance", "p2.xlarge", "instance type for the rental-cost estimate (one per replica)")
+	faultSpec := fs.String("faults", "", "gateway fault schedule, e.g. \"crash@0:2+3,err:0.02,seed=7\" (see docs/RESILIENCE.md)")
+	chaos := fs.Bool("chaos", false, "inject a canned seeded chaos schedule (crash replica 0 for the middle third of the run, plus a 2% error rate)")
+	maxErrorRate := fs.Float64("max-error-rate", 1, "exit non-zero when (shed+expired+faulted)/submitted exceeds this fraction")
 	metricsOut, traceOut := telemetryFlags(fs)
 	fs.Parse(args)
 
 	pat, err := parsePattern(*pattern)
 	if err != nil {
 		return err
+	}
+	faults, err := fault.ParseSchedule(*faultSpec)
+	if err != nil {
+		return err
+	}
+	if *chaos && len(faults.Events) == 0 {
+		third := duration.Seconds() / 3
+		faults = &fault.Schedule{Seed: *seed, Events: []fault.Event{
+			{Kind: fault.Crash, Target: 0, At: third, Duration: third},
+			{Kind: fault.Errors, Target: fault.AllTargets, Rate: 0.02},
+		}}
+	}
+	var injector fault.Injector
+	if len(faults.Events) > 0 {
+		injector = faults
 	}
 	trace, err := workload.Generate(workload.Config{
 		Pattern: pat, DailyTotal: *requests, Windows: *windows, Seed: *seed,
@@ -566,6 +606,7 @@ func loadtestCmd(args []string) error {
 		BatchTimeout: *batchTimeout,
 		SLO:          *slo,
 		Deadline:     *deadline,
+		Injector:     injector,
 	})
 	if err != nil {
 		return err
@@ -587,12 +628,22 @@ func loadtestCmd(args []string) error {
 		pat, trace.Total(), len(trace.Windows), *duration, trace.Peak())
 	fmt.Printf("gateway  : %d replicas × batch ≤%d, queue %d, SLO %s, ladder %d variants\n",
 		resolved.Replicas, resolved.MaxBatch, resolved.QueueCap, resolved.SLO, len(ladder))
+	if injector != nil {
+		fmt.Printf("chaos    : %s\n", faults.String())
+	}
 	fmt.Print(rep.String())
 	cost := inst.PricePerSecond() * rep.WallSeconds * float64(resolved.Replicas)
 	fmt.Printf("cost     : $%.4f (%d×%s for %.2f s; $%.2f/h fleet)\n",
 		cost, resolved.Replicas, inst.Name, rep.WallSeconds,
 		inst.PricePerHour*float64(resolved.Replicas))
-	return writeTelemetry(*metricsOut, *traceOut)
+	if err := writeTelemetry(*metricsOut, *traceOut); err != nil {
+		return err
+	}
+	if rate := rep.ErrorRate(); rate > *maxErrorRate {
+		return fmt.Errorf("loadtest: error rate %.2f%% exceeds -max-error-rate %.2f%%",
+			rate*100, *maxErrorRate*100)
+	}
+	return nil
 }
 
 // serveCmd exposes the live telemetry surface. With -demo it first runs a

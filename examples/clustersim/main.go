@@ -7,12 +7,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"ccperf"
 	"ccperf/internal/cloud"
 	"ccperf/internal/cluster"
+	"ccperf/internal/fault"
 	"ccperf/internal/prune"
 	"ccperf/internal/report"
 	"ccperf/internal/workload"
@@ -74,7 +76,7 @@ func main() {
 		"Fleet", "Degree", "p50 resp (min)", "p95 resp (min)", "Misses", "Util (%)", "Cost ($/day)")
 	for _, f := range fleets {
 		for _, d := range degrees {
-			res, err := cluster.Run(cluster.Config{
+			res, err := cluster.Run(context.Background(), cluster.Config{
 				Fleet:   f.fleet,
 				Perf:    sys.Predictor().Perf(d.d, 0),
 				Horizon: 24 * 3600,
@@ -126,9 +128,51 @@ func main() {
 	}
 	fmt.Println(at.String())
 
+	// Fault injection: a spot-market reclaim takes one of the two
+	// tight-fleet instances in the middle of the busiest hour and keeps it.
+	// The revoked instance stops billing (the day gets *cheaper*), but the
+	// surviving GPU inherits the interrupted job plus the whole backlog:
+	// deadline misses pile up, so the cost of each image actually served
+	// on time rises — the honest price of the preemption.
+	peakHour := 0
+	for h, n := range trace.Windows {
+		if n > trace.Windows[peakHour] {
+			peakHour = h
+		}
+	}
+	spec := fmt.Sprintf("preempt@1:%d,seed=9", peakHour*3600+1800)
+	faults, err := fault.ParseSchedule(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ft := report.NewTable(fmt.Sprintf("spot preemption mid-hour-%d on the 2x p2.xlarge fleet (sweet-spot degree)", peakHour),
+		"Scenario", "Misses", "Retries", "Wasted (s)", "$ / M on-time", "Cost ($/day)")
+	for _, sc := range []struct {
+		name   string
+		faults *fault.Schedule
+	}{
+		{"fault-free", nil},
+		{spec, faults},
+	} {
+		res, err := cluster.Run(context.Background(), cluster.Config{
+			Fleet:   fleets[0].fleet,
+			Perf:    sys.Predictor().Perf(degrees[1].d, 0),
+			Horizon: 24 * 3600,
+			Faults:  sc.faults,
+		}, jobs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ft.Row(sc.name, res.Misses, res.Retries,
+			fmt.Sprintf("%.0f", res.WastedSeconds),
+			fmt.Sprintf("%.2f", res.CostPerMillionOnTime()),
+			fmt.Sprintf("%.2f", res.Cost))
+	}
+	fmt.Println(ft.String())
+
 	// Response-time distribution for the tight fleet at both degrees.
 	for _, d := range degrees {
-		res, err := cluster.Run(cluster.Config{
+		res, err := cluster.Run(context.Background(), cluster.Config{
 			Fleet:   fleets[0].fleet,
 			Perf:    sys.Predictor().Perf(d.d, 0),
 			Horizon: 24 * 3600,

@@ -11,7 +11,7 @@ func TestExperimentIDsComplete(t *testing.T) {
 	ids := ExperimentIDs()
 	want := []string{"table1", "table3", "fig3", "fig4", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "alg1", "empirical",
-		"calibration", "sensitivity", "robustness", "joint"}
+		"calibration", "sensitivity", "robustness", "joint", "faults"}
 	if len(ids) != len(want) {
 		t.Fatalf("%d experiments, want %d", len(ids), len(want))
 	}
@@ -204,6 +204,22 @@ func TestAlg1Findings(t *testing.T) {
 	}
 	if got := findingValue(t, r, "solution quality"); !strings.Contains(got, "100%") {
 		t.Errorf("greedy should match optimum on this input, got %q", got)
+	}
+}
+
+func TestFaultsFindings(t *testing.T) {
+	r := runExp(t, "faults")
+	prem := findingValue(t, r, "preemption premium")
+	// The revocation must register as a deadline/goodput problem: at least
+	// one miss, and a strictly positive on-time cost premium.
+	if !strings.Contains(prem, "misses 1 of") && !strings.Contains(prem, "misses 2 of") {
+		t.Errorf("premium = %q, want a deadline miss", prem)
+	}
+	if strings.Contains(prem, "(+0%)") || strings.Contains(prem, "(-") {
+		t.Errorf("premium = %q, want a positive on-time cost increase", prem)
+	}
+	if got := findingValue(t, r, "interpretation"); !strings.Contains(got, "spot refund") {
+		t.Errorf("interpretation = %q", got)
 	}
 }
 

@@ -11,9 +11,19 @@
 // times supplied by the same cloud.Perf the analytical model uses — so a
 // degree of pruning changes service rates here exactly as it changes
 // Equation 2 there.
+//
+// The fleet does not have to be perfect. Config.Faults injects a seeded
+// internal/fault schedule: a Preempt event revokes an instance mid-run
+// (in-flight work is interrupted at batch granularity and the remaining
+// images requeue for a bounded number of retries on the survivors), and a
+// Slow event stretches an instance's batch times over a window. Billing,
+// deadline misses, wasted work and goodput all account for the faults —
+// the cost-availability corner the paper's Eq. 3–4 fleet model leaves
+// open. See docs/RESILIENCE.md.
 package cluster
 
 import (
+	"container/heap"
 	"context"
 	"fmt"
 	"math"
@@ -21,7 +31,9 @@ import (
 
 	"ccperf/internal/cloud"
 	"ccperf/internal/engine"
+	"ccperf/internal/fault"
 	"ccperf/internal/prune"
+	"ccperf/internal/stats"
 	"ccperf/internal/telemetry"
 )
 
@@ -38,10 +50,16 @@ type Job struct {
 // JobStat records one job's outcome.
 type JobStat struct {
 	Job      Job
-	Start    float64
-	Finish   float64
-	Instance int // index into the fleet
+	Start    float64 // first dispatch time
+	Finish   float64 // final completion (or the moment the job failed)
+	Instance int     // index into the fleet (the final attempt's instance)
 	Missed   bool
+	// Attempts is the number of dispatches the job consumed (1 = clean
+	// first run). Failed marks a job whose retry budget ran out, or that
+	// found no surviving instance; its images beyond the completed
+	// batches were never processed.
+	Attempts int
+	Failed   bool
 }
 
 // Wait returns queueing delay.
@@ -52,7 +70,8 @@ func (s JobStat) Response() float64 { return s.Finish - s.Job.Arrival }
 
 // Config parameterizes a simulation run.
 type Config struct {
-	// Fleet is the rented instance set (billed for the whole horizon).
+	// Fleet is the rented instance set (billed for the whole horizon,
+	// or until revocation — see Result.Cost).
 	Fleet []*cloud.Instance
 	// Perf supplies batch times (typically engine.Predictor.Perf at a
 	// fixed degree of pruning — see ConfigFor).
@@ -60,6 +79,14 @@ type Config struct {
 	// Horizon is the billing horizon in seconds; 0 bills until the last
 	// job finishes.
 	Horizon float64
+	// Faults is the seeded failure scenario applied during the run
+	// (nil = the perfect fleet of the paper's cost model). Preempt and
+	// Slow events apply; Crash and Errors are serving-side kinds and are
+	// ignored here.
+	Faults *fault.Schedule
+	// RetryBudget bounds re-dispatches per job after an interruption
+	// (0 = the default of 2; negative = no retries).
+	RetryBudget int
 }
 
 // ConfigFor builds a simulation Config whose service times come from the
@@ -75,16 +102,105 @@ type Result struct {
 	Jobs        []JobStat
 	Makespan    float64 // finish time of the last job
 	Horizon     float64 // billed duration
-	Cost        float64 // fleet rental over the horizon, per-second pro-rated
+	Cost        float64 // fleet rental, per-second pro-rated, revoked instances billed to revocation
 	Utilization []float64
 	Misses      int
+
+	// Fault accounting. Preemptions counts instances revoked inside the
+	// billed horizon; Retries counts post-interruption re-dispatches;
+	// FailedJobs counts jobs that exhausted the retry budget or found no
+	// surviving instance (they also count as Misses when they carry a
+	// deadline). WastedSeconds is busy time spent on batches that were
+	// lost to a revocation. MissesAfterRetry isolates the deadline
+	// misses of jobs that needed more than one attempt — the paper's
+	// two-axis analysis priced none of this.
+	Preemptions      int
+	Retries          int
+	FailedJobs       int
+	WastedSeconds    float64
+	MissesAfterRetry int
+
+	// FinishedImages counts images in completed batches; Goodput is
+	// FinishedImages per billed second — the denominator that makes
+	// "cost per finished image" honest under faults. OnTimeImages narrows
+	// that to jobs that also met their deadline: with a fixed rental
+	// horizon a revoked instance *refunds* part of the bill, so raw
+	// cost-per-image can fall even as the service degrades — the on-time
+	// denominator is what a preemption reliably worsens.
+	FinishedImages int64
+	OnTimeImages   int64
+	Goodput        float64
 
 	P50Wait, P95Wait, P99Wait, MaxWait                 float64
 	P50Response, P95Response, P99Response, MaxResponse float64
 }
 
-// Run simulates the jobs on the fleet.
-func Run(cfg Config, jobs []Job) (*Result, error) {
+// CostPerMillionImages prices the run per 10⁶ finished images (+Inf when
+// nothing finished) — the headline number a preemption moves.
+func (r *Result) CostPerMillionImages() float64 {
+	if r.FinishedImages <= 0 {
+		return math.Inf(1)
+	}
+	return r.Cost / float64(r.FinishedImages) * 1e6
+}
+
+// CostPerMillionOnTime prices the run per 10⁶ images served within their
+// job's deadline (+Inf when none were).
+func (r *Result) CostPerMillionOnTime() float64 {
+	if r.OnTimeImages <= 0 {
+		return math.Inf(1)
+	}
+	return r.Cost / float64(r.OnTimeImages) * 1e6
+}
+
+// inst is the per-instance event-loop state.
+type inst struct {
+	typ       *cloud.Instance
+	freeAt    float64
+	busy      float64
+	batch     int
+	batchTime float64
+	preemptAt float64 // +Inf when never revoked
+	revoked   bool    // revocation reached during the run
+}
+
+// pendingJob is one queued (re)dispatch.
+type pendingJob struct {
+	job        Job
+	ready      float64 // arrival, or the revocation time that requeued it
+	remaining  int64
+	attempt    int     // 1 = first dispatch
+	firstStart float64 // NaN until the first dispatch lands
+}
+
+// jobQueue orders pending work by (ready, ID, attempt) — a deterministic
+// event queue, so a seeded chaos run replays bit-for-bit.
+type jobQueue []*pendingJob
+
+func (q jobQueue) Len() int { return len(q) }
+func (q jobQueue) Less(a, b int) bool {
+	if q[a].ready != q[b].ready {
+		return q[a].ready < q[b].ready
+	}
+	if q[a].job.ID != q[b].job.ID {
+		return q[a].job.ID < q[b].job.ID
+	}
+	return q[a].attempt < q[b].attempt
+}
+func (q jobQueue) Swap(a, b int) { q[a], q[b] = q[b], q[a] }
+func (q *jobQueue) Push(x any)   { *q = append(*q, x.(*pendingJob)) }
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Run simulates the jobs on the fleet. The context cancels the dispatch
+// loop: a cancellation mid-simulation returns promptly with an error
+// wrapping ctx.Err() and no result.
+func Run(ctx context.Context, cfg Config, jobs []Job) (*Result, error) {
 	if len(cfg.Fleet) == 0 {
 		return nil, fmt.Errorf("cluster: empty fleet")
 	}
@@ -94,17 +210,18 @@ func Run(cfg Config, jobs []Job) (*Result, error) {
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("cluster: no jobs")
 	}
-	ordered := append([]Job(nil), jobs...)
-	sort.SliceStable(ordered, func(a, b int) bool { return ordered[a].Arrival < ordered[b].Arrival })
-
-	// Precompute per-instance service rates.
-	type inst struct {
-		typ       *cloud.Instance
-		freeAt    float64
-		busy      float64
-		batch     int
-		batchTime float64
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, err
 	}
+	retryBudget := cfg.RetryBudget
+	if retryBudget == 0 {
+		retryBudget = 2
+	}
+	if retryBudget < 0 {
+		retryBudget = 0
+	}
+
+	// Precompute per-instance service rates and revocation times.
 	fleet := make([]inst, len(cfg.Fleet))
 	for i, it := range cfg.Fleet {
 		b := cfg.Perf.MaxBatch(it)
@@ -115,74 +232,218 @@ func Run(cfg Config, jobs []Job) (*Result, error) {
 		if bt <= 0 {
 			return nil, fmt.Errorf("cluster: instance %s has non-positive batch time", it.Name)
 		}
-		fleet[i] = inst{typ: it, batch: b, batchTime: bt}
+		fleet[i] = inst{typ: it, batch: b, batchTime: bt, preemptAt: cfg.Faults.PreemptAt(i)}
 	}
 
-	res := &Result{Jobs: make([]JobStat, 0, len(ordered))}
-	for _, j := range ordered {
+	pending := make(jobQueue, 0, len(jobs))
+	for _, j := range jobs {
 		if j.Images <= 0 {
 			return nil, fmt.Errorf("cluster: job %d has non-positive images", j.ID)
 		}
 		if j.Arrival < 0 {
 			return nil, fmt.Errorf("cluster: job %d has negative arrival", j.ID)
 		}
-		// Earliest-finish-time dispatch.
+		pending = append(pending, &pendingJob{job: j, ready: j.Arrival, remaining: j.Images, attempt: 1, firstStart: math.NaN()})
+	}
+	heap.Init(&pending)
+
+	res := &Result{Jobs: make([]JobStat, 0, len(jobs))}
+	dispatched := 0
+	for pending.Len() > 0 {
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("cluster: cancelled after %d of %d dispatches: %w",
+				dispatched, dispatched+pending.Len(), ctx.Err())
+		default:
+		}
+		it := heap.Pop(&pending).(*pendingJob)
+		dispatched++
+
+		// Earliest-finish dispatch across surviving instances. The
+		// scheduler is not clairvoyant: the estimate ignores future
+		// faults, but an instance already gone by the job's would-be
+		// start is excluded.
 		best := -1
 		bestFinish := math.Inf(1)
-		var bestStart, bestService float64
+		var bestStart float64
 		for i := range fleet {
-			service := math.Ceil(float64(j.Images)/float64(fleet[i].batch)) * fleet[i].batchTime
-			start := math.Max(j.Arrival, fleet[i].freeAt)
+			if fleet[i].revoked {
+				continue
+			}
+			start := math.Max(it.ready, fleet[i].freeAt)
+			if start >= fleet[i].preemptAt {
+				continue
+			}
+			service := math.Ceil(float64(it.remaining)/float64(fleet[i].batch)) * fleet[i].batchTime
 			finish := start + service
 			if finish < bestFinish {
-				best, bestFinish, bestStart, bestService = i, finish, start, service
+				best, bestFinish, bestStart = i, finish, start
 			}
 		}
-		fleet[best].freeAt = bestFinish
-		fleet[best].busy += bestService
-		stat := JobStat{Job: j, Start: bestStart, Finish: bestFinish, Instance: best}
-		if j.Deadline > 0 && bestFinish > j.Deadline {
+		if best < 0 {
+			res.Jobs = append(res.Jobs, failStat(it, it.ready, res))
+			continue
+		}
+		if math.IsNaN(it.firstStart) {
+			it.firstStart = bestStart
+		}
+
+		// Execute batch by batch: Slow windows stretch each batch (factor
+		// sampled at batch start), and a revocation inside a batch loses
+		// that batch's work and requeues the remainder.
+		in := &fleet[best]
+		t := bestStart
+		interrupted := false
+		for batches := 0; it.remaining > 0; batches++ {
+			// A single giant job can span millions of batches; re-check
+			// cancellation periodically so Run stays prompt mid-job too.
+			if batches&8191 == 8191 {
+				select {
+				case <-ctx.Done():
+					return nil, fmt.Errorf("cluster: cancelled after %d of %d dispatches: %w",
+						dispatched, dispatched+pending.Len(), ctx.Err())
+				default:
+				}
+			}
+			if t >= in.preemptAt {
+				interrupted = true
+				break
+			}
+			dur := in.batchTime * cfg.Faults.SlowFactor(best, t)
+			if t+dur > in.preemptAt {
+				res.WastedSeconds += in.preemptAt - t
+				in.busy += in.preemptAt - t
+				t = in.preemptAt
+				interrupted = true
+				break
+			}
+			t += dur
+			in.busy += dur
+			done := min64(int64(in.batch), it.remaining)
+			it.remaining -= done
+			res.FinishedImages += done
+		}
+
+		if interrupted {
+			in.revoked = true
+			in.freeAt = math.Inf(1)
+			if t > res.Makespan {
+				res.Makespan = t
+			}
+			if it.attempt <= retryBudget {
+				res.Retries++
+				it.ready = in.preemptAt
+				it.attempt++
+				heap.Push(&pending, it)
+			} else {
+				res.Jobs = append(res.Jobs, failStat(it, in.preemptAt, res))
+			}
+			continue
+		}
+
+		in.freeAt = t
+		stat := JobStat{Job: it.job, Start: it.firstStart, Finish: t, Instance: best, Attempts: it.attempt}
+		if it.job.Deadline > 0 && t > it.job.Deadline {
 			stat.Missed = true
 			res.Misses++
+			if it.attempt > 1 {
+				res.MissesAfterRetry++
+			}
+		} else {
+			res.OnTimeImages += it.job.Images
 		}
 		res.Jobs = append(res.Jobs, stat)
-		if bestFinish > res.Makespan {
-			res.Makespan = bestFinish
+		if t > res.Makespan {
+			res.Makespan = t
 		}
 	}
+	sort.Slice(res.Jobs, func(a, b int) bool { return res.Jobs[a].Job.ID < res.Jobs[b].Job.ID })
 
 	res.Horizon = cfg.Horizon
 	if res.Horizon <= 0 {
 		res.Horizon = res.Makespan
 	}
-	billed := math.Ceil(res.Horizon)
+	// Billing: a revoked instance is billed only up to its revocation —
+	// the one mercy of the spot market.
 	for i := range fleet {
-		res.Cost += billed * fleet[i].typ.PricePerSecond()
-		res.Utilization = append(res.Utilization, fleet[i].busy/res.Horizon)
+		end := res.Horizon
+		if fleet[i].preemptAt < end {
+			end = fleet[i].preemptAt
+			res.Preemptions++
+		}
+		res.Cost += math.Ceil(end) * fleet[i].typ.PricePerSecond()
+		if end > 0 {
+			res.Utilization = append(res.Utilization, fleet[i].busy/end)
+		} else {
+			res.Utilization = append(res.Utilization, 0)
+		}
+	}
+	if res.Horizon > 0 {
+		res.Goodput = float64(res.FinishedImages) / res.Horizon
 	}
 
-	waits := make([]float64, len(res.Jobs))
-	resps := make([]float64, len(res.Jobs))
-	for i, s := range res.Jobs {
-		waits[i] = s.Wait()
-		resps[i] = s.Response()
+	// Latency percentiles cover completed jobs; a failed job has no
+	// completion to measure.
+	var waits, resps []float64
+	for _, s := range res.Jobs {
+		if s.Failed {
+			continue
+		}
+		waits = append(waits, s.Wait())
+		resps = append(resps, s.Response())
 	}
-	res.P50Wait, res.P95Wait, res.P99Wait, res.MaxWait = percentiles(waits)
-	res.P50Response, res.P95Response, res.P99Response, res.MaxResponse = percentiles(resps)
+	res.P50Wait, res.P95Wait, res.P99Wait, res.MaxWait = stats.Summary(waits)
+	res.P50Response, res.P95Response, res.P99Response, res.MaxResponse = stats.Summary(resps)
 	recordRun(res, "cluster.run")
 	return res, nil
 }
 
+// failStat finalizes a job that ran out of instances or retries, updating
+// the run-level failure tallies.
+func failStat(it *pendingJob, at float64, res *Result) JobStat {
+	start := it.firstStart
+	if math.IsNaN(start) {
+		start = at
+	}
+	res.FailedJobs++
+	stat := JobStat{Job: it.job, Start: start, Finish: at, Instance: -1, Attempts: it.attempt, Failed: true}
+	if it.job.Deadline > 0 {
+		stat.Missed = true
+		res.Misses++
+		if it.attempt > 1 {
+			res.MissesAfterRetry++
+		}
+	}
+	return stat
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
 // recordRun publishes a simulation's outcome: per-job wait/response
-// distributions in simulated seconds, job and deadline-miss counts, and
-// one span carrying the headline stats.
+// distributions in simulated seconds, job, deadline-miss and fault
+// counts, and one span carrying the headline stats.
 func recordRun(res *Result, spanName string) {
 	reg := telemetry.Default
 	reg.Counter("cluster.jobs_dispatched").Add(int64(len(res.Jobs)))
 	reg.Counter("cluster.deadline_misses").Add(int64(res.Misses))
+	if res.Preemptions > 0 || res.Retries > 0 || res.FailedJobs > 0 {
+		reg.Counter("cluster.preemptions").Add(int64(res.Preemptions))
+		reg.Counter("cluster.retries").Add(int64(res.Retries))
+		reg.Counter("cluster.failed_jobs").Add(int64(res.FailedJobs))
+		reg.Counter("fault.preemptions_applied").Add(int64(res.Preemptions))
+		reg.Histogram("cluster.wasted_seconds", nil).Observe(res.WastedSeconds)
+	}
 	wait := reg.Histogram("cluster.job_wait_seconds", nil)
 	resp := reg.Histogram("cluster.job_response_seconds", nil)
 	for _, s := range res.Jobs {
+		if s.Failed {
+			continue
+		}
 		wait.Observe(s.Wait())
 		resp.Observe(s.Response())
 	}
@@ -190,21 +451,16 @@ func recordRun(res *Result, spanName string) {
 	finish(
 		telemetry.L("jobs", len(res.Jobs)),
 		telemetry.L("misses", res.Misses),
+		telemetry.L("preemptions", res.Preemptions),
+		telemetry.L("retries", res.Retries),
 		telemetry.L("utilization", res.AverageUtilization()),
 	)
 }
 
-// percentiles returns (p50, p95, p99, max) of xs. p99 is the SLO
-// percentile the serving gateway targets, reported here too so simulated
-// and served tail latencies are directly comparable.
+// percentiles returns (p50, p95, p99, max) of xs — a thin wrapper over
+// the shared stats helper, kept for the autoscaler. Safe on empty input.
 func percentiles(xs []float64) (p50, p95, p99, max float64) {
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	at := func(q float64) float64 {
-		idx := int(q * float64(len(s)-1))
-		return s[idx]
-	}
-	return at(0.50), at(0.95), at(0.99), s[len(s)-1]
+	return stats.Summary(xs)
 }
 
 // JobsFromWindows converts a per-window request trace into jobs: each

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -26,19 +27,19 @@ func xl(t *testing.T) *cloud.Instance {
 func TestRunValidation(t *testing.T) {
 	i := xl(t)
 	jobs := []Job{{ID: 0, Arrival: 0, Images: 100}}
-	if _, err := Run(Config{Perf: stubPerf{}}, jobs); err == nil {
+	if _, err := Run(context.Background(), Config{Perf: stubPerf{}}, jobs); err == nil {
 		t.Fatal("expected error for empty fleet")
 	}
-	if _, err := Run(Config{Fleet: []*cloud.Instance{i}}, jobs); err == nil {
+	if _, err := Run(context.Background(), Config{Fleet: []*cloud.Instance{i}}, jobs); err == nil {
 		t.Fatal("expected error for nil perf")
 	}
-	if _, err := Run(Config{Fleet: []*cloud.Instance{i}, Perf: stubPerf{}}, nil); err == nil {
+	if _, err := Run(context.Background(), Config{Fleet: []*cloud.Instance{i}, Perf: stubPerf{}}, nil); err == nil {
 		t.Fatal("expected error for no jobs")
 	}
-	if _, err := Run(Config{Fleet: []*cloud.Instance{i}, Perf: stubPerf{}}, []Job{{Images: 0}}); err == nil {
+	if _, err := Run(context.Background(), Config{Fleet: []*cloud.Instance{i}, Perf: stubPerf{}}, []Job{{Images: 0}}); err == nil {
 		t.Fatal("expected error for empty job")
 	}
-	if _, err := Run(Config{Fleet: []*cloud.Instance{i}, Perf: stubPerf{}}, []Job{{Arrival: -1, Images: 1}}); err == nil {
+	if _, err := Run(context.Background(), Config{Fleet: []*cloud.Instance{i}, Perf: stubPerf{}}, []Job{{Arrival: -1, Images: 1}}); err == nil {
 		t.Fatal("expected error for negative arrival")
 	}
 }
@@ -50,7 +51,7 @@ func TestSingleInstanceSequential(t *testing.T) {
 		{ID: 1, Arrival: 0, Images: 250},  // 3 batches → 30 s
 		{ID: 2, Arrival: 50, Images: 100}, // arrives after queue drains
 	}
-	res, err := Run(Config{Fleet: []*cloud.Instance{i}, Perf: stubPerf{}}, jobs)
+	res, err := Run(context.Background(), Config{Fleet: []*cloud.Instance{i}, Perf: stubPerf{}}, jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestEarliestFinishDispatchPrefersFasterInstance(t *testing.T) {
 		t.Fatal(err)
 	}
 	jobs := []Job{{ID: 0, Arrival: 0, Images: 800}}
-	res, err := Run(Config{Fleet: []*cloud.Instance{slow, fast}, Perf: stubPerf{}}, jobs)
+	res, err := Run(context.Background(), Config{Fleet: []*cloud.Instance{slow, fast}, Perf: stubPerf{}}, jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestParallelismAcrossFleet(t *testing.T) {
 		{ID: 0, Arrival: 0, Images: 100},
 		{ID: 1, Arrival: 0, Images: 100},
 	}
-	res, err := Run(Config{Fleet: []*cloud.Instance{i, i}, Perf: stubPerf{}}, jobs)
+	res, err := Run(context.Background(), Config{Fleet: []*cloud.Instance{i, i}, Perf: stubPerf{}}, jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestDeadlinesAndMisses(t *testing.T) {
 		{ID: 0, Arrival: 0, Images: 100, Deadline: 5},   // needs 10 s → miss
 		{ID: 1, Arrival: 0, Images: 100, Deadline: 100}, // queued 10–20 → ok
 	}
-	res, err := Run(Config{Fleet: []*cloud.Instance{i}, Perf: stubPerf{}}, jobs)
+	res, err := Run(context.Background(), Config{Fleet: []*cloud.Instance{i}, Perf: stubPerf{}}, jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestDeadlinesAndMisses(t *testing.T) {
 func TestHorizonBilling(t *testing.T) {
 	i := xl(t)
 	jobs := []Job{{ID: 0, Arrival: 0, Images: 100}}
-	res, err := Run(Config{Fleet: []*cloud.Instance{i}, Perf: stubPerf{}, Horizon: 3600}, jobs)
+	res, err := Run(context.Background(), Config{Fleet: []*cloud.Instance{i}, Perf: stubPerf{}, Horizon: 3600}, jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestPercentileStats(t *testing.T) {
 	for k := 0; k < 10; k++ {
 		jobs = append(jobs, Job{ID: k, Arrival: 0, Images: 100})
 	}
-	res, err := Run(Config{Fleet: []*cloud.Instance{i}, Perf: stubPerf{}}, jobs)
+	res, err := Run(context.Background(), Config{Fleet: []*cloud.Instance{i}, Perf: stubPerf{}}, jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,11 +268,11 @@ func TestMoreInstancesNeverHurtProperty(t *testing.T) {
 		for k, s := range sizes {
 			jobs = append(jobs, Job{ID: k, Arrival: float64(k * 3), Images: int64(s%500) + 1})
 		}
-		one, err := Run(Config{Fleet: []*cloud.Instance{i}, Perf: stubPerf{}}, jobs)
+		one, err := Run(context.Background(), Config{Fleet: []*cloud.Instance{i}, Perf: stubPerf{}}, jobs)
 		if err != nil {
 			return false
 		}
-		two, err := Run(Config{Fleet: []*cloud.Instance{i, i}, Perf: stubPerf{}}, jobs)
+		two, err := Run(context.Background(), Config{Fleet: []*cloud.Instance{i, i}, Perf: stubPerf{}}, jobs)
 		if err != nil {
 			return false
 		}

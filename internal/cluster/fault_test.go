@@ -1,0 +1,231 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"ccperf/internal/cloud"
+	"ccperf/internal/fault"
+)
+
+// twoXL builds a 2-instance p2.xlarge fleet (stubPerf: 100-image batches,
+// 10 s each).
+func twoXL(t *testing.T) []*cloud.Instance {
+	t.Helper()
+	i := xl(t)
+	return []*cloud.Instance{i, i}
+}
+
+func TestPreemptionInterruptsRequeuesAndBills(t *testing.T) {
+	// Two 1000-image jobs (10 batches = 100 s each) saturate the
+	// 2-instance fleet: job 0 on instance 0, job 1 on instance 1.
+	// Instance 0 is revoked at t=35, mid-way through its 4th batch
+	// (30–40): 300 of job 0's images are done, 5 s of batch work is
+	// lost, and the remaining 700 retry on instance 1 — which is busy
+	// with job 1 until t=100, so the retry runs 100→170.
+	jobs := []Job{
+		{ID: 0, Arrival: 0, Images: 1000, Deadline: 102},
+		{ID: 1, Arrival: 0, Images: 1000, Deadline: 102},
+	}
+	faults := &fault.Schedule{Events: []fault.Event{{Kind: fault.Preempt, Target: 0, At: 35}}}
+	res, err := Run(context.Background(), Config{Fleet: twoXL(t), Perf: stubPerf{}, Faults: faults}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Jobs[0]
+	if s.Failed || s.Attempts != 2 || s.Instance != 1 {
+		t.Fatalf("stat = %+v, want 2 attempts finishing on instance 1", s)
+	}
+	if s.Finish != 170 {
+		t.Fatalf("finish = %v, want 170", s.Finish)
+	}
+	if res.Preemptions != 1 || res.Retries != 1 || res.FailedJobs != 0 {
+		t.Fatalf("preemptions=%d retries=%d failed=%d", res.Preemptions, res.Retries, res.FailedJobs)
+	}
+	if math.Abs(res.WastedSeconds-5) > 1e-9 {
+		t.Fatalf("wasted = %v, want 5", res.WastedSeconds)
+	}
+	if res.FinishedImages != 2000 {
+		t.Fatalf("finished images = %d", res.FinishedImages)
+	}
+	// Job 0 misses its deadline, so only job 1's images count as on-time.
+	if res.OnTimeImages != 1000 {
+		t.Fatalf("on-time images = %d, want 1000", res.OnTimeImages)
+	}
+	// Deadline 102: the fault-free run finishes both jobs at 100; the
+	// retry pushes job 0 to 170 — a miss attributable to the preemption.
+	if res.Misses != 1 || res.MissesAfterRetry != 1 {
+		t.Fatalf("misses=%d after-retry=%d, want 1/1", res.Misses, res.MissesAfterRetry)
+	}
+	// Billing: the dead instance pays only to revocation (35 s), the
+	// survivor for the whole makespan horizon (170 s).
+	wantCost := (35.0 + 170.0) * 0.9 / 3600
+	if math.Abs(res.Cost-wantCost) > 1e-9 {
+		t.Fatalf("cost = %v, want %v", res.Cost, wantCost)
+	}
+	// The revoked instance was busy its whole short life.
+	if math.Abs(res.Utilization[0]-1) > 1e-9 {
+		t.Fatalf("revoked-instance utilization = %v, want 1", res.Utilization[0])
+	}
+
+	// Versus the fault-free baseline: same images finished, but the
+	// survivor's extended rental outweighs the dead instance's refund —
+	// cost per finished image rises, and a deadline miss appears.
+	base, err := Run(context.Background(), Config{Fleet: twoXL(t), Perf: stubPerf{}}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Misses != 0 || base.Preemptions != 0 {
+		t.Fatalf("baseline misses=%d preemptions=%d", base.Misses, base.Preemptions)
+	}
+	if res.CostPerMillionImages() <= base.CostPerMillionImages() {
+		t.Fatalf("preemption should raise cost per finished image: %v vs %v",
+			res.CostPerMillionImages(), base.CostPerMillionImages())
+	}
+	if base.OnTimeImages != 2000 || res.CostPerMillionOnTime() <= base.CostPerMillionOnTime() {
+		t.Fatalf("preemption should raise cost per on-time image: %v vs %v (base on-time %d)",
+			res.CostPerMillionOnTime(), base.CostPerMillionOnTime(), base.OnTimeImages)
+	}
+	if res.Goodput >= base.Goodput {
+		t.Fatalf("preemption should cut goodput: %v vs %v", res.Goodput, base.Goodput)
+	}
+}
+
+func TestRetryBudgetExhaustionFailsJob(t *testing.T) {
+	// Single instance revoked 5 s in: the first batch is lost, and with
+	// no survivors every retry fails to place until the budget runs out.
+	jobs := []Job{{ID: 0, Arrival: 0, Images: 1000, Deadline: 200}}
+	faults := &fault.Schedule{Events: []fault.Event{{Kind: fault.Preempt, Target: 0, At: 5}}}
+	res, err := Run(context.Background(), Config{Fleet: []*cloud.Instance{xl(t)}, Perf: stubPerf{}, Faults: faults}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Jobs[0]
+	if !s.Failed || !s.Missed {
+		t.Fatalf("stat = %+v, want failed + missed", s)
+	}
+	if res.FailedJobs != 1 || res.Retries != 1 {
+		t.Fatalf("failed=%d retries=%d, want 1 requeue then failure", res.FailedJobs, res.Retries)
+	}
+	if res.FinishedImages != 0 || !math.IsInf(res.CostPerMillionImages(), 1) {
+		t.Fatalf("finished=%d cost/image=%v", res.FinishedImages, res.CostPerMillionImages())
+	}
+	if math.Abs(res.WastedSeconds-5) > 1e-9 {
+		t.Fatalf("wasted = %v", res.WastedSeconds)
+	}
+
+	// A negative RetryBudget disables retries entirely.
+	res, err = Run(context.Background(), Config{
+		Fleet: []*cloud.Instance{xl(t)}, Perf: stubPerf{}, Faults: faults, RetryBudget: -1,
+	}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries != 0 || res.FailedJobs != 1 {
+		t.Fatalf("budget<0: retries=%d failed=%d", res.Retries, res.FailedJobs)
+	}
+}
+
+func TestSlowdownStretchesBatches(t *testing.T) {
+	// A 2× straggler window over the whole run doubles the single batch.
+	jobs := []Job{{ID: 0, Arrival: 0, Images: 100}}
+	faults := &fault.Schedule{Events: []fault.Event{{Kind: fault.Slow, Target: 0, At: 0, Duration: 1000, Factor: 2}}}
+	res, err := Run(context.Background(), Config{Fleet: []*cloud.Instance{xl(t)}, Perf: stubPerf{}, Faults: faults}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs[0].Finish != 20 {
+		t.Fatalf("finish = %v, want 20 (2× slowdown)", res.Jobs[0].Finish)
+	}
+	if res.Preemptions != 0 || res.Retries != 0 {
+		t.Fatalf("slowdown alone should not preempt: %+v", res)
+	}
+}
+
+func TestChaosRunBitForBitReproducible(t *testing.T) {
+	faults, err := fault.ParseSchedule("preempt@0:35,slow@1:40+30x2,seed=11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []Job{
+		{ID: 0, Arrival: 0, Images: 1000, Deadline: 150},
+		{ID: 1, Arrival: 5, Images: 400, Deadline: 120},
+		{ID: 2, Arrival: 30, Images: 250},
+	}
+	run := func() *Result {
+		res, err := Run(context.Background(), Config{Fleet: twoXL(t), Perf: stubPerf{}, Faults: faults}, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("seeded chaos runs diverged:\n%+v\n%+v", a, b)
+	}
+	if a.Preemptions != 1 || a.Retries == 0 {
+		t.Fatalf("scenario should exercise preemption+retry: %+v", a)
+	}
+}
+
+func TestRunCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, Config{Fleet: []*cloud.Instance{xl(t)}, Perf: stubPerf{}},
+		[]Job{{ID: 0, Images: 100}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunCancelMidSimulationReturnsPromptly(t *testing.T) {
+	before := runtime.NumGoroutine()
+	// One colossal job (400M batches ≈ seconds of simulation) so the
+	// cancel lands mid-dispatch, inside the batch loop.
+	jobs := []Job{{ID: 0, Arrival: 0, Images: 40_000_000_000}}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := Run(ctx, Config{Fleet: []*cloud.Instance{xl(t)}, Perf: stubPerf{}}, jobs)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v (res=%v), want context.Canceled", err, res)
+	}
+	if res != nil {
+		t.Fatal("cancelled run must not return a partial Result as success")
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancel took %v to land", elapsed)
+	}
+	// The simulator is single-goroutine: cancellation must leave nothing
+	// behind.
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+1 { // +1 for the cancel goroutine racing to exit
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines grew from %d to %d after cancelled Run", before, runtime.NumGoroutine())
+}
+
+func TestPercentilesDegenerateInputs(t *testing.T) {
+	// The helper behind Result percentiles must tolerate empty and
+	// single-sample inputs (a future caller with all-failed jobs).
+	p50, p95, p99, max := percentiles(nil)
+	if p50 != 0 || p95 != 0 || p99 != 0 || max != 0 {
+		t.Fatalf("empty percentiles = %v %v %v %v", p50, p95, p99, max)
+	}
+	p50, _, p99, max = percentiles([]float64{3})
+	if p50 != 3 || p99 != 3 || max != 3 {
+		t.Fatalf("single-sample percentiles = %v %v %v", p50, p99, max)
+	}
+}

@@ -1,0 +1,282 @@
+// Package fault expresses failure scenarios as pure data. The paper's
+// cost model (Section 3.4) prices a fleet that always runs to completion,
+// but the cheapest region of its cost-accuracy space — spot and
+// preemptible instances, highly consolidated GPU serving — is exactly
+// where instances get revoked, straggle, and crash. A Schedule describes
+// such a scenario deterministically: every event carries an explicit
+// target and time, and the only randomness (per-request error injection,
+// sampled scenario generation) flows from an explicit seed through
+// counter-based hashing, so a chaos run under `go test -race` is
+// bit-for-bit reproducible regardless of goroutine interleaving.
+//
+// Two consumers share the package: internal/cluster applies Preempt and
+// Slow events in simulated time, internal/serving applies Crash and
+// Errors events in wall time through its Injector hook. The spec grammar
+// both CLIs accept is in parse.go and docs/RESILIENCE.md.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Kind classifies one fault event.
+type Kind int
+
+// Fault kinds.
+const (
+	// Preempt revokes an instance at time At: in-flight work is
+	// interrupted at batch granularity and the instance never returns
+	// (the spot-market revocation model).
+	Preempt Kind = iota
+	// Slow multiplies the target's service time by Factor over
+	// [At, At+Duration] — a transient straggler.
+	Slow
+	// Crash takes a serving replica down over [At, At+Duration]; batches
+	// executed in the window fail, and the replica recovers afterwards.
+	Crash
+	// Errors injects per-request failures on the target with probability
+	// Rate, decided by the schedule's seeded hash.
+	Errors
+)
+
+// String names the kind (the spec keyword).
+func (k Kind) String() string {
+	switch k {
+	case Preempt:
+		return "preempt"
+	case Slow:
+		return "slow"
+	case Crash:
+		return "crash"
+	case Errors:
+		return "err"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// AllTargets addresses every instance or replica.
+const AllTargets = -1
+
+// Event is one scheduled fault — pure data, no behavior.
+type Event struct {
+	Kind Kind
+	// Target is the instance (cluster) or replica (serving) index;
+	// AllTargets (-1) hits the whole fleet.
+	Target int
+	// At is the event time in seconds from run start (simulated seconds
+	// for the cluster, wall seconds since Gateway.Start for serving).
+	At float64
+	// Duration is the length of Slow and Crash windows.
+	Duration float64
+	// Factor is the Slow service-time multiplier (≥ 1).
+	Factor float64
+	// Rate is the Errors injection probability in [0, 1].
+	Rate float64
+}
+
+// Schedule is a full failure scenario: an event list plus the seed that
+// drives every probabilistic decision.
+type Schedule struct {
+	Seed   int64
+	Events []Event
+}
+
+// Validate checks every event's fields against its kind.
+func (s *Schedule) Validate() error {
+	if s == nil {
+		return nil
+	}
+	for i, e := range s.Events {
+		if e.Target < AllTargets {
+			return fmt.Errorf("fault: event %d target %d (want ≥ %d)", i, e.Target, AllTargets)
+		}
+		if e.At < 0 || math.IsNaN(e.At) {
+			return fmt.Errorf("fault: event %d time %v (want ≥ 0)", i, e.At)
+		}
+		switch e.Kind {
+		case Preempt:
+		case Slow:
+			if e.Duration <= 0 {
+				return fmt.Errorf("fault: slow event %d duration %v (want > 0)", i, e.Duration)
+			}
+			if e.Factor < 1 {
+				return fmt.Errorf("fault: slow event %d factor %v (want ≥ 1)", i, e.Factor)
+			}
+		case Crash:
+			if e.Duration <= 0 {
+				return fmt.Errorf("fault: crash event %d duration %v (want > 0)", i, e.Duration)
+			}
+		case Errors:
+			if e.Rate < 0 || e.Rate > 1 {
+				return fmt.Errorf("fault: err event %d rate %v (want in [0,1])", i, e.Rate)
+			}
+		default:
+			return fmt.Errorf("fault: event %d has unknown kind %d", i, int(e.Kind))
+		}
+	}
+	return nil
+}
+
+// matches reports whether the event addresses the given target.
+func (e Event) matches(target int) bool {
+	return e.Target == AllTargets || e.Target == target
+}
+
+// PreemptAt returns the earliest revocation time scheduled for the
+// target, or +Inf when it is never preempted. Nil-safe.
+func (s *Schedule) PreemptAt(target int) float64 {
+	at := math.Inf(1)
+	if s == nil {
+		return at
+	}
+	for _, e := range s.Events {
+		if e.Kind == Preempt && e.matches(target) && e.At < at {
+			at = e.At
+		}
+	}
+	return at
+}
+
+// SlowFactor returns the service-time multiplier in effect on the target
+// at time t: the product of all active Slow windows (1 when none).
+func (s *Schedule) SlowFactor(target int, t float64) float64 {
+	f := 1.0
+	if s == nil {
+		return f
+	}
+	for _, e := range s.Events {
+		if e.Kind == Slow && e.matches(target) && t >= e.At && t < e.At+e.Duration {
+			f *= e.Factor
+		}
+	}
+	return f
+}
+
+// CrashActive reports whether the target is inside a Crash window at
+// elapsed seconds since start.
+func (s *Schedule) CrashActive(target int, elapsed float64) bool {
+	if s == nil {
+		return false
+	}
+	for _, e := range s.Events {
+		if e.Kind == Crash && e.matches(target) && elapsed >= e.At && elapsed < e.At+e.Duration {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrorRate returns the combined injection probability for the target:
+// 1 − ∏(1 − rate) over every matching Errors event, i.e. independent
+// injectors compose.
+func (s *Schedule) ErrorRate(target int) float64 {
+	if s == nil {
+		return 0
+	}
+	pass := 1.0
+	for _, e := range s.Events {
+		if e.Kind == Errors && e.matches(target) {
+			pass *= 1 - e.Rate
+		}
+	}
+	return 1 - pass
+}
+
+// FailRequest decides deterministically whether request id's attempt on
+// the target is injected to fail. The decision is a counter-based hash of
+// (seed, target, id, attempt) — independent of execution order, so a
+// race-detected chaos test replays identically — and a fresh draw per
+// attempt, so retries can succeed.
+func (s *Schedule) FailRequest(target int, id int64, attempt int) bool {
+	if s == nil {
+		return false
+	}
+	rate := s.ErrorRate(target)
+	if rate <= 0 {
+		return false
+	}
+	x := uint64(s.Seed)
+	x = mix(x ^ uint64(id)*0x9e3779b97f4a7c15)
+	x = mix(x ^ uint64(attempt)*0xbf58476d1ce4e5b9)
+	x = mix(x ^ uint64(int64(target)+2)*0x94d049bb133111eb)
+	return Frac(x) < rate
+}
+
+// Injector is the hook the serving gateway's replica execute path calls.
+// *Schedule implements it; tests substitute scripted fakes.
+type Injector interface {
+	// CrashActive reports whether the replica is down at elapsed seconds
+	// since gateway start (a crashed replica fails whole batches).
+	CrashActive(replica int, elapsed float64) bool
+	// FailRequest decides whether one request attempt on the replica is
+	// injected to fail.
+	FailRequest(replica int, id int64, attempt int) bool
+}
+
+var _ Injector = (*Schedule)(nil)
+
+// mix is the splitmix64 finalizer — the counter-based hash behind every
+// probabilistic decision in the package.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Frac maps a hash to [0, 1). Exported so the serving layer derives its
+// deterministic retry jitter from the same primitive.
+func Frac(x uint64) float64 {
+	return float64(mix(x)>>11) / float64(1<<53)
+}
+
+// SampleConfig parameterizes Sample.
+type SampleConfig struct {
+	Seed      int64
+	Instances int
+	// Horizon is the scenario length in seconds.
+	Horizon float64
+	// PreemptProb is each instance's probability of one revocation at a
+	// uniform time within the horizon (the flat-hazard spot model).
+	PreemptProb float64
+	// SlowProb is each instance's probability of one straggler window of
+	// SlowDuration seconds at SlowFactor, starting uniformly within the
+	// horizon.
+	SlowProb     float64
+	SlowFactor   float64
+	SlowDuration float64
+}
+
+// Sample draws a random but fully seed-determined failure scenario — the
+// quickest way to ask "what does a day on spot instances cost me" without
+// hand-writing a spec.
+func Sample(cfg SampleConfig) (*Schedule, error) {
+	if cfg.Instances <= 0 {
+		return nil, fmt.Errorf("fault: sample needs a positive instance count")
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("fault: sample needs a positive horizon")
+	}
+	if cfg.PreemptProb < 0 || cfg.PreemptProb > 1 || cfg.SlowProb < 0 || cfg.SlowProb > 1 {
+		return nil, fmt.Errorf("fault: sample probabilities must be in [0,1]")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := &Schedule{Seed: cfg.Seed}
+	for i := 0; i < cfg.Instances; i++ {
+		if rng.Float64() < cfg.PreemptProb {
+			s.Events = append(s.Events, Event{Kind: Preempt, Target: i, At: rng.Float64() * cfg.Horizon})
+		}
+		if rng.Float64() < cfg.SlowProb && cfg.SlowDuration > 0 && cfg.SlowFactor >= 1 {
+			s.Events = append(s.Events, Event{
+				Kind: Slow, Target: i,
+				At:       rng.Float64() * cfg.Horizon,
+				Duration: cfg.SlowDuration,
+				Factor:   cfg.SlowFactor,
+			})
+		}
+	}
+	return s, s.Validate()
+}

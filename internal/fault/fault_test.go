@@ -1,0 +1,267 @@
+package fault
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Schedule{
+		{Events: []Event{{Kind: Preempt, Target: -2}}},
+		{Events: []Event{{Kind: Preempt, At: -1}}},
+		{Events: []Event{{Kind: Slow, Duration: 0, Factor: 2}}},
+		{Events: []Event{{Kind: Slow, Duration: 10, Factor: 0.5}}},
+		{Events: []Event{{Kind: Crash, Duration: 0}}},
+		{Events: []Event{{Kind: Errors, Rate: 1.5}}},
+		{Events: []Event{{Kind: Kind(99)}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("schedule %d: expected validation error", i)
+		}
+	}
+	var nilSched *Schedule
+	if err := nilSched.Validate(); err != nil {
+		t.Fatalf("nil schedule: %v", err)
+	}
+}
+
+func TestPreemptAt(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{Kind: Preempt, Target: 1, At: 100},
+		{Kind: Preempt, Target: 1, At: 50},
+		{Kind: Preempt, Target: AllTargets, At: 200},
+	}}
+	if got := s.PreemptAt(1); got != 50 {
+		t.Fatalf("PreemptAt(1) = %v, want the earliest (50)", got)
+	}
+	if got := s.PreemptAt(0); got != 200 {
+		t.Fatalf("PreemptAt(0) = %v, want the fleet-wide 200", got)
+	}
+	var nilSched *Schedule
+	if got := nilSched.PreemptAt(0); !math.IsInf(got, 1) {
+		t.Fatalf("nil PreemptAt = %v, want +Inf", got)
+	}
+}
+
+func TestSlowFactorWindows(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{Kind: Slow, Target: 0, At: 10, Duration: 10, Factor: 2},
+		{Kind: Slow, Target: AllTargets, At: 15, Duration: 10, Factor: 3},
+	}}
+	if got := s.SlowFactor(0, 5); got != 1 {
+		t.Fatalf("before window: %v", got)
+	}
+	if got := s.SlowFactor(0, 12); got != 2 {
+		t.Fatalf("first window: %v", got)
+	}
+	if got := s.SlowFactor(0, 17); got != 6 {
+		t.Fatalf("overlap should compose: %v", got)
+	}
+	if got := s.SlowFactor(1, 17); got != 3 {
+		t.Fatalf("fleet-wide window on other target: %v", got)
+	}
+	if got := s.SlowFactor(0, 25); got != 1 {
+		t.Fatalf("after both windows: %v", got)
+	}
+	// Window end is exclusive.
+	if got := s.SlowFactor(0, 20); got != 3 {
+		t.Fatalf("at first window end: %v", got)
+	}
+}
+
+func TestCrashActiveAndErrorRate(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{Kind: Crash, Target: 0, At: 1, Duration: 2},
+		{Kind: Errors, Target: AllTargets, Rate: 0.5},
+		{Kind: Errors, Target: 1, Rate: 0.5},
+	}}
+	if s.CrashActive(0, 0.5) || !s.CrashActive(0, 1.5) || s.CrashActive(0, 3) {
+		t.Fatal("crash window misevaluated")
+	}
+	if s.CrashActive(1, 1.5) {
+		t.Fatal("crash leaked to another replica")
+	}
+	if got := s.ErrorRate(0); got != 0.5 {
+		t.Fatalf("ErrorRate(0) = %v", got)
+	}
+	// Independent injectors compose: 1 − 0.5·0.5.
+	if got := s.ErrorRate(1); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("ErrorRate(1) = %v, want 0.75", got)
+	}
+}
+
+func TestFailRequestDeterministicAndCalibrated(t *testing.T) {
+	s := &Schedule{Seed: 42, Events: []Event{{Kind: Errors, Target: AllTargets, Rate: 0.3}}}
+	n := 20000
+	hits := 0
+	for i := 0; i < n; i++ {
+		a := s.FailRequest(0, int64(i), 1)
+		if b := s.FailRequest(0, int64(i), 1); a != b {
+			t.Fatalf("request %d: nondeterministic decision", i)
+		}
+		if a {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if math.Abs(got-0.3) > 0.02 {
+		t.Fatalf("injection rate %v, want ≈0.3", got)
+	}
+	// Fresh draw per attempt: over many ids, attempt 2 disagrees with
+	// attempt 1 somewhere.
+	differs := false
+	for i := 0; i < 100 && !differs; i++ {
+		differs = s.FailRequest(0, int64(i), 1) != s.FailRequest(0, int64(i), 2)
+	}
+	if !differs {
+		t.Fatal("attempts share draws; retries could never succeed")
+	}
+	var nilSched *Schedule
+	if nilSched.FailRequest(0, 1, 1) {
+		t.Fatal("nil schedule injected a failure")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	// Table of schedules covering every kind, both target forms, and
+	// fractional values; each must survive Schedule → String → Parse.
+	cases := []*Schedule{
+		{},
+		{Seed: 7},
+		{Events: []Event{{Kind: Preempt, Target: 2, At: 3600}}},
+		{Seed: 9, Events: []Event{
+			{Kind: Preempt, Target: 0, At: 1800.5},
+			{Kind: Slow, Target: 1, At: 10, Duration: 600, Factor: 2.5},
+			{Kind: Crash, Target: 0, At: 2, Duration: 1.25},
+			{Kind: Errors, Target: AllTargets, Rate: 0.05},
+			{Kind: Errors, Target: 3, Rate: 0.125},
+		}},
+		{Events: []Event{{Kind: Preempt, Target: AllTargets, At: 1_000_000}}},
+	}
+	for i, want := range cases {
+		spec := want.String()
+		got, err := ParseSchedule(spec)
+		if err != nil {
+			t.Fatalf("case %d: parse %q: %v", i, spec, err)
+		}
+		if !reflect.DeepEqual(normalize(got), normalize(want)) {
+			t.Fatalf("case %d: round-trip %q\n got %+v\nwant %+v", i, spec, got, want)
+		}
+	}
+}
+
+// normalize maps nil and empty event slices together for DeepEqual.
+func normalize(s *Schedule) Schedule {
+	out := Schedule{Seed: s.Seed}
+	out.Events = append(out.Events, s.Events...)
+	return out
+}
+
+// TestParseRandomRoundTrip is the fuzz-style sweep: generate random valid
+// schedules and require String→Parse identity on each.
+func TestParseRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rnd := func() float64 { return math.Round(rng.Float64()*1e6) / 1e3 } // 3 decimals, ≤ 1000
+	for i := 0; i < 200; i++ {
+		s := &Schedule{Seed: rng.Int63n(1000)}
+		for n := rng.Intn(6); n > 0; n-- {
+			target := rng.Intn(5) - 1
+			switch Kind(rng.Intn(4)) {
+			case Preempt:
+				s.Events = append(s.Events, Event{Kind: Preempt, Target: target, At: rnd()})
+			case Slow:
+				s.Events = append(s.Events, Event{Kind: Slow, Target: target, At: rnd(), Duration: rnd() + 0.001, Factor: 1 + rnd()})
+			case Crash:
+				s.Events = append(s.Events, Event{Kind: Crash, Target: target, At: rnd(), Duration: rnd() + 0.001})
+			case Errors:
+				s.Events = append(s.Events, Event{Kind: Errors, Target: target, Rate: math.Mod(rnd(), 1)})
+			}
+		}
+		spec := s.String()
+		got, err := ParseSchedule(spec)
+		if err != nil {
+			t.Fatalf("iter %d: parse %q: %v", i, spec, err)
+		}
+		if !reflect.DeepEqual(normalize(got), normalize(s)) {
+			t.Fatalf("iter %d: round-trip %q diverged\n got %+v\nwant %+v", i, spec, got, s)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"boom@0:1",            // unknown kind
+		"preempt@x:1",         // bad target
+		"preempt@-1:1",        // negative target index (use *)
+		"preempt@0",           // missing time
+		"slow@0:1+2",          // missing factor
+		"slow@0:1x2",          // missing duration
+		"crash@0:5",           // missing duration
+		"err:2",               // rate out of range
+		"seed=abc",            // bad seed
+		"preempt@0:1 extra",   // trailing junk inside a token
+		"preempt@0:1,,crash0", // malformed second token
+	} {
+		if _, err := ParseSchedule(spec); err == nil {
+			t.Errorf("spec %q: expected parse error", spec)
+		}
+	}
+	s, err := ParseSchedule("  ")
+	if err != nil || len(s.Events) != 0 {
+		t.Fatalf("blank spec: %v, %+v", err, s)
+	}
+}
+
+func TestParseWhitespaceAndStarTargets(t *testing.T) {
+	s, err := ParseSchedule(" preempt@*:10 , err:0.1 , seed=3 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 3 || len(s.Events) != 2 {
+		t.Fatalf("parsed %+v", s)
+	}
+	if s.Events[0].Target != AllTargets || s.Events[1].Target != AllTargets {
+		t.Fatalf("star/default targets: %+v", s.Events)
+	}
+}
+
+func TestSampleDeterministicAndBounded(t *testing.T) {
+	cfg := SampleConfig{
+		Seed: 5, Instances: 8, Horizon: 3600,
+		PreemptProb: 0.5, SlowProb: 0.5, SlowFactor: 2, SlowDuration: 300,
+	}
+	a, err := Sample(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sample(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different scenarios")
+	}
+	for _, e := range a.Events {
+		if e.At < 0 || e.At > cfg.Horizon {
+			t.Fatalf("event time %v outside horizon", e.At)
+		}
+		if e.Target < 0 || e.Target >= cfg.Instances {
+			t.Fatalf("event target %d outside fleet", e.Target)
+		}
+	}
+	if len(a.Events) == 0 {
+		t.Fatal("p=0.5 over 8 instances sampled no events (seed degenerate?)")
+	}
+	if _, err := Sample(SampleConfig{Instances: 0, Horizon: 1}); err == nil {
+		t.Fatal("expected error for zero instances")
+	}
+	if _, err := Sample(SampleConfig{Instances: 1, Horizon: 0}); err == nil {
+		t.Fatal("expected error for zero horizon")
+	}
+	if _, err := Sample(SampleConfig{Instances: 1, Horizon: 1, PreemptProb: 2}); err == nil {
+		t.Fatal("expected error for probability out of range")
+	}
+}

@@ -1,0 +1,171 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSchedule parses the CLI fault-spec grammar into a Schedule. A spec
+// is a comma-separated list of tokens:
+//
+//	seed=<n>                     hash seed for err injection (default 0)
+//	preempt@<target>:<at>        revoke instance <target> at <at> seconds
+//	slow@<target>:<at>+<dur>x<factor>
+//	                             straggle <target> over [<at>, <at>+<dur>]
+//	                             with service time × <factor>
+//	crash@<target>:<at>+<dur>    take replica <target> down for <dur> s
+//	err@<target>:<rate>          inject failures on <target> at <rate>
+//	err:<rate>                   same, on every replica
+//
+// <target> is a zero-based index or `*` for the whole fleet. Times are
+// seconds (simulated for `ccperf simulate`, wall for `ccperf loadtest`).
+// Example: "preempt@2:3600,slow@0:1800+900x2.5,err:0.05,seed=7".
+// The empty string parses to an empty (fault-free) schedule.
+func ParseSchedule(spec string) (*Schedule, error) {
+	s := &Schedule{}
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(tok, "seed="); ok {
+			seed, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad seed %q: %w", v, err)
+			}
+			s.Seed = seed
+			continue
+		}
+		e, err := parseEvent(tok)
+		if err != nil {
+			return nil, err
+		}
+		s.Events = append(s.Events, e)
+	}
+	return s, s.Validate()
+}
+
+// parseEvent parses one non-seed token.
+func parseEvent(tok string) (Event, error) {
+	name, rest, found := strings.Cut(tok, "@")
+	target := AllTargets
+	if found {
+		tstr, tail, ok := strings.Cut(rest, ":")
+		if !ok {
+			return Event{}, fmt.Errorf("fault: token %q: missing ':' after target", tok)
+		}
+		if tstr != "*" {
+			n, err := strconv.Atoi(tstr)
+			if err != nil || n < 0 {
+				return Event{}, fmt.Errorf("fault: token %q: bad target %q", tok, tstr)
+			}
+			target = n
+		}
+		rest = tail
+	} else {
+		name, rest, found = strings.Cut(tok, ":")
+		if !found {
+			return Event{}, fmt.Errorf("fault: token %q: want kind@target:... or err:rate", tok)
+		}
+	}
+	num := func(v, what string) (float64, error) {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return 0, fmt.Errorf("fault: token %q: bad %s %q", tok, what, v)
+		}
+		return f, nil
+	}
+	switch name {
+	case "preempt":
+		at, err := num(rest, "time")
+		if err != nil {
+			return Event{}, err
+		}
+		return Event{Kind: Preempt, Target: target, At: at}, nil
+	case "slow":
+		span, factorStr, ok := strings.Cut(rest, "x")
+		if !ok {
+			return Event{}, fmt.Errorf("fault: token %q: slow wants <at>+<dur>x<factor>", tok)
+		}
+		atStr, durStr, ok := strings.Cut(span, "+")
+		if !ok {
+			return Event{}, fmt.Errorf("fault: token %q: slow wants <at>+<dur>x<factor>", tok)
+		}
+		at, err := num(atStr, "time")
+		if err != nil {
+			return Event{}, err
+		}
+		dur, err := num(durStr, "duration")
+		if err != nil {
+			return Event{}, err
+		}
+		factor, err := num(factorStr, "factor")
+		if err != nil {
+			return Event{}, err
+		}
+		return Event{Kind: Slow, Target: target, At: at, Duration: dur, Factor: factor}, nil
+	case "crash":
+		atStr, durStr, ok := strings.Cut(rest, "+")
+		if !ok {
+			return Event{}, fmt.Errorf("fault: token %q: crash wants <at>+<dur>", tok)
+		}
+		at, err := num(atStr, "time")
+		if err != nil {
+			return Event{}, err
+		}
+		dur, err := num(durStr, "duration")
+		if err != nil {
+			return Event{}, err
+		}
+		return Event{Kind: Crash, Target: target, At: at, Duration: dur}, nil
+	case "err":
+		rate, err := num(rest, "rate")
+		if err != nil {
+			return Event{}, err
+		}
+		return Event{Kind: Errors, Target: target, Rate: rate}, nil
+	default:
+		return Event{}, fmt.Errorf("fault: token %q: unknown kind %q", tok, name)
+	}
+}
+
+// String renders the schedule in the spec grammar; ParseSchedule(s.String())
+// reconstructs an equal schedule (the round-trip the tests pin down).
+func (s *Schedule) String() string {
+	if s == nil {
+		return ""
+	}
+	var parts []string
+	if s.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", s.Seed))
+	}
+	for _, e := range s.Events {
+		tgt := "*"
+		if e.Target != AllTargets {
+			tgt = strconv.Itoa(e.Target)
+		}
+		switch e.Kind {
+		case Preempt:
+			parts = append(parts, fmt.Sprintf("preempt@%s:%s", tgt, ftoa(e.At)))
+		case Slow:
+			parts = append(parts, fmt.Sprintf("slow@%s:%s+%sx%s", tgt, ftoa(e.At), ftoa(e.Duration), ftoa(e.Factor)))
+		case Crash:
+			parts = append(parts, fmt.Sprintf("crash@%s:%s+%s", tgt, ftoa(e.At), ftoa(e.Duration)))
+		case Errors:
+			if e.Target == AllTargets {
+				parts = append(parts, fmt.Sprintf("err:%s", ftoa(e.Rate)))
+			} else {
+				parts = append(parts, fmt.Sprintf("err@%s:%s", tgt, ftoa(e.Rate)))
+			}
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// ftoa formats a float with the shortest plain-decimal representation
+// that parses back to the same value. Never exponent notation: a '+' in
+// "1e+06" would collide with the '+' separating <at>+<dur>.
+func ftoa(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}

@@ -1,0 +1,107 @@
+package serving
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is one replica's circuit-breaker state.
+type BreakerState int32
+
+// Breaker states. The classic three-state machine: Closed passes traffic,
+// Open refuses it after BreakerThreshold consecutive batch failures, and
+// after BreakerCooldown the breaker admits a single probe batch in
+// HalfOpen — success re-closes it, failure re-opens it for another
+// cooldown.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// breaker guards one replica. Only that replica's goroutine drives
+// waitTime/observe, but Stats() reads state concurrently — hence the
+// mutex. onChange fires on every transition (metrics hook).
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	onChange  func(from, to BreakerState)
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecutive int
+	openedAt    time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration, onChange func(from, to BreakerState)) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, onChange: onChange}
+}
+
+// transition flips the state and fires the hook. Caller holds mu.
+func (b *breaker) transition(to BreakerState, now time.Time) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	if to == BreakerOpen {
+		b.openedAt = now
+	}
+	if b.onChange != nil {
+		b.onChange(from, to)
+	}
+}
+
+// waitTime returns how long the replica must hold off before taking work:
+// 0 when Closed or when an Open breaker's cooldown has elapsed (the
+// breaker then moves to HalfOpen and admits the probe batch).
+func (b *breaker) waitTime(now time.Time) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen {
+		return 0
+	}
+	if remaining := b.cooldown - now.Sub(b.openedAt); remaining > 0 {
+		return remaining
+	}
+	b.transition(BreakerHalfOpen, now)
+	return 0
+}
+
+// observe records one executed batch's outcome and applies the state
+// machine: consecutive failures open a Closed breaker, any HalfOpen probe
+// failure re-opens it, and a success closes it from any state.
+func (b *breaker) observe(ok bool, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.consecutive = 0
+		b.transition(BreakerClosed, now)
+		return
+	}
+	b.consecutive++
+	if b.state == BreakerHalfOpen || b.consecutive >= b.threshold {
+		b.transition(BreakerOpen, now)
+	}
+}
+
+// current reads the state (for Stats and tests).
+func (b *breaker) current() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

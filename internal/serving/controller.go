@@ -2,9 +2,9 @@ package serving
 
 import (
 	"context"
-	"sort"
 	"time"
 
+	"ccperf/internal/stats"
 	"ccperf/internal/telemetry"
 )
 
@@ -110,7 +110,7 @@ func (g *Gateway) controlLoop() {
 func (g *Gateway) controlTick() {
 	window := g.takeWindow()
 	sig := Signal{
-		P99:       p99(window),
+		P99:       stats.Percentile(window, 0.99),
 		Samples:   len(window),
 		QueueFrac: float64(len(g.queue)) / float64(g.cfg.QueueCap),
 		Healthy:   g.healthy,
@@ -155,15 +155,4 @@ func (g *Gateway) apply(action Action, sig Signal) {
 		telemetry.L("samples", sig.Samples),
 		telemetry.L("queue_frac", sig.QueueFrac),
 	)
-}
-
-// p99 computes the 99th percentile of xs by nearest-rank (0 when empty).
-func p99(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	idx := int(0.99 * float64(len(s)-1))
-	return s[idx]
 }

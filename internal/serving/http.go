@@ -32,6 +32,7 @@ type InferResponse struct {
 	QueueMS  float64 `json:"queue_ms"`
 	TotalMS  float64 `json:"total_ms"`
 	Batch    int     `json:"batch"`
+	Attempts int     `json:"attempts"`
 }
 
 // Handler exposes the gateway over HTTP:
@@ -79,9 +80,10 @@ func Handler(g *Gateway) http.Handler {
 		json.NewEncoder(w).Encode(InferResponse{
 			ID: resp.ID, Class: resp.Class,
 			Variant: resp.Variant, Degree: resp.Degree, Accuracy: resp.Accuracy,
-			QueueMS: float64(resp.Queue) / float64(time.Millisecond),
-			TotalMS: float64(resp.Total) / float64(time.Millisecond),
-			Batch:   resp.Batch,
+			QueueMS:  float64(resp.Queue) / float64(time.Millisecond),
+			TotalMS:  float64(resp.Total) / float64(time.Millisecond),
+			Batch:    resp.Batch,
+			Attempts: resp.Attempts,
 		})
 	})
 	mux.HandleFunc("/gateway/status", func(w http.ResponseWriter, r *http.Request) {
@@ -101,6 +103,10 @@ func statusFor(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, ErrStopped):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrFaulted):
+		// An injected failure that exhausted its retries is a plain
+		// server-side error.
+		return http.StatusInternalServerError
 	default:
 		return http.StatusInternalServerError
 	}

@@ -2,11 +2,11 @@ package serving
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"ccperf/internal/stats"
 	"ccperf/internal/workload"
 )
 
@@ -35,6 +35,12 @@ type Report struct {
 	OK        int `json:"ok"`
 	Shed      int `json:"shed"`
 	Expired   int `json:"expired"`
+	// Faulted counts requests failed by fault injection after exhausting
+	// their retries; Retries and BreakerOpens snapshot the gateway's
+	// resilience counters at the end of the run.
+	Faulted      int   `json:"faulted"`
+	Retries      int64 `json:"retries"`
+	BreakerOpens int64 `json:"breaker_opens"`
 
 	WallSeconds float64 `json:"wall_seconds"`
 	Throughput  float64 `json:"throughput_rps"` // served requests per wall second
@@ -122,15 +128,12 @@ func RunLoad(g *Gateway, cfg LoadConfig) (*Report, error) {
 	if rep.OK > 0 {
 		rep.MeanAccuracy /= float64(rep.OK)
 		rep.Throughput = float64(rep.OK) / rep.WallSeconds
-		sort.Float64s(latencies)
-		at := func(q float64) float64 {
-			return latencies[int(q*float64(len(latencies)-1))] * 1000
-		}
-		rep.P50MS, rep.P95MS, rep.P99MS = at(0.50), at(0.95), at(0.99)
-		rep.MaxMS = latencies[len(latencies)-1] * 1000
+		p50, p95, p99, max := stats.Summary(latencies)
+		rep.P50MS, rep.P95MS, rep.P99MS, rep.MaxMS = p50*1000, p95*1000, p99*1000, max*1000
 	}
 	st := g.Stats()
 	rep.Degrades, rep.Restores = st.Degrades, st.Restores
+	rep.Retries, rep.BreakerOpens = st.Retries, st.BreakerOpens
 	return rep, nil
 }
 
@@ -140,14 +143,25 @@ func countError(rep *Report, err error) {
 		rep.Shed++
 	case ErrExpired:
 		rep.Expired++
+	case ErrFaulted:
+		rep.Faulted++
 	}
+}
+
+// ErrorRate is the fraction of submitted requests that were shed, expired,
+// or faulted — the loadtest CLI gates its exit status on this.
+func (r *Report) ErrorRate() float64 {
+	if r.Submitted == 0 {
+		return 0
+	}
+	return float64(r.Shed+r.Expired+r.Faulted) / float64(r.Submitted)
 }
 
 // String renders the report for the CLI.
 func (r *Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "requests : %d submitted, %d ok, %d shed, %d expired\n",
-		r.Submitted, r.OK, r.Shed, r.Expired)
+	fmt.Fprintf(&b, "requests : %d submitted, %d ok, %d shed, %d expired, %d faulted\n",
+		r.Submitted, r.OK, r.Shed, r.Expired, r.Faulted)
 	fmt.Fprintf(&b, "latency  : p50 %.1f ms, p95 %.1f ms, p99 %.1f ms, max %.1f ms\n",
 		r.P50MS, r.P95MS, r.P99MS, r.MaxMS)
 	fmt.Fprintf(&b, "rate     : %.0f req/s served over %.2f s\n", r.Throughput, r.WallSeconds)
@@ -155,5 +169,9 @@ func (r *Report) String() string {
 		r.MeanAccuracy*100, r.MinAccuracy*100)
 	fmt.Fprintf(&b, "ladder   : %v per-variant, %d degradations, %d restorations\n",
 		r.PerVariant, r.Degrades, r.Restores)
+	if r.Faulted > 0 || r.Retries > 0 || r.BreakerOpens > 0 {
+		fmt.Fprintf(&b, "faults   : %d retries, %d breaker opens, %.1f%% error rate\n",
+			r.Retries, r.BreakerOpens, r.ErrorRate()*100)
+	}
 	return b.String()
 }

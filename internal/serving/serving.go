@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ccperf/internal/fault"
 	"ccperf/internal/telemetry"
 	"ccperf/internal/tensor"
 )
@@ -44,6 +45,9 @@ var (
 	ErrExpired = errors.New("serving: deadline expired before dispatch")
 	// ErrStopped means the gateway is shut down.
 	ErrStopped = errors.New("serving: gateway stopped")
+	// ErrFaulted means fault injection failed the request and the retry
+	// budget (or shutdown) ruled out another attempt.
+	ErrFaulted = errors.New("serving: request failed by fault injection")
 )
 
 // Config parameterizes a Gateway. Zero fields take the documented defaults.
@@ -81,6 +85,23 @@ type Config struct {
 	// ForwardWorkers sizes each batch execution's worker pool (default 1;
 	// replicas already run in parallel).
 	ForwardWorkers int
+	// Injector, when non-nil, drives chaos testing: each batch asks it
+	// whether the replica is crashed and which requests to fail. Failed
+	// requests go through the retry path below. Use *fault.Schedule.
+	Injector fault.Injector
+	// MaxRetries is how many extra attempts a fault-injected request gets
+	// before it is answered with ErrFaulted (default 2; negative = none).
+	MaxRetries int
+	// RetryBackoff is the base delay before re-enqueueing a failed request;
+	// attempt n waits RetryBackoff·2^(n-1) plus deterministic jitter
+	// (default 2ms).
+	RetryBackoff time.Duration
+	// BreakerThreshold is how many consecutive failed batches open a
+	// replica's circuit breaker (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker blocks its replica before
+	// admitting a half-open probe batch (default 250ms).
+	BreakerCooldown time.Duration
 	// Registry and Tracer receive telemetry (nil = package defaults).
 	Registry *telemetry.Registry
 	Tracer   *telemetry.Tracer
@@ -128,6 +149,20 @@ func (c *Config) defaults() error {
 	if c.ForwardWorkers <= 0 {
 		c.ForwardWorkers = 1
 	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	} else if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 2 * time.Millisecond
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 250 * time.Millisecond
+	}
 	if c.Registry == nil {
 		c.Registry = telemetry.Default
 	}
@@ -152,6 +187,8 @@ type Response struct {
 	Queue time.Duration
 	Total time.Duration
 	Batch int
+	// Attempts is how many executions the request took (1 = no retries).
+	Attempts int
 }
 
 // request is the queued form of one submission.
@@ -160,14 +197,17 @@ type request struct {
 	img      *tensor.Tensor
 	deadline time.Time // zero = none
 	enqueued time.Time
+	attempts int // execution attempts so far, starting at 1
 	done     chan Response
 }
 
 // Gateway is the online inference service. Construct with New, then Start;
 // Submit/Infer from any goroutine; Stop for a graceful drain.
 type Gateway struct {
-	cfg   Config
-	queue chan *request
+	cfg      Config
+	queue    chan *request
+	breakers []*breaker // one per replica
+	startAt  time.Time  // set by Start; injector elapsed-time origin
 
 	nextID   atomic.Int64
 	variant  atomic.Int64 // current ladder index
@@ -194,7 +234,9 @@ type gatewayMetrics struct {
 	admitted, shed, expired, served *telemetry.Counter
 	degrades, restores              *telemetry.Counter
 	batches                         *telemetry.Counter
+	retries, faulted, breakerOpens  *telemetry.Counter
 	queueDepth, variantGauge        *telemetry.Gauge
+	breakersOpen                    *telemetry.Gauge
 	queueWait, total                *telemetry.Histogram
 	batchSize                       *telemetry.Histogram
 }
@@ -220,11 +262,30 @@ func New(cfg Config) (*Gateway, error) {
 		batches:      reg.Counter("serving.batches_total"),
 		queueDepth:   reg.Gauge("serving.queue_depth"),
 		variantGauge: reg.Gauge("serving.variant"),
+		retries:      reg.Counter("serving.retries_total"),
+		faulted:      reg.Counter("fault.injected_requests"),
+		breakerOpens: reg.Counter("serving.breaker_opens_total"),
+		breakersOpen: reg.Gauge("serving.breakers_open"),
 		queueWait:    reg.Histogram("serving.queue_seconds", nil),
 		total:        reg.Histogram("serving.request_seconds", nil),
 		batchSize:    reg.Histogram("serving.batch_size", telemetry.LinearBuckets(1, 1, 64)),
 	}
 	g.m.variantGauge.Set(0)
+	g.breakers = make([]*breaker, cfg.Replicas)
+	for i := range g.breakers {
+		state := reg.Gauge(fmt.Sprintf("serving.breaker_state.r%d", i))
+		g.breakers[i] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown,
+			func(from, to BreakerState) {
+				state.Set(float64(to))
+				if to == BreakerOpen {
+					g.m.breakerOpens.Inc()
+					g.m.breakersOpen.Add(1)
+				}
+				if from == BreakerOpen {
+					g.m.breakersOpen.Add(-1)
+				}
+			})
+	}
 	return g, nil
 }
 
@@ -236,6 +297,7 @@ func (g *Gateway) Start() {
 	if !g.started.CompareAndSwap(false, true) {
 		return
 	}
+	g.startAt = time.Now()
 	for r := 0; r < g.cfg.Replicas; r++ {
 		g.workers.Add(1)
 		go g.replica(r)
@@ -256,12 +318,14 @@ func (g *Gateway) Stop() {
 	g.submits.Wait() // no new queue sends after this
 	close(g.stopCh)
 	g.workers.Wait()
-	// Everything left in the queue was drained by the replicas; a request
-	// could only still sit here if Start was never called.
+	// Everything left in the queue was drained by the replicas. A request
+	// can still sit here if Start was never called, or if a sleeping retry
+	// re-enqueued it after the replicas finished draining; workers.Wait
+	// covers the retry goroutines, so by now the queue is quiescent.
 	for {
 		select {
 		case r := <-g.queue:
-			r.done <- Response{ID: r.id, Err: ErrStopped}
+			r.done <- Response{ID: r.id, Err: ErrStopped, Attempts: r.attempts}
 		default:
 			return
 		}
@@ -289,6 +353,7 @@ func (g *Gateway) Submit(img *tensor.Tensor, deadline time.Time) (<-chan Respons
 		img:      img,
 		deadline: deadline,
 		enqueued: now,
+		attempts: 1,
 		done:     make(chan Response, 1),
 	}
 	select {
@@ -328,6 +393,19 @@ func (g *Gateway) replica(idx int) {
 		<-timer.C
 	}
 	for {
+		// An open breaker takes this replica out of rotation: it stops
+		// pulling from the shared queue, so traffic re-routes to healthy
+		// replicas (and, capacity now short, the pruning controller
+		// degrades the ladder if latency suffers).
+		if wait := g.breakers[idx].waitTime(time.Now()); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-g.stopCh:
+				g.drain(idx)
+				return
+			}
+			continue
+		}
 		var first *request
 		select {
 		case first = <-g.queue:
@@ -386,14 +464,17 @@ func (g *Gateway) drain(idx int) {
 }
 
 // execute runs one coalesced batch: expired requests are answered with
-// ErrExpired, the rest go through the current variant's forward path.
+// ErrExpired, fault-injected ones go through the retry path, and the rest
+// run the current variant's forward path. The replica's breaker observes
+// the batch outcome: a crashed replica (or a batch the injector failed
+// wholesale) counts as a failure.
 func (g *Gateway) execute(replica int, batch []*request) {
 	now := time.Now()
 	live := batch[:0]
 	for _, r := range batch {
 		if !r.deadline.IsZero() && now.After(r.deadline) {
 			g.m.expired.Inc()
-			r.done <- Response{ID: r.id, Err: ErrExpired, Queue: now.Sub(r.enqueued), Total: now.Sub(r.enqueued)}
+			r.done <- Response{ID: r.id, Err: ErrExpired, Attempts: r.attempts, Queue: now.Sub(r.enqueued), Total: now.Sub(r.enqueued)}
 			continue
 		}
 		live = append(live, r)
@@ -401,6 +482,32 @@ func (g *Gateway) execute(replica int, batch []*request) {
 	g.m.queueDepth.Set(float64(len(g.queue)))
 	if len(live) == 0 {
 		return
+	}
+	var failed []*request
+	if inj := g.cfg.Injector; inj != nil {
+		if inj.CrashActive(replica, now.Sub(g.startAt).Seconds()) {
+			failed, live = live, nil
+		} else {
+			keep := live[:0]
+			for _, r := range live {
+				if inj.FailRequest(replica, r.id, r.attempts) {
+					failed = append(failed, r)
+				} else {
+					keep = append(keep, r)
+				}
+			}
+			live = keep
+		}
+	}
+	if len(failed) > 0 {
+		g.m.faulted.Add(int64(len(failed)))
+		for _, r := range failed {
+			g.retryOrFail(r)
+		}
+		if len(live) == 0 {
+			g.breakers[replica].observe(false, time.Now())
+			return
+		}
 	}
 	vi := int(g.variant.Load())
 	v := &g.cfg.Ladder[vi]
@@ -418,6 +525,7 @@ func (g *Gateway) execute(replica int, batch []*request) {
 	g.m.batches.Inc()
 	g.m.batchSize.Observe(float64(len(live)))
 	done := time.Now()
+	g.breakers[replica].observe(true, done)
 	for i, r := range live {
 		total := done.Sub(r.enqueued)
 		g.m.served.Inc()
@@ -433,8 +541,54 @@ func (g *Gateway) execute(replica int, batch []*request) {
 			Queue:    now.Sub(r.enqueued),
 			Total:    total,
 			Batch:    len(live),
+			Attempts: r.attempts,
 		}
 	}
+}
+
+// retryOrFail handles one fault-injected request. If the retry budget and
+// the request's deadline allow another attempt, it re-enqueues the request
+// after an exponential backoff with deterministic jitter (so seeded chaos
+// runs repeat); otherwise it answers ErrFaulted. Requests whose remaining
+// deadline budget cannot cover the backoff are expired immediately rather
+// than retried into certain failure.
+func (g *Gateway) retryOrFail(r *request) {
+	fail := func(err error) {
+		age := time.Since(r.enqueued)
+		r.done <- Response{ID: r.id, Err: err, Attempts: r.attempts, Queue: age, Total: age}
+	}
+	if r.attempts > g.cfg.MaxRetries || g.stopping.Load() {
+		fail(ErrFaulted)
+		return
+	}
+	backoff := g.cfg.RetryBackoff << uint(r.attempts-1)
+	backoff += time.Duration(fault.Frac(uint64(r.id)*0x9e3779b97f4a7c15+uint64(r.attempts)) * float64(backoff))
+	if !r.deadline.IsZero() && time.Now().Add(backoff).After(r.deadline) {
+		g.m.expired.Inc()
+		fail(ErrExpired)
+		return
+	}
+	r.attempts++
+	g.m.retries.Inc()
+	// Registered in g.workers: the caller is a replica goroutine (itself
+	// counted), so the group can't hit zero concurrently with this Add,
+	// and Stop's workers.Wait covers sleeping retries.
+	g.workers.Add(1)
+	go func() {
+		defer g.workers.Done()
+		time.Sleep(backoff)
+		if g.stopping.Load() {
+			fail(ErrStopped)
+			return
+		}
+		select {
+		case g.queue <- r:
+			g.m.queueDepth.Set(float64(len(g.queue)))
+		default:
+			g.m.shed.Inc()
+			fail(ErrOverloaded)
+		}
+	}()
 }
 
 // observeLatency adds one completed-request latency to the controller's
@@ -469,27 +623,55 @@ type Stats struct {
 	Batches    int64   `json:"batches"`
 	Degrades   int64   `json:"degrades"`
 	Restores   int64   `json:"restores"`
+	// Resilience counters (all zero when no Injector is configured).
+	Faulted      int64    `json:"faulted"`
+	Retries      int64    `json:"retries"`
+	BreakerOpens int64    `json:"breaker_opens"`
+	OpenBreakers int      `json:"open_breakers"`
+	Breakers     []string `json:"breakers"`
 }
 
 // Stats snapshots the gateway.
 func (g *Gateway) Stats() Stats {
 	vi := int(g.variant.Load())
 	v := g.cfg.Ladder[vi]
+	open := 0
+	states := make([]string, len(g.breakers))
+	for i, b := range g.breakers {
+		s := b.current()
+		states[i] = s.String()
+		if s == BreakerOpen {
+			open++
+		}
+	}
 	return Stats{
-		Variant:    vi,
-		Degree:     v.Degree.Label(),
-		Accuracy:   v.Accuracy,
-		QueueDepth: len(g.queue),
-		QueueCap:   g.cfg.QueueCap,
-		Admitted:   g.m.admitted.Value(),
-		Served:     g.m.served.Value(),
-		Shed:       g.m.shed.Value(),
-		Expired:    g.m.expired.Value(),
-		Batches:    g.m.batches.Value(),
-		Degrades:   g.m.degrades.Value(),
-		Restores:   g.m.restores.Value(),
+		Variant:      vi,
+		Degree:       v.Degree.Label(),
+		Accuracy:     v.Accuracy,
+		QueueDepth:   len(g.queue),
+		QueueCap:     g.cfg.QueueCap,
+		Admitted:     g.m.admitted.Value(),
+		Served:       g.m.served.Value(),
+		Shed:         g.m.shed.Value(),
+		Expired:      g.m.expired.Value(),
+		Batches:      g.m.batches.Value(),
+		Degrades:     g.m.degrades.Value(),
+		Restores:     g.m.restores.Value(),
+		Faulted:      g.m.faulted.Value(),
+		Retries:      g.m.retries.Value(),
+		BreakerOpens: g.m.breakerOpens.Value(),
+		OpenBreakers: open,
+		Breakers:     states,
 	}
 }
 
 // CurrentVariant returns the ladder index requests are being served at.
 func (g *Gateway) CurrentVariant() int { return int(g.variant.Load()) }
+
+// BreakerState reports one replica's circuit-breaker state.
+func (g *Gateway) BreakerState(replica int) BreakerState {
+	if replica < 0 || replica >= len(g.breakers) {
+		return BreakerClosed
+	}
+	return g.breakers[replica].current()
+}

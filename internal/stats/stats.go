@@ -1,0 +1,44 @@
+// Package stats holds the order-statistics helpers shared by the fleet
+// simulator (internal/cluster) and the serving gateway's control window
+// (internal/serving). Both layers summarize latency samples the same way
+// — nearest-rank percentiles over a sorted copy — so simulated and served
+// tails are directly comparable, and both need the degenerate cases
+// (empty, single sample) handled without panicking.
+package stats
+
+import "sort"
+
+// Percentile returns the nearest-rank q-quantile of xs (q in [0,1],
+// clamped). The input is not modified. An empty slice yields 0; a single
+// sample yields that sample for every q.
+func Percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return atQuantile(s, q)
+}
+
+// Summary returns (p50, p95, p99, max) of xs in one pass over a single
+// sorted copy — the quartet every latency report in this repo prints.
+// An empty input yields all zeros.
+func Summary(xs []float64) (p50, p95, p99, max float64) {
+	if len(xs) == 0 {
+		return 0, 0, 0, 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return atQuantile(s, 0.50), atQuantile(s, 0.95), atQuantile(s, 0.99), s[len(s)-1]
+}
+
+// atQuantile indexes an already-sorted slice by nearest rank.
+func atQuantile(sorted []float64, q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	return sorted[int(q*float64(len(sorted)-1))]
+}

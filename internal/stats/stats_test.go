@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPercentileEmptyAndSingle(t *testing.T) {
+	if got := Percentile(nil, 0.99); got != 0 {
+		t.Fatalf("empty p99 = %v, want 0", got)
+	}
+	if got := Percentile([]float64{}, 0.5); got != 0 {
+		t.Fatalf("empty p50 = %v, want 0", got)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := Percentile([]float64{7.5}, q); got != 7.5 {
+			t.Fatalf("single-sample q=%v = %v, want 7.5", q, got)
+		}
+	}
+	p50, p95, p99, max := Summary(nil)
+	if p50 != 0 || p95 != 0 || p99 != 0 || max != 0 {
+		t.Fatalf("empty Summary = %v %v %v %v, want zeros", p50, p95, p99, max)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	// 0,10,...,90: the indices the cluster tests have asserted since PR 2.
+	xs := make([]float64, 10)
+	for i := range xs {
+		xs[i] = float64(i * 10)
+	}
+	if got := Percentile(xs, 0.50); got != 40 {
+		t.Fatalf("p50 = %v, want 40", got)
+	}
+	if got := Percentile(xs, 0.95); got != 80 {
+		t.Fatalf("p95 = %v, want 80", got)
+	}
+	if got := Percentile(xs, 1); got != 90 {
+		t.Fatalf("p100 = %v, want 90", got)
+	}
+}
+
+func TestPercentileClampsAndSortsCopy(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if got := Percentile(xs, -1); got != 1 {
+		t.Fatalf("q<0 = %v, want min 1", got)
+	}
+	if got := Percentile(xs, 2); got != 3 {
+		t.Fatalf("q>1 = %v, want max 3", got)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestSummaryMatchesPercentile(t *testing.T) {
+	xs := []float64{5, 1, 9, 3, 7, 2, 8, 4, 6, 0}
+	p50, p95, p99, max := Summary(xs)
+	for _, c := range []struct {
+		q    float64
+		got  float64
+		name string
+	}{{0.50, p50, "p50"}, {0.95, p95, "p95"}, {0.99, p99, "p99"}} {
+		if want := Percentile(xs, c.q); math.Abs(c.got-want) > 1e-12 {
+			t.Fatalf("%s = %v, want %v", c.name, c.got, want)
+		}
+	}
+	if max != 9 {
+		t.Fatalf("max = %v, want 9", max)
+	}
+}

@@ -31,4 +31,15 @@ go run -race ./cmd/ccperf loadtest \
     -requests 300 -duration 2s -windows 4 -replicas 1 \
     -queue 16 -max-batch 4 -slo 5ms -deadline 250ms -cooldown 300ms
 
+echo "== chaos smoke (breakers + retries under canned faults, error-rate gate)"
+go run -race ./cmd/ccperf loadtest \
+    -requests 300 -duration 2s -windows 4 -replicas 2 \
+    -queue 64 -max-batch 4 -slo 5ms -deadline 250ms \
+    -chaos -max-error-rate 0.75
+
+echo "== fault-injected simulate smoke (preemption + straggler schedule)"
+go run ./cmd/ccperf simulate \
+    -fleet 2xp2.xlarge -degree conv1@30+conv2@50 \
+    -faults "preempt@0:21600,slow@1:30000+3600x2,seed=7"
+
 echo "check.sh: all gates passed"
