@@ -62,7 +62,41 @@ func NewSystem(model string) (*System, error) {
 }
 
 // Harness exposes the underlying measurement harness for advanced use.
+//
+// Deprecated: use Predictor, Measure, LayerSweep or SweetSpots — they cover
+// the harness's surface without leaking the internal measure package.
 func (s *System) Harness() *measure.Harness { return s.harness }
+
+// SweepPoint is one row of a layer sweep: the prune ratio, the measured
+// total time for the workload, and the predicted accuracy there.
+type SweepPoint struct {
+	Ratio   float64
+	Minutes float64
+	Top1    float64
+	Top5    float64
+}
+
+// LayerSweep prunes a single layer at each ratio and measures total time
+// and accuracy for w images on the named instance type — one sub-figure of
+// Figures 6/7. Nil ratios mean the paper's 0–90% range at 10% steps.
+func (s *System) LayerSweep(ctx context.Context, layer string, ratios []float64, instance string, w int64) ([]SweepPoint, error) {
+	inst, err := cloud.ByName(instance)
+	if err != nil {
+		return nil, err
+	}
+	if len(ratios) == 0 {
+		ratios = prune.Range(0, 0.9, 0.1)
+	}
+	pts, err := s.harness.LayerSweep(ctx, layer, ratios, inst, w)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepPoint, len(pts))
+	for i, p := range pts {
+		out[i] = SweepPoint{Ratio: p.Ratio, Minutes: p.Minutes, Top1: p.Top1, Top5: p.Top5}
+	}
+	return out, nil
+}
 
 // Predictor exposes the system's shared memoizing prediction engine. Every
 // planner, simulator or serving layer built on this system should consume

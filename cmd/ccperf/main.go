@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"ccperf"
+	"ccperf/internal/autoscale"
 	"ccperf/internal/cloud"
 	"ccperf/internal/cluster"
 	"ccperf/internal/compress"
@@ -66,7 +67,7 @@ func main() {
 	case "allocate":
 		err = allocate(ctx, args)
 	case "tables":
-		err = tables()
+		err = tables(args)
 	case "compress":
 		err = compressCmd(args)
 	case "empirical":
@@ -111,74 +112,35 @@ commands:
                 re-dispatches of interrupted jobs)
   loadtest      replay a trace against the online gateway (batching, shedding,
                 load-adaptive pruning) and report latency/accuracy/cost
-                (-chaos or -faults injects crashes/errors; -max-error-rate
-                gates the exit status)
+                (-autoscale closes the cost-accuracy loop: scale out while
+                the -budget allows, degrade when it binds; -chaos/-faults
+                injects crashes; -max-error-rate/-max-p99 gate the exit)
   spec          build a custom CNN from a spec file, cost it, sweep pruning
   serve         HTTP telemetry endpoint: /metrics, /trace, /debug/pprof/
-                (-gateway also mounts the live inference gateway at /infer)
-  benchjson     convert 'go test -bench' output to telemetry snapshot JSON
+                (-gateway mounts the live gateway at /infer; -autoscale
+                adds the control plane and /autoscale/status)
+  benchjson     convert 'go test -bench' output to a ccperf/v1 snapshot
+                envelope
 
-telemetry flags (pareto, allocate, simulate, loadtest):
+every subcommand answers -h with its own one-line usage and flags.
+shared flags across run commands:
   -metrics-out <file>   write the run's metrics snapshot as JSON
   -trace-out <file>     write the run's spans as JSON (.chrome.json for
                         the Chrome trace_event format)
+  -report-out <file>    write the primary result as a versioned ccperf/v1
+                        JSON envelope (simulate, loadtest)
   -workers <n>          exploration worker-pool size (pareto/allocate;
                         default: number of CPUs)
+  -faults <spec>        fault schedule (simulate, loadtest)
 
 see docs/TELEMETRY.md for metric names and endpoint routes,
 docs/SERVING.md for the gateway architecture and loadtest usage,
+docs/AUTOSCALING.md for the cost-accuracy autoscaler,
 docs/RESILIENCE.md for the fault-spec grammar and chaos workflows`)
 }
 
-// telemetryFlags registers the artifact flags shared by the run commands.
-func telemetryFlags(fs *flag.FlagSet) (metricsOut, traceOut *string) {
-	metricsOut = fs.String("metrics-out", "", "write telemetry metrics snapshot JSON to this file")
-	traceOut = fs.String("trace-out", "", "write telemetry span dump JSON to this file (Chrome format if it ends in .chrome.json)")
-	return metricsOut, traceOut
-}
-
-// writeTelemetry dumps the process-wide registry and tracer to the
-// requested artifact files, creating parent directories.
-func writeTelemetry(metricsOut, traceOut string) error {
-	write := func(path string, emit func(io.Writer) error) error {
-		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-			return err
-		}
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		if err := emit(f); err != nil {
-			f.Close()
-			return err
-		}
-		return f.Close()
-	}
-	if metricsOut != "" {
-		if err := write(metricsOut, telemetry.Default.WriteJSON); err != nil {
-			return fmt.Errorf("metrics-out: %w", err)
-		}
-		fmt.Fprintf(os.Stderr, "telemetry: metrics snapshot → %s\n", metricsOut)
-	}
-	if traceOut != "" {
-		emit := telemetry.DefaultTracer.WriteJSON
-		if strings.HasSuffix(traceOut, ".chrome.json") {
-			emit = telemetry.DefaultTracer.WriteChromeTrace
-		}
-		if err := write(traceOut, emit); err != nil {
-			return fmt.Errorf("trace-out: %w", err)
-		}
-		fmt.Fprintf(os.Stderr, "telemetry: span dump → %s\n", traceOut)
-	}
-	return nil
-}
-
-func modelFlag(fs *flag.FlagSet) *string {
-	return fs.String("model", ccperf.Caffenet, "model: caffenet or googlenet")
-}
-
 func characterize(args []string) error {
-	fs := flag.NewFlagSet("characterize", flag.ExitOnError)
+	fs := newFlagSet("characterize", "layer time distribution, single-inference latency, batch saturation (Figures 3–5)")
 	model := modelFlag(fs)
 	fs.Parse(args)
 	for _, id := range []string{"fig3", "fig4", "fig5"} {
@@ -195,7 +157,7 @@ func characterize(args []string) error {
 }
 
 func sweep(ctx context.Context, args []string) error {
-	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	fs := newFlagSet("sweep", "prune one layer 0–90% and report time/accuracy (Figures 6/7)")
 	model := modelFlag(fs)
 	layer := fs.String("layer", "conv2", "layer to prune")
 	images := fs.Int64("images", ccperf.W50k, "inference workload size")
@@ -206,11 +168,7 @@ func sweep(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	inst, err := cloud.ByName(*instance)
-	if err != nil {
-		return err
-	}
-	pts, err := sys.Harness().LayerSweep(ctx, *layer, prune.Range(0, 0.9, 0.1), inst, *images)
+	pts, err := sys.LayerSweep(ctx, *layer, nil, *instance, *images)
 	if err != nil {
 		return err
 	}
@@ -224,7 +182,7 @@ func sweep(ctx context.Context, args []string) error {
 }
 
 func sweetspots(ctx context.Context, args []string) error {
-	fs := flag.NewFlagSet("sweetspots", flag.ExitOnError)
+	fs := newFlagSet("sweetspots", "largest no-accuracy-loss prune ratio per layer (Observation 1)")
 	model := modelFlag(fs)
 	images := fs.Int64("images", ccperf.W50k, "inference workload size")
 	fs.Parse(args)
@@ -262,10 +220,10 @@ func requestFlags(fs *flag.FlagSet) (*int64, *float64, *float64, *int, *bool) {
 }
 
 func paretoCmd(ctx context.Context, args []string) error {
-	fs := flag.NewFlagSet("pareto", flag.ExitOnError)
+	fs := newFlagSet("pareto", "enumerate the joint space, print feasible count + Pareto frontiers (Figures 9/10)")
 	model := modelFlag(fs)
 	images, deadline, budget, variants, top5 := requestFlags(fs)
-	workers := fs.Int("workers", 0, "exploration worker-pool size (0 = number of CPUs)")
+	workers := workersFlag(fs)
 	metricsOut, traceOut := telemetryFlags(fs)
 	fs.Parse(args)
 
@@ -296,11 +254,11 @@ func paretoCmd(ctx context.Context, args []string) error {
 }
 
 func allocate(ctx context.Context, args []string) error {
-	fs := flag.NewFlagSet("allocate", flag.ExitOnError)
+	fs := newFlagSet("allocate", "run Algorithm 1's greedy allocation under a deadline and budget")
 	model := modelFlag(fs)
 	images, deadline, budget, variants, top5 := requestFlags(fs)
 	exhaustive := fs.Bool("exhaustive", false, "also run the brute-force baseline")
-	workers := fs.Int("workers", 0, "exploration worker-pool size (0 = number of CPUs)")
+	workers := workersFlag(fs)
 	metricsOut, traceOut := telemetryFlags(fs)
 	fs.Parse(args)
 
@@ -336,7 +294,9 @@ func printPlan(name string, pl ccperf.Plan) {
 		name, pl.Degree, pl.Top1*100, pl.Top5*100, pl.Config, pl.Hours, pl.CostUSD, pl.Ops)
 }
 
-func tables() error {
+func tables(args []string) error {
+	fs := newFlagSet("tables", "print Table 1 (Caffenet layers) and Table 3 (EC2 instance types)")
+	fs.Parse(args)
 	for _, id := range []string{"table1", "table3"} {
 		res, err := ccperf.RunExperiment(id)
 		if err != nil {
@@ -351,7 +311,7 @@ func tables() error {
 // empirically trained network: quantization bit widths and weight-sharing
 // codebook sizes versus memory footprint and measured accuracy.
 func compressCmd(args []string) error {
-	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	fs := newFlagSet("compress", "quantization / weight-sharing memory-accuracy table (Section 2.1)")
 	fs.Parse(args)
 
 	shape := nn.Shape{C: 1, H: 16, W: 16}
@@ -423,7 +383,7 @@ func compressCmd(args []string) error {
 
 // empiricalCmd prints the trained-and-really-pruned accuracy sweep.
 func empiricalCmd(args []string) error {
-	fs := flag.NewFlagSet("empirical", flag.ExitOnError)
+	fs := newFlagSet("empirical", "prune a really trained CNN and report measured accuracy")
 	fs.Parse(args)
 	res, err := ccperf.RunExperiment("empirical")
 	if err != nil {
@@ -437,7 +397,7 @@ func empiricalCmd(args []string) error {
 // a request trace at a chosen degree of pruning, optionally under an
 // injected fault schedule (preemptions, stragglers).
 func simulateCmd(ctx context.Context, args []string) error {
-	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	fs := newFlagSet("simulate", "discrete-event day simulation of a fleet serving a trace")
 	model := modelFlag(fs)
 	fleetSpec := fs.String("fleet", "3xp2.xlarge", "fleet, e.g. \"2xp2.xlarge+1xg3.4xlarge\"")
 	daily := fs.Int64("daily", 3_500_000, "photos per day")
@@ -446,8 +406,9 @@ func simulateCmd(ctx context.Context, args []string) error {
 	slack := fs.Float64("slack", 0.5, "per-job deadline as a fraction of the window")
 	degreeSpec := fs.String("degree", "", "degree of pruning, e.g. \"conv1@30+conv2@50\" (empty = unpruned)")
 	seed := fs.Int64("seed", 9, "trace seed")
-	faultSpec := fs.String("faults", "", "fault schedule, e.g. \"preempt@0:3600,slow@1:1800+900x2.5,seed=7\" (see docs/RESILIENCE.md)")
+	faultSpec := faultsFlag(fs, "preempt@0:3600,slow@1:1800+900x2.5,seed=7")
 	retryBudget := fs.Int("retry-budget", 0, "re-dispatches per interrupted job (0 = default 2, negative = none)")
+	reportOut := reportOutFlag(fs)
 	metricsOut, traceOut := telemetryFlags(fs)
 	fs.Parse(args)
 
@@ -498,6 +459,12 @@ func simulateCmd(ctx context.Context, args []string) error {
 		fmt.Printf("goodput : %.0f img/s finished (%d images), $%.2f per million images\n",
 			res.Goodput, res.FinishedImages, res.CostPerMillionImages())
 	}
+	if *reportOut != "" {
+		if err := report.WriteEnvelopeFile(*reportOut, report.KindSimulate, res); err != nil {
+			return fmt.Errorf("report-out: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "simulate: report → %s\n", *reportOut)
+	}
 	return writeTelemetry(*metricsOut, *traceOut)
 }
 
@@ -540,24 +507,32 @@ func parseRatios(spec string) ([]float64, error) {
 // in-process serving gateway (dynamic batching, bounded admission,
 // load-adaptive pruning) and prints the latency/accuracy/cost report.
 func loadtestCmd(args []string) error {
-	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
+	fs := newFlagSet("loadtest", "replay a compressed-day trace against the online gateway and report latency/accuracy/cost")
 	requests := fs.Int64("requests", 2000, "total requests replayed")
 	duration := fs.Duration("duration", 10*time.Second, "wall-clock replay length (the whole trace compresses into it)")
 	pattern := fs.String("pattern", "bursty", "arrival pattern: uniform, diurnal, bursty")
 	windows := fs.Int("windows", 12, "windows in the trace")
 	seed := fs.Int64("seed", 9, "trace and arrival seed")
-	replicas := fs.Int("replicas", 2, "replica batchers")
+	replicas := fs.Int("replicas", 0, "initial replica batchers (0 = 2, or -min-replicas with -autoscale)")
 	queueCap := fs.Int("queue", 0, "admission queue bound (0 = 64×replicas)")
 	maxBatch := fs.Int("max-batch", 8, "dynamic batch size cap")
 	batchTimeout := fs.Duration("batch-timeout", 2*time.Millisecond, "longest wait to fill a batch")
-	slo := fs.Duration("slo", 50*time.Millisecond, "p99 latency objective the controller defends")
+	slo := fs.Duration("slo", 50*time.Millisecond, "p99 latency objective the control plane defends")
 	deadline := fs.Duration("deadline", 0, "per-request deadline (0 = none)")
 	cooldown := fs.Duration("cooldown", 500*time.Millisecond, "idle tail so the controller can restore accuracy")
 	ladderSpec := fs.String("ladder", "", "comma-separated prune ratios, e.g. 0,0.5,0.9 (default 0,0.3,0.5,0.7,0.9)")
-	instance := fs.String("instance", "p2.xlarge", "instance type for the rental-cost estimate (one per replica)")
-	faultSpec := fs.String("faults", "", "gateway fault schedule, e.g. \"crash@0:2+3,err:0.02,seed=7\" (see docs/RESILIENCE.md)")
+	instance := fs.String("instance", "p2.xlarge", "instance type pricing each replica")
+	autoscaleOn := fs.Bool("autoscale", false, "run the cost-accuracy autoscaler: replicas scale in [-min-replicas,-max-replicas] under -budget; the ladder degrades only when the budget binds")
+	budget := fs.Float64("budget", 8, "fleet budget in $/hr (with -autoscale; 0 = none)")
+	minReplicas := fs.Int("min-replicas", 1, "autoscale floor (with -autoscale)")
+	maxReplicas := fs.Int("max-replicas", 8, "autoscale ceiling (with -autoscale)")
+	autoscaleInterval := fs.Duration("autoscale-interval", 100*time.Millisecond, "autoscale control tick (with -autoscale)")
+	warmup := fs.Duration("warmup", 0, "boot delay for replicas added at runtime (with -autoscale)")
+	maxP99 := fs.Duration("max-p99", 0, "exit non-zero when the measured p99 exceeds this (0 = no gate)")
+	faultSpec := faultsFlag(fs, "crash@0:2+3,err:0.02,seed=7")
 	chaos := fs.Bool("chaos", false, "inject a canned seeded chaos schedule (crash replica 0 for the middle third of the run, plus a 2% error rate)")
 	maxErrorRate := fs.Float64("max-error-rate", 1, "exit non-zero when (shed+expired+faulted)/submitted exceeds this fraction")
+	reportOut := reportOutFlag(fs)
 	metricsOut, traceOut := telemetryFlags(fs)
 	fs.Parse(args)
 
@@ -576,10 +551,6 @@ func loadtestCmd(args []string) error {
 			{Kind: fault.Errors, Target: fault.AllTargets, Rate: 0.02},
 		}}
 	}
-	var injector fault.Injector
-	if len(faults.Events) > 0 {
-		injector = faults
-	}
 	trace, err := workload.Generate(workload.Config{
 		Pattern: pat, DailyTotal: *requests, Windows: *windows, Seed: *seed,
 	})
@@ -590,28 +561,35 @@ func loadtestCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	ladder, err := serving.DemoLadder(ratios)
+
+	opts := []ccperf.Option{
+		ccperf.WithGateway(),
+		ccperf.WithReplicas(*replicas),
+		ccperf.WithQueueCap(*queueCap),
+		ccperf.WithMaxBatch(*maxBatch),
+		ccperf.WithBatchTimeout(*batchTimeout),
+		ccperf.WithSLO(*slo),
+		ccperf.WithDeadline(*deadline),
+		ccperf.WithInstance(*instance),
+	}
+	if len(ratios) > 0 {
+		opts = append(opts, ccperf.WithLadder(ratios...))
+	}
+	if len(faults.Events) > 0 {
+		opts = append(opts, ccperf.WithInjector(faults))
+	}
+	if *autoscaleOn {
+		opts = append(opts,
+			ccperf.WithAutoscale(*budget, *minReplicas, *maxReplicas),
+			ccperf.WithAutoscaleInterval(*autoscaleInterval),
+			ccperf.WithWarmup(*warmup))
+	}
+	st, err := ccperf.Open(ccperf.Caffenet, opts...)
 	if err != nil {
 		return err
 	}
-	inst, err := cloud.ByName(*instance)
-	if err != nil {
-		return err
-	}
-	g, err := serving.New(serving.Config{
-		Ladder:       ladder,
-		Replicas:     *replicas,
-		QueueCap:     *queueCap,
-		MaxBatch:     *maxBatch,
-		BatchTimeout: *batchTimeout,
-		SLO:          *slo,
-		Deadline:     *deadline,
-		Injector:     injector,
-	})
-	if err != nil {
-		return err
-	}
-	g.Start()
+	g := st.Gateway()
+	st.Start()
 	rep, err := serving.RunLoad(g, serving.LoadConfig{
 		Trace:    trace,
 		Duration: *duration,
@@ -619,29 +597,69 @@ func loadtestCmd(args []string) error {
 		Deadline: *deadline,
 		Cooldown: *cooldown,
 	})
-	g.Stop()
+	st.Close()
 	if err != nil {
 		return err
 	}
 	resolved := g.Config()
+	inst := st.Instance()
 	fmt.Printf("trace    : %s, %d requests over %d windows in %s (peak window %d)\n",
 		pat, trace.Total(), len(trace.Windows), *duration, trace.Peak())
-	fmt.Printf("gateway  : %d replicas × batch ≤%d, queue %d, SLO %s, ladder %d variants\n",
-		resolved.Replicas, resolved.MaxBatch, resolved.QueueCap, resolved.SLO, len(ladder))
-	if injector != nil {
+	fmt.Printf("gateway  : %d initial replicas × batch ≤%d, queue %d, SLO %s, ladder %d variants\n",
+		resolved.Replicas, resolved.MaxBatch, resolved.QueueCap, resolved.SLO, len(resolved.Ladder))
+	if len(faults.Events) > 0 {
 		fmt.Printf("chaos    : %s\n", faults.String())
 	}
 	fmt.Print(rep.String())
-	cost := inst.PricePerSecond() * rep.WallSeconds * float64(resolved.Replicas)
-	fmt.Printf("cost     : $%.4f (%d×%s for %.2f s; $%.2f/h fleet)\n",
-		cost, resolved.Replicas, inst.Name, rep.WallSeconds,
-		inst.PricePerHour*float64(resolved.Replicas))
+
+	var asStatus *autoscale.Status
+	if as := st.Autoscaler(); as != nil {
+		s := as.Status()
+		asStatus = &s
+		fmt.Printf("autoscale: %d ticks: %d scale-outs, %d scale-ins, %d degrades, %d restores\n",
+			s.Ticks, s.ScaleOuts, s.ScaleIns, s.Degrades, s.Restores)
+		fmt.Printf("fleet    : %d replicas final (allowed %d–%d), rung %d; last: %s\n",
+			s.Replicas, *minReplicas, *maxReplicas, s.Variant, s.LastDecision.Reason)
+		fmt.Printf("cost     : $%.4f realized (%.1f replica-seconds of %s; budget $%.2f/h)\n",
+			s.Cost, s.ReplicaSeconds, inst.Name, s.BudgetPerHour)
+	} else {
+		cost := inst.PricePerSecond() * rep.WallSeconds * float64(resolved.Replicas)
+		fmt.Printf("cost     : $%.4f (%d×%s for %.2f s; $%.2f/h fleet)\n",
+			cost, resolved.Replicas, inst.Name, rep.WallSeconds,
+			inst.PricePerHour*float64(resolved.Replicas))
+	}
+
+	if *reportOut != "" {
+		payload := struct {
+			Report    *serving.Report   `json:"report"`
+			Gateway   serving.Stats     `json:"gateway"`
+			Autoscale *autoscale.Status `json:"autoscale,omitempty"`
+		}{rep, g.Stats(), asStatus}
+		if err := report.WriteEnvelopeFile(*reportOut, report.KindLoadtest, payload); err != nil {
+			return fmt.Errorf("report-out: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "loadtest: report → %s\n", *reportOut)
+	}
 	if err := writeTelemetry(*metricsOut, *traceOut); err != nil {
 		return err
 	}
+
+	// Exit gates, in order of severity: error rate, latency, budget.
 	if rate := rep.ErrorRate(); rate > *maxErrorRate {
 		return fmt.Errorf("loadtest: error rate %.2f%% exceeds -max-error-rate %.2f%%",
 			rate*100, *maxErrorRate*100)
+	}
+	if *maxP99 > 0 && rep.P99MS > maxP99.Seconds()*1000 {
+		return fmt.Errorf("loadtest: p99 %.1fms exceeds -max-p99 %s", rep.P99MS, *maxP99)
+	}
+	if asStatus != nil && *budget > 0 {
+		// The realized spend may not exceed the hourly budget pro-rated over
+		// the wall clock (5% slack covers the final partial tick).
+		allowed := *budget / 3600 * rep.WallSeconds * 1.05
+		if asStatus.Cost > allowed {
+			return fmt.Errorf("loadtest: realized cost $%.4f exceeds the $%.2f/h budget over %.2fs ($%.4f allowed)",
+				asStatus.Cost, *budget, rep.WallSeconds, allowed)
+		}
 	}
 	return nil
 }
@@ -651,14 +669,19 @@ func loadtestCmd(args []string) error {
 // -gateway it also starts an inference gateway and mounts its /infer and
 // /gateway/status routes on the same listener.
 func serveCmd(ctx context.Context, args []string) error {
-	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	fs := newFlagSet("serve", "HTTP telemetry endpoint: /metrics, /trace, /debug/pprof/ (-gateway adds /infer, -autoscale adds /autoscale/status)")
 	addr := fs.String("addr", ":8080", "listen address")
 	model := modelFlag(fs)
 	demo := fs.Bool("demo", false, "run a small pareto enumeration first to populate metrics")
 	gateway := fs.Bool("gateway", false, "mount the online inference gateway at /infer and /gateway/status")
-	replicas := fs.Int("replicas", 2, "gateway replica batchers (with -gateway)")
+	replicas := fs.Int("replicas", 0, "gateway replica batchers (0 = 2, or -min-replicas with -autoscale)")
 	slo := fs.Duration("slo", 50*time.Millisecond, "gateway p99 latency objective (with -gateway)")
 	ladderSpec := fs.String("ladder", "", "gateway prune-ratio ladder, e.g. 0,0.5,0.9 (with -gateway)")
+	autoscaleOn := fs.Bool("autoscale", false, "run the cost-accuracy autoscaler and mount /autoscale/status (implies -gateway)")
+	budget := fs.Float64("budget", 8, "fleet budget in $/hr (with -autoscale; 0 = none)")
+	minReplicas := fs.Int("min-replicas", 1, "autoscale floor (with -autoscale)")
+	maxReplicas := fs.Int("max-replicas", 8, "autoscale ceiling (with -autoscale)")
+	instance := fs.String("instance", "p2.xlarge", "instance type pricing each replica (with -autoscale)")
 	fs.Parse(args)
 
 	if *demo {
@@ -672,27 +695,41 @@ func serveCmd(ctx context.Context, args []string) error {
 		fmt.Fprintln(os.Stderr, "serve: demo enumeration done, metrics populated")
 	}
 	handler := telemetry.Handler(nil, nil)
-	if *gateway {
+	if *gateway || *autoscaleOn {
 		ratios, err := parseRatios(*ladderSpec)
 		if err != nil {
 			return err
 		}
-		ladder, err := serving.DemoLadder(ratios)
+		opts := []ccperf.Option{
+			ccperf.WithGateway(),
+			ccperf.WithReplicas(*replicas),
+			ccperf.WithSLO(*slo),
+			ccperf.WithInstance(*instance),
+		}
+		if len(ratios) > 0 {
+			opts = append(opts, ccperf.WithLadder(ratios...))
+		}
+		if *autoscaleOn {
+			opts = append(opts, ccperf.WithAutoscale(*budget, *minReplicas, *maxReplicas))
+		}
+		st, err := ccperf.Open(*model, opts...)
 		if err != nil {
 			return err
 		}
-		g, err := serving.New(serving.Config{Ladder: ladder, Replicas: *replicas, SLO: *slo})
-		if err != nil {
-			return err
-		}
-		g.Start()
+		st.Start()
+		g := st.Gateway()
 		mux := http.NewServeMux()
 		mux.Handle("/infer", serving.Handler(g))
 		mux.Handle("/gateway/status", serving.Handler(g))
+		if as := st.Autoscaler(); as != nil {
+			mux.Handle("/autoscale/status", autoscale.Handler(as))
+			fmt.Fprintf(os.Stderr, "serve: autoscaler up (%d–%d replicas, $%.2f/h budget, %s ticks)\n",
+				*minReplicas, *maxReplicas, *budget, as.Interval())
+		}
 		mux.Handle("/", handler)
 		handler = mux
 		fmt.Fprintf(os.Stderr, "serve: gateway up (%d replicas, %d-variant ladder, SLO %s)\n",
-			g.Config().Replicas, len(ladder), g.Config().SLO)
+			g.Config().Replicas, len(g.Config().Ladder), g.Config().SLO)
 	}
 	fmt.Fprintf(os.Stderr, "serve: listening on %s (/metrics, /trace, /debug/pprof/, /debug/vars)\n", *addr)
 	return http.ListenAndServe(*addr, handler)
@@ -704,7 +741,7 @@ func serveCmd(ctx context.Context, args []string) error {
 //
 //	go test -run - -bench . -benchtime 1x | ccperf benchjson -out out/BENCH_pr1.json
 func benchjsonCmd(args []string) error {
-	fs := flag.NewFlagSet("benchjson", flag.ExitOnError)
+	fs := newFlagSet("benchjson", "convert 'go test -bench' output to a ccperf/v1 telemetry-snapshot envelope")
 	in := fs.String("in", "", "bench output file (default stdin)")
 	out := fs.String("out", "", "output JSON file (default stdout)")
 	fs.Parse(args)
@@ -738,7 +775,7 @@ func benchjsonCmd(args []string) error {
 		defer f.Close()
 		w = f
 	}
-	if err := telemetry.WriteSnapshotJSON(w, snap); err != nil {
+	if err := report.WriteEnvelope(w, report.KindBench, snap); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks\n", len(results))
@@ -750,7 +787,7 @@ func benchjsonCmd(args []string) error {
 // custom architectures go through the same machinery as the paper models,
 // timed by the simulator's effective-FLOPs fallback.
 func specCmd(args []string) error {
-	fs := flag.NewFlagSet("spec", flag.ExitOnError)
+	fs := newFlagSet("spec", "build a custom CNN from a spec file, cost it, sweep pruning on its heaviest layer")
 	path := fs.String("file", "", "model spec file (see internal/models.ParseSpec)")
 	images := fs.Int64("images", 100_000, "workload for the simulated timing")
 	instance := fs.String("instance", "p2.xlarge", "EC2 instance type")

@@ -1,0 +1,290 @@
+package ccperf
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ccperf/internal/autoscale"
+	"ccperf/internal/cloud"
+	"ccperf/internal/engine"
+	"ccperf/internal/fault"
+	"ccperf/internal/prune"
+	"ccperf/internal/serving"
+	"ccperf/internal/telemetry"
+)
+
+// Stack is the facade over the library's layers, all sharing one memoizing
+// prediction engine: the offline System (characterization) and Planner
+// (joint-space search) are always present; the online Gateway and
+// Autoscaler exist when requested via WithGateway / WithAutoscale.
+//
+// Open is the documented entry point; NewSystem and NewPlanner remain as
+// thin wrappers for callers that only want the offline layers.
+type Stack struct {
+	sys     *System
+	planner *Planner
+	inst    *cloud.Instance
+	gw      *serving.Gateway
+	scaler  *autoscale.Autoscaler
+}
+
+// options collects the functional-option state for Open.
+type options struct {
+	gateway      bool
+	ratios       []float64
+	replicas     int
+	queueCap     int
+	maxBatch     int
+	batchTimeout time.Duration
+	slo          time.Duration
+	deadline     time.Duration
+	warmup       time.Duration
+	injector     fault.Injector
+	instance     string
+
+	autoscale   bool
+	budget      float64
+	minReplicas int
+	maxReplicas int
+	interval    time.Duration
+	policy      *autoscale.Policy
+
+	registry *telemetry.Registry
+	tracer   *telemetry.Tracer
+}
+
+// Option configures Open.
+type Option func(*options)
+
+// WithGateway adds an online inference gateway (dynamic batching, bounded
+// admission, load-adaptive pruning) to the stack.
+func WithGateway() Option { return func(o *options) { o.gateway = true } }
+
+// WithLadder sets the gateway's prune-ratio ladder, least pruned first
+// (default 0, 0.3, 0.5, 0.7, 0.9). Implies WithGateway.
+func WithLadder(ratios ...float64) Option {
+	return func(o *options) { o.gateway = true; o.ratios = ratios }
+}
+
+// WithReplicas sets the gateway's initial replica count (default 2, or
+// MinReplicas when autoscaling).
+func WithReplicas(n int) Option { return func(o *options) { o.replicas = n } }
+
+// WithQueueCap bounds the gateway admission queue (default 64×replicas).
+func WithQueueCap(n int) Option { return func(o *options) { o.queueCap = n } }
+
+// WithMaxBatch caps the gateway's dynamic batch size (default 8).
+func WithMaxBatch(n int) Option { return func(o *options) { o.maxBatch = n } }
+
+// WithBatchTimeout sets the longest a batch waits to fill (default 2ms).
+func WithBatchTimeout(d time.Duration) Option { return func(o *options) { o.batchTimeout = d } }
+
+// WithSLO sets the p99 latency objective the control plane defends
+// (default 50ms).
+func WithSLO(d time.Duration) Option { return func(o *options) { o.slo = d } }
+
+// WithDeadline sets the default per-request deadline (default none).
+func WithDeadline(d time.Duration) Option { return func(o *options) { o.deadline = d } }
+
+// WithWarmup is how long a replica added at runtime waits before serving —
+// the stand-in for instance boot time (default none).
+func WithWarmup(d time.Duration) Option { return func(o *options) { o.warmup = d } }
+
+// WithInjector installs a fault injector on the gateway (chaos testing).
+func WithInjector(inj fault.Injector) Option { return func(o *options) { o.injector = inj } }
+
+// WithInstance names the cloud instance type that prices a replica
+// (default p2.xlarge).
+func WithInstance(name string) Option { return func(o *options) { o.instance = name } }
+
+// WithAutoscale adds the cost-accuracy autoscaler: replicas scale between
+// min and max, spending at most budgetPerHour dollars; the pruning ladder
+// degrades only when the budget binds. Implies WithGateway and puts the
+// gateway under external control.
+func WithAutoscale(budgetPerHour float64, min, max int) Option {
+	return func(o *options) {
+		o.gateway, o.autoscale = true, true
+		o.budget, o.minReplicas, o.maxReplicas = budgetPerHour, min, max
+	}
+}
+
+// WithAutoscaleInterval sets the autoscaler's control tick (default 250ms).
+func WithAutoscaleInterval(d time.Duration) Option { return func(o *options) { o.interval = d } }
+
+// WithPolicy overrides the derived autoscale policy wholesale (Limits and
+// Profiles included); the other autoscale options are ignored when set.
+func WithPolicy(p autoscale.Policy) Option {
+	return func(o *options) { o.gateway, o.autoscale = true, true; o.policy = &p }
+}
+
+// WithTelemetry routes the stack's metrics and spans to a private registry
+// and tracer instead of the process-wide defaults.
+func WithTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) Option {
+	return func(o *options) { o.registry = reg; o.tracer = tr }
+}
+
+// Open builds a stack for a paper model ("caffenet" or "googlenet") with
+// every requested view sharing one memoizing engine.Predictor:
+//
+//	st, err := ccperf.Open(ccperf.Caffenet,
+//	        ccperf.WithLadder(0, 0.5, 0.9),
+//	        ccperf.WithAutoscale(8.0, 1, 8))
+//	...
+//	st.Start()
+//	defer st.Close()
+//
+// Without options the stack holds only the offline System and Planner
+// views, and Start/Close are no-ops.
+func Open(model string, opts ...Option) (*Stack, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.instance == "" {
+		o.instance = "p2.xlarge"
+	}
+	sys, err := NewSystem(model)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := cloud.ByName(o.instance)
+	if err != nil {
+		return nil, err
+	}
+	st := &Stack{sys: sys, planner: &Planner{sys: sys}, inst: inst}
+	if !o.gateway {
+		return st, nil
+	}
+
+	// The ladder and the autoscaler profiles are both derived from the
+	// system's shared predictor, so the accuracy the gateway advertises and
+	// the accuracy the planner optimizes come from the same curves.
+	ratios := o.ratios
+	if len(ratios) == 0 {
+		ratios = serving.DefaultLadderRatios
+	}
+	degrees := make([]prune.Degree, len(ratios))
+	for i, r := range ratios {
+		if r < 0 || r > 1 {
+			return nil, fmt.Errorf("ccperf: ladder ratio %v out of [0,1]", r)
+		}
+		degrees[i] = prune.Uniform([]string{"conv1", "conv2"}, r)
+	}
+	ladder, err := serving.BuildLadder(context.Background(), serving.TinyNet, degrees, prune.L1Filter, sys.engine)
+	if err != nil {
+		return nil, err
+	}
+
+	replicas := o.replicas
+	if o.autoscale {
+		if o.policy == nil {
+			if o.minReplicas <= 0 {
+				o.minReplicas = 1
+			}
+			if o.maxReplicas < o.minReplicas {
+				o.maxReplicas = o.minReplicas
+			}
+		}
+		if replicas <= 0 {
+			replicas = o.minReplicas
+			if o.policy != nil && o.policy.Limits.MinReplicas > 0 {
+				replicas = o.policy.Limits.MinReplicas
+			}
+		}
+	}
+	gw, err := serving.New(serving.Config{
+		Ladder:          ladder,
+		Replicas:        replicas,
+		QueueCap:        o.queueCap,
+		MaxBatch:        o.maxBatch,
+		BatchTimeout:    o.batchTimeout,
+		SLO:             o.slo,
+		Deadline:        o.deadline,
+		WarmupDelay:     o.warmup,
+		Injector:        o.injector,
+		ExternalControl: o.autoscale,
+		Registry:        o.registry,
+		Tracer:          o.tracer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	st.gw = gw
+	if !o.autoscale {
+		return st, nil
+	}
+
+	var pol autoscale.Policy
+	if o.policy != nil {
+		pol = *o.policy
+	} else {
+		profiles, err := autoscale.BuildProfiles(context.Background(), sys.engine, degrees, inst, gw.Config().MaxBatch)
+		if err != nil {
+			return nil, err
+		}
+		pol = autoscale.Policy{
+			SLOSeconds: gw.Config().SLO.Seconds(),
+			Limits: autoscale.Limits{
+				MinReplicas:         o.minReplicas,
+				MaxReplicas:         o.maxReplicas,
+				PricePerReplicaHour: inst.PricePerHour,
+				BudgetPerHour:       o.budget,
+			},
+			Profiles: profiles,
+		}
+	}
+	scaler, err := autoscale.New(gw, autoscale.Config{
+		Policy:   pol,
+		Interval: o.interval,
+		Registry: o.registry,
+		Tracer:   o.tracer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	st.scaler = scaler
+	return st, nil
+}
+
+// System returns the measurement/characterization view.
+func (st *Stack) System() *System { return st.sys }
+
+// Planner returns the joint-space planning view.
+func (st *Stack) Planner() *Planner { return st.planner }
+
+// Gateway returns the online serving view (nil unless WithGateway).
+func (st *Stack) Gateway() *serving.Gateway { return st.gw }
+
+// Autoscaler returns the cost-accuracy control plane (nil unless
+// WithAutoscale).
+func (st *Stack) Autoscaler() *autoscale.Autoscaler { return st.scaler }
+
+// Predictor returns the single memoizing prediction engine every view of
+// this stack shares.
+func (st *Stack) Predictor() engine.Predictor { return st.sys.engine }
+
+// Instance returns the cloud instance type pricing each replica.
+func (st *Stack) Instance() *cloud.Instance { return st.inst }
+
+// Start brings up the online components (gateway, then autoscaler). A
+// stack without a gateway starts nothing.
+func (st *Stack) Start() {
+	if st.gw != nil {
+		st.gw.Start()
+	}
+	if st.scaler != nil {
+		st.scaler.Start()
+	}
+}
+
+// Close stops the online components in reverse order (autoscaler, then
+// gateway, draining in-flight requests). Idempotent.
+func (st *Stack) Close() {
+	if st.scaler != nil {
+		st.scaler.Stop()
+	}
+	if st.gw != nil {
+		st.gw.Stop()
+	}
+}

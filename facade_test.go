@@ -1,0 +1,150 @@
+package ccperf
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"ccperf/internal/serving"
+)
+
+func TestOpenOfflineOnly(t *testing.T) {
+	st, err := Open(Caffenet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.System() == nil || st.Planner() == nil || st.Predictor() == nil {
+		t.Fatal("offline views must always exist")
+	}
+	if st.Gateway() != nil || st.Autoscaler() != nil {
+		t.Fatal("online views must not exist without options")
+	}
+	if st.Planner().System() != st.System() {
+		t.Fatal("planner must wrap the stack's system")
+	}
+	// No-ops, not panics.
+	st.Start()
+	st.Close()
+}
+
+func TestOpenRejectsBadInput(t *testing.T) {
+	if _, err := Open("lenet"); err == nil {
+		t.Fatal("unknown model must fail")
+	}
+	if _, err := Open(Caffenet, WithInstance("p9.huge")); err == nil {
+		t.Fatal("unknown instance must fail")
+	}
+	if _, err := Open(Caffenet, WithLadder(0, 1.5)); err == nil {
+		t.Fatal("out-of-range ladder ratio must fail")
+	}
+}
+
+func TestOpenGatewayServes(t *testing.T) {
+	st, err := Open(Caffenet, WithLadder(0, 0.5), WithReplicas(1), WithSLO(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := st.Gateway()
+	if g == nil {
+		t.Fatal("WithLadder must imply a gateway")
+	}
+	if st.Autoscaler() != nil {
+		t.Fatal("no autoscaler was requested")
+	}
+	if n := len(g.Config().Ladder); n != 2 {
+		t.Fatalf("ladder has %d rungs, want 2", n)
+	}
+	st.Start()
+	defer st.Close()
+	shape := g.Config().Ladder[0].Net.Input
+	img := serving.SyntheticImage(shape.C, shape.H, shape.W, 1)
+	resp := g.Infer(context.Background(), img, time.Time{})
+	if resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+}
+
+func TestOpenAutoscaleStack(t *testing.T) {
+	st, err := Open(Caffenet,
+		WithLadder(0, 0.5, 0.9),
+		WithAutoscale(4.5, 2, 5),
+		WithAutoscaleInterval(25*time.Millisecond),
+		WithInstance("p2.xlarge"),
+		WithSLO(80*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := st.Autoscaler()
+	if as == nil {
+		t.Fatal("WithAutoscale must build an autoscaler")
+	}
+	pol := as.Policy()
+	if pol.Limits.MinReplicas != 2 || pol.Limits.MaxReplicas != 5 || pol.Limits.BudgetPerHour != 4.5 {
+		t.Fatalf("limits = %+v", pol.Limits)
+	}
+	if pol.Limits.PricePerReplicaHour != st.Instance().PricePerHour {
+		t.Fatalf("replica price %v != instance price %v", pol.Limits.PricePerReplicaHour, st.Instance().PricePerHour)
+	}
+	if pol.SLOSeconds != 0.08 {
+		t.Fatalf("SLOSeconds = %v, want 0.08", pol.SLOSeconds)
+	}
+	if len(pol.Profiles) != 3 {
+		t.Fatalf("%d profiles for a 3-rung ladder", len(pol.Profiles))
+	}
+	if pol.Profiles[0].Speed != 1 || pol.Profiles[2].Speed < pol.Profiles[1].Speed {
+		t.Fatalf("profile speeds not anchored/monotone: %+v", pol.Profiles)
+	}
+	// The gateway starts at the floor and is externally controlled.
+	if got := st.Gateway().ReplicaCount(); got != 2 {
+		t.Fatalf("initial replicas = %d, want MinReplicas", got)
+	}
+	if !st.Gateway().Config().ExternalControl {
+		t.Fatal("autoscaled gateway must disable the built-in controller")
+	}
+	if as.Interval() != 25*time.Millisecond {
+		t.Fatalf("interval = %v", as.Interval())
+	}
+	st.Start()
+	st.Close()
+	st.Close() // idempotent
+}
+
+// TestOpenSharesOnePredictor: the facade's views consume predictions
+// through one memoizing engine — a prediction made while building the
+// autoscaler profiles is a cache hit for the planner's system.
+func TestOpenSharesOnePredictor(t *testing.T) {
+	st, err := Open(Caffenet, WithLadder(0, 0.5), WithAutoscale(8, 1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Predictor() != st.System().Predictor() {
+		t.Fatal("stack and system predictors differ")
+	}
+	if st.Planner().System().Predictor() != st.Predictor() {
+		t.Fatal("planner does not share the stack predictor")
+	}
+}
+
+func TestSystemLayerSweep(t *testing.T) {
+	sys, err := NewSystem(Caffenet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := sys.LayerSweep(context.Background(), "conv2", nil, "p2.xlarge", W50k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 10 {
+		t.Fatalf("default sweep has %d points, want 10 (0–90%% at 10%% steps)", len(pts))
+	}
+	if pts[0].Ratio != 0 || pts[0].Minutes <= 0 || pts[0].Top1 <= 0 {
+		t.Fatalf("baseline point = %+v", pts[0])
+	}
+	last := pts[len(pts)-1]
+	if last.Minutes >= pts[0].Minutes {
+		t.Fatalf("pruning 90%% did not reduce time: %v → %v min", pts[0].Minutes, last.Minutes)
+	}
+	if _, err := sys.LayerSweep(context.Background(), "conv2", nil, "p9.huge", W50k); err == nil {
+		t.Fatal("unknown instance must fail")
+	}
+}

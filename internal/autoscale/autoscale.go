@@ -1,0 +1,327 @@
+package autoscale
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"ccperf/internal/serving"
+	"ccperf/internal/telemetry"
+)
+
+// Config parameterizes an Autoscaler. Zero fields take the documented
+// defaults.
+type Config struct {
+	// Policy is the decision table (required: SLOSeconds and Profiles).
+	Policy Policy
+	// Interval is the control tick period (default 250ms, min 1ms).
+	Interval time.Duration
+	// Registry and Tracer receive telemetry (nil = package defaults).
+	Registry *telemetry.Registry
+	Tracer   *telemetry.Tracer
+}
+
+// Decision is one applied tick, kept for /autoscale/status and tests.
+type Decision struct {
+	Tick     int64  `json:"tick"`
+	Verb     string `json:"verb"`
+	Replicas int    `json:"replicas"`
+	Variant  int    `json:"variant"`
+	Reason   string `json:"reason"`
+	Signal   Signal `json:"signal"`
+}
+
+// Autoscaler drives a serving.Gateway along both cost-accuracy axes. It
+// periodically reads the gateway's signals (arrival rate, queue depth, p99
+// versus SLO, error rate, current rung), folds in the predictor-derived
+// rung profiles, asks the pure Policy for a move, and actuates it through
+// Gateway.ScaleTo / Gateway.SetVariant. Construct with New against a
+// gateway built with Config.ExternalControl (so the built-in one-axis
+// controller stays out of the way), then Start/Stop around the gateway's
+// own lifecycle.
+type Autoscaler struct {
+	g        *serving.Gateway
+	pol      Policy
+	interval time.Duration
+	tracer   *telemetry.Tracer
+
+	stopOnce  sync.Once
+	startOnce sync.Once
+	stopCh    chan struct{}
+	done      chan struct{}
+
+	mu     sync.Mutex
+	ticks  int64
+	counts [5]int64 // per-verb decisions, indexed by Verb — this
+	// autoscaler's own tally, independent of the (possibly shared) registry
+	healthy     int
+	sinceScale  int
+	capEstimate float64 // req/s per replica at rung 0, last known
+	lastOffered int64
+	lastErrors  int64
+	lastServed  int64
+	lastExecSec float64
+	last        Decision
+
+	m scalerMetrics
+}
+
+type scalerMetrics struct {
+	ticks, scaleOuts, scaleIns     *telemetry.Counter
+	degrades, restores, holds      *telemetry.Counter
+	replicas, variant              *telemetry.Gauge
+	arrivalRate, capacityPerRep    *telemetry.Gauge
+	costPerHour, budgetUtilization *telemetry.Gauge
+}
+
+// New validates the config and builds an autoscaler bound to g (not yet
+// ticking). The policy's profile count must match the gateway's ladder.
+func New(g *serving.Gateway, cfg Config) (*Autoscaler, error) {
+	if g == nil {
+		return nil, fmt.Errorf("autoscale: nil gateway")
+	}
+	cfg.Policy = cfg.Policy.withDefaults()
+	if err := cfg.Policy.validate(); err != nil {
+		return nil, err
+	}
+	if n := len(g.Config().Ladder); n != len(cfg.Policy.Profiles) {
+		return nil, fmt.Errorf("autoscale: %d profiles for a %d-rung ladder", len(cfg.Policy.Profiles), n)
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 250 * time.Millisecond
+	}
+	if cfg.Interval < time.Millisecond {
+		cfg.Interval = time.Millisecond
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.Default
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = telemetry.DefaultTracer
+	}
+	reg := cfg.Registry
+	a := &Autoscaler{
+		g:        g,
+		pol:      cfg.Policy,
+		interval: cfg.Interval,
+		tracer:   cfg.Tracer,
+		stopCh:   make(chan struct{}),
+		done:     make(chan struct{}),
+		m: scalerMetrics{
+			ticks:             reg.Counter("autoscale.ticks_total"),
+			scaleOuts:         reg.Counter("autoscale.scale_out_total"),
+			scaleIns:          reg.Counter("autoscale.scale_in_total"),
+			degrades:          reg.Counter("autoscale.degrade_total"),
+			restores:          reg.Counter("autoscale.restore_total"),
+			holds:             reg.Counter("autoscale.hold_total"),
+			replicas:          reg.Gauge("autoscale.replicas"),
+			variant:           reg.Gauge("autoscale.variant"),
+			arrivalRate:       reg.Gauge("autoscale.arrival_rate"),
+			capacityPerRep:    reg.Gauge("autoscale.capacity_per_replica"),
+			costPerHour:       reg.Gauge("autoscale.cost_per_hour"),
+			budgetUtilization: reg.Gauge("autoscale.budget_utilization"),
+		},
+	}
+	// Start the cooldown satisfied so the first genuine surge can act.
+	a.sinceScale = a.pol.CooldownTicks
+	a.m.replicas.Set(float64(g.ReplicaCount()))
+	return a, nil
+}
+
+// Policy returns the resolved (defaulted) decision table.
+func (a *Autoscaler) Policy() Policy { return a.pol }
+
+// Interval returns the resolved tick period.
+func (a *Autoscaler) Interval() time.Duration { return a.interval }
+
+// Start launches the tick loop. Call after Gateway.Start.
+func (a *Autoscaler) Start() {
+	a.startOnce.Do(func() {
+		go func() {
+			defer close(a.done)
+			ticker := time.NewTicker(a.interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					a.Tick()
+				case <-a.stopCh:
+					return
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the tick loop (idempotent; does not stop the gateway).
+func (a *Autoscaler) Stop() {
+	a.stopOnce.Do(func() { close(a.stopCh) })
+	a.startOnce.Do(func() { close(a.done) }) // never started: unblock waiters
+	<-a.done
+}
+
+// Tick runs one control step: observe, decide, actuate. Exported so tests
+// and simulations can step the loop deterministically without the ticker.
+func (a *Autoscaler) Tick() Decision {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	sig := a.observeLocked()
+	act := a.pol.Decide(sig)
+	a.applyLocked(act, sig)
+
+	a.ticks++
+	d := Decision{
+		Tick: a.ticks, Verb: act.Verb.String(),
+		Replicas: act.Replicas, Variant: act.Variant,
+		Reason: act.Reason, Signal: sig,
+	}
+	a.last = d
+	return d
+}
+
+// observeLocked assembles one tick's Signal from the gateway's counters
+// and the busy-time capacity estimator.
+func (a *Autoscaler) observeLocked() Signal {
+	cs := a.g.ControlSignal()
+	st := a.g.Stats()
+	served, execSec := a.g.ExecStats()
+
+	offered := st.Admitted + st.Shed
+	errs := st.Shed + st.Expired + st.Faulted
+	dtSec := a.interval.Seconds()
+	arrival := float64(offered-a.lastOffered) / dtSec
+	errRate := 0.0
+	if d := offered - a.lastOffered; d > 0 {
+		errRate = float64(errs-a.lastErrors) / float64(d)
+	}
+	// Capacity estimate: requests per busy-second of one batcher over the
+	// tick, normalized to rung 0 by the rung's predicted speed. Ticks with
+	// no executions keep the last estimate (idle ≠ incapable).
+	if dServed, dExec := served-a.lastServed, execSec-a.lastExecSec; dExec > 0 && dServed > 0 {
+		a.capEstimate = float64(dServed) / dExec / a.pol.speed(st.Variant)
+	}
+	a.lastOffered, a.lastErrors = offered, errs
+	a.lastServed, a.lastExecSec = served, execSec
+
+	return Signal{
+		ArrivalRate:        arrival,
+		CapacityPerReplica: a.capEstimate,
+		P99:                cs.P99,
+		Samples:            cs.Samples,
+		QueueFrac:          cs.QueueFrac,
+		ErrorRate:          errRate,
+		Replicas:           st.Replicas,
+		Variant:            st.Variant,
+		Healthy:            a.healthy,
+		SinceScale:         a.sinceScale,
+	}
+}
+
+// applyLocked actuates one decision and records it.
+func (a *Autoscaler) applyLocked(act Action, sig Signal) {
+	a.healthy = act.Healthy
+	a.counts[act.Verb]++
+	switch act.Verb {
+	case ScaleOut, ScaleIn:
+		a.sinceScale = 0
+		a.g.ScaleTo(act.Replicas)
+		if act.Verb == ScaleOut {
+			a.m.scaleOuts.Inc()
+		} else {
+			a.m.scaleIns.Inc()
+		}
+	case Degrade, Restore:
+		a.sinceScale++
+		a.g.SetVariant(act.Variant)
+		if act.Verb == Degrade {
+			a.m.degrades.Inc()
+		} else {
+			a.m.restores.Inc()
+		}
+	default:
+		a.sinceScale++
+		a.m.holds.Inc()
+	}
+	a.m.ticks.Inc()
+	a.m.replicas.Set(float64(a.g.ReplicaCount()))
+	a.m.variant.Set(float64(a.g.CurrentVariant()))
+	a.m.arrivalRate.Set(sig.ArrivalRate)
+	a.m.capacityPerRep.Set(sig.CapacityPerReplica)
+	costPerHour := float64(a.g.ReplicaCount()) * a.pol.Limits.PricePerReplicaHour
+	a.m.costPerHour.Set(costPerHour)
+	if b := a.pol.Limits.BudgetPerHour; b > 0 {
+		a.m.budgetUtilization.Set(costPerHour / b)
+	}
+	if act.Verb != Hold {
+		_, finish := a.tracer.StartSpan(context.Background(), "autoscale."+act.Verb.String())
+		finish(
+			telemetry.L("replicas", act.Replicas),
+			telemetry.L("variant", act.Variant),
+			telemetry.L("p99_seconds", sig.P99),
+			telemetry.L("queue_frac", sig.QueueFrac),
+			telemetry.L("arrival_rate", sig.ArrivalRate),
+			telemetry.L("reason", act.Reason),
+		)
+	}
+}
+
+// Status is the point-in-time autoscaler view served at /autoscale/status
+// and folded into the loadtest report.
+type Status struct {
+	Ticks     int64 `json:"ticks"`
+	Replicas  int   `json:"replicas"`
+	Variant   int   `json:"variant"`
+	ScaleOuts int64 `json:"scale_outs"`
+	ScaleIns  int64 `json:"scale_ins"`
+	Degrades  int64 `json:"degrades"`
+	Restores  int64 `json:"restores"`
+	Holds     int64 `json:"holds"`
+	// Cost prices the gateway's replica-seconds integral; CostPerHour is
+	// the current burn rate against BudgetPerHour.
+	Cost           float64   `json:"cost_usd"`
+	CostPerHour    float64   `json:"cost_per_hour"`
+	BudgetPerHour  float64   `json:"budget_per_hour"`
+	ReplicaSeconds float64   `json:"replica_seconds"`
+	LastDecision   Decision  `json:"last_decision"`
+	Profiles       []Profile `json:"profiles"`
+}
+
+// Status snapshots the autoscaler.
+func (a *Autoscaler) Status() Status {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	repSec := a.g.ReplicaSeconds()
+	price := a.pol.Limits.PricePerReplicaHour
+	return Status{
+		Ticks:          a.ticks,
+		Replicas:       a.g.ReplicaCount(),
+		Variant:        a.g.CurrentVariant(),
+		ScaleOuts:      a.counts[ScaleOut],
+		ScaleIns:       a.counts[ScaleIn],
+		Degrades:       a.counts[Degrade],
+		Restores:       a.counts[Restore],
+		Holds:          a.counts[Hold],
+		Cost:           repSec / 3600 * price,
+		CostPerHour:    float64(a.g.ReplicaCount()) * price,
+		BudgetPerHour:  a.pol.Limits.BudgetPerHour,
+		ReplicaSeconds: repSec,
+		LastDecision:   a.last,
+		Profiles:       a.pol.Profiles,
+	}
+}
+
+// Handler serves GET /autoscale/status as indented JSON.
+func Handler(a *Autoscaler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/autoscale/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(a.Status())
+	})
+	return mux
+}

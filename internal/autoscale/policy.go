@@ -1,0 +1,292 @@
+// Package autoscale closes the paper's cost-accuracy loop online. The
+// offline planner (internal/explore, Algorithm 1) answers "which degree of
+// pruning on which resource configuration" once, before the run; this
+// package re-asks the same joint question continuously while a gateway
+// serves traffic, and actuates the answer along both axes: the replica
+// count (the resource configuration, priced per second like Section 4.1.2)
+// and the pruning ladder (the degree of pruning, Figures 6–8).
+//
+// The ordering rule is the paper's Figure 9/10 trade-off made live: when
+// the p99 latency or queue pressure violates the SLO, the controller
+// prefers to buy capacity — add a replica — for as long as the $/hr budget
+// allows, and only when the budget binds does it start spending accuracy
+// by walking the ladder down. On recovery the priorities invert: accuracy
+// is restored before replicas are returned, because accuracy is the thing
+// the user actually paid for.
+//
+// Decisions are made by a pure Policy.Decide(Signal) table — no clocks, no
+// randomness — so the control law is unit-testable row by row and a fixed
+// signal sequence replays to bit-identical actions.
+package autoscale
+
+import "fmt"
+
+// Profile describes one ladder rung to the policy: what serving there is
+// worth (accuracy) and what it buys (relative speed), both predicted by
+// the shared engine.Predictor.
+type Profile struct {
+	// Degree labels the rung's degree of pruning.
+	Degree string `json:"degree"`
+	// Accuracy is the rung's predicted Top-1 accuracy (fraction).
+	Accuracy float64 `json:"accuracy"`
+	// Speed is the rung's predicted throughput multiplier relative to rung
+	// 0 (≥ 1 as pruning increases) — the per-batch time ratio t₀/tᵢ.
+	Speed float64 `json:"speed"`
+}
+
+// Limits bound the resource axis: how many replicas the fleet may hold and
+// what the money ceiling is.
+type Limits struct {
+	// MinReplicas ≥ 1 is the floor the fleet never drops below.
+	MinReplicas int `json:"min_replicas"`
+	// MaxReplicas caps scale-out regardless of budget.
+	MaxReplicas int `json:"max_replicas"`
+	// PricePerReplicaHour is one replica's rental price in $/hr.
+	PricePerReplicaHour float64 `json:"price_per_replica_hour"`
+	// BudgetPerHour is the fleet-wide spend ceiling in $/hr (0 = none).
+	// Scale-out keeping replicas·price within it is always preferred over
+	// degrading; a fleet already over it is shrunk unconditionally.
+	BudgetPerHour float64 `json:"budget_per_hour"`
+}
+
+// Signal is what the autoscaler observed over one control tick.
+type Signal struct {
+	// ArrivalRate is the offered load in requests/second (admitted + shed).
+	ArrivalRate float64 `json:"arrival_rate"`
+	// CapacityPerReplica is the requests/second one replica sustains at
+	// ladder rung 0 (0 = not yet known; capacity-gated relaxations wait).
+	CapacityPerReplica float64 `json:"capacity_per_replica"`
+	// P99 is the tick's p99 total latency in seconds (0 when Samples is 0).
+	P99 float64 `json:"p99_seconds"`
+	// Samples is the number of completed requests in the tick.
+	Samples int `json:"samples"`
+	// QueueFrac is the admission-queue fill fraction at tick time.
+	QueueFrac float64 `json:"queue_frac"`
+	// ErrorRate is the tick's shed+expired+faulted fraction of submissions.
+	ErrorRate float64 `json:"error_rate"`
+	// Replicas and Variant are the state being controlled.
+	Replicas int `json:"replicas"`
+	Variant  int `json:"variant"`
+	// Healthy is the consecutive-healthy-tick streak entering this tick.
+	Healthy int `json:"healthy"`
+	// SinceScale is the number of ticks since the last replica change.
+	SinceScale int `json:"since_scale"`
+}
+
+// Verb is the kind of move a decision makes.
+type Verb int
+
+// The five moves of the control table.
+const (
+	// Hold changes nothing this tick.
+	Hold Verb = iota
+	// ScaleOut adds one replica (buy capacity).
+	ScaleOut
+	// ScaleIn retires one replica (return money).
+	ScaleIn
+	// Degrade walks the ladder one rung down (spend accuracy).
+	Degrade
+	// Restore walks the ladder one rung up (reclaim accuracy).
+	Restore
+)
+
+// String names the verb.
+func (v Verb) String() string {
+	switch v {
+	case ScaleOut:
+		return "scale_out"
+	case ScaleIn:
+		return "scale_in"
+	case Degrade:
+		return "degrade"
+	case Restore:
+		return "restore"
+	default:
+		return "hold"
+	}
+}
+
+// Action is one tick's decision: the target state plus the bookkeeping the
+// next tick's Signal carries back in.
+type Action struct {
+	Verb     Verb   `json:"verb"`
+	Replicas int    `json:"replicas"` // target replica count
+	Variant  int    `json:"variant"`  // target ladder rung
+	Healthy  int    `json:"healthy"`  // next healthy-streak value
+	Reason   string `json:"reason"`
+}
+
+// Policy is the pure decision core of the cost-accuracy autoscaler. All
+// fields are plain numbers so Decide is a deterministic function of its
+// Signal — the online analogue of the planner's Algorithm 1 step, with the
+// TAR/CAR preference order baked into the branch structure.
+type Policy struct {
+	// SLOSeconds is the p99 latency objective being defended.
+	SLOSeconds float64 `json:"slo_seconds"`
+	// TargetUtilization is the fraction of predicted capacity the fleet
+	// aims to stay under when relaxing (default 0.7): restores and
+	// scale-ins only happen when the offered load would still fit.
+	TargetUtilization float64 `json:"target_utilization"`
+	// DegradeQueueFrac is the queue-fullness fraction that counts as an
+	// SLO violation even before p99 catches up (default 0.75).
+	DegradeQueueFrac float64 `json:"degrade_queue_frac"`
+	// RestoreFraction: a tick is healthy iff p99 ≤ SLO·RestoreFraction
+	// (default 0.5) — the hysteresis band between violate and relax.
+	RestoreFraction float64 `json:"restore_fraction"`
+	// HoldTicks is the consecutive-healthy-tick streak required before any
+	// relaxation (default 3) — the classic fast-down/slow-up asymmetry.
+	HoldTicks int `json:"hold_ticks"`
+	// CooldownTicks is the minimum tick distance between replica changes
+	// (default 2), covering warm-up so a booting replica is given a chance
+	// to absorb load before the next move.
+	CooldownTicks int `json:"cooldown_ticks"`
+	// Limits bound the resource axis; Profiles describe the accuracy axis,
+	// least-pruned first (rung 0 = the gateway ladder's rung 0).
+	Limits   Limits    `json:"limits"`
+	Profiles []Profile `json:"profiles"`
+}
+
+// withDefaults fills the documented defaults on zero fields.
+func (p Policy) withDefaults() Policy {
+	if p.TargetUtilization <= 0 || p.TargetUtilization > 1 {
+		p.TargetUtilization = 0.7
+	}
+	if p.DegradeQueueFrac <= 0 || p.DegradeQueueFrac > 1 {
+		p.DegradeQueueFrac = 0.75
+	}
+	if p.RestoreFraction <= 0 || p.RestoreFraction >= 1 {
+		p.RestoreFraction = 0.5
+	}
+	if p.HoldTicks <= 0 {
+		p.HoldTicks = 3
+	}
+	if p.CooldownTicks <= 0 {
+		p.CooldownTicks = 2
+	}
+	if p.Limits.MinReplicas <= 0 {
+		p.Limits.MinReplicas = 1
+	}
+	if p.Limits.MaxReplicas < p.Limits.MinReplicas {
+		p.Limits.MaxReplicas = p.Limits.MinReplicas
+	}
+	return p
+}
+
+// validate rejects a policy Decide cannot run on.
+func (p Policy) validate() error {
+	if p.SLOSeconds <= 0 {
+		return fmt.Errorf("autoscale: policy needs SLOSeconds > 0")
+	}
+	if len(p.Profiles) == 0 {
+		return fmt.Errorf("autoscale: policy needs at least one ladder profile")
+	}
+	if p.Limits.PricePerReplicaHour < 0 || p.Limits.BudgetPerHour < 0 {
+		return fmt.Errorf("autoscale: negative price or budget")
+	}
+	return nil
+}
+
+// affordable reports whether renting n replicas stays inside both the
+// replica cap and the $/hr budget.
+func (p Policy) affordable(n int) bool {
+	if n > p.Limits.MaxReplicas {
+		return false
+	}
+	if p.Limits.BudgetPerHour <= 0 {
+		return true
+	}
+	return float64(n)*p.Limits.PricePerReplicaHour <= p.Limits.BudgetPerHour+1e-9
+}
+
+// speed returns the throughput multiplier of rung v (1 when unknown).
+func (p Policy) speed(v int) float64 {
+	if v < 0 || v >= len(p.Profiles) || p.Profiles[v].Speed <= 0 {
+		return 1
+	}
+	return p.Profiles[v].Speed
+}
+
+// fits predicts whether the offered load fits n replicas at rung v with
+// TargetUtilization headroom. Unknown capacity is only acceptable when
+// nothing is arriving — relaxations are otherwise deferred until the
+// estimator has data.
+func (p Policy) fits(s Signal, v, n int) bool {
+	if s.ArrivalRate <= 0 {
+		return true
+	}
+	if s.CapacityPerReplica <= 0 {
+		return false
+	}
+	capacity := s.CapacityPerReplica * p.speed(v) * float64(n) * p.TargetUtilization
+	return s.ArrivalRate <= capacity
+}
+
+// Decide maps one tick's signal to an action. The branch order IS the
+// policy:
+//
+//  1. budget clamp — a fleet over budget shrinks, health notwithstanding;
+//  2. SLO violated — scale out if a replica is affordable (waiting out the
+//     scale cooldown rather than panic-degrading), degrade only when the
+//     budget or replica cap binds;
+//  3. healthy long enough — restore accuracy first, and only once the
+//     ladder is fully restored (or restoring would not fit) hand back a
+//     replica;
+//  4. otherwise hold, carrying the healthy streak.
+//
+// Decide is pure: equal signals yield equal actions, bit for bit.
+func (p Policy) Decide(s Signal) Action {
+	p = p.withDefaults()
+	hold := func(streak int, reason string) Action {
+		if streak > p.HoldTicks {
+			streak = p.HoldTicks // saturate so idle eons don't overflow
+		}
+		return Action{Verb: Hold, Replicas: s.Replicas, Variant: s.Variant, Healthy: streak, Reason: reason}
+	}
+
+	// 1. The budget is a hard ceiling, not a preference: if the fleet
+	// costs more than it (budget lowered mid-run, say), shed a replica now.
+	if s.Replicas > p.Limits.MinReplicas && !p.affordable(s.Replicas) {
+		return Action{Verb: ScaleIn, Replicas: s.Replicas - 1, Variant: s.Variant,
+			Reason: "fleet over budget/cap, shedding a replica"}
+	}
+
+	violated := s.QueueFrac >= p.DegradeQueueFrac ||
+		(s.Samples > 0 && s.P99 > p.SLOSeconds)
+	if violated {
+		// 2. Capacity is short. Money first, accuracy second.
+		if s.Replicas < p.Limits.MaxReplicas && p.affordable(s.Replicas+1) {
+			if s.SinceScale < p.CooldownTicks {
+				return hold(0, "overloaded, waiting out scale cooldown")
+			}
+			return Action{Verb: ScaleOut, Replicas: s.Replicas + 1, Variant: s.Variant,
+				Reason: "SLO violated, budget allows another replica"}
+		}
+		if s.Variant < len(p.Profiles)-1 {
+			return Action{Verb: Degrade, Replicas: s.Replicas, Variant: s.Variant + 1,
+				Reason: "SLO violated, budget binds: trading accuracy for throughput"}
+		}
+		return hold(0, "saturated: replica and pruning headroom exhausted")
+	}
+
+	healthy := s.QueueFrac < p.DegradeQueueFrac &&
+		(s.Samples == 0 || s.P99 <= p.SLOSeconds*p.RestoreFraction)
+	if !healthy {
+		return hold(0, "inside SLO band")
+	}
+	streak := s.Healthy + 1
+	if streak < p.HoldTicks {
+		return hold(streak, "healthy, building streak")
+	}
+
+	// 3. Sustained headroom: give accuracy back before money.
+	if s.Variant > 0 && p.fits(s, s.Variant-1, s.Replicas) {
+		return Action{Verb: Restore, Replicas: s.Replicas, Variant: s.Variant - 1,
+			Reason: "sustained headroom, restoring accuracy"}
+	}
+	if s.Replicas > p.Limits.MinReplicas && s.SinceScale >= p.CooldownTicks &&
+		p.fits(s, s.Variant, s.Replicas-1) {
+		return Action{Verb: ScaleIn, Replicas: s.Replicas - 1, Variant: s.Variant,
+			Reason: "sustained headroom, returning a replica"}
+	}
+	return hold(streak, "healthy, nothing left to relax")
+}

@@ -1,0 +1,94 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// SchemaV1 is the versioned schema tag every JSON artifact the CLI writes
+// carries, so downstream tooling can dispatch on shape before decoding the
+// payload.
+const SchemaV1 = "ccperf/v1"
+
+// The artifact kinds written under SchemaV1.
+const (
+	KindBench    = "bench"    // benchjson: telemetry snapshot of bench results
+	KindLoadtest = "loadtest" // loadtest: gateway replay report (+ autoscaler)
+	KindSimulate = "simulate" // simulate: cluster day-simulation result
+	KindMetrics  = "metrics"  // -metrics-out: telemetry registry snapshot
+)
+
+// Envelope wraps one JSON artifact with its schema version and kind. Data
+// holds the kind-specific payload verbatim.
+type Envelope struct {
+	Schema string          `json:"schema"`
+	Kind   string          `json:"kind"`
+	Data   json.RawMessage `json:"data"`
+}
+
+// NewEnvelope wraps a payload in a SchemaV1 envelope.
+func NewEnvelope(kind string, payload any) (*Envelope, error) {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("report: encoding %s payload: %w", kind, err)
+	}
+	return &Envelope{Schema: SchemaV1, Kind: kind, Data: raw}, nil
+}
+
+// WriteEnvelope writes the payload to w as an indented SchemaV1 envelope.
+func WriteEnvelope(w io.Writer, kind string, payload any) error {
+	env, err := NewEnvelope(kind, payload)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(env)
+}
+
+// WriteEnvelopeFile writes an enveloped artifact to path, creating parent
+// directories.
+func WriteEnvelopeFile(path, kind string, payload any) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteEnvelope(f, kind, payload); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadEnvelope decodes one envelope from r, rejecting unknown schemas.
+func ReadEnvelope(r io.Reader) (*Envelope, error) {
+	var env Envelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("report: decoding envelope: %w", err)
+	}
+	if env.Schema != SchemaV1 {
+		return nil, fmt.Errorf("report: unsupported schema %q (want %q)", env.Schema, SchemaV1)
+	}
+	return &env, nil
+}
+
+// Decode unmarshals the envelope's payload into out after checking the
+// expected kind, so callers fail on a kind mismatch rather than silently
+// zero-filling an unrelated struct.
+func (e *Envelope) Decode(kind string, out any) error {
+	if e.Kind != kind {
+		return fmt.Errorf("report: envelope holds %q, want %q", e.Kind, kind)
+	}
+	if err := json.Unmarshal(e.Data, out); err != nil {
+		return fmt.Errorf("report: decoding %s payload: %w", kind, err)
+	}
+	return nil
+}

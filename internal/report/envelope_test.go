@@ -1,0 +1,125 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the envelope golden files")
+
+// loadtestPayload mirrors the shape the loadtest subcommand writes; the
+// golden files pin the on-disk format so schema drift is a visible diff.
+type loadtestPayload struct {
+	Submitted int     `json:"submitted"`
+	OK        int     `json:"ok"`
+	P99MS     float64 `json:"p99_ms"`
+	CostUSD   float64 `json:"cost_usd"`
+}
+
+type simulatePayload struct {
+	Jobs   int     `json:"jobs"`
+	Misses int     `json:"misses"`
+	Cost   float64 `json:"cost"`
+}
+
+type benchPayload struct {
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+func goldenCases() []struct {
+	name, kind string
+	payload    any
+} {
+	return []struct {
+		name, kind string
+		payload    any
+	}{
+		{"loadtest", KindLoadtest, loadtestPayload{Submitted: 2000, OK: 1987, P99MS: 42.5, CostUSD: 0.0051}},
+		{"simulate", KindSimulate, simulatePayload{Jobs: 175, Misses: 2, Cost: 64.8}},
+		{"bench", KindBench, benchPayload{Benchmarks: map[string]float64{"BenchmarkAllocate": 1.25e6}}},
+	}
+}
+
+// TestEnvelopeGoldenFiles round-trips each artifact kind through its
+// checked-in golden file: the written bytes must match the file exactly,
+// and decoding the file must reproduce the payload.
+func TestEnvelopeGoldenFiles(t *testing.T) {
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := WriteEnvelope(&buf, tc.kind, tc.payload); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", tc.name+".golden.json")
+			if *updateGolden {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("written envelope differs from %s:\n got: %s\nwant: %s", path, buf.Bytes(), want)
+			}
+
+			env, err := ReadEnvelope(bytes.NewReader(want))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if env.Schema != SchemaV1 || env.Kind != tc.kind {
+				t.Fatalf("envelope header = %q/%q", env.Schema, env.Kind)
+			}
+			out := reflect.New(reflect.TypeOf(tc.payload))
+			if err := env.Decode(tc.kind, out.Interface()); err != nil {
+				t.Fatal(err)
+			}
+			if got := out.Elem().Interface(); !reflect.DeepEqual(got, tc.payload) {
+				t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", got, tc.payload)
+			}
+		})
+	}
+}
+
+func TestEnvelopeRejectsWrongSchemaAndKind(t *testing.T) {
+	if _, err := ReadEnvelope(strings.NewReader(`{"schema":"ccperf/v0","kind":"bench","data":{}}`)); err == nil {
+		t.Fatal("v0 schema must be rejected")
+	}
+	if _, err := ReadEnvelope(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("malformed input must be rejected")
+	}
+	env, err := NewEnvelope(KindBench, benchPayload{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out loadtestPayload
+	if err := env.Decode(KindLoadtest, &out); err == nil {
+		t.Fatal("kind mismatch must be rejected")
+	}
+}
+
+func TestWriteEnvelopeFileCreatesParents(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nested", "out.json")
+	if err := WriteEnvelopeFile(path, KindMetrics, map[string]int{"a": 1}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	env, err := ReadEnvelope(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]int
+	if err := env.Decode(KindMetrics, &m); err != nil || m["a"] != 1 {
+		t.Fatalf("decode = %v, %v", m, err)
+	}
+}

@@ -105,16 +105,26 @@ func (g *Gateway) controlLoop() {
 	}
 }
 
-// controlTick evaluates one interval and applies the decision. It is the
-// unit the tests drive directly.
-func (g *Gateway) controlTick() {
+// ControlSignal drains the latency window accumulated since the last call
+// and snapshots queue pressure — one control interval's observation. It is
+// consumed either by the gateway's own pruning controller or, under
+// Config.ExternalControl, by the autoscaler that has taken over both the
+// ladder and the replica count. Healthy carries the built-in controller's
+// streak; an external controller keeps its own.
+func (g *Gateway) ControlSignal() Signal {
 	window := g.takeWindow()
-	sig := Signal{
+	return Signal{
 		P99:       stats.Percentile(window, 0.99),
 		Samples:   len(window),
 		QueueFrac: float64(len(g.queue)) / float64(g.cfg.QueueCap),
 		Healthy:   g.healthy,
 	}
+}
+
+// controlTick evaluates one interval and applies the decision. It is the
+// unit the tests drive directly.
+func (g *Gateway) controlTick() {
+	sig := g.ControlSignal()
 	action, streak := g.policy().Decide(sig)
 	g.healthy = streak
 	g.apply(action, sig)

@@ -102,6 +102,14 @@ type Config struct {
 	// BreakerCooldown is how long an open breaker blocks its replica before
 	// admitting a half-open probe batch (default 250ms).
 	BreakerCooldown time.Duration
+	// WarmupDelay is how long a replica added at runtime (ScaleTo) waits
+	// before pulling its first request — the in-process stand-in for
+	// instance boot time (default 0). Replicas present at Start are warm.
+	WarmupDelay time.Duration
+	// ExternalControl disables the built-in pruning controller so an
+	// outside control plane (internal/autoscale) owns both the ladder and
+	// the replica count, through ControlSignal, SetVariant and ScaleTo.
+	ExternalControl bool
 	// Registry and Tracer receive telemetry (nil = package defaults).
 	Registry *telemetry.Registry
 	Tracer   *telemetry.Tracer
@@ -201,13 +209,23 @@ type request struct {
 	done     chan Response
 }
 
+// replicaHandle is one live replica's control block. The id is stable for
+// the gateway's lifetime (scale-out after scale-in mints a fresh id), so
+// per-replica telemetry and fault-injection targets stay unambiguous.
+type replicaHandle struct {
+	id      int
+	brk     *breaker
+	stop    chan struct{} // closed exactly once by ScaleTo (guarded by scaleMu)
+	retired bool          // guarded by Gateway.scaleMu
+}
+
 // Gateway is the online inference service. Construct with New, then Start;
-// Submit/Infer from any goroutine; Stop for a graceful drain.
+// Submit/Infer from any goroutine; Stop for a graceful drain. The replica
+// set is dynamic: ScaleTo adds and retires batcher goroutines at runtime.
 type Gateway struct {
-	cfg      Config
-	queue    chan *request
-	breakers []*breaker // one per replica
-	startAt  time.Time  // set by Start; injector elapsed-time origin
+	cfg     Config
+	queue   chan *request
+	startAt time.Time // set by Start; injector elapsed-time origin
 
 	nextID   atomic.Int64
 	variant  atomic.Int64 // current ladder index
@@ -217,6 +235,23 @@ type Gateway struct {
 
 	submits sync.WaitGroup // in-flight Submit calls
 	workers sync.WaitGroup // replica + controller goroutines
+
+	// scaleMu guards the replica set and the replica-seconds integral.
+	// Stop takes it as a barrier before closing stopCh, so a concurrent
+	// ScaleTo can never register a worker after workers.Wait begins or
+	// close a retired replica's stop channel twice.
+	scaleMu    sync.Mutex
+	replicas   []*replicaHandle
+	replicaSeq int       // next replica id
+	repSeconds float64   // accumulated replica-seconds up to repMark
+	repMark    time.Time // zero before Start and after Stop
+
+	// execMu guards the execution-throughput accumulators the autoscaler
+	// uses to estimate per-replica capacity (served requests per busy
+	// second of one batcher).
+	execMu      sync.Mutex
+	execSeconds float64
+	execServed  int64
 
 	// window collects the current control interval's total latencies
 	// (seconds); the controller swaps it out each tick.
@@ -236,7 +271,7 @@ type gatewayMetrics struct {
 	batches                         *telemetry.Counter
 	retries, faulted, breakerOpens  *telemetry.Counter
 	queueDepth, variantGauge        *telemetry.Gauge
-	breakersOpen                    *telemetry.Gauge
+	breakersOpen, replicasGauge     *telemetry.Gauge
 	queueWait, total                *telemetry.Histogram
 	batchSize                       *telemetry.Histogram
 }
@@ -253,56 +288,142 @@ func New(cfg Config) (*Gateway, error) {
 	}
 	reg := cfg.Registry
 	g.m = gatewayMetrics{
-		admitted:     reg.Counter("serving.admitted_total"),
-		shed:         reg.Counter("serving.shed_total"),
-		expired:      reg.Counter("serving.expired_total"),
-		served:       reg.Counter("serving.served_total"),
-		degrades:     reg.Counter("serving.degrade_total"),
-		restores:     reg.Counter("serving.restore_total"),
-		batches:      reg.Counter("serving.batches_total"),
-		queueDepth:   reg.Gauge("serving.queue_depth"),
-		variantGauge: reg.Gauge("serving.variant"),
-		retries:      reg.Counter("serving.retries_total"),
-		faulted:      reg.Counter("fault.injected_requests"),
-		breakerOpens: reg.Counter("serving.breaker_opens_total"),
-		breakersOpen: reg.Gauge("serving.breakers_open"),
-		queueWait:    reg.Histogram("serving.queue_seconds", nil),
-		total:        reg.Histogram("serving.request_seconds", nil),
-		batchSize:    reg.Histogram("serving.batch_size", telemetry.LinearBuckets(1, 1, 64)),
+		admitted:      reg.Counter("serving.admitted_total"),
+		shed:          reg.Counter("serving.shed_total"),
+		expired:       reg.Counter("serving.expired_total"),
+		served:        reg.Counter("serving.served_total"),
+		degrades:      reg.Counter("serving.degrade_total"),
+		restores:      reg.Counter("serving.restore_total"),
+		batches:       reg.Counter("serving.batches_total"),
+		queueDepth:    reg.Gauge("serving.queue_depth"),
+		variantGauge:  reg.Gauge("serving.variant"),
+		retries:       reg.Counter("serving.retries_total"),
+		faulted:       reg.Counter("fault.injected_requests"),
+		breakerOpens:  reg.Counter("serving.breaker_opens_total"),
+		breakersOpen:  reg.Gauge("serving.breakers_open"),
+		replicasGauge: reg.Gauge("serving.replicas"),
+		queueWait:     reg.Histogram("serving.queue_seconds", nil),
+		total:         reg.Histogram("serving.request_seconds", nil),
+		batchSize:     reg.Histogram("serving.batch_size", telemetry.LinearBuckets(1, 1, 64)),
 	}
 	g.m.variantGauge.Set(0)
-	g.breakers = make([]*breaker, cfg.Replicas)
-	for i := range g.breakers {
-		state := reg.Gauge(fmt.Sprintf("serving.breaker_state.r%d", i))
-		g.breakers[i] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown,
-			func(from, to BreakerState) {
-				state.Set(float64(to))
-				if to == BreakerOpen {
-					g.m.breakerOpens.Inc()
-					g.m.breakersOpen.Add(1)
-				}
-				if from == BreakerOpen {
-					g.m.breakersOpen.Add(-1)
-				}
-			})
+	for i := 0; i < cfg.Replicas; i++ {
+		g.replicas = append(g.replicas, g.newReplicaLocked())
 	}
+	g.m.replicasGauge.Set(float64(len(g.replicas)))
 	return g, nil
+}
+
+// newReplicaLocked mints a handle with a stable id and its own breaker.
+// Callers hold scaleMu (or, in New, have exclusive access).
+func (g *Gateway) newReplicaLocked() *replicaHandle {
+	id := g.replicaSeq
+	g.replicaSeq++
+	state := g.cfg.Registry.Gauge(fmt.Sprintf("serving.breaker_state.r%d", id))
+	h := &replicaHandle{id: id, stop: make(chan struct{})}
+	h.brk = newBreaker(g.cfg.BreakerThreshold, g.cfg.BreakerCooldown,
+		func(from, to BreakerState) {
+			state.Set(float64(to))
+			if to == BreakerOpen {
+				g.m.breakerOpens.Inc()
+				g.m.breakersOpen.Add(1)
+			}
+			if from == BreakerOpen {
+				g.m.breakersOpen.Add(-1)
+			}
+		})
+	return h
+}
+
+// accrueLocked folds the elapsed replica-time into the replica-seconds
+// integral — the quantity the autoscaler prices. Callers hold scaleMu.
+func (g *Gateway) accrueLocked(now time.Time) {
+	if !g.repMark.IsZero() {
+		g.repSeconds += float64(len(g.replicas)) * now.Sub(g.repMark).Seconds()
+	}
+	g.repMark = now
+}
+
+// ReplicaSeconds returns the fleet-time integral ∑ replicas·dt since
+// Start, in seconds — replica-count-aware rental time, so cost under
+// autoscaling is PricePerSecond × ReplicaSeconds.
+func (g *Gateway) ReplicaSeconds() float64 {
+	g.scaleMu.Lock()
+	defer g.scaleMu.Unlock()
+	s := g.repSeconds
+	if !g.repMark.IsZero() {
+		s += float64(len(g.replicas)) * time.Since(g.repMark).Seconds()
+	}
+	return s
+}
+
+// ReplicaCount returns the current number of live replicas (including any
+// still in their warm-up delay).
+func (g *Gateway) ReplicaCount() int {
+	g.scaleMu.Lock()
+	defer g.scaleMu.Unlock()
+	return len(g.replicas)
+}
+
+// ScaleTo grows or shrinks the replica set to n (clamped to ≥ 1) and
+// returns the resulting count. Scale-out spawns fresh batchers that begin
+// serving after Config.WarmupDelay; scale-in retires the newest replicas
+// by closing their private stop channels — each finishes its in-flight
+// batch and exits without touching the shared queue, which the surviving
+// replicas keep draining. Calling ScaleTo during or after Stop is a no-op
+// returning ErrStopped.
+func (g *Gateway) ScaleTo(n int) (int, error) {
+	if n < 1 {
+		n = 1
+	}
+	g.scaleMu.Lock()
+	defer g.scaleMu.Unlock()
+	if g.stopping.Load() {
+		return len(g.replicas), ErrStopped
+	}
+	g.accrueLocked(time.Now())
+	cur := len(g.replicas)
+	switch {
+	case n > cur:
+		for i := cur; i < n; i++ {
+			h := g.newReplicaLocked()
+			g.replicas = append(g.replicas, h)
+			if g.started.Load() {
+				g.workers.Add(1)
+				go g.replica(h, g.cfg.WarmupDelay)
+			}
+		}
+	case n < cur:
+		for _, h := range g.replicas[n:] {
+			if !h.retired {
+				h.retired = true
+				close(h.stop)
+			}
+		}
+		g.replicas = g.replicas[:n]
+	}
+	g.m.replicasGauge.Set(float64(len(g.replicas)))
+	return len(g.replicas), nil
 }
 
 // Config returns the resolved (defaulted) configuration.
 func (g *Gateway) Config() Config { return g.cfg }
 
-// Start launches the replica batchers and the pruning controller.
+// Start launches the replica batchers and, unless Config.ExternalControl
+// hands the ladder to an outside control plane, the pruning controller.
 func (g *Gateway) Start() {
 	if !g.started.CompareAndSwap(false, true) {
 		return
 	}
+	g.scaleMu.Lock()
 	g.startAt = time.Now()
-	for r := 0; r < g.cfg.Replicas; r++ {
+	g.repMark = g.startAt
+	for _, h := range g.replicas {
 		g.workers.Add(1)
-		go g.replica(r)
+		go g.replica(h, 0) // replicas present at Start are warm
 	}
-	if len(g.cfg.Ladder) > 1 {
+	g.scaleMu.Unlock()
+	if len(g.cfg.Ladder) > 1 && !g.cfg.ExternalControl {
 		g.workers.Add(1)
 		go g.controlLoop()
 	}
@@ -316,6 +437,14 @@ func (g *Gateway) Stop() {
 		return
 	}
 	g.submits.Wait() // no new queue sends after this
+	// Barrier against a racing ScaleTo: any call that entered before the
+	// stopping flag flipped has finished mutating the replica set (and
+	// registering its workers) once we hold scaleMu; any later call sees
+	// stopping and backs off. Also freezes the replica-seconds integral.
+	g.scaleMu.Lock()
+	g.accrueLocked(time.Now())
+	g.repMark = time.Time{}
+	g.scaleMu.Unlock()
 	close(g.stopCh)
 	g.workers.Wait()
 	// Everything left in the queue was drained by the replicas. A request
@@ -386,8 +515,21 @@ func (g *Gateway) Infer(ctx context.Context, img *tensor.Tensor, deadline time.T
 
 // replica is one dynamic batcher: wait for a first request, fill the batch
 // until MaxBatch or BatchTimeout, drop expired entries, execute, respond.
-func (g *Gateway) replica(idx int) {
+// warmup delays the first pull (a freshly scaled-out replica booting); a
+// close of h.stop (scale-in) exits after the in-flight batch, while a
+// close of g.stopCh (shutdown) drains the shared queue first.
+func (g *Gateway) replica(h *replicaHandle, warmup time.Duration) {
 	defer g.workers.Done()
+	if warmup > 0 {
+		select {
+		case <-time.After(warmup):
+		case <-h.stop:
+			return
+		case <-g.stopCh:
+			g.drain(h)
+			return
+		}
+	}
 	timer := time.NewTimer(0)
 	if !timer.Stop() {
 		<-timer.C
@@ -397,11 +539,13 @@ func (g *Gateway) replica(idx int) {
 		// pulling from the shared queue, so traffic re-routes to healthy
 		// replicas (and, capacity now short, the pruning controller
 		// degrades the ladder if latency suffers).
-		if wait := g.breakers[idx].waitTime(time.Now()); wait > 0 {
+		if wait := h.brk.waitTime(time.Now()); wait > 0 {
 			select {
 			case <-time.After(wait):
+			case <-h.stop:
+				return
 			case <-g.stopCh:
-				g.drain(idx)
+				g.drain(h)
 				return
 			}
 			continue
@@ -409,8 +553,10 @@ func (g *Gateway) replica(idx int) {
 		var first *request
 		select {
 		case first = <-g.queue:
+		case <-h.stop:
+			return // retired: the surviving replicas own the queue
 		case <-g.stopCh:
-			g.drain(idx)
+			g.drain(h)
 			return
 		}
 		batch := make([]*request, 1, g.cfg.MaxBatch)
@@ -423,13 +569,16 @@ func (g *Gateway) replica(idx int) {
 				batch = append(batch, r)
 			case <-timer.C:
 				break fill
+			case <-h.stop:
+				// Flush what we have, then exit on the next iteration.
+				break fill
 			case <-g.stopCh:
 				// Flush what we have; the post-stop drain picks up the rest.
 				break fill
 			}
 		}
 		stopTimer(timer)
-		g.execute(idx, batch)
+		g.execute(h, batch)
 	}
 }
 
@@ -444,7 +593,7 @@ func stopTimer(t *time.Timer) {
 
 // drain serves whatever is still queued at shutdown, in MaxBatch groups.
 // Multiple replicas drain concurrently until the queue is empty.
-func (g *Gateway) drain(idx int) {
+func (g *Gateway) drain(h *replicaHandle) {
 	for {
 		batch := make([]*request, 0, g.cfg.MaxBatch)
 		for len(batch) < g.cfg.MaxBatch {
@@ -459,7 +608,7 @@ func (g *Gateway) drain(idx int) {
 		if len(batch) == 0 {
 			return
 		}
-		g.execute(idx, batch)
+		g.execute(h, batch)
 	}
 }
 
@@ -468,7 +617,7 @@ func (g *Gateway) drain(idx int) {
 // run the current variant's forward path. The replica's breaker observes
 // the batch outcome: a crashed replica (or a batch the injector failed
 // wholesale) counts as a failure.
-func (g *Gateway) execute(replica int, batch []*request) {
+func (g *Gateway) execute(h *replicaHandle, batch []*request) {
 	now := time.Now()
 	live := batch[:0]
 	for _, r := range batch {
@@ -485,12 +634,12 @@ func (g *Gateway) execute(replica int, batch []*request) {
 	}
 	var failed []*request
 	if inj := g.cfg.Injector; inj != nil {
-		if inj.CrashActive(replica, now.Sub(g.startAt).Seconds()) {
+		if inj.CrashActive(h.id, now.Sub(g.startAt).Seconds()) {
 			failed, live = live, nil
 		} else {
 			keep := live[:0]
 			for _, r := range live {
-				if inj.FailRequest(replica, r.id, r.attempts) {
+				if inj.FailRequest(h.id, r.id, r.attempts) {
 					failed = append(failed, r)
 				} else {
 					keep = append(keep, r)
@@ -505,7 +654,7 @@ func (g *Gateway) execute(replica int, batch []*request) {
 			g.retryOrFail(r)
 		}
 		if len(live) == 0 {
-			g.breakers[replica].observe(false, time.Now())
+			h.brk.observe(false, time.Now())
 			return
 		}
 	}
@@ -515,17 +664,22 @@ func (g *Gateway) execute(replica int, batch []*request) {
 	for i, r := range live {
 		imgs[i] = r.img
 	}
+	execStart := time.Now()
 	_, finish := g.cfg.Tracer.StartSpan(context.Background(), "serving.batch")
 	outs := v.Net.ForwardBatch(imgs, g.cfg.ForwardWorkers)
 	finish(
-		telemetry.L("replica", replica),
+		telemetry.L("replica", h.id),
 		telemetry.L("batch", len(live)),
 		telemetry.L("variant", v.Degree.Label()),
 	)
 	g.m.batches.Inc()
 	g.m.batchSize.Observe(float64(len(live)))
 	done := time.Now()
-	g.breakers[replica].observe(true, done)
+	g.execMu.Lock()
+	g.execSeconds += done.Sub(execStart).Seconds()
+	g.execServed += int64(len(live))
+	g.execMu.Unlock()
+	h.brk.observe(true, done)
 	for i, r := range live {
 		total := done.Sub(r.enqueued)
 		g.m.served.Inc()
@@ -611,18 +765,22 @@ func (g *Gateway) takeWindow() []float64 {
 // Stats is a point-in-time view of the gateway's counters, for /status and
 // the loadtest report.
 type Stats struct {
-	Variant    int     `json:"variant"`
-	Degree     string  `json:"degree"`
-	Accuracy   float64 `json:"accuracy"`
-	QueueDepth int     `json:"queue_depth"`
-	QueueCap   int     `json:"queue_cap"`
-	Admitted   int64   `json:"admitted"`
-	Served     int64   `json:"served"`
-	Shed       int64   `json:"shed"`
-	Expired    int64   `json:"expired"`
-	Batches    int64   `json:"batches"`
-	Degrades   int64   `json:"degrades"`
-	Restores   int64   `json:"restores"`
+	Variant  int     `json:"variant"`
+	Degree   string  `json:"degree"`
+	Accuracy float64 `json:"accuracy"`
+	Replicas int     `json:"replicas"`
+	// ReplicaSeconds is the fleet-time integral ∑ replicas·dt since Start —
+	// multiply by an instance's per-second price for the rental cost.
+	ReplicaSeconds float64 `json:"replica_seconds"`
+	QueueDepth     int     `json:"queue_depth"`
+	QueueCap       int     `json:"queue_cap"`
+	Admitted       int64   `json:"admitted"`
+	Served         int64   `json:"served"`
+	Shed           int64   `json:"shed"`
+	Expired        int64   `json:"expired"`
+	Batches        int64   `json:"batches"`
+	Degrades       int64   `json:"degrades"`
+	Restores       int64   `json:"restores"`
 	// Resilience counters (all zero when no Injector is configured).
 	Faulted      int64    `json:"faulted"`
 	Retries      int64    `json:"retries"`
@@ -636,42 +794,101 @@ func (g *Gateway) Stats() Stats {
 	vi := int(g.variant.Load())
 	v := g.cfg.Ladder[vi]
 	open := 0
-	states := make([]string, len(g.breakers))
-	for i, b := range g.breakers {
-		s := b.current()
+	g.scaleMu.Lock()
+	states := make([]string, len(g.replicas))
+	for i, h := range g.replicas {
+		s := h.brk.current()
 		states[i] = s.String()
 		if s == BreakerOpen {
 			open++
 		}
 	}
+	replicas := len(g.replicas)
+	repSec := g.repSeconds
+	if !g.repMark.IsZero() {
+		repSec += float64(replicas) * time.Since(g.repMark).Seconds()
+	}
+	g.scaleMu.Unlock()
 	return Stats{
-		Variant:      vi,
-		Degree:       v.Degree.Label(),
-		Accuracy:     v.Accuracy,
-		QueueDepth:   len(g.queue),
-		QueueCap:     g.cfg.QueueCap,
-		Admitted:     g.m.admitted.Value(),
-		Served:       g.m.served.Value(),
-		Shed:         g.m.shed.Value(),
-		Expired:      g.m.expired.Value(),
-		Batches:      g.m.batches.Value(),
-		Degrades:     g.m.degrades.Value(),
-		Restores:     g.m.restores.Value(),
-		Faulted:      g.m.faulted.Value(),
-		Retries:      g.m.retries.Value(),
-		BreakerOpens: g.m.breakerOpens.Value(),
-		OpenBreakers: open,
-		Breakers:     states,
+		Variant:        vi,
+		Degree:         v.Degree.Label(),
+		Accuracy:       v.Accuracy,
+		Replicas:       replicas,
+		ReplicaSeconds: repSec,
+		QueueDepth:     len(g.queue),
+		QueueCap:       g.cfg.QueueCap,
+		Admitted:       g.m.admitted.Value(),
+		Served:         g.m.served.Value(),
+		Shed:           g.m.shed.Value(),
+		Expired:        g.m.expired.Value(),
+		Batches:        g.m.batches.Value(),
+		Degrades:       g.m.degrades.Value(),
+		Restores:       g.m.restores.Value(),
+		Faulted:        g.m.faulted.Value(),
+		Retries:        g.m.retries.Value(),
+		BreakerOpens:   g.m.breakerOpens.Value(),
+		OpenBreakers:   open,
+		Breakers:       states,
 	}
 }
 
 // CurrentVariant returns the ladder index requests are being served at.
 func (g *Gateway) CurrentVariant() int { return int(g.variant.Load()) }
 
-// BreakerState reports one replica's circuit-breaker state.
+// SetVariant moves the ladder to rung target (clamped to the ladder ends)
+// and returns the rung now in effect. Each rung crossed counts as one
+// degrade or restore in the gateway's counters, so an external controller
+// jumping several rungs stays comparable with the built-in one-step
+// controller. Safe from any goroutine.
+func (g *Gateway) SetVariant(target int) int {
+	if target < 0 {
+		target = 0
+	}
+	if last := len(g.cfg.Ladder) - 1; target > last {
+		target = last
+	}
+	for {
+		cur := g.variant.Load()
+		next := int64(target)
+		if next == cur {
+			return target
+		}
+		if !g.variant.CompareAndSwap(cur, next) {
+			continue
+		}
+		g.m.variantGauge.Set(float64(next))
+		if steps := next - cur; steps > 0 {
+			g.m.degrades.Add(steps)
+		} else {
+			g.m.restores.Add(-steps)
+		}
+		_, finish := g.cfg.Tracer.StartSpan(context.Background(), "serving.set_variant")
+		finish(
+			telemetry.L("from", g.cfg.Ladder[cur].Degree.Label()),
+			telemetry.L("to", g.cfg.Ladder[next].Degree.Label()),
+		)
+		return target
+	}
+}
+
+// ExecStats reports the cumulative served-request count and batch
+// execution busy-time across all replicas. Because each replica executes
+// serially, Δserved/Δseconds between two calls estimates the requests per
+// busy-second one replica sustains at the current ladder rung — the
+// capacity signal the autoscaler feeds its policy.
+func (g *Gateway) ExecStats() (served int64, execSeconds float64) {
+	g.execMu.Lock()
+	defer g.execMu.Unlock()
+	return g.execServed, g.execSeconds
+}
+
+// BreakerState reports one replica's circuit-breaker state, by position
+// in the current replica set.
 func (g *Gateway) BreakerState(replica int) BreakerState {
-	if replica < 0 || replica >= len(g.breakers) {
+	g.scaleMu.Lock()
+	defer g.scaleMu.Unlock()
+	if replica < 0 || replica >= len(g.replicas) {
 		return BreakerClosed
 	}
-	return g.breakers[replica].current()
+	return g.replicas[replica].brk.current()
 }

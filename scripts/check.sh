@@ -37,6 +37,13 @@ go run -race ./cmd/ccperf loadtest \
     -queue 64 -max-batch 4 -slo 5ms -deadline 250ms \
     -chaos -max-error-rate 0.75
 
+echo "== autoscale smoke (cost-accuracy loop; exits non-zero past the budget or p99 gate)"
+go run -race ./cmd/ccperf loadtest \
+    -requests 300 -duration 2s -windows 4 \
+    -queue 64 -max-batch 4 -slo 50ms -deadline 500ms -cooldown 300ms \
+    -autoscale -budget 2.7 -min-replicas 1 -max-replicas 3 \
+    -autoscale-interval 100ms -max-p99 2s
+
 echo "== fault-injected simulate smoke (preemption + straggler schedule)"
 go run ./cmd/ccperf simulate \
     -fleet 2xp2.xlarge -degree conv1@30+conv2@50 \
