@@ -223,6 +223,27 @@ func BenchmarkAblationDistribution(b *testing.B) {
 	}
 }
 
+// BenchmarkMatmul is the ROADMAP-named matmul hot path at the Caffenet
+// conv2 GEMM shape (256×1200 · 1200×729), aliased into the root package so
+// every bench snapshot — which runs ., ./internal/explore and
+// ./internal/serving — carries all four gated hot paths
+// (Enumerate/Batcher/GatewayThroughput/Matmul).
+func BenchmarkMatmul(b *testing.B) {
+	const rows, inner, cols = 256, 1200, 729
+	w := tensor.NewMatrix(rows, inner)
+	x := tensor.NewMatrix(inner, cols)
+	for i := range w.Data {
+		w.Data[i] = float32(i%13) - 6
+	}
+	for i := range x.Data {
+		x.Data[i] = float32(i%7) - 3
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(w, x)
+	}
+}
+
 // BenchmarkSpaceEnumeration times the full Figure 9/10 joint-space
 // enumeration (30 660 analytical-model evaluations).
 func BenchmarkSpaceEnumeration(b *testing.B) {

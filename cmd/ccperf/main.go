@@ -11,6 +11,7 @@
 //	ccperf loadtest -requests 2000 -duration 10s   # replay a trace against the gateway
 //	ccperf serve -addr :8080                       # live telemetry endpoint
 //	ccperf benchjson < bench.txt                   # bench output → telemetry JSON
+//	ccperf benchdiff BENCH_6.json out/bench.json   # variance-aware perf diff
 package main
 
 import (
@@ -22,12 +23,14 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"regexp"
 	"strconv"
 	"strings"
 	"time"
 
 	"ccperf"
 	"ccperf/internal/autoscale"
+	"ccperf/internal/benchdiff"
 	"ccperf/internal/cloud"
 	"ccperf/internal/cluster"
 	"ccperf/internal/compress"
@@ -82,6 +85,8 @@ func main() {
 		err = serveCmd(ctx, args)
 	case "benchjson":
 		err = benchjsonCmd(args)
+	case "benchdiff":
+		err = benchdiffCmd(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -119,8 +124,12 @@ commands:
   serve         HTTP telemetry endpoint: /metrics, /trace, /debug/pprof/
                 (-gateway mounts the live gateway at /infer; -autoscale
                 adds the control plane and /autoscale/status)
-  benchjson     convert 'go test -bench' output to a ccperf/v1 snapshot
-                envelope
+  benchjson     convert 'go test -bench' output to a ccperf/v1 bench
+                envelope (-count-aware; -sha/-benchtime/-count record
+                provenance, -loadtest folds a loadtest report's macro
+                numbers into the same snapshot)
+  benchdiff     compare two bench envelopes with variance-aware statistics
+                (-threshold, -json, -fail-on-regression gate the hot paths)
 
 every subcommand answers -h with its own one-line usage and flags.
 shared flags across run commands:
@@ -735,15 +744,21 @@ func serveCmd(ctx context.Context, args []string) error {
 	return http.ListenAndServe(*addr, handler)
 }
 
-// benchjsonCmd converts `go test -bench` output (stdin or -in) into the
-// telemetry snapshot JSON format, so benchmark trajectories across PRs
-// diff with the same tooling as -metrics-out artifacts:
+// benchjsonCmd converts `go test -bench` output (stdin or -in) into a
+// sample-preserving ccperf/v1 bench envelope — run the benchmarks with
+// `-count N` and every repetition survives as a separate sample, which is
+// what benchdiff's variance statistics need:
 //
-//	go test -run - -bench . -benchtime 1x | ccperf benchjson -out out/BENCH_pr1.json
+//	go test -run - -bench . -benchtime 1x -count 3 | ccperf benchjson -sha "$(git rev-parse --short HEAD)" -count 3 -out BENCH_7.json
 func benchjsonCmd(args []string) error {
-	fs := newFlagSet("benchjson", "convert 'go test -bench' output to a ccperf/v1 telemetry-snapshot envelope")
+	fs := newFlagSet("benchjson", "convert 'go test -bench' output to a ccperf/v1 bench envelope")
 	in := fs.String("in", "", "bench output file (default stdin)")
 	out := fs.String("out", "", "output JSON file (default stdout)")
+	sha := fs.String("sha", "", "git commit the benchmarks ran at (envelope meta)")
+	benchtime := fs.String("benchtime", "", "-benchtime the runs used (envelope meta)")
+	count := fs.Int("count", 0, "-count repetitions per benchmark (envelope meta)")
+	note := fs.String("note", "", "free-form provenance note (envelope meta)")
+	loadtest := fs.String("loadtest", "", "loadtest report envelope whose throughput/p99/stage numbers to fold in as Loadtest pseudo-benchmarks")
 	fs.Parse(args)
 
 	var r io.Reader = os.Stdin
@@ -762,7 +777,23 @@ func benchjsonCmd(args []string) error {
 	if len(results) == 0 {
 		return fmt.Errorf("benchjson: no benchmark result lines found")
 	}
-	snap := telemetry.BenchSnapshot(results)
+	if *loadtest != "" {
+		macro, err := loadtestBenchResults(*loadtest)
+		if err != nil {
+			return err
+		}
+		results = append(results, macro...)
+	}
+	set := telemetry.BenchSet{
+		UnixNano: time.Now().UnixNano(),
+		Meta: telemetry.BenchMeta{
+			GitSHA:    *sha,
+			Benchtime: *benchtime,
+			Count:     *count,
+			Note:      *note,
+		},
+		Benchmarks: telemetry.CollectBench(results),
+	}
 	var w io.Writer = os.Stdout
 	if *out != "" {
 		if err := os.MkdirAll(filepath.Dir(*out), 0o755); err != nil {
@@ -775,10 +806,107 @@ func benchjsonCmd(args []string) error {
 		defer f.Close()
 		w = f
 	}
-	if err := report.WriteEnvelope(w, report.KindBench, snap); err != nil {
+	if err := report.WriteEnvelope(w, report.KindBench, set); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks\n", len(results))
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks (%d result lines)\n", len(set.Benchmarks), len(results))
+	return nil
+}
+
+// loadtestBenchResults reads a loadtest report envelope and re-expresses
+// its macro numbers as pseudo-benchmark results, so the committed bench
+// trajectory tracks the calibrated serving path (throughput, tail latency,
+// per-stage attribution) alongside microbenchmarks.
+func loadtestBenchResults(path string) ([]telemetry.BenchResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	env, err := report.ReadEnvelope(f)
+	if err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	var payload struct {
+		Report *serving.Report `json:"report"`
+	}
+	if err := env.Decode(report.KindLoadtest, &payload); err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	rep := payload.Report
+	if rep == nil {
+		return nil, fmt.Errorf("benchjson: %s: loadtest envelope has no report", path)
+	}
+	results := []telemetry.BenchResult{{
+		Name:       "Loadtest",
+		Iterations: int64(rep.Submitted),
+		Values: map[string]float64{
+			"req/s":  rep.Throughput,
+			"p50-ms": rep.P50MS,
+			"p99-ms": rep.P99MS,
+		},
+	}}
+	if s := rep.Stages; s != nil {
+		for _, st := range []struct {
+			name string
+			sum  serving.StageSummary
+		}{
+			{"queue_wait", s.QueueWait},
+			{"batch_assembly", s.BatchAssembly},
+			{"nn_forward", s.NNForward},
+		} {
+			results = append(results, telemetry.BenchResult{
+				Name:       "Loadtest/stage=" + st.name,
+				Iterations: st.sum.Count,
+				Values: map[string]float64{
+					"mean-ms": st.sum.MeanMS,
+					"p99-ms":  st.sum.P99MS,
+				},
+			})
+		}
+	}
+	return results, nil
+}
+
+// benchdiffCmd compares two bench envelopes and optionally fails the run —
+// the regression gate scripts/check.sh and CI put in front of the
+// committed BENCH_<n>.json baseline:
+//
+//	ccperf benchdiff -threshold 0.5 -fail-on-regression BENCH_6.json out/bench.json
+func benchdiffCmd(args []string) error {
+	fs := newFlagSet("benchdiff", "compare two ccperf/v1 bench envelopes with variance-aware statistics")
+	threshold := fs.Float64("threshold", 0.10, "relative delta (fraction) below which a change is never a regression")
+	gatePat := fs.String("gate", benchdiff.DefaultGatePattern, "regexp of hot-path benchmarks whose regressions are fatal")
+	jsonOut := fs.Bool("json", false, "emit a ccperf/v1 benchdiff envelope instead of the text table")
+	failOn := fs.Bool("fail-on-regression", false, "exit non-zero when a gated benchmark regressed (or vanished)")
+	fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) != 2 {
+		return fmt.Errorf("benchdiff: want exactly two bench envelopes, got %d args (usage: ccperf benchdiff [flags] <old.json> <new.json>)", len(rest))
+	}
+	gate, err := regexp.Compile(*gatePat)
+	if err != nil {
+		return fmt.Errorf("benchdiff: bad -gate: %w", err)
+	}
+	rep, err := benchdiff.CompareFiles(rest[0], rest[1], benchdiff.Options{
+		Threshold: *threshold,
+		Gate:      gate,
+	})
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		if err := report.WriteEnvelope(os.Stdout, report.KindBenchdiff, rep); err != nil {
+			return err
+		}
+	} else if err := rep.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if *failOn && rep.HasRegressions() {
+		return fmt.Errorf("benchdiff: %d gated regression(s): %s",
+			len(rep.Regressions)+len(rep.MissingGated),
+			strings.Join(append(append([]string{}, rep.Regressions...), rep.MissingGated...), ", "))
+	}
 	return nil
 }
 

@@ -225,6 +225,14 @@ func (a *Autoscaler) observeLocked() Signal {
 func (a *Autoscaler) applyLocked(act Action, sig Signal) {
 	a.healthy = act.Healthy
 	a.counts[act.Verb]++
+	// The verb span opens before actuation so the gateway-side spans the
+	// decision causes (serving.set_variant) parent under it — the trace
+	// tree shows which autoscaler decision moved the ladder.
+	ctx := context.Background()
+	var finish telemetry.FinishFunc
+	if act.Verb != Hold {
+		ctx, finish = a.tracer.StartSpan(ctx, "autoscale."+act.Verb.String())
+	}
 	switch act.Verb {
 	case ScaleOut, ScaleIn:
 		a.sinceScale = 0
@@ -236,7 +244,7 @@ func (a *Autoscaler) applyLocked(act Action, sig Signal) {
 		}
 	case Degrade, Restore:
 		a.sinceScale++
-		a.g.SetVariant(act.Variant)
+		a.g.SetVariant(ctx, act.Variant)
 		if act.Verb == Degrade {
 			a.m.degrades.Inc()
 		} else {
@@ -256,8 +264,7 @@ func (a *Autoscaler) applyLocked(act Action, sig Signal) {
 	if b := a.pol.Limits.BudgetPerHour; b > 0 {
 		a.m.budgetUtilization.Set(costPerHour / b)
 	}
-	if act.Verb != Hold {
-		_, finish := a.tracer.StartSpan(context.Background(), "autoscale."+act.Verb.String())
+	if finish != nil {
 		finish(
 			telemetry.L("replicas", act.Replicas),
 			telemetry.L("variant", act.Variant),

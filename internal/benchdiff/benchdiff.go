@@ -1,0 +1,259 @@
+// Package benchdiff compares two ccperf/v1 bench envelopes with
+// variance-aware statistics — the perf-trajectory half of the telemetry
+// layer. Where `ccperf benchjson` captures one snapshot (ideally over
+// `-count N` repetitions), benchdiff answers the question every
+// optimization PR must: did the named hot paths actually get faster, or
+// did they regress?
+//
+// The statistics port the *ideas* of benchstat (golang.org/x/perf): each
+// (benchmark, unit) pair is summarized as mean ± stddev over its samples,
+// the old/new pair goes through a Welch two-sample t-test at 95%
+// confidence, and a delta is only acted on when it is both statistically
+// significant and larger than the configured threshold. Deterministic
+// units (stddev 0, e.g. allocs/op or model-evals) and single-sample runs
+// fall back to a pure threshold test — there is no variance to reason
+// about, so any above-threshold move counts.
+//
+// Direction matters: ns/op down is good, req/s down is bad. Units are
+// classified by name (see lowerIsBetter) so a throughput collapse is
+// flagged as the regression it is.
+package benchdiff
+
+import (
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+
+	"ccperf/internal/telemetry"
+)
+
+// DefaultGatePattern names the hot-path benchmarks a regression in which
+// fails the build (ROADMAP: Enumerate, Batcher, GatewayThroughput,
+// matmul). Sub-benchmarks inherit their parent's gating by prefix.
+const DefaultGatePattern = `^Benchmark(Enumerate|Batcher|GatewayThroughput|[Mm]at[Mm]ul)(/|$)`
+
+// Options configures a comparison.
+type Options struct {
+	// Threshold is the relative delta (fraction, e.g. 0.10 = 10%) below
+	// which a change is never a regression, significant or not.
+	// 0 defaults to 0.10.
+	Threshold float64
+	// Gate selects the benchmarks whose regressions are fatal; nil
+	// compiles DefaultGatePattern. Non-matching benchmarks are still
+	// compared and reported, they just cannot fail the run.
+	Gate *regexp.Regexp
+	// Alpha is reserved for future confidence knobs; only the 95% table
+	// is implemented, matching benchstat's default.
+	Alpha float64
+}
+
+// Stats summarizes one sample set.
+type Stats struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+}
+
+// Summarize computes sample mean and (Bessel-corrected) stddev.
+func Summarize(vals []float64) Stats {
+	s := Stats{N: len(vals)}
+	if s.N == 0 {
+		return s
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N < 2 {
+		return s
+	}
+	var ss float64
+	for _, v := range vals {
+		d := v - s.Mean
+		ss += d * d
+	}
+	s.Stddev = math.Sqrt(ss / float64(s.N-1))
+	return s
+}
+
+// Row is one (benchmark, unit) comparison.
+type Row struct {
+	Name string `json:"name"`
+	Unit string `json:"unit"`
+	Old  Stats  `json:"old"`
+	New  Stats  `json:"new"`
+	// DeltaPct is (new−old)/old in percent, sign as measured (negative =
+	// value went down). Zero when the old mean is zero.
+	DeltaPct float64 `json:"delta_pct"`
+	// Significant is true when the move passed the Welch t-test, or when
+	// the samples are too few/too deterministic to test and the
+	// threshold check alone applies.
+	Significant bool `json:"significant"`
+	// Tested is true when a real t-test ran (≥2 samples with variance on
+	// each side); false means Significant came from the fallback rule.
+	Tested bool `json:"tested"`
+	// Worse is true when the delta moves in the unit's bad direction.
+	Worse bool `json:"worse"`
+	// Gated is true when the benchmark matches the hot-path gate.
+	Gated bool `json:"gated"`
+	// Regression = Gated && Worse && Significant && |delta| > threshold.
+	Regression bool `json:"regression"`
+}
+
+// Report is the full comparison, JSON-exportable as a ccperf/v1
+// "benchdiff" envelope.
+type Report struct {
+	Threshold float64             `json:"threshold"`
+	Gate      string              `json:"gate"`
+	OldMeta   telemetry.BenchMeta `json:"old_meta"`
+	NewMeta   telemetry.BenchMeta `json:"new_meta"`
+	Rows      []Row               `json:"rows"`
+	// Regressions lists "Name unit" for every fatal row, in row order.
+	Regressions []string `json:"regressions,omitempty"`
+	// MissingGated lists gated benchmarks present in old but absent from
+	// new — a silently deleted hot-path benchmark is treated as fatal.
+	MissingGated []string `json:"missing_gated,omitempty"`
+}
+
+// HasRegressions reports whether the comparison should fail a gated run.
+func (r *Report) HasRegressions() bool {
+	return len(r.Regressions) > 0 || len(r.MissingGated) > 0
+}
+
+// Compare diffs two bench sets. Only benchmarks and units present in both
+// sets produce rows; gated benchmarks missing from new are recorded in
+// MissingGated.
+func Compare(old, new *telemetry.BenchSet, opt Options) *Report {
+	if opt.Threshold <= 0 {
+		opt.Threshold = 0.10
+	}
+	gate := opt.Gate
+	if gate == nil {
+		gate = regexp.MustCompile(DefaultGatePattern)
+	}
+	rep := &Report{
+		Threshold: opt.Threshold,
+		Gate:      gate.String(),
+		OldMeta:   old.Meta,
+		NewMeta:   new.Meta,
+	}
+	for _, series := range old.Benchmarks {
+		gated := gate.MatchString(series.Name)
+		ns := new.Series(series.Name)
+		if ns == nil {
+			if gated {
+				rep.MissingGated = append(rep.MissingGated, series.Name)
+			}
+			continue
+		}
+		for _, unit := range sortedUnits(series.Values) {
+			newVals, ok := ns.Values[unit]
+			if !ok || len(newVals) == 0 || len(series.Values[unit]) == 0 {
+				continue
+			}
+			row := compareOne(series.Name, unit, series.Values[unit], newVals, opt.Threshold)
+			row.Gated = gated
+			row.Regression = gated && row.Worse && row.Significant &&
+				math.Abs(row.DeltaPct) > opt.Threshold*100
+			if row.Regression {
+				rep.Regressions = append(rep.Regressions, row.Name+" "+row.Unit)
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	return rep
+}
+
+// compareOne builds the statistical core of one row.
+func compareOne(name, unit string, oldVals, newVals []float64, threshold float64) Row {
+	row := Row{
+		Name: name,
+		Unit: unit,
+		Old:  Summarize(oldVals),
+		New:  Summarize(newVals),
+	}
+	if row.Old.Mean != 0 {
+		row.DeltaPct = (row.New.Mean - row.Old.Mean) / math.Abs(row.Old.Mean) * 100
+	}
+	if lowerIsBetter(unit) {
+		row.Worse = row.DeltaPct > 0
+	} else {
+		row.Worse = row.DeltaPct < 0
+	}
+	if t, df, ok := welch(row.Old, row.New); ok {
+		row.Tested = true
+		row.Significant = math.Abs(t) > tCritical95(df)
+	} else {
+		// Too few samples or zero variance: the threshold is the only
+		// evidence we have, so an above-threshold move counts as real.
+		row.Significant = math.Abs(row.DeltaPct) > threshold*100
+	}
+	return row
+}
+
+// welch computes the Welch two-sample t statistic and its
+// Welch–Satterthwaite degrees of freedom. ok is false when either side
+// has fewer than two samples or both variances are zero (the statistic is
+// undefined there).
+func welch(a, b Stats) (t, df float64, ok bool) {
+	if a.N < 2 || b.N < 2 {
+		return 0, 0, false
+	}
+	va := a.Stddev * a.Stddev / float64(a.N)
+	vb := b.Stddev * b.Stddev / float64(b.N)
+	if va+vb == 0 {
+		return 0, 0, false
+	}
+	t = (b.Mean - a.Mean) / math.Sqrt(va+vb)
+	df = (va + vb) * (va + vb) /
+		(va*va/float64(a.N-1) + vb*vb/float64(b.N-1))
+	if df < 1 {
+		df = 1
+	}
+	return t, df, true
+}
+
+// tTable95 holds two-tailed 95% critical values of Student's t by degrees
+// of freedom; indexes 1..30, then the normal limit.
+var tTable95 = []float64{
+	0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// tCritical95 returns the two-tailed 95% critical value for df degrees of
+// freedom (floored; df ≥ 31 uses the normal approximation).
+func tCritical95(df float64) float64 {
+	i := int(math.Floor(df))
+	if i < 1 {
+		i = 1
+	}
+	if i >= len(tTable95) {
+		return 1.960
+	}
+	return tTable95[i]
+}
+
+// lowerIsBetter classifies a unit's good direction. Time, memory and
+// work-count units improve downward; rate units ("req/s", anything per
+// second) improve upward.
+func lowerIsBetter(unit string) bool {
+	u := strings.ToLower(unit)
+	if strings.HasSuffix(u, "/s") || strings.HasSuffix(u, "/sec") ||
+		strings.Contains(u, "per_s") || strings.Contains(u, "rps") ||
+		strings.Contains(u, "throughput") {
+		return false
+	}
+	return true
+}
+
+func sortedUnits(m map[string][]float64) []string {
+	out := make([]string, 0, len(m))
+	for u := range m {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}

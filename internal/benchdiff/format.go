@@ -1,0 +1,101 @@
+package benchdiff
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteText renders the report as an aligned old→new±% table. Markers:
+// "~" the move is not statistically distinguishable from noise, "+"/"-"
+// a significant improvement/worsening below the threshold, and
+// "REGRESSION" a gated, significant, above-threshold worsening.
+func (r *Report) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "benchdiff: old %s  →  new %s  (threshold %.0f%%, gate %s)\n",
+		r.OldMeta, r.NewMeta, r.Threshold*100, r.Gate); err != nil {
+		return err
+	}
+	rows := make([][5]string, 0, len(r.Rows)+1)
+	rows = append(rows, [5]string{"benchmark", "unit", "old", "new", "delta"})
+	for _, row := range r.Rows {
+		rows = append(rows, [5]string{
+			row.Name, row.Unit,
+			formatStats(row.Old), formatStats(row.New),
+			formatDelta(row),
+		})
+	}
+	var width [5]int
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > width[i] {
+				width[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintf(w, "%-*s  %-*s  %*s  %*s  %s\n",
+			width[0], row[0], width[1], row[1],
+			width[2], row[2], width[3], row[3], row[4]); err != nil {
+			return err
+		}
+	}
+	for _, name := range r.MissingGated {
+		if _, err := fmt.Fprintf(w, "MISSING gated benchmark: %s (present in old, absent in new)\n", name); err != nil {
+			return err
+		}
+	}
+	summary := "no gated regressions"
+	if r.HasRegressions() {
+		summary = fmt.Sprintf("%d gated regression(s)", len(r.Regressions)+len(r.MissingGated))
+	}
+	_, err := fmt.Fprintf(w, "benchdiff: %d comparisons, %s\n", len(r.Rows), summary)
+	return err
+}
+
+// formatStats renders "mean ±spread%" (spread omitted for n<2 or zero
+// variance).
+func formatStats(s Stats) string {
+	out := formatValue(s.Mean)
+	if s.N >= 2 && s.Mean != 0 && s.Stddev > 0 {
+		out += fmt.Sprintf(" ±%.0f%%", s.Stddev/abs(s.Mean)*100)
+	}
+	return out
+}
+
+// formatValue renders a measurement with engineering suffixes so ns/op in
+// the billions stays readable.
+func formatValue(v float64) string {
+	a := abs(v)
+	switch {
+	case a >= 1e9:
+		return fmt.Sprintf("%.3gG", v/1e9)
+	case a >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case a >= 1e3:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+func formatDelta(row Row) string {
+	delta := fmt.Sprintf("%+.1f%%", row.DeltaPct)
+	switch {
+	case row.Regression:
+		return delta + "  REGRESSION"
+	case !row.Significant:
+		return delta + "  (~)"
+	case row.Worse:
+		return delta + "  (worse)"
+	case row.DeltaPct == 0:
+		return delta
+	default:
+		return delta + "  (better)"
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -19,6 +19,9 @@ const (
 	KindLoadtest = "loadtest" // loadtest: gateway replay report (+ autoscaler)
 	KindSimulate = "simulate" // simulate: cluster day-simulation result
 	KindMetrics  = "metrics"  // -metrics-out: telemetry registry snapshot
+
+	// KindBenchdiff is a benchdiff comparison report (`ccperf benchdiff -json`).
+	KindBenchdiff = "benchdiff"
 )
 
 // Envelope wraps one JSON artifact with its schema version and kind. Data

@@ -1,6 +1,7 @@
 package serving
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -44,7 +45,7 @@ func BenchmarkBatcher(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for j := range chans {
-					ch, err := g.Submit(img, time.Time{})
+					ch, err := g.Submit(context.Background(), img, time.Time{})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -79,7 +80,7 @@ func BenchmarkGatewayThroughput(b *testing.B) {
 	done := make(chan Response, b.N)
 	submitted := 0
 	for submitted < b.N {
-		ch, err := g.Submit(img, time.Time{})
+		ch, err := g.Submit(context.Background(), img, time.Time{})
 		if err != nil {
 			// Queue full: absorb a completion, then retry.
 			<-done

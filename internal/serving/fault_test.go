@@ -123,7 +123,7 @@ func TestInjectedFailureRetriesAndSucceeds(t *testing.T) {
 	const n = 8
 	chans := make([]<-chan Response, 0, n)
 	for i := 0; i < n; i++ {
-		ch, err := g.Submit(testImage(int64(i)), time.Time{})
+		ch, err := g.Submit(context.Background(), testImage(int64(i)), time.Time{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -219,7 +219,7 @@ func TestStopDrainsInFlightFaultedRequests(t *testing.T) {
 	const n = 32
 	chans := make([]<-chan Response, 0, n)
 	for i := 0; i < n; i++ {
-		ch, err := g.Submit(testImage(int64(i)), time.Time{})
+		ch, err := g.Submit(context.Background(), testImage(int64(i)), time.Time{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -285,7 +285,7 @@ func TestChaosEndToEnd(t *testing.T) {
 	outcomes := map[bool]int{} // ok → count
 	submit := func(k int) {
 		for i := 0; i < k; i++ {
-			ch, err := g.Submit(testImage(int64(i)), time.Time{})
+			ch, err := g.Submit(context.Background(), testImage(int64(i)), time.Time{})
 			if err != nil {
 				continue
 			}

@@ -1,12 +1,14 @@
 package serving
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
 	"time"
 
 	"ccperf/internal/stats"
+	"ccperf/internal/telemetry"
 	"ccperf/internal/workload"
 )
 
@@ -59,6 +61,10 @@ type Report struct {
 
 	Degrades int64 `json:"degrades"`
 	Restores int64 `json:"restores"`
+
+	// Stages attributes latency to the serving pipeline's stages (queue
+	// wait, batch assembly, nn forward) over the whole run.
+	Stages *Stages `json:"stages,omitempty"`
 }
 
 // RunLoad replays the trace open-loop: arrivals fire at their scheduled
@@ -82,6 +88,9 @@ func RunLoad(g *Gateway, cfg LoadConfig) (*Report, error) {
 	latencies := make([]float64, 0, len(arrivals))
 	var wg sync.WaitGroup
 
+	// One replay-root span per run: every request span parents under it,
+	// so a trace dump of a loadtest is a single tree.
+	ctx, finishReplay := g.cfg.Tracer.StartSpan(context.Background(), "loadtest.replay")
 	start := time.Now()
 	for i, at := range arrivals {
 		offset := time.Duration(at * float64(time.Second))
@@ -94,7 +103,7 @@ func RunLoad(g *Gateway, cfg LoadConfig) (*Report, error) {
 			deadline = time.Now().Add(cfg.Deadline)
 		}
 		rep.Submitted++
-		ch, err := g.Submit(img, deadline)
+		ch, err := g.Submit(ctx, img, deadline)
 		if err != nil {
 			mu.Lock()
 			countError(rep, err)
@@ -121,6 +130,7 @@ func RunLoad(g *Gateway, cfg LoadConfig) (*Report, error) {
 		}()
 	}
 	wg.Wait()
+	finishReplay(telemetry.L("submitted", rep.Submitted))
 	if cfg.Cooldown > 0 {
 		time.Sleep(cfg.Cooldown)
 	}
@@ -134,6 +144,8 @@ func RunLoad(g *Gateway, cfg LoadConfig) (*Report, error) {
 	st := g.Stats()
 	rep.Degrades, rep.Restores = st.Degrades, st.Restores
 	rep.Retries, rep.BreakerOpens = st.Retries, st.BreakerOpens
+	stages := g.StageStats()
+	rep.Stages = &stages
 	return rep, nil
 }
 
@@ -172,6 +184,10 @@ func (r *Report) String() string {
 	if r.Faulted > 0 || r.Retries > 0 || r.BreakerOpens > 0 {
 		fmt.Fprintf(&b, "faults   : %d retries, %d breaker opens, %.1f%% error rate\n",
 			r.Retries, r.BreakerOpens, r.ErrorRate()*100)
+	}
+	if s := r.Stages; s != nil {
+		fmt.Fprintf(&b, "stages   : queue p99 %.1f ms, assembly p99 %.1f ms, forward p99 %.1f ms\n",
+			s.QueueWait.P99MS, s.BatchAssembly.P99MS, s.NNForward.P99MS)
 	}
 	return b.String()
 }

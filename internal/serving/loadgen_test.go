@@ -1,6 +1,7 @@
 package serving
 
 import (
+	"context"
 	"runtime"
 	"testing"
 	"time"
@@ -43,7 +44,7 @@ func TestOverloadShedsAndDegradesThenRestores(t *testing.T) {
 	floodUntil := time.Now().Add(5 * time.Second)
 	for time.Now().Before(floodUntil) {
 		for i := 0; i < 20; i++ {
-			g.Submit(testImage(int64(i)), time.Time{})
+			g.Submit(context.Background(), testImage(int64(i)), time.Time{})
 		}
 		st := g.Stats()
 		if st.Degrades >= 1 && st.Shed >= 1 {

@@ -62,7 +62,7 @@ func TestStopScaleInRace(t *testing.T) {
 		g.Start()
 		chans := make([]<-chan Response, 0, 16)
 		for i := 0; i < 16; i++ {
-			if ch, err := g.Submit(testImage(int64(i)), time.Time{}); err == nil {
+			if ch, err := g.Submit(context.Background(), testImage(int64(i)), time.Time{}); err == nil {
 				chans = append(chans, ch)
 			}
 		}
@@ -126,19 +126,19 @@ func TestReplicaSecondsAccrues(t *testing.T) {
 
 func TestSetVariantClampsAndCounts(t *testing.T) {
 	g := testGateway(t, Config{Ladder: testLadder(t, 0, 0.5, 0.9)})
-	if got := g.SetVariant(99); got != 2 {
+	if got := g.SetVariant(context.Background(), 99); got != 2 {
 		t.Fatalf("SetVariant(99) = %d, want clamp to 2", got)
 	}
 	if got := g.Stats().Degrades; got != 2 {
 		t.Fatalf("degrades = %d after two-rung jump, want 2", got)
 	}
-	if got := g.SetVariant(-5); got != 0 {
+	if got := g.SetVariant(context.Background(), -5); got != 0 {
 		t.Fatalf("SetVariant(-5) = %d, want clamp to 0", got)
 	}
 	if got := g.Stats().Restores; got != 2 {
 		t.Fatalf("restores = %d after two-rung return, want 2", got)
 	}
-	if got := g.SetVariant(0); got != 0 || g.Stats().Restores != 2 {
+	if got := g.SetVariant(context.Background(), 0); got != 0 || g.Stats().Restores != 2 {
 		t.Fatal("no-op SetVariant must not count a move")
 	}
 }

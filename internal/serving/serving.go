@@ -199,14 +199,51 @@ type Response struct {
 	Attempts int
 }
 
-// request is the queued form of one submission.
+// request is the queued form of one submission. ctx carries the
+// serving.request span so batch execution parents under it, and finish
+// closes that span exactly once when the request is answered.
 type request struct {
 	id       int64
 	img      *tensor.Tensor
 	deadline time.Time // zero = none
 	enqueued time.Time
 	attempts int // execution attempts so far, starting at 1
+	ctx      context.Context
+	finish   telemetry.FinishFunc
 	done     chan Response
+}
+
+// respond finishes the request's span with its outcome and delivers the
+// response. Every answered request goes through here, so the span is
+// closed exactly once no matter which path (serve, expire, fault, drain)
+// completed it.
+func (r *request) respond(resp Response) {
+	if r.finish != nil {
+		r.finish(
+			telemetry.L("outcome", outcomeLabel(resp.Err)),
+			telemetry.L("attempts", resp.Attempts),
+		)
+		r.finish = nil
+	}
+	r.done <- resp
+}
+
+// outcomeLabel names a response error for span labels.
+func outcomeLabel(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrExpired):
+		return "expired"
+	case errors.Is(err, ErrFaulted):
+		return "faulted"
+	case errors.Is(err, ErrOverloaded):
+		return "shed"
+	case errors.Is(err, ErrStopped):
+		return "stopped"
+	default:
+		return "error"
+	}
 }
 
 // replicaHandle is one live replica's control block. The id is stable for
@@ -274,6 +311,7 @@ type gatewayMetrics struct {
 	breakersOpen, replicasGauge     *telemetry.Gauge
 	queueWait, total                *telemetry.Histogram
 	batchSize                       *telemetry.Histogram
+	assembly, forward               *telemetry.Histogram
 }
 
 // New validates the config and builds a gateway (not yet serving).
@@ -305,6 +343,8 @@ func New(cfg Config) (*Gateway, error) {
 		queueWait:     reg.Histogram("serving.queue_seconds", nil),
 		total:         reg.Histogram("serving.request_seconds", nil),
 		batchSize:     reg.Histogram("serving.batch_size", telemetry.LinearBuckets(1, 1, 64)),
+		assembly:      reg.Histogram("serving.stage_assembly_seconds", nil),
+		forward:       reg.Histogram("serving.stage_forward_seconds", nil),
 	}
 	g.m.variantGauge.Set(0)
 	for i := 0; i < cfg.Replicas; i++ {
@@ -454,7 +494,7 @@ func (g *Gateway) Stop() {
 	for {
 		select {
 		case r := <-g.queue:
-			r.done <- Response{ID: r.id, Err: ErrStopped, Attempts: r.attempts}
+			r.respond(Response{ID: r.id, Err: ErrStopped, Attempts: r.attempts})
 		default:
 			return
 		}
@@ -464,9 +504,16 @@ func (g *Gateway) Stop() {
 // Submit enqueues one image for inference and returns a channel that will
 // receive exactly one Response. deadline zero applies Config.Deadline.
 // Shedding and shutdown are reported as errors immediately.
-func (g *Gateway) Submit(img *tensor.Tensor, deadline time.Time) (<-chan Response, error) {
+//
+// ctx is the request's trace context (nil is treated as Background): a
+// serving.request span opens here and closes when the request is answered,
+// and the batch that executes it parents its serving.batch span under it.
+func (g *Gateway) Submit(ctx context.Context, img *tensor.Tensor, deadline time.Time) (<-chan Response, error) {
 	if img == nil {
 		return nil, fmt.Errorf("serving: nil image")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	g.submits.Add(1)
 	defer g.submits.Done()
@@ -477,12 +524,15 @@ func (g *Gateway) Submit(img *tensor.Tensor, deadline time.Time) (<-chan Respons
 	if deadline.IsZero() && g.cfg.Deadline > 0 {
 		deadline = now.Add(g.cfg.Deadline)
 	}
+	sctx, finish := g.cfg.Tracer.StartSpan(ctx, "serving.request")
 	r := &request{
 		id:       g.nextID.Add(1),
 		img:      img,
 		deadline: deadline,
 		enqueued: now,
 		attempts: 1,
+		ctx:      sctx,
+		finish:   finish,
 		done:     make(chan Response, 1),
 	}
 	select {
@@ -492,6 +542,7 @@ func (g *Gateway) Submit(img *tensor.Tensor, deadline time.Time) (<-chan Respons
 		return r.done, nil
 	default:
 		g.m.shed.Inc()
+		finish(telemetry.L("outcome", "shed"), telemetry.L("attempts", 0))
 		return nil, ErrOverloaded
 	}
 }
@@ -499,7 +550,7 @@ func (g *Gateway) Submit(img *tensor.Tensor, deadline time.Time) (<-chan Respons
 // Infer is the synchronous form of Submit: it blocks until the response
 // (including admission errors, reported in Response.Err).
 func (g *Gateway) Infer(ctx context.Context, img *tensor.Tensor, deadline time.Time) Response {
-	ch, err := g.Submit(img, deadline)
+	ch, err := g.Submit(ctx, img, deadline)
 	if err != nil {
 		return Response{Err: err}
 	}
@@ -559,6 +610,7 @@ func (g *Gateway) replica(h *replicaHandle, warmup time.Duration) {
 			g.drain(h)
 			return
 		}
+		pulledAt := time.Now() // batch-assembly stage starts here
 		batch := make([]*request, 1, g.cfg.MaxBatch)
 		batch[0] = first
 		timer.Reset(g.cfg.BatchTimeout)
@@ -578,7 +630,7 @@ func (g *Gateway) replica(h *replicaHandle, warmup time.Duration) {
 			}
 		}
 		stopTimer(timer)
-		g.execute(h, batch)
+		g.execute(h, batch, pulledAt)
 	}
 }
 
@@ -595,6 +647,7 @@ func stopTimer(t *time.Timer) {
 // Multiple replicas drain concurrently until the queue is empty.
 func (g *Gateway) drain(h *replicaHandle) {
 	for {
+		pulledAt := time.Now()
 		batch := make([]*request, 0, g.cfg.MaxBatch)
 		for len(batch) < g.cfg.MaxBatch {
 			select {
@@ -608,7 +661,7 @@ func (g *Gateway) drain(h *replicaHandle) {
 		if len(batch) == 0 {
 			return
 		}
-		g.execute(h, batch)
+		g.execute(h, batch, pulledAt)
 	}
 }
 
@@ -616,14 +669,16 @@ func (g *Gateway) drain(h *replicaHandle) {
 // ErrExpired, fault-injected ones go through the retry path, and the rest
 // run the current variant's forward path. The replica's breaker observes
 // the batch outcome: a crashed replica (or a batch the injector failed
-// wholesale) counts as a failure.
-func (g *Gateway) execute(h *replicaHandle, batch []*request) {
+// wholesale) counts as a failure. pulledAt is when the replica received
+// the batch's first request — now−pulledAt is the batch-assembly stage.
+func (g *Gateway) execute(h *replicaHandle, batch []*request, pulledAt time.Time) {
 	now := time.Now()
+	g.m.assembly.Observe(now.Sub(pulledAt).Seconds())
 	live := batch[:0]
 	for _, r := range batch {
 		if !r.deadline.IsZero() && now.After(r.deadline) {
 			g.m.expired.Inc()
-			r.done <- Response{ID: r.id, Err: ErrExpired, Attempts: r.attempts, Queue: now.Sub(r.enqueued), Total: now.Sub(r.enqueued)}
+			r.respond(Response{ID: r.id, Err: ErrExpired, Attempts: r.attempts, Queue: now.Sub(r.enqueued), Total: now.Sub(r.enqueued)})
 			continue
 		}
 		live = append(live, r)
@@ -664,9 +719,22 @@ func (g *Gateway) execute(h *replicaHandle, batch []*request) {
 	for i, r := range live {
 		imgs[i] = r.img
 	}
+	// The batch span parents under the first live request's serving.request
+	// span (satellite fix: it used to start from context.Background(), so
+	// request↔batch linkage was impossible). The nn forward pass gets its
+	// own child span so queue/assembly/forward attribution shows up in the
+	// trace tree, not just the stage histograms.
+	parent := live[0].ctx
+	if parent == nil {
+		parent = context.Background()
+	}
 	execStart := time.Now()
-	_, finish := g.cfg.Tracer.StartSpan(context.Background(), "serving.batch")
+	bctx, finish := g.cfg.Tracer.StartSpan(parent, "serving.batch")
+	_, finishFwd := g.cfg.Tracer.StartSpan(bctx, "serving.forward")
 	outs := v.Net.ForwardBatch(imgs, g.cfg.ForwardWorkers)
+	fwdDone := time.Now()
+	finishFwd(telemetry.L("workers", g.cfg.ForwardWorkers))
+	g.m.forward.Observe(fwdDone.Sub(execStart).Seconds())
 	finish(
 		telemetry.L("replica", h.id),
 		telemetry.L("batch", len(live)),
@@ -686,7 +754,7 @@ func (g *Gateway) execute(h *replicaHandle, batch []*request) {
 		g.m.queueWait.Observe(now.Sub(r.enqueued).Seconds())
 		g.m.total.Observe(total.Seconds())
 		g.observeLatency(total.Seconds())
-		r.done <- Response{
+		r.respond(Response{
 			ID:       r.id,
 			Class:    outs[i].TopK(1)[0],
 			Variant:  vi,
@@ -696,7 +764,7 @@ func (g *Gateway) execute(h *replicaHandle, batch []*request) {
 			Total:    total,
 			Batch:    len(live),
 			Attempts: r.attempts,
-		}
+		})
 	}
 }
 
@@ -709,7 +777,7 @@ func (g *Gateway) execute(h *replicaHandle, batch []*request) {
 func (g *Gateway) retryOrFail(r *request) {
 	fail := func(err error) {
 		age := time.Since(r.enqueued)
-		r.done <- Response{ID: r.id, Err: err, Attempts: r.attempts, Queue: age, Total: age}
+		r.respond(Response{ID: r.id, Err: err, Attempts: r.attempts, Queue: age, Total: age})
 	}
 	if r.attempts > g.cfg.MaxRetries || g.stopping.Load() {
 		fail(ErrFaulted)
@@ -840,7 +908,14 @@ func (g *Gateway) CurrentVariant() int { return int(g.variant.Load()) }
 // degrade or restore in the gateway's counters, so an external controller
 // jumping several rungs stays comparable with the built-in one-step
 // controller. Safe from any goroutine.
-func (g *Gateway) SetVariant(target int) int {
+//
+// ctx is the caller's trace context (nil = Background): an external
+// control plane passes its decision span's context so the
+// serving.set_variant span links to the autoscaler verb that caused it.
+func (g *Gateway) SetVariant(ctx context.Context, target int) int {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if target < 0 {
 		target = 0
 	}
@@ -862,12 +937,54 @@ func (g *Gateway) SetVariant(target int) int {
 		} else {
 			g.m.restores.Add(-steps)
 		}
-		_, finish := g.cfg.Tracer.StartSpan(context.Background(), "serving.set_variant")
+		_, finish := g.cfg.Tracer.StartSpan(ctx, "serving.set_variant")
 		finish(
 			telemetry.L("from", g.cfg.Ladder[cur].Degree.Label()),
 			telemetry.L("to", g.cfg.Ladder[next].Degree.Label()),
 		)
 		return target
+	}
+}
+
+// StageSummary is one pipeline stage's latency distribution, in
+// milliseconds (the natural scale for serving stages).
+type StageSummary struct {
+	Count  int64   `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// Stages attributes request latency to the serving pipeline's stages:
+// admission-queue wait (per request), batch assembly (per batch, first
+// pull → execution start) and the nn forward pass (per batch). It is the
+// per-stage half of the loadtest report — the macro numbers the bench
+// trajectory folds in alongside microbenchmarks.
+type Stages struct {
+	QueueWait     StageSummary `json:"queue_wait"`
+	BatchAssembly StageSummary `json:"batch_assembly"`
+	NNForward     StageSummary `json:"nn_forward"`
+}
+
+// StageStats summarizes the per-stage latency histograms.
+func (g *Gateway) StageStats() Stages {
+	return Stages{
+		QueueWait:     stageSummary(g.m.queueWait),
+		BatchAssembly: stageSummary(g.m.assembly),
+		NNForward:     stageSummary(g.m.forward),
+	}
+}
+
+func stageSummary(h *telemetry.Histogram) StageSummary {
+	s := h.Snapshot()
+	const ms = 1e3 // histograms record seconds
+	return StageSummary{
+		Count:  s.Count,
+		MeanMS: s.Mean * ms,
+		P50MS:  s.P50 * ms,
+		P99MS:  s.P99 * ms,
+		MaxMS:  s.Max * ms,
 	}
 }
 

@@ -103,7 +103,7 @@ func TestBatchCoalescing(t *testing.T) {
 	const n = 32
 	chans := make([]<-chan Response, 0, n)
 	for i := 0; i < n; i++ {
-		ch, err := g.Submit(testImage(int64(i)), time.Time{})
+		ch, err := g.Submit(context.Background(), testImage(int64(i)), time.Time{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -132,11 +132,11 @@ func TestLoadSheddingOnFullQueue(t *testing.T) {
 	// submissions are admitted and the next is shed deterministically.
 	g := testGateway(t, Config{QueueCap: 4})
 	for i := 0; i < 4; i++ {
-		if _, err := g.Submit(testImage(int64(i)), time.Time{}); err != nil {
+		if _, err := g.Submit(context.Background(), testImage(int64(i)), time.Time{}); err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
 	}
-	if _, err := g.Submit(testImage(99), time.Time{}); !errors.Is(err, ErrOverloaded) {
+	if _, err := g.Submit(context.Background(), testImage(99), time.Time{}); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("expected ErrOverloaded, got %v", err)
 	}
 	st := g.Stats()
@@ -151,7 +151,7 @@ func TestExpiredRequestsDroppedBeforeDispatch(t *testing.T) {
 	g := testGateway(t, Config{QueueCap: 8})
 	// Enqueue with an already-passed deadline before starting the
 	// replicas, so expiry is checked at dispatch.
-	ch, err := g.Submit(testImage(1), time.Now().Add(-time.Second))
+	ch, err := g.Submit(context.Background(), testImage(1), time.Now().Add(-time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestExpiredRequestsDroppedBeforeDispatch(t *testing.T) {
 
 func TestDefaultDeadlineApplied(t *testing.T) {
 	g := testGateway(t, Config{QueueCap: 8, Deadline: time.Nanosecond})
-	ch, err := g.Submit(testImage(1), time.Time{})
+	ch, err := g.Submit(context.Background(), testImage(1), time.Time{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +184,7 @@ func TestStopDrainsQueuedRequests(t *testing.T) {
 	g := testGateway(t, Config{Replicas: 1, QueueCap: 32, MaxBatch: 4})
 	chans := make([]<-chan Response, 0, 16)
 	for i := 0; i < 16; i++ {
-		ch, err := g.Submit(testImage(int64(i)), time.Time{})
+		ch, err := g.Submit(context.Background(), testImage(int64(i)), time.Time{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -202,14 +202,14 @@ func TestStopDrainsQueuedRequests(t *testing.T) {
 			t.Fatalf("request %d never answered after Stop", i)
 		}
 	}
-	if _, err := g.Submit(testImage(0), time.Time{}); !errors.Is(err, ErrStopped) {
+	if _, err := g.Submit(context.Background(), testImage(0), time.Time{}); !errors.Is(err, ErrStopped) {
 		t.Fatalf("expected ErrStopped, got %v", err)
 	}
 }
 
 func TestStopWithoutStartAnswersQueued(t *testing.T) {
 	g := testGateway(t, Config{QueueCap: 4})
-	ch, err := g.Submit(testImage(1), time.Time{})
+	ch, err := g.Submit(context.Background(), testImage(1), time.Time{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +225,7 @@ func TestNoGoroutineLeaks(t *testing.T) {
 		g := testGateway(t, Config{Replicas: 3, QueueCap: 32})
 		g.Start()
 		for i := 0; i < 40; i++ {
-			g.Submit(testImage(int64(i)), time.Time{}) // responses intentionally unread (buffered)
+			g.Submit(context.Background(), testImage(int64(i)), time.Time{}) // responses intentionally unread (buffered)
 		}
 		g.Stop()
 	}

@@ -24,7 +24,31 @@ echo "== go test -race ./..."
 go test -race ./...
 
 echo "== bench smoke (go test -run - -bench . -benchtime 1x)"
-go test -run - -bench . -benchtime 1x . ./internal/explore ./internal/serving
+mkdir -p out
+go test -run - -bench . -benchmem -benchtime 1x \
+    . ./internal/explore ./internal/serving | tee out/bench-check.txt
+
+# Regression gate: diff the smoke run against the latest committed
+# trajectory point. The smoke is single-iteration and the baseline may
+# come from a different machine, so the default threshold is generous
+# (0.5 = 50%) — it catches order-of-magnitude breakage, not noise; the
+# committed-vs-committed trajectory carries the fine-grained story.
+# BENCHDIFF_SKIP=1 escapes the gate; an intentional perf change is
+# blessed by committing a fresh BENCH_<n+1>.json (docs/TELEMETRY.md).
+baseline=$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1 || true)
+if [ "${BENCHDIFF_SKIP:-0}" = "1" ]; then
+    echo "== benchdiff gate skipped (BENCHDIFF_SKIP=1)"
+elif [ -z "$baseline" ]; then
+    echo "== benchdiff gate skipped (no committed BENCH_*.json baseline)"
+else
+    echo "== benchdiff gate (vs $baseline, threshold ${BENCHDIFF_THRESHOLD:-0.5})"
+    go run ./cmd/ccperf benchjson -in out/bench-check.txt \
+        -sha "$(git rev-parse --short HEAD 2>/dev/null || echo nogit)" \
+        -benchtime 1x -count 1 -note check.sh -out out/bench-check.json
+    go run ./cmd/ccperf benchdiff \
+        -threshold "${BENCHDIFF_THRESHOLD:-0.5}" -fail-on-regression \
+        "$baseline" out/bench-check.json
+fi
 
 echo "== loadtest smoke (race-enabled gateway replay)"
 go run -race ./cmd/ccperf loadtest \
