@@ -225,9 +225,9 @@ func BenchmarkAblationDistribution(b *testing.B) {
 
 // BenchmarkMatmul is the ROADMAP-named matmul hot path at the Caffenet
 // conv2 GEMM shape (256×1200 · 1200×729), aliased into the root package so
-// every bench snapshot — which runs ., ./internal/explore and
-// ./internal/serving — carries all four gated hot paths
-// (Enumerate/Batcher/GatewayThroughput/Matmul).
+// every bench snapshot — which runs ., ./internal/explore,
+// ./internal/serving and ./internal/tenant — carries all five gated hot
+// paths (Enumerate/Batcher/GatewayThroughput/TenantFairness/Matmul).
 func BenchmarkMatmul(b *testing.B) {
 	const rows, inner, cols = 256, 1200, 729
 	w := tensor.NewMatrix(rows, inner)

@@ -79,6 +79,8 @@ func main() {
 		err = simulateCmd(ctx, args)
 	case "loadtest":
 		err = loadtestCmd(args)
+	case "pack":
+		err = packCmd(ctx, args)
 	case "spec":
 		err = specCmd(args)
 	case "serve":
@@ -119,11 +121,19 @@ commands:
                 load-adaptive pruning) and report latency/accuracy/cost
                 (-autoscale closes the cost-accuracy loop: scale out while
                 the -budget allows, degrade when it binds; -chaos/-faults
-                injects crashes; -max-error-rate/-max-p99 gate the exit)
+                injects crashes; -max-error-rate/-max-p99 gate the exit;
+                -tenants <spec.json> hosts N tenants — own ladders, SLOs,
+                quotas, fair batching — on one shared fleet and reports
+                per-tenant rows plus the joint placement bill)
+  pack          enumerate multi-tenant packings offline: which tenants share
+                a pool, at which rungs — per-tenant $/M on-time, the joint
+                cost-accuracy frontier, and the dedicated baseline
   spec          build a custom CNN from a spec file, cost it, sweep pruning
   serve         HTTP telemetry endpoint: /metrics, /trace, /debug/pprof/
                 (-gateway mounts the live gateway at /infer; -autoscale
-                adds the control plane and /autoscale/status)
+                adds the control plane and /autoscale/status; -tenants
+                mounts the multi-tenant gateway with per-tenant
+                /gateway/status rows instead)
   benchjson     convert 'go test -bench' output to a ccperf/v1 bench
                 envelope (-count-aware; -sha/-benchtime/-count record
                 provenance, -loadtest folds a loadtest report's macro
@@ -145,6 +155,7 @@ shared flags across run commands:
 see docs/TELEMETRY.md for metric names and endpoint routes,
 docs/SERVING.md for the gateway architecture and loadtest usage,
 docs/AUTOSCALING.md for the cost-accuracy autoscaler,
+docs/MULTITENANT.md for the tenant spec format and fairness model,
 docs/RESILIENCE.md for the fault-spec grammar and chaos workflows`)
 }
 
@@ -541,6 +552,7 @@ func loadtestCmd(args []string) error {
 	faultSpec := faultsFlag(fs, "crash@0:2+3,err:0.02,seed=7")
 	chaos := fs.Bool("chaos", false, "inject a canned seeded chaos schedule (crash replica 0 for the middle third of the run, plus a 2% error rate)")
 	maxErrorRate := fs.Float64("max-error-rate", 1, "exit non-zero when (shed+expired+faulted)/submitted exceeds this fraction")
+	tenantsSpec := fs.String("tenants", "", "tenant spec file: host N ladders with per-tenant SLOs/quotas on one shared fleet (see docs/MULTITENANT.md; each tenant replays its own offered_qps Poisson load, so -requests/-pattern are ignored)")
 	reportOut := reportOutFlag(fs)
 	metricsOut, traceOut := telemetryFlags(fs)
 	fs.Parse(args)
@@ -559,6 +571,30 @@ func loadtestCmd(args []string) error {
 			{Kind: fault.Crash, Target: 0, At: third, Duration: third},
 			{Kind: fault.Errors, Target: fault.AllTargets, Rate: 0.02},
 		}}
+	}
+	if *tenantsSpec != "" {
+		return tenantLoadtest(tenantLoadtestOpts{
+			specPath:     *tenantsSpec,
+			duration:     *duration,
+			seed:         *seed,
+			cooldown:     *cooldown,
+			replicas:     *replicas,
+			maxBatch:     *maxBatch,
+			batchTimeout: *batchTimeout,
+			instance:     *instance,
+			faults:       faults,
+			autoscale:    *autoscaleOn,
+			budget:       *budget,
+			minReplicas:  *minReplicas,
+			maxReplicas:  *maxReplicas,
+			interval:     *autoscaleInterval,
+			warmup:       *warmup,
+			maxP99:       *maxP99,
+			maxErrorRate: *maxErrorRate,
+			reportOut:    *reportOut,
+			metricsOut:   *metricsOut,
+			traceOut:     *traceOut,
+		})
 	}
 	trace, err := workload.Generate(workload.Config{
 		Pattern: pat, DailyTotal: *requests, Windows: *windows, Seed: *seed,
@@ -691,6 +727,7 @@ func serveCmd(ctx context.Context, args []string) error {
 	minReplicas := fs.Int("min-replicas", 1, "autoscale floor (with -autoscale)")
 	maxReplicas := fs.Int("max-replicas", 8, "autoscale ceiling (with -autoscale)")
 	instance := fs.String("instance", "p2.xlarge", "instance type pricing each replica (with -autoscale)")
+	tenantsSpec := fs.String("tenants", "", "tenant spec file: mount the multi-tenant gateway instead (per-tenant /gateway/status rows; -autoscale adds the joint scaler)")
 	fs.Parse(args)
 
 	if *demo {
@@ -704,7 +741,14 @@ func serveCmd(ctx context.Context, args []string) error {
 		fmt.Fprintln(os.Stderr, "serve: demo enumeration done, metrics populated")
 	}
 	handler := telemetry.Handler(nil, nil)
-	if *gateway || *autoscaleOn {
+	if *tenantsSpec != "" {
+		h, err := mountTenantGateway(*model, *tenantsSpec, *instance, *replicas,
+			*autoscaleOn, *budget, *minReplicas, *maxReplicas, handler)
+		if err != nil {
+			return err
+		}
+		handler = h
+	} else if *gateway || *autoscaleOn {
 		ratios, err := parseRatios(*ladderSpec)
 		if err != nil {
 			return err

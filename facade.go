@@ -12,6 +12,7 @@ import (
 	"ccperf/internal/prune"
 	"ccperf/internal/serving"
 	"ccperf/internal/telemetry"
+	"ccperf/internal/tenant"
 )
 
 // Stack is the facade over the library's layers, all sharing one memoizing
@@ -27,6 +28,8 @@ type Stack struct {
 	inst    *cloud.Instance
 	gw      *serving.Gateway
 	scaler  *autoscale.Autoscaler
+	tmux    *tenant.Mux
+	tscaler *tenant.Scaler
 }
 
 // options collects the functional-option state for Open.
@@ -52,6 +55,8 @@ type options struct {
 
 	registry *telemetry.Registry
 	tracer   *telemetry.Tracer
+
+	tenants []tenant.Spec
 }
 
 // Option configures Open.
@@ -118,6 +123,17 @@ func WithPolicy(p autoscale.Policy) Option {
 	return func(o *options) { o.gateway, o.autoscale = true, true; o.policy = &p }
 }
 
+// WithTenants hosts N tenants — each with its own pruning ladder, SLO,
+// admission quota, and fair-share weight — on one shared replica fleet
+// instead of the single-model gateway. Supersedes WithGateway: the stack
+// exposes a tenant.Mux (TenantMux) rather than a serving.Gateway. With
+// WithAutoscale, a joint tenant.Scaler (TenantScaler) drives the shared
+// replica count and every tenant's ladder rung — which tenant degrades
+// first is the one with the largest accuracy-per-dollar slack.
+func WithTenants(specs []tenant.Spec) Option {
+	return func(o *options) { o.tenants = specs }
+}
+
 // WithTelemetry routes the stack's metrics and spans to a private registry
 // and tracer instead of the process-wide defaults.
 func WithTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) Option {
@@ -153,6 +169,9 @@ func Open(model string, opts ...Option) (*Stack, error) {
 		return nil, err
 	}
 	st := &Stack{sys: sys, planner: &Planner{sys: sys}, inst: inst}
+	if len(o.tenants) > 0 {
+		return openTenants(st, &o)
+	}
 	if !o.gateway {
 		return st, nil
 	}
@@ -164,12 +183,9 @@ func Open(model string, opts ...Option) (*Stack, error) {
 	if len(ratios) == 0 {
 		ratios = serving.DefaultLadderRatios
 	}
-	degrees := make([]prune.Degree, len(ratios))
-	for i, r := range ratios {
-		if r < 0 || r > 1 {
-			return nil, fmt.Errorf("ccperf: ladder ratio %v out of [0,1]", r)
-		}
-		degrees[i] = prune.Uniform([]string{"conv1", "conv2"}, r)
+	degrees, err := LadderDegrees(ratios)
+	if err != nil {
+		return nil, err
 	}
 	ladder, err := serving.BuildLadder(context.Background(), serving.TinyNet, degrees, prune.L1Filter, sys.engine)
 	if err != nil {
@@ -247,6 +263,98 @@ func Open(model string, opts ...Option) (*Stack, error) {
 	return st, nil
 }
 
+// LadderDegrees maps prune-ratio rungs to the uniform conv1+conv2 degrees
+// the demo serving ladder and the pack search both use, so online proxies
+// and offline predictions address the same calibrated curves.
+func LadderDegrees(ratios []float64) ([]prune.Degree, error) {
+	if len(ratios) == 0 {
+		ratios = serving.DefaultLadderRatios
+	}
+	degrees := make([]prune.Degree, len(ratios))
+	for i, r := range ratios {
+		if r < 0 || r > 1 {
+			return nil, fmt.Errorf("ccperf: ladder ratio %v out of [0,1]", r)
+		}
+		degrees[i] = prune.Uniform([]string{"conv1", "conv2"}, r)
+	}
+	return degrees, nil
+}
+
+// openTenants builds the multi-tenant serving stack: one mux hosting every
+// spec's private ladder, and — under WithAutoscale — the joint scaler with
+// per-tenant profiles derived from the shared predictor.
+func openTenants(st *Stack, o *options) (*Stack, error) {
+	buildLadder := func(ratios []float64) ([]serving.Variant, error) {
+		degrees, err := LadderDegrees(ratios)
+		if err != nil {
+			return nil, err
+		}
+		return serving.BuildLadder(context.Background(), serving.TinyNet, degrees, prune.L1Filter, st.sys.engine)
+	}
+	replicas := o.replicas
+	if o.autoscale {
+		if o.minReplicas <= 0 {
+			o.minReplicas = 1
+		}
+		if o.maxReplicas < o.minReplicas {
+			o.maxReplicas = o.minReplicas
+		}
+		if replicas <= 0 {
+			replicas = o.minReplicas
+		}
+	}
+	m, err := tenant.New(tenant.Config{
+		Specs:        o.tenants,
+		BuildLadder:  buildLadder,
+		Replicas:     replicas,
+		MaxBatch:     o.maxBatch,
+		BatchTimeout: o.batchTimeout,
+		WarmupDelay:  o.warmup,
+		Injector:     o.injector,
+		Registry:     o.registry,
+		Tracer:       o.tracer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	st.tmux = m
+	if !o.autoscale {
+		return st, nil
+	}
+
+	profiles := make(map[string][]autoscale.Profile, m.Registry().Len())
+	for _, spec := range m.Registry().Specs() {
+		degrees, err := LadderDegrees(spec.Ladder)
+		if err != nil {
+			return nil, err
+		}
+		prof, err := autoscale.BuildProfiles(context.Background(), st.sys.engine, degrees, st.inst, m.Config().MaxBatch)
+		if err != nil {
+			return nil, err
+		}
+		profiles[spec.Name] = prof
+	}
+	sc, err := tenant.NewScaler(m, tenant.ScalerConfig{
+		Policy: autoscale.JointPolicy{
+			Limits: autoscale.Limits{
+				MinReplicas:         o.minReplicas,
+				MaxReplicas:         o.maxReplicas,
+				PricePerReplicaHour: st.inst.PricePerHour,
+				BudgetPerHour:       o.budget,
+			},
+		},
+		Profiles: profiles,
+		Interval: o.interval,
+		Registry: o.registry,
+		Tracer:   o.tracer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	st.tscaler = sc
+	return st, nil
+}
+
 // System returns the measurement/characterization view.
 func (st *Stack) System() *System { return st.sys }
 
@@ -259,6 +367,14 @@ func (st *Stack) Gateway() *serving.Gateway { return st.gw }
 // Autoscaler returns the cost-accuracy control plane (nil unless
 // WithAutoscale).
 func (st *Stack) Autoscaler() *autoscale.Autoscaler { return st.scaler }
+
+// TenantMux returns the multi-tenant serving front-end (nil unless
+// WithTenants).
+func (st *Stack) TenantMux() *tenant.Mux { return st.tmux }
+
+// TenantScaler returns the joint multi-tenant control plane (nil unless
+// both WithTenants and WithAutoscale).
+func (st *Stack) TenantScaler() *tenant.Scaler { return st.tscaler }
 
 // Predictor returns the single memoizing prediction engine every view of
 // this stack shares.
@@ -276,11 +392,23 @@ func (st *Stack) Start() {
 	if st.scaler != nil {
 		st.scaler.Start()
 	}
+	if st.tmux != nil {
+		st.tmux.Start()
+	}
+	if st.tscaler != nil {
+		st.tscaler.Start()
+	}
 }
 
 // Close stops the online components in reverse order (autoscaler, then
 // gateway, draining in-flight requests). Idempotent.
 func (st *Stack) Close() {
+	if st.tscaler != nil {
+		st.tscaler.Stop()
+	}
+	if st.tmux != nil {
+		st.tmux.Stop()
+	}
 	if st.scaler != nil {
 		st.scaler.Stop()
 	}

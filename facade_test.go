@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ccperf/internal/serving"
+	"ccperf/internal/tenant"
 )
 
 func TestOpenOfflineOnly(t *testing.T) {
@@ -107,6 +108,58 @@ func TestOpenAutoscaleStack(t *testing.T) {
 	st.Start()
 	st.Close()
 	st.Close() // idempotent
+}
+
+// TestOpenTenantsStack: WithTenants builds the multi-tenant mux (each
+// tenant with its own ladder) and, with WithAutoscale, the joint scaler
+// whose profiles come from the shared predictor.
+func TestOpenTenantsStack(t *testing.T) {
+	specs := []tenant.Spec{
+		{Name: "a", Ladder: []float64{0, 0.5}, SLOMS: 500, QPS: 50},
+		{Name: "b", Ladder: []float64{0, 0.3, 0.9}, SLOMS: 200},
+	}
+	st, err := Open(Caffenet, WithTenants(specs), WithAutoscale(6, 1, 4), WithReplicas(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := st.TenantMux()
+	if m == nil {
+		t.Fatal("WithTenants must build a mux")
+	}
+	if st.Gateway() != nil {
+		t.Fatal("WithTenants supersedes the single-model gateway")
+	}
+	sc := st.TenantScaler()
+	if sc == nil {
+		t.Fatal("WithTenants + WithAutoscale must build a joint scaler")
+	}
+	if lim := sc.Policy().Limits; lim.MinReplicas != 1 || lim.MaxReplicas != 4 ||
+		lim.BudgetPerHour != 6 || lim.PricePerReplicaHour != st.Instance().PricePerHour {
+		t.Fatalf("limits = %+v", lim)
+	}
+	if la, lb := len(m.Ladder("a")), len(m.Ladder("b")); la != 2 || lb != 3 {
+		t.Fatalf("ladders = %d/%d rungs, want 2/3", la, lb)
+	}
+	st.Start()
+	defer st.Close()
+	shape := m.Ladder("a")[0].Net.Input
+	resp := m.InferAs(context.Background(), "a", serving.SyntheticImage(shape.C, shape.H, shape.W, 1), time.Time{})
+	if resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	if _, err := m.SubmitAs(context.Background(), "nobody", serving.SyntheticImage(shape.C, shape.H, shape.W, 2), time.Time{}); err == nil {
+		t.Fatal("unknown tenant must be rejected")
+	}
+}
+
+// TestOpenTenantsRejectsBadSpecs: spec validation surfaces through Open.
+func TestOpenTenantsRejectsBadSpecs(t *testing.T) {
+	if _, err := Open(Caffenet, WithTenants([]tenant.Spec{{Name: ""}})); err == nil {
+		t.Fatal("unnamed tenant must fail")
+	}
+	if _, err := Open(Caffenet, WithTenants([]tenant.Spec{{Name: "a", Ladder: []float64{2}}})); err == nil {
+		t.Fatal("out-of-range tenant ladder must fail")
+	}
 }
 
 // TestOpenSharesOnePredictor: the facade's views consume predictions

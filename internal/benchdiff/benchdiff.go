@@ -30,8 +30,9 @@ import (
 
 // DefaultGatePattern names the hot-path benchmarks a regression in which
 // fails the build (ROADMAP: Enumerate, Batcher, GatewayThroughput,
-// matmul). Sub-benchmarks inherit their parent's gating by prefix.
-const DefaultGatePattern = `^Benchmark(Enumerate|Batcher|GatewayThroughput|[Mm]at[Mm]ul)(/|$)`
+// TenantFairness, matmul). Sub-benchmarks inherit their parent's gating
+// by prefix.
+const DefaultGatePattern = `^Benchmark(Enumerate|Batcher|GatewayThroughput|TenantFairness|[Mm]at[Mm]ul)(/|$)`
 
 // Options configures a comparison.
 type Options struct {

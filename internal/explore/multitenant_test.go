@@ -1,0 +1,183 @@
+package explore
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"ccperf/internal/prune"
+)
+
+func someTenants() []TenantDemand {
+	return []TenantDemand{
+		{Name: "a", W: 100_000, Deadline: 4 * 3600, Degrees: []prune.Degree{
+			{},
+			prune.NewDegree("conv1", 0.3, "conv2", 0.5),
+		}},
+		{Name: "b", W: 50_000, Degrees: []prune.Degree{
+			{},
+			prune.NewDegree("conv2", 0.5),
+			prune.NewDegree("conv1", 0.7, "conv2", 0.8),
+		}},
+	}
+}
+
+func TestEnumeratePackingsCountAndShape(t *testing.T) {
+	h := harness(t)
+	pool := smallPool(t)[:2]
+	tenants := someTenants()
+	packs, err := EnumeratePackings(context.Background(), h, tenants, pool, Top1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (2^2 - 1) subsets × (2 rungs × 3 rungs) combinations.
+	want := 3 * 2 * 3
+	if len(packs) != want {
+		t.Fatalf("packings = %d, want %d", len(packs), want)
+	}
+	for _, p := range packs {
+		if len(p.Assignments) != 2 {
+			t.Fatalf("packing has %d assignments, want 2: %+v", len(p.Assignments), p)
+		}
+		if p.Seconds <= 0 || p.Cost <= 0 || p.MeanAccuracy <= 0 {
+			t.Fatalf("bad packing %+v", p)
+		}
+		var sec, cost float64
+		for i, a := range p.Assignments {
+			if a.Tenant != tenants[i].Name {
+				t.Fatalf("assignment %d names %q, want %q", i, a.Tenant, tenants[i].Name)
+			}
+			if a.Seconds <= 0 || a.Cost <= 0 {
+				t.Fatalf("bad assignment %+v", a)
+			}
+			sec += a.Seconds
+			cost += a.Cost
+		}
+		if math.Abs(sec-p.Seconds) > 1e-9 || math.Abs(cost-p.Cost) > 1e-9 {
+			t.Fatalf("makespan/bill do not sum: %v/%v vs %v/%v", sec, cost, p.Seconds, p.Cost)
+		}
+		// Tenant b has no deadline, so it is always on time with a priced
+		// $/M-on-time; tenant a's on-time status must match the makespan.
+		b := p.Assignments[1]
+		if b.OnTime != 50_000 || b.DollarsPerMillionOnTime <= 0 {
+			t.Fatalf("deadline-free tenant b not on time: %+v", b)
+		}
+		a := p.Assignments[0]
+		if wantOn := p.Seconds <= tenants[0].Deadline; (a.OnTime > 0) != wantOn {
+			t.Fatalf("tenant a on-time=%d with makespan %.0fs vs deadline %.0fs", a.OnTime, p.Seconds, tenants[0].Deadline)
+		}
+	}
+}
+
+func TestEnumeratePackingsDeterministic(t *testing.T) {
+	h := harness(t)
+	pool := smallPool(t)[:2]
+	ctx := context.Background()
+	first, err := EnumeratePackings(ctx, h, someTenants(), pool, Top1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := EnumeratePackings(ctx, h, someTenants(), pool, Top1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("packing enumeration is not deterministic")
+	}
+}
+
+func TestEnumeratePackingsRejectsBadInput(t *testing.T) {
+	h := harness(t)
+	pool := smallPool(t)[:1]
+	ctx := context.Background()
+	if _, err := EnumeratePackings(ctx, h, nil, pool, Top1, 0); err == nil {
+		t.Fatal("expected error for no tenants")
+	}
+	if _, err := EnumeratePackings(ctx, h, someTenants(), nil, Top1, 0); err == nil {
+		t.Fatal("expected error for empty pool")
+	}
+	if _, err := EnumeratePackings(ctx, h, []TenantDemand{{Name: "x", W: 1}}, pool, Top1, 0); err == nil {
+		t.Fatal("expected error for empty ladder")
+	}
+	if _, err := EnumeratePackings(ctx, h, []TenantDemand{{Name: "x", Degrees: someDegrees()}}, pool, Top1, 0); err == nil {
+		t.Fatal("expected error for zero workload")
+	}
+	// 21 one-rung... blow the evaluation cap with many-rung tenants: each
+	// tenant multiplies the combo count by 4.
+	big := make([]TenantDemand, 12)
+	for i := range big {
+		big[i] = TenantDemand{Name: string(rune('a' + i)), W: 1, Degrees: someDegrees()}
+	}
+	if _, err := EnumeratePackings(ctx, h, big, smallPool(t), Top1, 0); err == nil {
+		t.Fatal("expected error for a packing space over the evaluation cap")
+	}
+}
+
+func TestFeasiblePackingsAndFrontier(t *testing.T) {
+	h := harness(t)
+	pool := smallPool(t)[:2]
+	tenants := someTenants()
+	// Tighten tenant a's deadline so some packings miss it.
+	tenants[0].Deadline = 3600
+	packs, err := EnumeratePackings(context.Background(), h, tenants, pool, Top1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feas := FeasiblePackings(packs)
+	for _, p := range feas {
+		if !p.OnTime() || p.Seconds > 3600 {
+			t.Fatalf("infeasible packing survived the filter: %+v", p)
+		}
+	}
+
+	fr := PackingFrontier(packs)
+	if len(fr) == 0 || len(fr) > len(packs) {
+		t.Fatalf("frontier size %d out of range", len(fr))
+	}
+	// Pareto property: no packing dominates a frontier member.
+	for _, f := range fr {
+		for _, p := range packs {
+			if p.MeanAccuracy > f.MeanAccuracy && p.Cost < f.Cost {
+				t.Fatalf("frontier member (acc=%v cost=%v) dominated by (acc=%v cost=%v)",
+					f.MeanAccuracy, f.Cost, p.MeanAccuracy, p.Cost)
+			}
+		}
+	}
+}
+
+func TestDedicatedBaseline(t *testing.T) {
+	h := harness(t)
+	pool := smallPool(t)[:2]
+	tenants := someTenants()
+	results, total, err := DedicatedBaseline(context.Background(), h, tenants, pool, Top1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2", len(results))
+	}
+	var sum float64
+	for i, r := range results {
+		if !r.Found {
+			t.Fatalf("tenant %s has no dedicated configuration", tenants[i].Name)
+		}
+		if r.Cost <= 0 || r.Seconds <= 0 {
+			t.Fatalf("bad dedicated result %+v", r)
+		}
+		if tenants[i].Deadline > 0 && r.Seconds > tenants[i].Deadline {
+			t.Fatalf("dedicated pick for %s misses its deadline: %v > %v",
+				tenants[i].Name, r.Seconds, tenants[i].Deadline)
+		}
+		sum += r.Cost
+	}
+	if math.Abs(sum-total) > 1e-9 {
+		t.Fatalf("total %v does not sum per-tenant costs %v", total, sum)
+	}
+	// The dedicated baseline serves each tenant at its ladder's best
+	// feasible accuracy — at least as accurate as any shared packing's
+	// mean can be for that tenant alone.
+	if results[0].Acc.Top1 <= 0 {
+		t.Fatalf("no accuracy on dedicated result: %+v", results[0])
+	}
+}

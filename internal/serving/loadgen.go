@@ -63,8 +63,11 @@ type Report struct {
 	Restores int64 `json:"restores"`
 
 	// Stages attributes latency to the serving pipeline's stages (queue
-	// wait, batch assembly, nn forward) over the whole run.
-	Stages *Stages `json:"stages,omitempty"`
+	// wait, batch assembly, nn forward) over the whole run, aggregated
+	// across tenants; TenantStages keys the same attribution by tenant
+	// label (single-tenant runs carry one DefaultTenant entry).
+	Stages       *Stages           `json:"stages,omitempty"`
+	TenantStages map[string]Stages `json:"tenant_stages,omitempty"`
 }
 
 // RunLoad replays the trace open-loop: arrivals fire at their scheduled
@@ -146,6 +149,7 @@ func RunLoad(g *Gateway, cfg LoadConfig) (*Report, error) {
 	rep.Retries, rep.BreakerOpens = st.Retries, st.BreakerOpens
 	stages := g.StageStats()
 	rep.Stages = &stages
+	rep.TenantStages = g.StageStatsByTenant()
 	return rep, nil
 }
 

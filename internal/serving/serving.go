@@ -199,6 +199,11 @@ type Response struct {
 	Attempts int
 }
 
+// DefaultTenant labels single-tenant traffic in the tenant-keyed stage
+// histograms: Submit tags every request with it, so StageStatsByTenant
+// stays meaningful on paths that never name a tenant.
+const DefaultTenant = "default"
+
 // request is the queued form of one submission. ctx carries the
 // serving.request span so batch execution parents under it, and finish
 // closes that span exactly once when the request is answered.
@@ -211,6 +216,9 @@ type request struct {
 	ctx      context.Context
 	finish   telemetry.FinishFunc
 	done     chan Response
+	// stages is the tenant-keyed stage histogram set the request reports
+	// into (resolved once at admission, so the hot path never locks).
+	stages *stageSet
 }
 
 // respond finishes the request's span with its outcome and delivers the
@@ -295,6 +303,12 @@ type Gateway struct {
 	windowMu sync.Mutex
 	window   []float64
 
+	// stageMu guards the tenant-keyed stage histogram sets; defaultStages
+	// is prefetched so the single-tenant path skips the map.
+	stageMu       sync.Mutex
+	stageSets     map[string]*stageSet
+	defaultStages *stageSet
+
 	healthy int // consecutive healthy intervals (controller goroutine only)
 
 	m gatewayMetrics
@@ -347,6 +361,8 @@ func New(cfg Config) (*Gateway, error) {
 		forward:       reg.Histogram("serving.stage_forward_seconds", nil),
 	}
 	g.m.variantGauge.Set(0)
+	g.stageSets = make(map[string]*stageSet)
+	g.defaultStages = g.stageSetFor(DefaultTenant)
 	for i := 0; i < cfg.Replicas; i++ {
 		g.replicas = append(g.replicas, g.newReplicaLocked())
 	}
@@ -503,12 +519,22 @@ func (g *Gateway) Stop() {
 
 // Submit enqueues one image for inference and returns a channel that will
 // receive exactly one Response. deadline zero applies Config.Deadline.
-// Shedding and shutdown are reported as errors immediately.
+// Shedding and shutdown are reported as errors immediately. The request
+// is attributed to DefaultTenant in the tenant-keyed stage histograms;
+// multi-tenant callers use SubmitAs.
 //
 // ctx is the request's trace context (nil is treated as Background): a
 // serving.request span opens here and closes when the request is answered,
 // and the batch that executes it parents its serving.batch span under it.
 func (g *Gateway) Submit(ctx context.Context, img *tensor.Tensor, deadline time.Time) (<-chan Response, error) {
+	return g.SubmitAs(ctx, DefaultTenant, img, deadline)
+}
+
+// SubmitAs is Submit with an explicit tenant label: the request's stage
+// latencies (queue wait, batch assembly, nn forward) land in histograms
+// keyed by the tenant, so per-stage attribution survives multi-tenant
+// traffic through one gateway. An empty tenant maps to DefaultTenant.
+func (g *Gateway) SubmitAs(ctx context.Context, tenant string, img *tensor.Tensor, deadline time.Time) (<-chan Response, error) {
 	if img == nil {
 		return nil, fmt.Errorf("serving: nil image")
 	}
@@ -534,6 +560,7 @@ func (g *Gateway) Submit(ctx context.Context, img *tensor.Tensor, deadline time.
 		ctx:      sctx,
 		finish:   finish,
 		done:     make(chan Response, 1),
+		stages:   g.stageSetFor(tenant),
 	}
 	select {
 	case g.queue <- r:
@@ -673,7 +700,9 @@ func (g *Gateway) drain(h *replicaHandle) {
 // the batch's first request — now−pulledAt is the batch-assembly stage.
 func (g *Gateway) execute(h *replicaHandle, batch []*request, pulledAt time.Time) {
 	now := time.Now()
-	g.m.assembly.Observe(now.Sub(pulledAt).Seconds())
+	asm := now.Sub(pulledAt).Seconds()
+	g.m.assembly.Observe(asm)
+	forEachStageSet(batch, func(s *stageSet) { s.assembly.Observe(asm) })
 	live := batch[:0]
 	for _, r := range batch {
 		if !r.deadline.IsZero() && now.After(r.deadline) {
@@ -734,7 +763,9 @@ func (g *Gateway) execute(h *replicaHandle, batch []*request, pulledAt time.Time
 	outs := v.Net.ForwardBatch(imgs, g.cfg.ForwardWorkers)
 	fwdDone := time.Now()
 	finishFwd(telemetry.L("workers", g.cfg.ForwardWorkers))
-	g.m.forward.Observe(fwdDone.Sub(execStart).Seconds())
+	fwd := fwdDone.Sub(execStart).Seconds()
+	g.m.forward.Observe(fwd)
+	forEachStageSet(live, func(s *stageSet) { s.forward.Observe(fwd) })
 	finish(
 		telemetry.L("replica", h.id),
 		telemetry.L("batch", len(live)),
@@ -752,6 +783,9 @@ func (g *Gateway) execute(h *replicaHandle, batch []*request, pulledAt time.Time
 		total := done.Sub(r.enqueued)
 		g.m.served.Inc()
 		g.m.queueWait.Observe(now.Sub(r.enqueued).Seconds())
+		if r.stages != nil {
+			r.stages.queueWait.Observe(now.Sub(r.enqueued).Seconds())
+		}
 		g.m.total.Observe(total.Seconds())
 		g.observeLatency(total.Seconds())
 		r.respond(Response{
@@ -967,16 +1001,88 @@ type Stages struct {
 	NNForward     StageSummary `json:"nn_forward"`
 }
 
-// StageStats summarizes the per-stage latency histograms.
-func (g *Gateway) StageStats() Stages {
-	return Stages{
-		QueueWait:     stageSummary(g.m.queueWait),
-		BatchAssembly: stageSummary(g.m.assembly),
-		NNForward:     stageSummary(g.m.forward),
+// stageSet is one tenant's keyed stage histograms. Requests resolve their
+// set once at admission; batch stages are observed once per distinct
+// tenant present in the batch.
+type stageSet struct {
+	queueWait, assembly, forward *telemetry.Histogram
+}
+
+// stageSetFor returns (lazily creating) the tenant's stage histogram set.
+// The default tenant's set is prefetched so single-tenant traffic skips
+// the lock after construction.
+func (g *Gateway) stageSetFor(tenant string) *stageSet {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	if tenant == DefaultTenant && g.defaultStages != nil {
+		return g.defaultStages
+	}
+	g.stageMu.Lock()
+	defer g.stageMu.Unlock()
+	if s, ok := g.stageSets[tenant]; ok {
+		return s
+	}
+	reg := g.cfg.Registry
+	s := &stageSet{
+		queueWait: reg.Histogram("serving.queue_seconds."+tenant, nil),
+		assembly:  reg.Histogram("serving.stage_assembly_seconds."+tenant, nil),
+		forward:   reg.Histogram("serving.stage_forward_seconds."+tenant, nil),
+	}
+	g.stageSets[tenant] = s
+	return s
+}
+
+// forEachStageSet calls fn once per distinct stage set among the batch's
+// requests (batches are small, so the duplicate scan is a few pointer
+// compares).
+func forEachStageSet(reqs []*request, fn func(*stageSet)) {
+	for i, r := range reqs {
+		if r.stages == nil {
+			continue
+		}
+		dup := false
+		for _, prev := range reqs[:i] {
+			if prev.stages == r.stages {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			fn(r.stages)
+		}
 	}
 }
 
-func stageSummary(h *telemetry.Histogram) StageSummary {
+// StageStats summarizes the per-stage latency histograms across all
+// tenants (the aggregate the single-tenant report always carried).
+func (g *Gateway) StageStats() Stages {
+	return Stages{
+		QueueWait:     SummarizeStage(g.m.queueWait),
+		BatchAssembly: SummarizeStage(g.m.assembly),
+		NNForward:     SummarizeStage(g.m.forward),
+	}
+}
+
+// StageStatsByTenant summarizes the stage histograms keyed by tenant
+// label. Single-tenant traffic appears under DefaultTenant.
+func (g *Gateway) StageStatsByTenant() map[string]Stages {
+	g.stageMu.Lock()
+	defer g.stageMu.Unlock()
+	out := make(map[string]Stages, len(g.stageSets))
+	for tenant, s := range g.stageSets {
+		out[tenant] = Stages{
+			QueueWait:     SummarizeStage(s.queueWait),
+			BatchAssembly: SummarizeStage(s.assembly),
+			NNForward:     SummarizeStage(s.forward),
+		}
+	}
+	return out
+}
+
+// SummarizeStage folds one stage histogram (recorded in seconds) into a
+// millisecond StageSummary — shared with the tenant mux's keyed stages.
+func SummarizeStage(h *telemetry.Histogram) StageSummary {
 	s := h.Snapshot()
 	const ms = 1e3 // histograms record seconds
 	return StageSummary{

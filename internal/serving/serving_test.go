@@ -78,7 +78,11 @@ func TestInferReturnsClassAndVariant(t *testing.T) {
 }
 
 func TestDeterministicClassAcrossSubmissions(t *testing.T) {
-	g := testGateway(t, Config{})
+	// A generous SLO pins the ladder at variant 0: on a loaded machine the
+	// default 50ms target can degrade between the two submissions, and a
+	// pruned variant legitimately classifies differently — this test is
+	// about determinism of the forward path, not ladder stability.
+	g := testGateway(t, Config{SLO: time.Hour})
 	g.Start()
 	defer g.Stop()
 	a := g.Infer(context.Background(), testImage(7), time.Time{})

@@ -135,3 +135,38 @@ func TestStageStats(t *testing.T) {
 		t.Errorf("nn_forward mean = %v, want > 0", st.NNForward.MeanMS)
 	}
 }
+
+// TestStageStatsByTenant: Submit lands in the default tenant's stage
+// histograms; SubmitAs keys a separate per-tenant set, and the aggregate
+// StageStats sees both.
+func TestStageStatsByTenant(t *testing.T) {
+	g := testGateway(t, Config{Replicas: 1})
+	g.Start()
+	for i := 0; i < 4; i++ {
+		if resp := g.Infer(context.Background(), testImage(int64(i)), time.Time{}); resp.Err != nil {
+			t.Fatal(resp.Err)
+		}
+	}
+	ch, err := g.SubmitAs(context.Background(), "acme", testImage(99), time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := <-ch; resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	g.Stop()
+
+	byTenant := g.StageStatsByTenant()
+	def, ok := byTenant[DefaultTenant]
+	if !ok || def.QueueWait.Count != 4 {
+		t.Fatalf("default tenant stages: ok=%v %+v", ok, def)
+	}
+	acme, ok := byTenant["acme"]
+	if !ok || acme.QueueWait.Count != 1 || acme.NNForward.Count == 0 {
+		t.Fatalf("acme stages: ok=%v %+v", ok, acme)
+	}
+	// The unkeyed aggregate spans every tenant.
+	if agg := g.StageStats(); agg.QueueWait.Count != 5 {
+		t.Fatalf("aggregate queue count = %d, want 5", agg.QueueWait.Count)
+	}
+}

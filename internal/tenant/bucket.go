@@ -1,0 +1,46 @@
+package tenant
+
+import (
+	"sync"
+	"time"
+)
+
+// bucket is a classic token bucket: rate tokens/second refill up to
+// burst, one token per admission. A zero rate means no quota (always
+// allow). Time flows in through the caller so tests can drive it
+// deterministically.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second (0 = unlimited)
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newBucket(rate, burst float64) *bucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &bucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// allow consumes one token if available at now.
+func (b *bucket) allow(now time.Time) bool {
+	if b.rate <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -26,7 +26,7 @@ go test -race ./...
 echo "== bench smoke (go test -run - -bench . -benchtime 1x)"
 mkdir -p out
 go test -run - -bench . -benchmem -benchtime 1x \
-    . ./internal/explore ./internal/serving | tee out/bench-check.txt
+    . ./internal/explore ./internal/serving ./internal/tenant | tee out/bench-check.txt
 
 # Regression gate: diff the smoke run against the latest committed
 # trajectory point. The smoke is single-iteration and the baseline may
@@ -67,6 +67,12 @@ go run -race ./cmd/ccperf loadtest \
     -queue 64 -max-batch 4 -slo 50ms -deadline 500ms -cooldown 300ms \
     -autoscale -budget 2.7 -min-replicas 1 -max-replicas 3 \
     -autoscale-interval 100ms -max-p99 2s
+
+echo "== tenant chaos smoke (two-tenant fleet under canned faults, error-rate gate)"
+go run -race ./cmd/ccperf loadtest \
+    -tenants examples/tenants.json -duration 2s \
+    -replicas 2 -max-batch 4 \
+    -faults "err:0.05,seed=11" -max-error-rate 0.75
 
 echo "== fault-injected simulate smoke (preemption + straggler schedule)"
 go run ./cmd/ccperf simulate \
