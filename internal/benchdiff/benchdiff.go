@@ -12,7 +12,11 @@
 // significant and larger than the configured threshold. Deterministic
 // units (stddev 0, e.g. allocs/op or model-evals) and single-sample runs
 // fall back to a pure threshold test — there is no variance to reason
-// about, so any above-threshold move counts.
+// about, so any above-threshold move counts. Allocation units additionally
+// pass through an absolute noise floor (see belowNoiseFloor): with a
+// zero-allocation steady state, per-op byte/alloc counts are setup
+// constants amortized over b.N, and percentage deltas on near-zero
+// absolutes are measurement artifacts, not regressions.
 //
 // Direction matters: ns/op down is good, req/s down is bad. Units are
 // classified by name (see lowerIsBetter) so a throughput collapse is
@@ -30,9 +34,11 @@ import (
 
 // DefaultGatePattern names the hot-path benchmarks a regression in which
 // fails the build (ROADMAP: Enumerate, Batcher, GatewayThroughput,
-// TenantFairness, matmul). Sub-benchmarks inherit their parent's gating
-// by prefix.
-const DefaultGatePattern = `^Benchmark(Enumerate|Batcher|GatewayThroughput|TenantFairness|[Mm]at[Mm]ul)(/|$)`
+// TenantFairness, matmul, plus the workspace forward path: ConvForward and
+// ForwardWorkspace). Sub-benchmarks inherit their parent's gating by
+// prefix; ConvForward deliberately does NOT match the ungated
+// ConvForwardDenseVsSparse sweep.
+const DefaultGatePattern = `^Benchmark(Enumerate|Batcher|GatewayThroughput|TenantFairness|[Mm]at[Mm]ul|ConvForward|ForwardWorkspace)(/|$)`
 
 // Options configures a comparison.
 type Options struct {
@@ -191,7 +197,30 @@ func compareOne(name, unit string, oldVals, newVals []float64, threshold float64
 		// evidence we have, so an above-threshold move counts as real.
 		row.Significant = math.Abs(row.DeltaPct) > threshold*100
 	}
+	if row.Significant && belowNoiseFloor(unit, row.Old.Mean, row.New.Mean) {
+		row.Significant = false
+	}
 	return row
+}
+
+// belowNoiseFloor suppresses spurious allocation-unit moves. A zero-alloc
+// steady state means the remaining per-op B/op and allocs/op are benchmark
+// constants (harness bookkeeping, a GC-emptied sync.Pool re-minting once)
+// amortized over b.N — so the same code measured at a different
+// -benchtime/-count shifts those units by huge *percentages* at tiny
+// *absolute* magnitudes. A move in these units only counts when it also
+// clears an absolute floor; real leaks (KBs and dozens of allocations per
+// op) sail over it, and the forward path's exact zero-allocation property
+// is pinned separately by testing.AllocsPerRun tests.
+func belowNoiseFloor(unit string, oldMean, newMean float64) bool {
+	d := math.Abs(newMean - oldMean)
+	switch strings.ToLower(unit) {
+	case "b/op":
+		return d < 1024
+	case "allocs/op":
+		return d < 16
+	}
+	return false
 }
 
 // welch computes the Welch two-sample t statistic and its
@@ -225,16 +254,24 @@ var tTable95 = []float64{
 }
 
 // tCritical95 returns the two-tailed 95% critical value for df degrees of
-// freedom (floored; df ≥ 31 uses the normal approximation).
+// freedom. Welch–Satterthwaite degrees of freedom are real-valued, so the
+// table is interpolated linearly between integer entries — flooring would
+// overstate the critical value by up to 35% between df 2 and 3, where
+// small-sample comparisons live. df ≥ 31 uses the normal approximation.
 func tCritical95(df float64) float64 {
-	i := int(math.Floor(df))
-	if i < 1 {
-		i = 1
+	if df <= 1 {
+		return tTable95[1]
 	}
-	if i >= len(tTable95) {
+	if df >= 31 {
 		return 1.960
 	}
-	return tTable95[i]
+	i := int(math.Floor(df))
+	frac := df - float64(i)
+	hi := 1.960 // virtual entry at df 31: the normal limit
+	if i+1 < len(tTable95) {
+		hi = tTable95[i+1]
+	}
+	return tTable95[i] + frac*(hi-tTable95[i])
 }
 
 // lowerIsBetter classifies a unit's good direction. Time, memory and

@@ -49,11 +49,39 @@ func TestWelchSignificance(t *testing.T) {
 	if below.Significant {
 		t.Fatalf("5%% move under a 10%% threshold must not count: %+v", below)
 	}
-	// Zero variance both sides (allocs/op style): fallback too.
+	// Zero variance both sides (allocs/op style): fallback too — but the
+	// move must clear the allocation-unit noise floor to count.
 	det := compareOne("BenchmarkX", "allocs/op",
-		[]float64{12, 12, 12}, []float64{24, 24, 24}, 0.10)
-	if det.Tested || !det.Significant || det.DeltaPct != 100 {
+		[]float64{12, 12, 12}, []float64{60, 60, 60}, 0.10)
+	if det.Tested || !det.Significant || det.DeltaPct != 400 {
 		t.Fatalf("deterministic unit fallback: %+v", det)
+	}
+	subFloor := compareOne("BenchmarkX", "allocs/op",
+		[]float64{12, 12, 12}, []float64{24, 24, 24}, 0.10)
+	if subFloor.Significant {
+		t.Fatalf("+12 allocs/op is under the noise floor: %+v", subFloor)
+	}
+}
+
+// TestTCriticalInterpolation pins the t-table lookup: exact at integer
+// df, linearly interpolated between entries (Welch df is real-valued),
+// monotone non-increasing, normal limit past df 31.
+func TestTCriticalInterpolation(t *testing.T) {
+	if got := tCritical95(2); got != 4.303 {
+		t.Fatalf("df=2: %v", got)
+	}
+	mid := tCritical95(2.5)
+	if mid >= 4.303 || mid <= 3.182 {
+		t.Fatalf("df=2.5 must interpolate between table entries: %v", mid)
+	}
+	if lo, hi := tCritical95(2.97), tCritical95(2.03); lo >= hi {
+		t.Fatalf("interpolation not monotone: crit(2.97)=%v >= crit(2.03)=%v", lo, hi)
+	}
+	if got := tCritical95(0.5); got != 12.706 {
+		t.Fatalf("df<1 clamps to the first entry: %v", got)
+	}
+	if got := tCritical95(200); got != 1.960 {
+		t.Fatalf("large df uses the normal limit: %v", got)
 	}
 }
 
@@ -144,6 +172,33 @@ func TestCompareImprovementAndNoise(t *testing.T) {
 		}
 		if row.Name == "BenchmarkMatmul" && row.Significant {
 			t.Fatalf("noisy row must not be significant: %+v", row)
+		}
+	}
+}
+
+// TestAllocNoiseFloor pins the absolute floor on allocation units: with a
+// zero-alloc steady state, B/op and allocs/op carry benchmark-setup
+// constants amortized over b.N, so a 60→120 B/op "doubling" between runs
+// at different -benchtime is an artifact, while a real KB-scale leak must
+// still gate.
+func TestAllocNoiseFloor(t *testing.T) {
+	old := set(telemetry.BenchMeta{},
+		ser("BenchmarkGatewayThroughput", "B/op", 60),
+		ser("BenchmarkGatewayThroughput", "allocs/op", 2),
+		ser("BenchmarkBatcher/batch=4", "B/op", 1500),
+	)
+	niu := set(telemetry.BenchMeta{},
+		ser("BenchmarkGatewayThroughput", "B/op", 120),    // +100% but +60 B
+		ser("BenchmarkGatewayThroughput", "allocs/op", 4), // +100% but +2
+		ser("BenchmarkBatcher/batch=4", "B/op", 400_000),  // a real leak
+	)
+	rep := Compare(old, niu, Options{Threshold: 0.10})
+	if len(rep.Regressions) != 1 || !strings.HasPrefix(rep.Regressions[0], "BenchmarkBatcher/batch=4") {
+		t.Fatalf("regressions = %v, want only the real leak", rep.Regressions)
+	}
+	for _, row := range rep.Rows {
+		if row.Name == "BenchmarkGatewayThroughput" && row.Significant {
+			t.Fatalf("sub-floor alloc move flagged significant: %+v", row)
 		}
 	}
 }

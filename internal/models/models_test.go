@@ -155,7 +155,7 @@ func TestScaledCaffenetForwardRuns(t *testing.T) {
 	for i := range in.Data {
 		in.Data[i] = float32(i%17) / 17
 	}
-	out := net.Forward(in)
+	out := net.Forward(in, nil)
 	if out.Len() != 1000 {
 		t.Fatalf("output len = %d, want 1000", out.Len())
 	}
@@ -174,7 +174,7 @@ func TestScaledGooglenetForwardRuns(t *testing.T) {
 	for i := range in.Data {
 		in.Data[i] = float32(i%13) / 13
 	}
-	out := net.Forward(in)
+	out := net.Forward(in, nil)
 	if out.Len() != 1000 {
 		t.Fatalf("output len = %d, want 1000", out.Len())
 	}

@@ -29,7 +29,7 @@ func TestTinyResNetForward(t *testing.T) {
 	for i := range in.Data {
 		in.Data[i] = float32(i%19)/19 - 0.5
 	}
-	out := n.Forward(in)
+	out := n.Forward(in, nil)
 	if out.Len() != 10 {
 		t.Fatalf("output len = %d", out.Len())
 	}
@@ -78,7 +78,7 @@ func TestTinyResNetPruningReducesWork(t *testing.T) {
 	}
 	// The pruned network still produces a valid distribution.
 	in := tensor.New(3, 32, 32)
-	out := n.Forward(in)
+	out := n.Forward(in, nil)
 	if s := out.Sum(); math.Abs(s-1) > 1e-4 {
 		t.Fatalf("softmax sum after pruning = %v", s)
 	}

@@ -38,7 +38,7 @@ func TestParseSpecBuildsWorkingNet(t *testing.T) {
 	for i := range in.Data {
 		in.Data[i] = float32(i%9) / 9
 	}
-	y := net.Forward(in)
+	y := net.Forward(in, nil)
 	if s := y.Sum(); math.Abs(s-1) > 1e-4 {
 		t.Fatalf("softmax sum = %v", s)
 	}

@@ -21,13 +21,16 @@ func (r *ReLU) Kind() string { return "relu" }
 // OutShape implements Layer.
 func (r *ReLU) OutShape(in Shape) Shape { return in }
 
-// Forward implements Layer.
-func (r *ReLU) Forward(in *tensor.Tensor) *tensor.Tensor {
-	out := in.Clone()
-	for i, v := range out.Data {
+// Forward implements Layer. The input is never mutated. When a ReLU
+// directly follows a conv or FC layer, Net.planFusion folds it into that
+// layer's kernel epilogue and this standalone path is skipped entirely.
+func (r *ReLU) Forward(in *tensor.Tensor, ws *Workspace) *tensor.Tensor {
+	out := wsAcquire(ws, in.Dim(0), in.Dim(1), in.Dim(2))
+	for i, v := range in.Data {
 		if v < 0 {
-			out.Data[i] = 0
+			v = 0
 		}
+		out.Data[i] = v
 	}
 	return out
 }
@@ -62,9 +65,9 @@ func (l *LRN) Kind() string { return "lrn" }
 func (l *LRN) OutShape(in Shape) Shape { return in }
 
 // Forward implements Layer.
-func (l *LRN) Forward(in *tensor.Tensor) *tensor.Tensor {
+func (l *LRN) Forward(in *tensor.Tensor, ws *Workspace) *tensor.Tensor {
 	c, h, w := in.Dim(0), in.Dim(1), in.Dim(2)
-	out := tensor.New(c, h, w)
+	out := wsAcquire(ws, c, h, w)
 	plane := h * w
 	half := l.Size / 2
 	for y := 0; y < plane; y++ {
@@ -112,8 +115,9 @@ func (s *Softmax) Kind() string { return "softmax" }
 func (s *Softmax) OutShape(in Shape) Shape { return in }
 
 // Forward implements Layer.
-func (s *Softmax) Forward(in *tensor.Tensor) *tensor.Tensor {
-	out := in.Clone()
+func (s *Softmax) Forward(in *tensor.Tensor, ws *Workspace) *tensor.Tensor {
+	out := wsAcquire(ws, in.Dim(0), in.Dim(1), in.Dim(2))
+	copy(out.Data, in.Data)
 	SoftmaxInPlace(out.Data)
 	return out
 }
@@ -167,7 +171,7 @@ func (d *Dropout) Kind() string { return "dropout" }
 func (d *Dropout) OutShape(in Shape) Shape { return in }
 
 // Forward implements Layer. At inference dropout is identity.
-func (d *Dropout) Forward(in *tensor.Tensor) *tensor.Tensor { return in }
+func (d *Dropout) Forward(in *tensor.Tensor, _ *Workspace) *tensor.Tensor { return in }
 
 // Cost implements Layer.
 func (d *Dropout) Cost(Shape) Cost { return Cost{} }
@@ -187,9 +191,13 @@ func (f *Flatten) Kind() string { return "flatten" }
 // OutShape implements Layer.
 func (f *Flatten) OutShape(in Shape) Shape { return Shape{C: in.Volume(), H: 1, W: 1} }
 
-// Forward implements Layer.
-func (f *Flatten) Forward(in *tensor.Tensor) *tensor.Tensor {
-	return in.Reshape(in.Len(), 1, 1)
+// Forward implements Layer: a zero-copy view over the input's data. With a
+// workspace the header comes from its pool; either way no data moves.
+func (f *Flatten) Forward(in *tensor.Tensor, ws *Workspace) *tensor.Tensor {
+	if ws == nil {
+		return in.Reshape(in.Len(), 1, 1)
+	}
+	return ws.View(in.Data, in.Len(), 1, 1)
 }
 
 // Cost implements Layer.

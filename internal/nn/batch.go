@@ -8,11 +8,25 @@ import (
 	"ccperf/internal/tensor"
 )
 
+// defaultWSPool backs the convenience entry points (ForwardBatch,
+// Classify) that are not wired to an explicitly configured WorkspacePool.
+// Serial GEMM: batch-level parallelism already saturates the cores.
+var defaultWSPool = NewWorkspacePool(1)
+
 // ForwardBatch runs a batch of CHW images through the network using a
 // worker pool — the engine-level counterpart of the GPU batch parallelism
 // the paper exploits (Section 4.2.3). workers ≤ 0 uses GOMAXPROCS.
-// Outputs are returned in input order.
+// Outputs are returned in input order. Equivalent to ForwardBatchPool with
+// the package default workspace pool.
 func (n *Net) ForwardBatch(images []*tensor.Tensor, workers int) []*tensor.Tensor {
+	return n.ForwardBatchPool(images, workers, defaultWSPool)
+}
+
+// ForwardBatchPool is ForwardBatch running each worker's passes through a
+// workspace taken from pool, so steady-state batches allocate only the
+// (small) output clones — the activations that must outlive workspace
+// reuse. A nil pool heap-allocates everything.
+func (n *Net) ForwardBatchPool(images []*tensor.Tensor, workers int, pool *WorkspacePool) []*tensor.Tensor {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -21,9 +35,17 @@ func (n *Net) ForwardBatch(images []*tensor.Tensor, workers int) []*tensor.Tenso
 	}
 	out := make([]*tensor.Tensor, len(images))
 	if workers <= 1 {
-		for i, img := range images {
-			out[i] = n.Forward(img)
+		if pool == nil {
+			for i, img := range images {
+				out[i] = n.Forward(img, nil)
+			}
+			return out
 		}
+		ws := pool.Get()
+		for i, img := range images {
+			out[i] = n.Forward(img, ws).Clone()
+		}
+		pool.Put(ws)
 		return out
 	}
 	var wg sync.WaitGroup
@@ -32,8 +54,16 @@ func (n *Net) ForwardBatch(images []*tensor.Tensor, workers int) []*tensor.Tenso
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			if pool == nil {
+				for i := range jobs {
+					out[i] = n.Forward(images[i], nil)
+				}
+				return
+			}
+			ws := pool.Get()
+			defer pool.Put(ws)
 			for i := range jobs {
-				out[i] = n.Forward(images[i])
+				out[i] = n.Forward(images[i], ws).Clone()
 			}
 		}()
 	}
@@ -48,7 +78,9 @@ func (n *Net) ForwardBatch(images []*tensor.Tensor, workers int) []*tensor.Tenso
 // Classify runs one image and returns its Top-1 class index and the Top-k
 // class indices in descending probability order.
 func (n *Net) Classify(img *tensor.Tensor, k int) (top1 int, topK []int, err error) {
-	out := n.Forward(img)
+	ws := defaultWSPool.Get()
+	defer defaultWSPool.Put(ws)
+	out := n.Forward(img, ws)
 	if k < 1 || k > out.Len() {
 		return 0, nil, fmt.Errorf("nn: k=%d out of range for %d classes", k, out.Len())
 	}

@@ -40,7 +40,7 @@ func TestForwardBatchMatchesSequential(t *testing.T) {
 	imgs := batchImages(17)
 	seq := make([]*tensor.Tensor, len(imgs))
 	for i, img := range imgs {
-		seq[i] = n.Forward(img)
+		seq[i] = n.Forward(img, nil)
 	}
 	for _, workers := range []int{0, 1, 2, 4, 32} {
 		par := n.ForwardBatch(imgs, workers)

@@ -36,7 +36,7 @@ func BenchmarkNetForward(b *testing.B) {
 	n, in := benchNet(b)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		n.Forward(in)
+		n.Forward(in, nil)
 	}
 }
 
@@ -53,6 +53,43 @@ func BenchmarkNetForwardBatch(b *testing.B) {
 				n.ForwardBatch(batch, workers)
 			}
 		})
+	}
+}
+
+// BenchmarkForwardWorkspace measures the same full forward pass as
+// BenchmarkNetForward through a warmed workspace — the zero-allocation
+// serving path. allocs/op is part of the regression signal (expected 0).
+// Gated by the benchdiff CI pattern.
+func BenchmarkForwardWorkspace(b *testing.B) {
+	n, in := benchNet(b)
+	ws := NewWorkspace()
+	n.Forward(in, ws) // warm buckets, headers and im2col scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Forward(in, ws)
+	}
+}
+
+// BenchmarkConvForward measures one Caffenet-conv2-scale convolution
+// (48×27×27 input, 128 5×5 filters) through a warmed workspace: Im2ColInto
+// plus the fused-bias GEMM, no allocation. Gated by the benchdiff CI
+// pattern.
+func BenchmarkConvForward(b *testing.B) {
+	in := tensor.New(48, 27, 27)
+	for i := range in.Data {
+		in.Data[i] = float32(i%11)/11 - 0.5
+	}
+	c := NewConv("c", 128, 5, 5, 1, 1, 2, 2, 1)
+	if err := c.Init(48, 7); err != nil {
+		b.Fatal(err)
+	}
+	ws := NewWorkspace()
+	ws.Release(c.Forward(in, ws)) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.Release(c.Forward(in, ws))
 	}
 }
 
@@ -78,7 +115,7 @@ func BenchmarkConvForwardDenseVsSparse(b *testing.B) {
 		b.Run(fmt.Sprintf("sparsity=%d%%/csr=%v", sparsity, c.UsesSparseKernel()), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				c.Forward(in)
+				c.Forward(in, nil)
 			}
 		})
 	}

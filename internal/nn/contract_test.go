@@ -64,10 +64,24 @@ func TestLayerContract(t *testing.T) {
 			x.Data[i] = float32(i%13)/13 - 0.4
 		}
 		want := c.layer.OutShape(shape)
-		out := c.layer.Forward(x)
+		out := c.layer.Forward(x, nil)
 		got := Shape{C: out.Dim(0), H: out.Dim(1), W: out.Dim(2)}
 		if got != want {
 			t.Errorf("%s: Forward shape %v, OutShape %v", c.layer.Name(), got, want)
+		}
+		// The workspace path must be numerically identical to the
+		// allocating path.
+		ws := NewWorkspace()
+		wsOut := c.layer.Forward(x, ws)
+		if len(wsOut.Data) != len(out.Data) {
+			t.Errorf("%s: workspace Forward len %d, want %d", c.layer.Name(), len(wsOut.Data), len(out.Data))
+		} else {
+			for i, v := range wsOut.Data {
+				if v != out.Data[i] {
+					t.Errorf("%s: workspace Forward data[%d] = %v, want %v", c.layer.Name(), i, v, out.Data[i])
+					break
+				}
+			}
 		}
 		cost := c.layer.Cost(shape)
 		if cost.FLOPs < 0 || cost.EffectiveFLOPs < 0 || cost.EffectiveFLOPs > cost.FLOPs {

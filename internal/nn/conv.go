@@ -9,7 +9,10 @@ import (
 // sparseExecThreshold is the weight sparsity above which a convolution
 // switches from dense GEMM to CSR SpMM. Below it, sparse bookkeeping costs
 // more than the skipped multiplies — the same crossover the paper's
-// sparse-Caffe substrate exhibits.
+// sparse-Caffe substrate exhibits. Re-measured after the fused
+// register-blocked GEMM landed: at the Caffenet-conv2 shape the kernels
+// tie at ≈25% sparsity (dense wins at 20%, CSR wins from 30%), so the
+// threshold holds — measurement table in docs/KERNELS.md.
 const sparseExecThreshold = 0.25
 
 // Conv is a 2-D convolution layer with optional groups (Caffenet's conv2,
@@ -28,6 +31,19 @@ type Conv struct {
 	inCg    int // input channels per group; fixed at Init
 	csr     *tensor.CSR
 	useCSR  bool
+
+	// fuseReLU folds the following ReLU into the GEMM/SpMM epilogue.
+	// Set by Net.planFusion (and Inception/Residual Init) — the fused
+	// kernels clamp rows as they finish, so the separate ReLU layer is
+	// skipped at execution time.
+	fuseReLU bool
+
+	// Execution caches, refreshed by Rebuild so Forward allocates nothing:
+	// per-group dense weight headers, per-group CSR slices, and the weight
+	// NNZ (so Cost stops rescanning the whole matrix per call).
+	groupW   []tensor.Matrix
+	groupCSR []*tensor.CSR
+	nnz      int
 }
 
 // NewConv constructs an uninitialized convolution. Init must be called with
@@ -83,61 +99,48 @@ func (c *Conv) OutShape(in Shape) Shape {
 }
 
 // Forward implements Layer via im2col + GEMM (dense) or SpMM (pruned).
-func (c *Conv) Forward(in *tensor.Tensor) *tensor.Tensor {
+// The GEMM writes straight into the output tensor's group segment with the
+// bias (and a fused ReLU, when the following layer was folded in) applied
+// in the kernel epilogue — no intermediate result matrix, no separate bias
+// pass. Dense GEMMs above tensor.ParallelThreshold fan out across
+// ws.Workers goroutines.
+func (c *Conv) Forward(in *tensor.Tensor, ws *Workspace) *tensor.Tensor {
 	inS := Shape{C: in.Dim(0), H: in.Dim(1), W: in.Dim(2)}
 	g := c.geom(inS)
 	oh, ow := g.OutH(), g.OutW()
-	out := tensor.New(c.OutC, oh, ow)
+	out := wsAcquire(ws, c.OutC, oh, ow)
 	outCg := c.OutC / c.Groups
 	chVol := inS.H * inS.W
+	plane := oh * ow
+	rows, cols := c.inCg*c.KH*c.KW, plane
+	workers := 1
+	if ws != nil {
+		workers = ws.Workers
+	}
 	for grp := 0; grp < c.Groups; grp++ {
 		sub := in.Data[grp*c.inCg*chVol : (grp+1)*c.inCg*chVol]
-		cols := tensor.Im2Col(g, sub)
-		w := tensor.MatrixFromSlice(
-			c.weights.Data[grp*outCg*c.weights.Cols:(grp+1)*outCg*c.weights.Cols],
-			outCg, c.weights.Cols)
-		var res *tensor.Matrix
-		if c.useCSR {
-			wc := c.csrGroup(grp, outCg)
-			res = tensor.SpMM(wc, cols)
+		var colsM *tensor.Matrix
+		if ws != nil {
+			colsM = ws.Im2colScratch(rows, cols)
 		} else {
-			res = tensor.MatMul(w, cols)
+			colsM = tensor.NewMatrix(rows, cols)
 		}
-		dst := out.Data[grp*outCg*oh*ow:]
-		copy(dst[:outCg*oh*ow], res.Data)
-	}
-	// Bias.
-	plane := oh * ow
-	for f := 0; f < c.OutC; f++ {
-		b := c.bias[f]
-		if b == 0 {
-			continue
+		tensor.Im2ColInto(g, sub, colsM)
+		seg := out.Data[grp*outCg*plane : (grp+1)*outCg*plane]
+		var dst *tensor.Matrix
+		if ws != nil {
+			dst = ws.BindMatrix(seg, outCg, plane)
+		} else {
+			dst = tensor.MatrixFromSlice(seg, outCg, plane)
 		}
-		seg := out.Data[f*plane : (f+1)*plane]
-		for i := range seg {
-			seg[i] += b
+		biasSeg := c.bias[grp*outCg : (grp+1)*outCg]
+		if c.useCSR {
+			tensor.SpMMFusedInto(dst, c.groupCSR[grp], colsM, biasSeg, c.fuseReLU)
+		} else {
+			tensor.ParallelMatMulFusedInto(dst, &c.groupW[grp], colsM, biasSeg, c.fuseReLU, workers)
 		}
 	}
 	return out
-}
-
-// csrGroup extracts group grp's rows from the cached CSR weights.
-func (c *Conv) csrGroup(grp, outCg int) *tensor.CSR {
-	if c.Groups == 1 {
-		return c.csr
-	}
-	r0, r1 := grp*outCg, (grp+1)*outCg
-	p0, p1 := c.csr.RowPtr[r0], c.csr.RowPtr[r1]
-	sub := &tensor.CSR{
-		Rows: outCg, Cols: c.csr.Cols,
-		RowPtr: make([]int32, outCg+1),
-		ColIdx: c.csr.ColIdx[p0:p1],
-		Val:    c.csr.Val[p0:p1],
-	}
-	for i := 0; i <= outCg; i++ {
-		sub.RowPtr[i] = c.csr.RowPtr[r0+i] - p0
-	}
-	return sub
 }
 
 // Cost implements Layer.
@@ -148,7 +151,9 @@ func (c *Conv) Cost(in Shape) Cost {
 	nnz := params
 	eff := dense
 	if c.weights != nil {
-		wnnz := int64(c.weights.NNZ())
+		// c.nnz is cached by Rebuild — Cost runs inside explore's
+		// enumeration loop and must not rescan the weight matrix.
+		wnnz := int64(c.nnz)
 		nnz = wnnz + int64(c.OutC)
 		density := float64(wnnz) / float64(len(c.weights.Data))
 		eff = int64(float64(dense) * density)
@@ -170,27 +175,71 @@ func (c *Conv) Weights() *tensor.Matrix { return c.weights }
 // Bias returns the live bias vector.
 func (c *Conv) Bias() []float32 { return c.bias }
 
-// Rebuild implements Prunable: refreshes the sparse execution path.
+// Rebuild implements Prunable: refreshes every execution cache — the
+// cached NNZ (so Cost never rescans weights), the per-group dense weight
+// headers, and when sparsity crosses the threshold, the full CSR plus
+// per-group CSR row slices (so Forward never rebuilds RowPtr tables).
 func (c *Conv) Rebuild() {
 	if c.weights == nil {
 		return
 	}
-	if c.weights.Sparsity() >= sparseExecThreshold {
+	c.nnz = c.weights.NNZ()
+	outCg := c.OutC / c.Groups
+	if cap(c.groupW) < c.Groups {
+		c.groupW = make([]tensor.Matrix, c.Groups)
+	}
+	c.groupW = c.groupW[:c.Groups]
+	for grp := 0; grp < c.Groups; grp++ {
+		c.groupW[grp].Reset(
+			c.weights.Data[grp*outCg*c.weights.Cols:(grp+1)*outCg*c.weights.Cols],
+			outCg, c.weights.Cols)
+	}
+	if c.Sparsity() >= sparseExecThreshold {
 		c.csr = tensor.ToCSR(c.weights)
 		c.useCSR = true
+		c.groupCSR = c.groupCSR[:0]
+		if c.Groups == 1 {
+			c.groupCSR = append(c.groupCSR, c.csr)
+		} else {
+			for grp := 0; grp < c.Groups; grp++ {
+				c.groupCSR = append(c.groupCSR, c.csrGroup(grp, outCg))
+			}
+		}
 	} else {
 		c.csr = nil
 		c.useCSR = false
+		c.groupCSR = c.groupCSR[:0]
 	}
 }
 
-// WeightSparsity implements Prunable.
-func (c *Conv) WeightSparsity() float64 {
-	if c.weights == nil {
+// csrGroup extracts group grp's rows from the cached CSR weights; called
+// only from Rebuild so Forward reuses the precomputed slices.
+func (c *Conv) csrGroup(grp, outCg int) *tensor.CSR {
+	r0, r1 := grp*outCg, (grp+1)*outCg
+	p0, p1 := c.csr.RowPtr[r0], c.csr.RowPtr[r1]
+	sub := &tensor.CSR{
+		Rows: outCg, Cols: c.csr.Cols,
+		RowPtr: make([]int32, outCg+1),
+		ColIdx: c.csr.ColIdx[p0:p1],
+		Val:    c.csr.Val[p0:p1],
+	}
+	for i := 0; i <= outCg; i++ {
+		sub.RowPtr[i] = c.csr.RowPtr[r0+i] - p0
+	}
+	return sub
+}
+
+// Sparsity returns the zero fraction from the cached NNZ.
+func (c *Conv) Sparsity() float64 {
+	if c.weights == nil || len(c.weights.Data) == 0 {
 		return 0
 	}
-	return c.weights.Sparsity()
+	return 1 - float64(c.nnz)/float64(len(c.weights.Data))
 }
+
+// WeightSparsity implements Prunable. Like Cost it reads the NNZ cached at
+// the last Rebuild.
+func (c *Conv) WeightSparsity() float64 { return c.Sparsity() }
 
 // UsesSparseKernel reports whether Forward currently runs through SpMM.
 func (c *Conv) UsesSparseKernel() bool { return c.useCSR }

@@ -13,6 +13,12 @@ type FC struct {
 	bias    []float32
 	csr     *tensor.CSR
 	useCSR  bool
+
+	// fuseReLU folds the following ReLU into the kernel epilogue
+	// (set by Net.planFusion).
+	fuseReLU bool
+	// nnz is cached by Rebuild so Cost never rescans the weights.
+	nnz int
 }
 
 // NewFC constructs an uninitialized fully-connected layer.
@@ -35,18 +41,17 @@ func (f *FC) Init(in int, seed int64) {
 // OutShape implements Layer.
 func (f *FC) OutShape(Shape) Shape { return Shape{C: f.Out, H: 1, W: 1} }
 
-// Forward implements Layer.
-func (f *FC) Forward(in *tensor.Tensor) *tensor.Tensor {
-	var y []float32
+// Forward implements Layer: one fused matrix-vector product with bias
+// (and a ReLU when the following layer was folded in) applied in the
+// kernel epilogue, written straight into the output tensor.
+func (f *FC) Forward(in *tensor.Tensor, ws *Workspace) *tensor.Tensor {
+	out := wsAcquire(ws, f.Out, 1, 1)
 	if f.useCSR {
-		y = tensor.SpMV(f.csr, in.Data)
+		tensor.SpMVFusedInto(out.Data, f.csr, in.Data, f.bias, f.fuseReLU)
 	} else {
-		y = tensor.MatVec(f.weights, in.Data)
+		tensor.MatVecFusedInto(out.Data, f.weights, in.Data, f.bias, f.fuseReLU)
 	}
-	for i := range y {
-		y[i] += f.bias[i]
-	}
-	return tensor.FromSlice(y, f.Out, 1, 1)
+	return out
 }
 
 // Cost implements Layer.
@@ -56,7 +61,8 @@ func (f *FC) Cost(in Shape) Cost {
 	nnz := params
 	eff := dense
 	if f.weights != nil {
-		wnnz := int64(f.weights.NNZ())
+		// f.nnz is cached by Rebuild — see Conv.Cost.
+		wnnz := int64(f.nnz)
 		nnz = wnnz + int64(f.Out)
 		eff = int64(float64(dense) * float64(wnnz) / float64(len(f.weights.Data)))
 	}
@@ -76,12 +82,14 @@ func (f *FC) Weights() *tensor.Matrix { return f.weights }
 // Bias returns the live bias vector.
 func (f *FC) Bias() []float32 { return f.bias }
 
-// Rebuild implements Prunable.
+// Rebuild implements Prunable: refreshes the cached NNZ and the sparse
+// execution path.
 func (f *FC) Rebuild() {
 	if f.weights == nil {
 		return
 	}
-	if f.weights.Sparsity() >= sparseExecThreshold {
+	f.nnz = f.weights.NNZ()
+	if f.WeightSparsity() >= sparseExecThreshold {
 		f.csr = tensor.ToCSR(f.weights)
 		f.useCSR = true
 	} else {
@@ -90,10 +98,11 @@ func (f *FC) Rebuild() {
 	}
 }
 
-// WeightSparsity implements Prunable.
+// WeightSparsity implements Prunable, reading the NNZ cached at the last
+// Rebuild.
 func (f *FC) WeightSparsity() float64 {
-	if f.weights == nil {
+	if f.weights == nil || len(f.weights.Data) == 0 {
 		return 0
 	}
-	return f.weights.Sparsity()
+	return 1 - float64(f.nnz)/float64(len(f.weights.Data))
 }

@@ -70,6 +70,9 @@ func (b *Inception) Init(inC int, seed int64) error {
 		if err := x.c.Init(x.in, seed+int64(i)*7919); err != nil {
 			return fmt.Errorf("nn: inception %q: %w", b.name, err)
 		}
+		// Every branch conv is followed by a ReLU in GoogLeNet; fold it
+		// into the kernel epilogue instead of a separate pass.
+		x.c.fuseReLU = true
 	}
 	return nil
 }
@@ -80,20 +83,33 @@ func (b *Inception) OutShape(in Shape) Shape {
 }
 
 // Forward implements Layer: runs the four branches and concatenates.
-func (b *Inception) Forward(in *tensor.Tensor) *tensor.Tensor {
-	relu := func(t *tensor.Tensor) *tensor.Tensor {
-		for i, v := range t.Data {
-			if v < 0 {
-				t.Data[i] = 0
-			}
+// Branch ReLUs are fused into the conv kernels (set at Init); reduce and
+// pool intermediates are released as soon as their branch consumed them.
+func (b *Inception) Forward(in *tensor.Tensor, ws *Workspace) *tensor.Tensor {
+	release := func(t *tensor.Tensor) {
+		if ws != nil {
+			ws.Release(t)
 		}
-		return t
 	}
-	o1 := relu(b.C1x1.Forward(in))
-	o2 := relu(b.C3x3.Forward(relu(b.Reduce3.Forward(in))))
-	o3 := relu(b.C5x5.Forward(relu(b.Reduce5.Forward(in))))
-	o4 := relu(b.Proj.Forward(b.PoolP.Forward(in)))
-	return ConcatChannels(o1, o2, o3, o4)
+	o1 := b.C1x1.Forward(in, ws)
+	r3 := b.Reduce3.Forward(in, ws)
+	o2 := b.C3x3.Forward(r3, ws)
+	release(r3)
+	r5 := b.Reduce5.Forward(in, ws)
+	o3 := b.C5x5.Forward(r5, ws)
+	release(r5)
+	p := b.PoolP.Forward(in, ws)
+	o4 := b.Proj.Forward(p, ws)
+	release(p)
+	h, w := in.Dim(1), in.Dim(2)
+	out := wsAcquire(ws, o1.Dim(0)+o2.Dim(0)+o3.Dim(0)+o4.Dim(0), h, w)
+	off := 0
+	for _, t := range [...]*tensor.Tensor{o1, o2, o3, o4} {
+		copy(out.Data[off:], t.Data)
+		off += t.Len()
+		release(t)
+	}
+	return out
 }
 
 // Cost implements Layer: sum of branch costs.

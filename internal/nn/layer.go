@@ -55,10 +55,27 @@ type Layer interface {
 	Kind() string
 	// OutShape maps an input shape to the output shape.
 	OutShape(in Shape) Shape
-	// Forward runs the layer on one CHW input.
-	Forward(in *tensor.Tensor) *tensor.Tensor
+	// Forward runs the layer on one CHW input. ws supplies reusable scratch
+	// and output memory; a nil ws makes the layer heap-allocate its output
+	// (the pre-workspace behavior). Workspace-backed outputs stay valid
+	// until the workspace is Reset — see Workspace.
+	//
+	// NOTE: this signature changed when the zero-allocation forward path
+	// landed (internal API bump); Net.ForwardAlloc keeps the old
+	// allocate-per-call convenience.
+	Forward(in *tensor.Tensor, ws *Workspace) *tensor.Tensor
 	// Cost reports the work for one forward pass on the given input shape.
 	Cost(in Shape) Cost
+}
+
+// wsAcquire returns a workspace tensor, or a fresh heap tensor when ws is
+// nil. Workspace tensors are NOT zeroed; every layer writes its output
+// densely.
+func wsAcquire(ws *Workspace, c, h, w int) *tensor.Tensor {
+	if ws == nil {
+		return tensor.New(c, h, w)
+	}
+	return ws.Acquire(c, h, w)
 }
 
 // Prunable is implemented by layers whose weights can be pruned. The

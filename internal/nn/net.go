@@ -13,6 +13,10 @@ type Net struct {
 	Input  Shape
 	layers []Layer
 	shapes []Shape // shapes[i] is the input shape of layers[i]
+	// fused[i] marks layers folded into their predecessor's kernel
+	// epilogue (ReLU after conv/FC) and skipped by Forward. Computed by
+	// planFusion during Init; nil means nothing is fused.
+	fused []bool
 }
 
 // NewNet constructs an empty network with the given input shape.
@@ -51,7 +55,29 @@ func (n *Net) Init(seed int64) error {
 		}
 		s = l.OutShape(s)
 	}
+	n.planFusion()
 	return nil
+}
+
+// planFusion folds each ReLU that directly follows a conv or FC layer into
+// that layer's fused kernel epilogue, marking the ReLU itself as skipped.
+// Cost accounting is untouched — only execution changes, and ReLU is
+// idempotent so a fused-then-standalone replay would still be correct.
+func (n *Net) planFusion() {
+	n.fused = make([]bool, len(n.layers))
+	for i := 0; i+1 < len(n.layers); i++ {
+		if _, ok := n.layers[i+1].(*ReLU); !ok {
+			continue
+		}
+		switch v := n.layers[i].(type) {
+		case *Conv:
+			v.fuseReLU = true
+			n.fused[i+1] = true
+		case *FC:
+			v.fuseReLU = true
+			n.fused[i+1] = true
+		}
+	}
 }
 
 // OutShape returns the network output shape.
@@ -63,16 +89,38 @@ func (n *Net) OutShape() Shape {
 	return s
 }
 
-// Forward runs a single CHW image through the network.
-func (n *Net) Forward(in *tensor.Tensor) *tensor.Tensor {
+// Forward runs a single CHW image through the network. With a non-nil
+// workspace the pass is allocation-free once warm: the workspace is Reset
+// on entry (invalidating the previous pass's output), each intermediate is
+// released back to the workspace as soon as the next layer consumed it,
+// and the returned tensor stays valid until the next Forward/Reset on the
+// same workspace — Clone it to keep it longer. ws == nil allocates every
+// activation on the heap (see ForwardAlloc).
+func (n *Net) Forward(in *tensor.Tensor, ws *Workspace) *tensor.Tensor {
 	if in.Dim(0) != n.Input.C || in.Dim(1) != n.Input.H || in.Dim(2) != n.Input.W {
 		panic(fmt.Sprintf("nn: %s input shape %v, want %v", n.Name, in.Shape, n.Input))
 	}
+	if ws != nil {
+		ws.Reset()
+	}
 	x := in
-	for _, l := range n.layers {
-		x = l.Forward(x)
+	for i, l := range n.layers {
+		if n.fused != nil && n.fused[i] {
+			continue // folded into the previous layer's kernel epilogue
+		}
+		y := l.Forward(x, ws)
+		if ws != nil && x != in && x != y && !sameData(x, y) {
+			ws.Release(x)
+		}
+		x = y
 	}
 	return x
+}
+
+// ForwardAlloc is the pre-workspace convenience path: every activation is
+// heap-allocated and the result is independently owned by the caller.
+func (n *Net) ForwardAlloc(in *tensor.Tensor) *tensor.Tensor {
+	return n.Forward(in, nil)
 }
 
 // LayerCost describes one layer's cost at its position in the network.

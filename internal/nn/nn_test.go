@@ -41,7 +41,7 @@ func TestConvForwardKnownValues(t *testing.T) {
 	}
 	c.Rebuild()
 	in := tensor.FromSlice([]float32{1, 2, 3, 4, 5, 6, 7, 8, 9}, 1, 3, 3)
-	out := c.Forward(in)
+	out := c.Forward(in, nil)
 	want := []float32{12, 16, 24, 28} // 2x2 window sums
 	for i, w := range want {
 		if out.Data[i] != w {
@@ -61,7 +61,7 @@ func TestConvBias(t *testing.T) {
 	c.Bias()[1] = -1
 	c.Rebuild()
 	in := tensor.FromSlice([]float32{3}, 1, 1, 1)
-	out := c.Forward(in)
+	out := c.Forward(in, nil)
 	if out.Data[0] != 13 || out.Data[1] != 5 {
 		t.Fatalf("out = %v, want [13 5]", out.Data)
 	}
@@ -87,7 +87,7 @@ func TestConvSparseDenseEquivalence(t *testing.T) {
 	if !c.UsesSparseKernel() {
 		t.Fatal("expected sparse kernel at 60% sparsity")
 	}
-	sparse := c.Forward(in)
+	sparse := c.Forward(in, nil)
 
 	// Force dense path by lying about sparsity: rebuild from a dense copy.
 	dense := &Conv{
@@ -100,7 +100,7 @@ func TestConvSparseDenseEquivalence(t *testing.T) {
 	copy(dense.Weights().Data, w.Data)
 	dense.useCSR = false
 	dense.csr = nil
-	denseOut := dense.Forward(in)
+	denseOut := dense.Forward(in, nil)
 	for i := range sparse.Data {
 		if d := math.Abs(float64(sparse.Data[i] - denseOut.Data[i])); d > 1e-4 {
 			t.Fatalf("sparse/dense mismatch at %d: %v", i, d)
@@ -118,7 +118,7 @@ func TestConvGroupedMatchesManualSplit(t *testing.T) {
 	for i := range in.Data {
 		in.Data[i] = float32((i*17)%7) - 3
 	}
-	out := g.Forward(in)
+	out := g.Forward(in, nil)
 
 	for grp := 0; grp < 2; grp++ {
 		single := NewConv("s", 2, 3, 3, 1, 1, 1, 1, 1)
@@ -128,7 +128,7 @@ func TestConvGroupedMatchesManualSplit(t *testing.T) {
 		copy(single.Weights().Data, g.Weights().Data[grp*2*27:(grp+1)*2*27])
 		single.Rebuild()
 		half := tensor.FromSlice(in.Data[grp*75:(grp+1)*75], 3, 5, 5)
-		want := single.Forward(half)
+		want := single.Forward(half, nil)
 		got := out.Data[grp*2*25 : (grp+1)*2*25]
 		for i := range want.Data {
 			if d := math.Abs(float64(want.Data[i] - got[i])); d > 1e-4 {
@@ -167,7 +167,7 @@ func TestConvCostSparsityScaling(t *testing.T) {
 func TestReLU(t *testing.T) {
 	r := NewReLU("r")
 	in := tensor.FromSlice([]float32{-1, 0, 2, -3}, 4, 1, 1)
-	out := r.Forward(in)
+	out := r.Forward(in, nil)
 	want := []float32{0, 0, 2, 0}
 	for i, w := range want {
 		if out.Data[i] != w {
@@ -188,7 +188,7 @@ func TestMaxPoolKnown(t *testing.T) {
 		9, 10, 11, 12,
 		13, 14, 15, 16,
 	}, 1, 4, 4)
-	out := p.Forward(in)
+	out := p.Forward(in, nil)
 	want := []float32{6, 8, 14, 16}
 	for i, w := range want {
 		if out.Data[i] != w {
@@ -214,7 +214,7 @@ func TestMaxPoolCeilMode(t *testing.T) {
 func TestAvgPoolAndGlobal(t *testing.T) {
 	in := tensor.FromSlice([]float32{1, 2, 3, 4}, 1, 2, 2)
 	g := NewGlobalAvgPool("g")
-	out := g.Forward(in)
+	out := g.Forward(in, nil)
 	if out.Len() != 1 || out.Data[0] != 2.5 {
 		t.Fatalf("global avg = %v, want [2.5]", out.Data)
 	}
@@ -223,7 +223,7 @@ func TestAvgPoolAndGlobal(t *testing.T) {
 	}
 	a := NewAvgPool("a", 2, 2)
 	a.CeilMode = false
-	out = a.Forward(in)
+	out = a.Forward(in, nil)
 	if out.Data[0] != 2.5 {
 		t.Fatalf("avg = %v, want 2.5", out.Data[0])
 	}
@@ -233,7 +233,7 @@ func TestLRNIdentityForZeroAlpha(t *testing.T) {
 	l := NewLRN("l")
 	l.Alpha = 0
 	in := tensor.FromSlice([]float32{1, -2, 3, 4}, 4, 1, 1)
-	out := l.Forward(in)
+	out := l.Forward(in, nil)
 	for i := range in.Data {
 		if math.Abs(float64(out.Data[i]-in.Data[i])) > 1e-6 {
 			t.Fatalf("LRN with alpha=0 must be identity, got %v", out.Data)
@@ -249,7 +249,7 @@ func TestLRNNormalizes(t *testing.T) {
 	l.K = 0
 	// denom = sqrt(x²) = |x| → output sign(x).
 	in := tensor.FromSlice([]float32{2, -4}, 2, 1, 1)
-	out := l.Forward(in)
+	out := l.Forward(in, nil)
 	if math.Abs(float64(out.Data[0]-1)) > 1e-5 || math.Abs(float64(out.Data[1]+1)) > 1e-5 {
 		t.Fatalf("LRN = %v, want [1 -1]", out.Data)
 	}
@@ -258,7 +258,7 @@ func TestLRNNormalizes(t *testing.T) {
 func TestSoftmaxProperties(t *testing.T) {
 	s := NewSoftmax("s")
 	in := tensor.FromSlice([]float32{1, 2, 3, 400}, 4, 1, 1)
-	out := s.Forward(in)
+	out := s.Forward(in, nil)
 	if sum := out.Sum(); math.Abs(sum-1) > 1e-5 {
 		t.Fatalf("softmax sum = %v", sum)
 	}
@@ -303,7 +303,7 @@ func TestSoftmaxProperty(t *testing.T) {
 func TestDropoutIsIdentityAtInference(t *testing.T) {
 	d := NewDropout("d", 0.5)
 	in := tensor.FromSlice([]float32{1, 2}, 2, 1, 1)
-	if out := d.Forward(in); out != in {
+	if out := d.Forward(in, nil); out != in {
 		t.Fatal("inference dropout must be identity")
 	}
 }
@@ -311,7 +311,7 @@ func TestDropoutIsIdentityAtInference(t *testing.T) {
 func TestFlatten(t *testing.T) {
 	f := NewFlatten("f")
 	in := tensor.New(2, 3, 4)
-	out := f.Forward(in)
+	out := f.Forward(in, nil)
 	if out.Dim(0) != 24 || out.Dim(1) != 1 || out.Dim(2) != 1 {
 		t.Fatalf("flatten shape = %v", out.Shape)
 	}
@@ -324,7 +324,7 @@ func TestFCForwardKnown(t *testing.T) {
 	fc.Bias()[1] = 5
 	fc.Rebuild()
 	in := tensor.FromSlice([]float32{7, 8, 9}, 3, 1, 1)
-	out := fc.Forward(in)
+	out := fc.Forward(in, nil)
 	if out.Data[0] != 7 || out.Data[1] != 22 {
 		t.Fatalf("FC = %v, want [7 22]", out.Data)
 	}
@@ -344,9 +344,9 @@ func TestFCSparseDenseEquivalence(t *testing.T) {
 		in.Data[i] = float32(i) / 20
 	}
 	fc.Rebuild()
-	sparse := fc.Forward(in)
+	sparse := fc.Forward(in, nil)
 	fc.useCSR = false
-	dense := fc.Forward(in)
+	dense := fc.Forward(in, nil)
 	for i := range sparse.Data {
 		if math.Abs(float64(sparse.Data[i]-dense.Data[i])) > 1e-5 {
 			t.Fatalf("FC sparse/dense mismatch at %d", i)
@@ -368,7 +368,7 @@ func TestInceptionShapesAndForward(t *testing.T) {
 	for i := range x.Data {
 		x.Data[i] = float32(i%9) / 9
 	}
-	y := b.Forward(x)
+	y := b.Forward(x, nil)
 	if y.Dim(0) != 256 || y.Dim(1) != 8 || y.Dim(2) != 8 {
 		t.Fatalf("forward shape = %v", y.Shape)
 	}
@@ -433,7 +433,7 @@ func TestNetForwardWrongShapePanics(t *testing.T) {
 			t.Fatal("expected panic for wrong input shape")
 		}
 	}()
-	n.Forward(tensor.New(3, 4, 4))
+	n.Forward(tensor.New(3, 4, 4), nil)
 }
 
 func TestCostAdd(t *testing.T) {

@@ -34,7 +34,7 @@ func TestSaveLoadWeightsRoundTrip(t *testing.T) {
 	for i := range in.Data {
 		in.Data[i] = float32(i%7) / 7
 	}
-	want := src.Forward(in)
+	want := src.Forward(in, nil)
 
 	var buf bytes.Buffer
 	if err := SaveWeights(src, &buf); err != nil {
@@ -44,7 +44,7 @@ func TestSaveLoadWeightsRoundTrip(t *testing.T) {
 	if err := LoadWeights(dst, &buf); err != nil {
 		t.Fatal(err)
 	}
-	got := dst.Forward(in)
+	got := dst.Forward(in, nil)
 	for i := range want.Data {
 		if want.Data[i] != got.Data[i] {
 			t.Fatalf("outputs differ at %d after weight load", i)

@@ -80,11 +80,11 @@ func (p *Pool) OutShape(in Shape) Shape {
 }
 
 // Forward implements Layer.
-func (p *Pool) Forward(in *tensor.Tensor) *tensor.Tensor {
+func (p *Pool) Forward(in *tensor.Tensor, ws *Workspace) *tensor.Tensor {
 	inS := Shape{C: in.Dim(0), H: in.Dim(1), W: in.Dim(2)}
 	outS := p.OutShape(inS)
 	kh, kw, sh, sw, padH, padW := p.effective(inS)
-	out := tensor.New(outS.C, outS.H, outS.W)
+	out := wsAcquire(ws, outS.C, outS.H, outS.W)
 	for c := 0; c < inS.C; c++ {
 		src := in.Data[c*inS.H*inS.W:]
 		dst := out.Data[c*outS.H*outS.W:]

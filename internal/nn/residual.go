@@ -46,12 +46,12 @@ func (bn *BatchNorm) Kind() string { return "batchnorm" }
 func (bn *BatchNorm) OutShape(in Shape) Shape { return in }
 
 // Forward implements Layer.
-func (bn *BatchNorm) Forward(in *tensor.Tensor) *tensor.Tensor {
+func (bn *BatchNorm) Forward(in *tensor.Tensor, ws *Workspace) *tensor.Tensor {
 	c, h, w := in.Dim(0), in.Dim(1), in.Dim(2)
 	if c != len(bn.Gamma) {
 		panic(fmt.Sprintf("nn: batchnorm %q has %d channels, input has %d", bn.name, len(bn.Gamma), c))
 	}
-	out := tensor.New(c, h, w)
+	out := wsAcquire(ws, c, h, w)
 	plane := h * w
 	for ch := 0; ch < c; ch++ {
 		scale := float32(float64(bn.Gamma[ch]) / math.Sqrt(float64(bn.Var[ch])+bn.Eps))
@@ -152,28 +152,42 @@ func (r *Residual) OutShape(in Shape) Shape {
 	return s
 }
 
-// Forward implements Layer.
-func (r *Residual) Forward(in *tensor.Tensor) *tensor.Tensor {
+// Forward implements Layer. Body intermediates are released back to the
+// workspace as soon as the next body layer consumed them, so the block's
+// peak footprint is two activations plus the shortcut.
+func (r *Residual) Forward(in *tensor.Tensor, ws *Workspace) *tensor.Tensor {
 	x := in
 	for _, l := range r.body {
-		x = l.Forward(x)
+		y := l.Forward(x, ws)
+		if ws != nil && x != in && x != y && !sameData(x, y) {
+			ws.Release(x)
+		}
+		x = y
 	}
 	var short *tensor.Tensor
 	if r.proj != nil {
-		short = r.proj.Forward(in)
+		short = r.proj.Forward(in, ws)
 	} else {
 		short = in
 	}
 	if x.Len() != short.Len() {
 		panic(fmt.Sprintf("nn: residual %q add mismatch %v vs %v", r.name, x.Shape, short.Shape))
 	}
-	out := x.Clone()
+	out := wsAcquire(ws, x.Dim(0), x.Dim(1), x.Dim(2))
 	for i := range out.Data {
-		v := out.Data[i] + short.Data[i]
+		v := x.Data[i] + short.Data[i]
 		if v < 0 {
 			v = 0
 		}
 		out.Data[i] = v
+	}
+	if ws != nil {
+		if x != in {
+			ws.Release(x)
+		}
+		if short != in {
+			ws.Release(short)
+		}
 	}
 	return out
 }

@@ -13,7 +13,7 @@ func TestBatchNormIdentityInit(t *testing.T) {
 	for i := range in.Data {
 		in.Data[i] = float32(i%7) - 3
 	}
-	out := bn.Forward(in)
+	out := bn.Forward(in, nil)
 	for i := range in.Data {
 		if math.Abs(float64(out.Data[i]-in.Data[i])) > 1e-4 {
 			t.Fatalf("identity-init batchnorm changed values at %d", i)
@@ -29,7 +29,7 @@ func TestBatchNormNormalizes(t *testing.T) {
 	bn.Beta[0] = 1
 	// y = 3·(x−2)/2 + 1.
 	in := tensor.FromSlice([]float32{2, 4, 0}, 1, 3, 1)
-	out := bn.Forward(in)
+	out := bn.Forward(in, nil)
 	want := []float32{1, 4, -2}
 	for i, w := range want {
 		if math.Abs(float64(out.Data[i]-w)) > 1e-3 {
@@ -45,7 +45,7 @@ func TestBatchNormChannelMismatchPanics(t *testing.T) {
 			t.Fatal("expected panic for channel mismatch")
 		}
 	}()
-	bn.Forward(tensor.New(3, 2, 2))
+	bn.Forward(tensor.New(3, 2, 2), nil)
 }
 
 func TestResidualIdentityShortcut(t *testing.T) {
@@ -69,7 +69,7 @@ func TestResidualIdentityShortcut(t *testing.T) {
 	for i := range x.Data {
 		x.Data[i] = float32(i%5) / 5
 	}
-	out := r.Forward(x)
+	out := r.Forward(x, nil)
 	if out.Dim(0) != 4 || out.Dim(1) != 6 {
 		t.Fatalf("forward shape %v", out.Shape)
 	}
@@ -101,7 +101,7 @@ func TestResidualZeroBodyIsReLUIdentity(t *testing.T) {
 	for i := range x.Data {
 		x.Data[i] = float32(i) - 20
 	}
-	out := r.Forward(x)
+	out := r.Forward(x, nil)
 	for i, v := range x.Data {
 		want := v
 		if want < 0 {
@@ -130,7 +130,7 @@ func TestResidualProjectionShortcut(t *testing.T) {
 		t.Fatalf("projection = %+v", p)
 	}
 	x := tensor.New(4, 8, 8)
-	out := r.Forward(x)
+	out := r.Forward(x, nil)
 	if out.Dim(0) != 8 || out.Dim(1) != 4 || out.Dim(2) != 4 {
 		t.Fatalf("forward shape %v", out.Shape)
 	}
@@ -181,7 +181,7 @@ func TestResidualInNet(t *testing.T) {
 	for i := range x.Data {
 		x.Data[i] = float32(i%11) / 11
 	}
-	out := n.Forward(x)
+	out := n.Forward(x, nil)
 	if out.Len() != 10 {
 		t.Fatalf("output len = %d", out.Len())
 	}

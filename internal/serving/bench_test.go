@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ccperf/internal/telemetry"
+	"ccperf/internal/tensor"
 )
 
 func benchGateway(b *testing.B, cfg Config) *Gateway {
@@ -27,6 +28,24 @@ func benchGateway(b *testing.B, cfg Config) *Gateway {
 	return g
 }
 
+// warmGateway pushes n requests through the gateway before the timed
+// region so one-time costs — replica spin-up, workspace-pool minting,
+// size-bucket fills — don't pollute the steady-state B/op and allocs/op
+// numbers (which would otherwise swing with -benchtime/-count as the
+// constant amortizes over a different b.N).
+func warmGateway(b *testing.B, g *Gateway, img *tensor.Tensor, n int) {
+	b.Helper()
+	for i := 0; i < n; i++ {
+		ch, err := g.Submit(context.Background(), img, time.Time{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp := <-ch; resp.Err != nil {
+			b.Fatal(resp.Err)
+		}
+	}
+}
+
 // BenchmarkBatcher measures coalescing overhead: cost per request of the
 // queue→batch→forward→respond cycle at each batch size, against a single
 // replica fed exactly one batch at a time.
@@ -41,6 +60,7 @@ func BenchmarkBatcher(b *testing.B) {
 			defer g.Stop()
 			img := SyntheticImage(TinyShape.C, TinyShape.H, TinyShape.W, 1)
 			chans := make([]<-chan Response, batch)
+			warmGateway(b, g, img, 2*batch)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -75,6 +95,7 @@ func BenchmarkGatewayThroughput(b *testing.B) {
 	g.Start()
 	defer g.Stop()
 	img := SyntheticImage(TinyShape.C, TinyShape.H, TinyShape.W, 2)
+	warmGateway(b, g, img, 32)
 	b.ReportAllocs()
 	b.ResetTimer()
 	done := make(chan Response, b.N)

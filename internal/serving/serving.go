@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"ccperf/internal/fault"
+	"ccperf/internal/nn"
 	"ccperf/internal/telemetry"
 	"ccperf/internal/tensor"
 )
@@ -311,6 +312,10 @@ type Gateway struct {
 
 	healthy int // consecutive healthy intervals (controller goroutine only)
 
+	// wsPool hands forward workspaces to batch workers. Warmed at Start so
+	// steady-state batches run the nn forward path allocation-free.
+	wsPool *nn.WorkspacePool
+
 	m gatewayMetrics
 }
 
@@ -326,6 +331,7 @@ type gatewayMetrics struct {
 	queueWait, total                *telemetry.Histogram
 	batchSize                       *telemetry.Histogram
 	assembly, forward               *telemetry.Histogram
+	wsAllocsPerOp                   *telemetry.Gauge
 }
 
 // New validates the config and builds a gateway (not yet serving).
@@ -359,7 +365,9 @@ func New(cfg Config) (*Gateway, error) {
 		batchSize:     reg.Histogram("serving.batch_size", telemetry.LinearBuckets(1, 1, 64)),
 		assembly:      reg.Histogram("serving.stage_assembly_seconds", nil),
 		forward:       reg.Histogram("serving.stage_forward_seconds", nil),
+		wsAllocsPerOp: reg.Gauge("serving.ws_allocs_per_op"),
 	}
+	g.wsPool = nn.NewWorkspacePool(cfg.ForwardWorkers)
 	g.m.variantGauge.Set(0)
 	g.stageSets = make(map[string]*stageSet)
 	g.defaultStages = g.stageSetFor(DefaultTenant)
@@ -471,6 +479,7 @@ func (g *Gateway) Start() {
 	if !g.started.CompareAndSwap(false, true) {
 		return
 	}
+	g.warmWorkspaces()
 	g.scaleMu.Lock()
 	g.startAt = time.Now()
 	g.repMark = g.startAt
@@ -482,6 +491,32 @@ func (g *Gateway) Start() {
 	if len(g.cfg.Ladder) > 1 && !g.cfg.ExternalControl {
 		g.workers.Add(1)
 		go g.controlLoop()
+	}
+}
+
+// warmWorkspaces pre-sizes one forward workspace per batch worker across
+// the fleet (Replicas × ForwardWorkers, each bounded by the model's peak
+// activation footprint) by pushing a zero image of the largest ladder
+// variant through each before any traffic arrives. Steady-state batches
+// then hit only warm buckets — the ws_allocs_per_op gauge decays from the
+// warm-up cost toward zero.
+func (g *Gateway) warmWorkspaces() {
+	n := g.cfg.Replicas * g.cfg.ForwardWorkers
+	if n < 1 {
+		n = 1
+	}
+	v := &g.cfg.Ladder[0]
+	img := tensor.New(v.Net.Input.C, v.Net.Input.H, v.Net.Input.W)
+	wss := make([]*nn.Workspace, 0, n)
+	// Hold all n before returning any, so the sync.Pool actually minted n
+	// distinct workspaces.
+	for i := 0; i < n; i++ {
+		ws := g.wsPool.Get()
+		v.Net.Forward(img, ws)
+		wss = append(wss, ws)
+	}
+	for _, ws := range wss {
+		g.wsPool.Put(ws)
 	}
 }
 
@@ -760,9 +795,12 @@ func (g *Gateway) execute(h *replicaHandle, batch []*request, pulledAt time.Time
 	execStart := time.Now()
 	bctx, finish := g.cfg.Tracer.StartSpan(parent, "serving.batch")
 	_, finishFwd := g.cfg.Tracer.StartSpan(bctx, "serving.forward")
-	outs := v.Net.ForwardBatch(imgs, g.cfg.ForwardWorkers)
+	outs := v.Net.ForwardBatchPool(imgs, g.cfg.ForwardWorkers, g.wsPool)
 	fwdDone := time.Now()
 	finishFwd(telemetry.L("workers", g.cfg.ForwardWorkers))
+	if a, _, gets := g.wsPool.AllocStats(); gets > 0 {
+		g.m.wsAllocsPerOp.Set(float64(a) / float64(gets))
+	}
 	fwd := fwdDone.Sub(execStart).Seconds()
 	g.m.forward.Observe(fwd)
 	forEachStageSet(live, func(s *stageSet) { s.forward.Observe(fwd) })
@@ -790,7 +828,7 @@ func (g *Gateway) execute(h *replicaHandle, batch []*request, pulledAt time.Time
 		g.observeLatency(total.Seconds())
 		r.respond(Response{
 			ID:       r.id,
-			Class:    outs[i].TopK(1)[0],
+			Class:    outs[i].ArgMax(),
 			Variant:  vi,
 			Degree:   v.Degree.Label(),
 			Accuracy: v.Accuracy,
@@ -889,6 +927,13 @@ type Stats struct {
 	BreakerOpens int64    `json:"breaker_opens"`
 	OpenBreakers int      `json:"open_breakers"`
 	Breakers     []string `json:"breakers"`
+	// Workspace-pool health: cumulative scratch-buffer allocations by the
+	// forward workspaces, total workspace checkouts, and their ratio. The
+	// count plateaus after warm-up — a growing ratio means the
+	// zero-allocation steady state is broken.
+	WsAllocs      uint64  `json:"ws_allocs"`
+	WsGets        uint64  `json:"ws_gets"`
+	WsAllocsPerOp float64 `json:"ws_allocs_per_op"`
 }
 
 // Stats snapshots the gateway.
@@ -911,6 +956,11 @@ func (g *Gateway) Stats() Stats {
 		repSec += float64(replicas) * time.Since(g.repMark).Seconds()
 	}
 	g.scaleMu.Unlock()
+	wsAllocs, _, wsGets := g.wsPool.AllocStats()
+	var wsPerOp float64
+	if wsGets > 0 {
+		wsPerOp = float64(wsAllocs) / float64(wsGets)
+	}
 	return Stats{
 		Variant:        vi,
 		Degree:         v.Degree.Label(),
@@ -931,6 +981,9 @@ func (g *Gateway) Stats() Stats {
 		BreakerOpens:   g.m.breakerOpens.Value(),
 		OpenBreakers:   open,
 		Breakers:       states,
+		WsAllocs:       wsAllocs,
+		WsGets:         wsGets,
+		WsAllocsPerOp:  wsPerOp,
 	}
 }
 

@@ -251,7 +251,7 @@ func TestPrunedVariantsShrinkWork(t *testing.T) {
 	timeOf := func(v Variant) time.Duration {
 		start := time.Now()
 		for i := 0; i < 5; i++ {
-			v.Net.Forward(img)
+			v.Net.Forward(img, nil)
 		}
 		return time.Since(start)
 	}

@@ -39,7 +39,15 @@ func BenchmarkTenantFairness(b *testing.B) {
 
 	names := []string{"a", "b"}
 	img := testTenantImage(1)
+	// Warm both tenants' replicas and workspace pools before the timed
+	// region so spin-up allocations don't skew the steady-state numbers.
+	for i := 0; i < 16; i++ {
+		if resp := m.InferAs(context.Background(), names[i%2], img, time.Time{}); resp.Err != nil {
+			b.Fatal(resp.Err)
+		}
+	}
 	const workers = 8
+	b.ReportAllocs()
 	b.ResetTimer()
 	start := time.Now()
 	var wg sync.WaitGroup

@@ -784,7 +784,7 @@ func (m *Mux) execute(h *muxReplica, t *tenantState, batch []*request, pulledAt 
 		t.observeLatency(total.Seconds())
 		r.respond(serving.Response{
 			ID:       r.id,
-			Class:    outs[i].TopK(1)[0],
+			Class:    outs[i].ArgMax(),
 			Variant:  vi,
 			Degree:   v.Degree.Label(),
 			Accuracy: v.Accuracy,

@@ -38,37 +38,64 @@ func (g ConvGeom) Validate() error {
 // convolution becomes GEMM, the formulation GPU frameworks (and the paper's
 // Caffe substrate) use. input length must be InC*InH*InW.
 func Im2Col(g ConvGeom, input []float32) *Matrix {
+	m := NewMatrix(g.InC*g.KH*g.KW, g.OutH()*g.OutW())
+	Im2ColInto(g, input, m)
+	return m
+}
+
+// Im2ColInto lowers input into dst, overwriting every element (padded
+// positions are written as zero, so a dirty scratch matrix is fine). dst
+// must be (InC*KH*KW) × (OutH*OutW). Unit horizontal stride — the common
+// case for every conv in the model zoo past the stem — takes a contiguous
+// copy fast path per output row.
+func Im2ColInto(g ConvGeom, input []float32, dst *Matrix) {
 	if len(input) != g.InC*g.InH*g.InW {
 		panic(fmt.Sprintf("tensor: Im2Col input len %d != %d", len(input), g.InC*g.InH*g.InW))
 	}
 	oh, ow := g.OutH(), g.OutW()
-	rows := g.InC * g.KH * g.KW
-	cols := oh * ow
-	m := NewMatrix(rows, cols)
+	if dst.Rows != g.InC*g.KH*g.KW || dst.Cols != oh*ow {
+		panic(fmt.Sprintf("tensor: Im2Col dst %dx%d, want %dx%d", dst.Rows, dst.Cols, g.InC*g.KH*g.KW, oh*ow))
+	}
 	for c := 0; c < g.InC; c++ {
 		chOff := c * g.InH * g.InW
 		for kh := 0; kh < g.KH; kh++ {
 			for kw := 0; kw < g.KW; kw++ {
 				r := (c*g.KH+kh)*g.KW + kw
-				dst := m.Row(r)
+				row := dst.Row(r)
 				for oy := 0; oy < oh; oy++ {
 					iy := oy*g.StrideH - g.PadH + kh
+					seg := row[oy*ow : oy*ow+ow]
 					if iy < 0 || iy >= g.InH {
-						continue // padded region stays zero
+						clear(seg) // padded region
+						continue
 					}
 					rowOff := chOff + iy*g.InW
-					for ox := 0; ox < ow; ox++ {
+					if g.StrideW == 1 {
+						// ix = ox - PadW + kw is valid for ox in [lo,hi).
+						lo, hi := g.PadW-kw, g.InW+g.PadW-kw
+						if lo < 0 {
+							lo = 0
+						}
+						if hi > ow {
+							hi = ow
+						}
+						clear(seg[:lo])
+						copy(seg[lo:hi], input[rowOff+lo-g.PadW+kw:])
+						clear(seg[hi:])
+						continue
+					}
+					for ox := range seg {
 						ix := ox*g.StrideW - g.PadW + kw
 						if ix < 0 || ix >= g.InW {
-							continue
+							seg[ox] = 0
+						} else {
+							seg[ox] = input[rowOff+ix]
 						}
-						dst[oy*ow+ox] = input[rowOff+ix]
 					}
 				}
 			}
 		}
 	}
-	return m
 }
 
 // Col2Im scatters a (InC*KH*KW) × (OutH*OutW) column matrix back to a CHW

@@ -68,37 +68,96 @@ func (c *CSR) At(r, col int) float32 {
 // This is the kernel pruned convolution layers run through: its work is
 // proportional to NNZ(S)·B.Cols rather than S.Rows·S.Cols·B.Cols.
 func SpMM(s *CSR, b *Matrix) *Matrix {
+	c := NewMatrix(s.Rows, b.Cols)
+	SpMMInto(c, s, b)
+	return c
+}
+
+// SpMMInto computes C = S × B into dst, overwriting it. dst must be
+// s.Rows × b.Cols and must not alias b.
+func SpMMInto(dst *Matrix, s *CSR, b *Matrix) {
+	SpMMFusedInto(dst, s, b, nil, false)
+}
+
+// SpMMFusedInto is SpMMInto with the fused epilogue of MatMulFusedInto:
+// row i is initialized to bias[i] (zero when bias is nil) before
+// accumulation and relu clamps finished rows to max(0, ·). Sparse and
+// dense execution of a pruned layer thus share one epilogue contract.
+func SpMMFusedInto(dst *Matrix, s *CSR, b *Matrix, bias []float32, relu bool) {
 	if s.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: SpMM %dx%d × %dx%d", s.Rows, s.Cols, b.Rows, b.Cols))
 	}
-	c := NewMatrix(s.Rows, b.Cols)
+	if dst.Rows != s.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: SpMM dst %dx%d, want %dx%d", dst.Rows, dst.Cols, s.Rows, b.Cols))
+	}
+	if bias != nil && len(bias) != s.Rows {
+		panic(fmt.Sprintf("tensor: SpMM bias len %d, want %d", len(bias), s.Rows))
+	}
 	n := b.Cols
 	for i := 0; i < s.Rows; i++ {
-		ci := c.Data[i*n : (i+1)*n]
+		ci := dst.Data[i*n : (i+1)*n]
+		if bias == nil {
+			clear(ci)
+		} else {
+			v := bias[i]
+			for j := range ci {
+				ci[j] = v
+			}
+		}
 		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
 			k := int(s.ColIdx[p])
 			v := s.Val[p]
 			bk := b.Data[k*n : (k+1)*n]
+			ci := ci[:len(bk)]
 			for j, bv := range bk {
 				ci[j] += v * bv
 			}
 		}
+		if relu {
+			for j, v := range ci {
+				if v < 0 {
+					ci[j] = 0
+				}
+			}
+		}
 	}
-	return c
 }
 
 // SpMV computes y = S × x.
 func SpMV(s *CSR, x []float32) []float32 {
+	y := make([]float32, s.Rows)
+	SpMVInto(y, s, x)
+	return y
+}
+
+// SpMVInto computes y = S × x into y (len s.Rows), overwriting it.
+func SpMVInto(y []float32, s *CSR, x []float32) {
+	SpMVFusedInto(y, s, x, nil, false)
+}
+
+// SpMVFusedInto computes y = S × x + bias with an optional ReLU clamp,
+// into y. bias may be nil (zero) — the sparse fully-connected fast path.
+func SpMVFusedInto(y []float32, s *CSR, x []float32, bias []float32, relu bool) {
 	if s.Cols != len(x) {
 		panic(fmt.Sprintf("tensor: SpMV %dx%d × %d", s.Rows, s.Cols, len(x)))
 	}
-	y := make([]float32, s.Rows)
+	if len(y) != s.Rows {
+		panic(fmt.Sprintf("tensor: SpMV dst len %d, want %d", len(y), s.Rows))
+	}
+	if bias != nil && len(bias) != s.Rows {
+		panic(fmt.Sprintf("tensor: SpMV bias len %d, want %d", len(bias), s.Rows))
+	}
 	for i := 0; i < s.Rows; i++ {
 		var sum float32
 		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
 			sum += s.Val[p] * x[int(s.ColIdx[p])]
 		}
+		if bias != nil {
+			sum += bias[i]
+		}
+		if relu && sum < 0 {
+			sum = 0
+		}
 		y[i] = sum
 	}
-	return y
 }

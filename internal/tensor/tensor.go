@@ -96,6 +96,37 @@ func (t *Tensor) Clone() *Tensor {
 	return c
 }
 
+// SetData rebinds t to data with the given shape, reusing the header's
+// Shape and stride storage so steady-state rebinds do not allocate. This
+// is how workspace-pooled tensor headers are recycled across forward
+// calls. It panics if len(data) does not match the shape volume.
+func (t *Tensor) SetData(data []float32, shape ...int) {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			// Copy shape before boxing so the variadic slice does not
+			// escape on the hot (non-panicking) path.
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, append([]int(nil), shape...)))
+		}
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v needs %d elements, got %d", append([]int(nil), shape...), n, len(data)))
+	}
+	t.Shape = append(t.Shape[:0], shape...)
+	t.Data = data
+	if cap(t.strides) < len(shape) {
+		t.strides = make([]int, len(shape))
+	} else {
+		t.strides = t.strides[:len(shape)]
+	}
+	s := 1
+	for i := len(shape) - 1; i >= 0; i-- {
+		t.strides[i] = s
+		s *= shape[i]
+	}
+}
+
 // Reshape returns a view with a new shape covering the same data.
 // It panics if the volumes differ.
 func (t *Tensor) Reshape(shape ...int) *Tensor {

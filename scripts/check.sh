@@ -1,7 +1,7 @@
 #!/bin/sh
 # Tier-1+ gate: everything a PR must pass before merge (see ROADMAP.md).
 # Runs formatting, vet, build, the full test suite under the race
-# detector, and a one-iteration benchmark smoke pass.
+# detector, and a two-count one-iteration benchmark smoke pass.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -23,10 +23,14 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
-echo "== bench smoke (go test -run - -bench . -benchtime 1x)"
+echo "== bench smoke (go test -run - -bench . -benchtime 1x -count 2)"
 mkdir -p out
-go test -run - -bench . -benchmem -benchtime 1x \
-    . ./internal/explore ./internal/serving ./internal/tenant | tee out/bench-check.txt
+# -count 2 gives every timing unit two samples, so the benchdiff gate can
+# run a real Welch test instead of the raw-threshold fallback — on a noisy
+# shared box a single 1x iteration of a millisecond-scale benchmark swings
+# well past any sane threshold without any code change.
+go test -run - -bench . -benchmem -benchtime 1x -count 2 \
+    . ./internal/nn ./internal/explore ./internal/serving ./internal/tenant | tee out/bench-check.txt
 
 # Regression gate: diff the smoke run against the latest committed
 # trajectory point. The smoke is single-iteration and the baseline may
@@ -44,7 +48,7 @@ else
     echo "== benchdiff gate (vs $baseline, threshold ${BENCHDIFF_THRESHOLD:-0.5})"
     go run ./cmd/ccperf benchjson -in out/bench-check.txt \
         -sha "$(git rev-parse --short HEAD 2>/dev/null || echo nogit)" \
-        -benchtime 1x -count 1 -note check.sh -out out/bench-check.json
+        -benchtime 1x -count 2 -note check.sh -out out/bench-check.json
     go run ./cmd/ccperf benchdiff \
         -threshold "${BENCHDIFF_THRESHOLD:-0.5}" -fail-on-regression \
         "$baseline" out/bench-check.json
