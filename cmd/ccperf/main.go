@@ -124,7 +124,12 @@ commands:
                 injects crashes; -max-error-rate/-max-p99 gate the exit;
                 -tenants <spec.json> hosts N tenants — own ladders, SLOs,
                 quotas, fair batching — on one shared fleet and reports
-                per-tenant rows plus the joint placement bill)
+                per-tenant rows plus the joint placement bill;
+                -shards N routes across N regional gateways by consistent
+                hashing with health-aware failover — -regions, -shape,
+                -origin-weights shape the hostile workload, -balance runs
+                the shift-before-degrade regional loop, and the report is
+                the per-region cost-accuracy frontier)
   pack          enumerate multi-tenant packings offline: which tenants share
                 a pool, at which rungs — per-tenant $/M on-time, the joint
                 cost-accuracy frontier, and the dedicated baseline
@@ -553,6 +558,13 @@ func loadtestCmd(args []string) error {
 	chaos := fs.Bool("chaos", false, "inject a canned seeded chaos schedule (crash replica 0 for the middle third of the run, plus a 2% error rate)")
 	maxErrorRate := fs.Float64("max-error-rate", 1, "exit non-zero when (shed+expired+faulted)/submitted exceeds this fraction")
 	tenantsSpec := fs.String("tenants", "", "tenant spec file: host N ladders with per-tenant SLOs/quotas on one shared fleet (see docs/MULTITENANT.md; each tenant replays its own offered_qps Poisson load, so -requests/-pattern are ignored)")
+	shards := fs.Int("shards", 0, "route across N sharded gateways spread over -regions (consistent hashing, health-aware regional failover; -pattern is replaced by -shape; see docs/RESILIENCE.md)")
+	regionsSpec := fs.String("regions", "us-west,us-east", "comma-separated regions hosting the shards round-robin (with -shards)")
+	shapeSpec := fs.String("shape", "", "composed arrival shape, e.g. \"diurnal:0.6@0.75,flash:0.5+0.05+0.2x4\" (with -shards; empty = uniform)")
+	originWeights := fs.String("origin-weights", "", "comma-separated request-origin skew across -regions (with -shards; empty = uniform)")
+	originCorr := fs.Float64("origin-corr", 0, "Markov stickiness of consecutive request origins in [0,1) (with -shards)")
+	balance := fs.Bool("balance", false, "run the regional balancer: shift load toward cheap healthy regions before degrading accuracy (with -shards)")
+	balanceInterval := fs.Duration("balance-interval", 100*time.Millisecond, "regional balancer control tick (with -shards -balance)")
 	reportOut := reportOutFlag(fs)
 	metricsOut, traceOut := telemetryFlags(fs)
 	fs.Parse(args)
@@ -571,6 +583,41 @@ func loadtestCmd(args []string) error {
 			{Kind: fault.Crash, Target: 0, At: third, Duration: third},
 			{Kind: fault.Errors, Target: fault.AllTargets, Rate: 0.02},
 		}}
+	}
+	if *shards > 0 {
+		if *tenantsSpec != "" {
+			return fmt.Errorf("loadtest: -shards and -tenants are mutually exclusive")
+		}
+		if *autoscaleOn {
+			return fmt.Errorf("loadtest: -shards replaces -autoscale with the regional balancer; use -balance")
+		}
+		return shardLoadtest(shardLoadtestOpts{
+			shards:       *shards,
+			regionsSpec:  *regionsSpec,
+			requests:     *requests,
+			duration:     *duration,
+			seed:         *seed,
+			replicas:     *replicas,
+			queueCap:     *queueCap,
+			maxBatch:     *maxBatch,
+			batchTimeout: *batchTimeout,
+			slo:          *slo,
+			deadline:     *deadline,
+			cooldown:     *cooldown,
+			ladderSpec:   *ladderSpec,
+			instance:     *instance,
+			faults:       faults,
+			shapeSpec:    *shapeSpec,
+			originSpec:   *originWeights,
+			originCorr:   *originCorr,
+			balance:      *balance,
+			interval:     *balanceInterval,
+			maxP99:       *maxP99,
+			maxErrorRate: *maxErrorRate,
+			reportOut:    *reportOut,
+			metricsOut:   *metricsOut,
+			traceOut:     *traceOut,
+		})
 	}
 	if *tenantsSpec != "" {
 		return tenantLoadtest(tenantLoadtestOpts{

@@ -1,0 +1,297 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ccperf"
+	"ccperf/internal/autoscale"
+	"ccperf/internal/cloud"
+	"ccperf/internal/fault"
+	"ccperf/internal/prune"
+	"ccperf/internal/report"
+	"ccperf/internal/serving"
+	"ccperf/internal/shard"
+	"ccperf/internal/workload"
+)
+
+// shardLoadtestOpts carries the loadtest flag values that apply to the
+// sharded multi-region path (-shards N).
+type shardLoadtestOpts struct {
+	shards       int
+	regionsSpec  string
+	requests     int64
+	duration     time.Duration
+	seed         int64
+	replicas     int
+	queueCap     int
+	maxBatch     int
+	batchTimeout time.Duration
+	slo          time.Duration
+	deadline     time.Duration
+	cooldown     time.Duration
+	ladderSpec   string
+	instance     string
+	faults       *fault.Schedule
+	shapeSpec    string
+	originSpec   string
+	originCorr   float64
+	balance      bool
+	interval     time.Duration
+	maxP99       time.Duration
+	maxErrorRate float64
+	reportOut    string
+	metricsOut   string
+	traceOut     string
+}
+
+// shardLoadtest replays a shaped arrival process open-loop through the
+// consistent-hash router in front of N regional gateways, under any
+// region-scoped fault schedule, and reports the per-region cost-accuracy
+// frontier. With -balance the regional control loop also runs, shifting
+// load toward cheap healthy regions before spending accuracy.
+func shardLoadtest(o shardLoadtestOpts) error {
+	regions, err := cloud.ParseRegions(o.regionsSpec)
+	if err != nil {
+		return fmt.Errorf("loadtest: -regions: %w", err)
+	}
+	shapes, err := parseShapes(o.shapeSpec)
+	if err != nil {
+		return fmt.Errorf("loadtest: -shape: %w", err)
+	}
+	weights, err := parseOriginWeights(o.originSpec, len(regions))
+	if err != nil {
+		return fmt.Errorf("loadtest: -origin-weights: %w", err)
+	}
+	inst, err := cloud.ByName(o.instance)
+	if err != nil {
+		return err
+	}
+	ratios, err := parseRatios(o.ladderSpec)
+	if err != nil {
+		return err
+	}
+	if len(ratios) == 0 {
+		ratios = serving.DefaultLadderRatios
+	}
+	sys, err := ccperf.NewSystem(ccperf.Caffenet)
+	if err != nil {
+		return err
+	}
+	degrees, err := ccperf.LadderDegrees(ratios)
+	if err != nil {
+		return err
+	}
+	// One ladder, shared by every shard: nets are read-only on the
+	// forward path, so the fleet costs one ladder's memory.
+	ladder, err := serving.BuildLadder(context.Background(), serving.TinyNet, degrees, prune.L1Filter, sys.Predictor())
+	if err != nil {
+		return err
+	}
+
+	replicas := o.replicas
+	if replicas <= 0 {
+		replicas = 2
+	}
+	base := serving.Config{
+		Ladder:       ladder,
+		Replicas:     replicas,
+		QueueCap:     o.queueCap,
+		MaxBatch:     o.maxBatch,
+		BatchTimeout: o.batchTimeout,
+		SLO:          o.slo,
+		Deadline:     o.deadline,
+		// The regional balancer owns the ladder when it runs; otherwise
+		// each gateway's own controller defends its SLO.
+		ExternalControl: o.balance,
+	}
+	shards, err := shard.BuildFleet(base, o.shards, regions, o.faults)
+	if err != nil {
+		return err
+	}
+	for _, s := range shards {
+		s.Gateway.Start()
+		defer s.Gateway.Stop()
+	}
+	r, err := shard.NewRouter(shard.Config{Shards: shards})
+	if err != nil {
+		return err
+	}
+	r.Start()
+	defer r.Stop()
+	if o.balance {
+		b, err := shard.NewBalancer(r, autoscale.RegionalPolicy{SLOSeconds: o.slo.Seconds()}, o.faults, o.interval)
+		if err != nil {
+			return err
+		}
+		b.Start()
+		defer b.Stop()
+	}
+
+	rep, err := shard.RunLoad(r, shard.LoadConfig{
+		Total:         o.requests,
+		Shapes:        shapes,
+		Duration:      o.duration,
+		Seed:          o.seed,
+		Deadline:      o.deadline,
+		Cooldown:      o.cooldown,
+		OriginWeights: weights,
+		OriginCorr:    o.originCorr,
+		Schedule:      o.faults,
+		Instance:      inst,
+	})
+	if err != nil {
+		return err
+	}
+
+	regionNames := make([]string, len(regions))
+	for i, reg := range regions {
+		regionNames[i] = reg.Name
+	}
+	fmt.Printf("fleet    : %d shards over %s, %d replicas × batch ≤%d each, ladder %d rungs (%s pricing)\n",
+		o.shards, strings.Join(regionNames, "+"), replicas, shards[0].Gateway.Config().MaxBatch,
+		len(ladder), inst.Name)
+	fmt.Printf("workload : %d requests over %s, shape %s, origin corr %.2f, seed %d\n",
+		o.requests, o.duration, workload.ShapeLabel(shapes), o.originCorr, o.seed)
+	if o.faults != nil && len(o.faults.Events) > 0 {
+		fmt.Printf("chaos    : %s\n", o.faults.String())
+	}
+	if o.balance {
+		fmt.Println("balance  : regional shift-before-degrade loop on")
+	}
+	fmt.Println(rep.String())
+	fmt.Print(rep.FrontierTable())
+
+	if o.reportOut != "" {
+		payload := struct {
+			Report   *shard.Report  `json:"report"`
+			Statuses []shard.Status `json:"shards"`
+		}{rep, r.Statuses()}
+		if err := report.WriteEnvelopeFile(o.reportOut, report.KindLoadtest, payload); err != nil {
+			return fmt.Errorf("report-out: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "loadtest: report → %s\n", o.reportOut)
+	}
+	if err := writeTelemetry(o.metricsOut, o.traceOut); err != nil {
+		return err
+	}
+
+	// Exit gates mirror the single-gateway loadtest: client-visible errors
+	// first (the resilience claim — rerouted and failed-over requests are
+	// not errors), then latency.
+	if rate := rep.ErrorRate(); rate > o.maxErrorRate {
+		return fmt.Errorf("loadtest: error rate %.2f%% exceeds -max-error-rate %.2f%%",
+			rate*100, o.maxErrorRate*100)
+	}
+	if o.maxP99 > 0 && rep.P99MS > o.maxP99.Seconds()*1000 {
+		return fmt.Errorf("loadtest: p99 %.1fms exceeds -max-p99 %s", rep.P99MS, o.maxP99)
+	}
+	return nil
+}
+
+// parseShapes turns the -shape spec into composed workload generators.
+// Terms join with ",", and each multiplies into the arrival intensity:
+//
+//	diurnal[:AMP[@PEAK][xCYCLES]]   sinusoid, e.g. diurnal:0.6@0.75
+//	flash:AT+RAMP+HOLDxMULT         flash crowd, e.g. flash:0.5+0.05+0.2x4
+//
+// All positions are trace fractions. Empty (or "uniform") means uniform
+// arrivals.
+func parseShapes(spec string) ([]workload.Shape, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "uniform" {
+		return nil, nil
+	}
+	var out []workload.Shape
+	for _, term := range strings.Split(spec, ",") {
+		term = strings.TrimSpace(term)
+		kind, rest, _ := strings.Cut(term, ":")
+		switch kind {
+		case "diurnal":
+			s := workload.Sinusoid{Amplitude: 0.6, Peak: 0.75}
+			if rest != "" {
+				var err error
+				if body, cyc, ok := strings.Cut(rest, "x"); ok {
+					if s.Cycles, err = atof(cyc, "cycles"); err != nil {
+						return nil, err
+					}
+					rest = body
+				}
+				ampStr, peakStr, hasPeak := strings.Cut(rest, "@")
+				if s.Amplitude, err = atof(ampStr, "amplitude"); err != nil {
+					return nil, err
+				}
+				if hasPeak {
+					if s.Peak, err = atof(peakStr, "peak"); err != nil {
+						return nil, err
+					}
+				}
+			}
+			out = append(out, s)
+		case "flash":
+			body, multStr, ok := strings.Cut(rest, "x")
+			if !ok {
+				return nil, fmt.Errorf("flash shape %q needs xMULT", term)
+			}
+			parts := strings.Split(body, "+")
+			if len(parts) != 3 {
+				return nil, fmt.Errorf("flash shape %q: want flash:AT+RAMP+HOLDxMULT", term)
+			}
+			var f workload.FlashCrowd
+			var err error
+			if f.At, err = atof(parts[0], "at"); err != nil {
+				return nil, err
+			}
+			if f.Ramp, err = atof(parts[1], "ramp"); err != nil {
+				return nil, err
+			}
+			if f.Hold, err = atof(parts[2], "hold"); err != nil {
+				return nil, err
+			}
+			if f.Mult, err = atof(multStr, "mult"); err != nil {
+				return nil, err
+			}
+			out = append(out, f)
+		default:
+			return nil, fmt.Errorf("unknown shape %q (want diurnal or flash)", kind)
+		}
+	}
+	return out, nil
+}
+
+// parseOriginWeights parses the -origin-weights comma list ("" = uniform)
+// and checks it matches the region count.
+func parseOriginWeights(spec string, regions int) ([]float64, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, ",")
+	if len(parts) != regions {
+		return nil, fmt.Errorf("%d weights for %d regions", len(parts), regions)
+	}
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		w, err := atof(p, "weight")
+		if err != nil {
+			return nil, err
+		}
+		if w < 0 {
+			return nil, fmt.Errorf("weight %g is negative", w)
+		}
+		out[i] = w
+	}
+	return out, nil
+}
+
+func atof(s, what string) (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", what, s)
+	}
+	return v, nil
+}

@@ -1,0 +1,215 @@
+package autoscale
+
+import "fmt"
+
+// RegionSignal is one region's slice of a regional control tick: its
+// current price (catalog multiplier × active spot spikes), its routing
+// weight and balancer bias as the shard router sees them, and its load
+// and ladder state aggregated over the region's shards.
+type RegionSignal struct {
+	Region string `json:"region"`
+	// PriceMultiplier is the region's effective price multiple relative
+	// to the baseline region (≥ 1; spikes push it up).
+	PriceMultiplier float64 `json:"price_multiplier"`
+	// Weight is the router's effective routing weight (health × bias);
+	// 0 means the region is drained and not a candidate for anything.
+	Weight float64 `json:"weight"`
+	// Bias is the balancer-owned part of the weight — what Decide moves.
+	Bias float64 `json:"bias"`
+	// QueueFrac is the worst admission-queue fill across the region's
+	// shards; P99 the worst per-shard p99 in seconds over the tick;
+	// Samples the completed-request count backing it.
+	QueueFrac float64 `json:"queue_frac"`
+	P99       float64 `json:"p99_seconds"`
+	Samples   int     `json:"samples"`
+	// Variant is the region's current ladder rung; Variants the ladder
+	// length.
+	Variant  int `json:"variant"`
+	Variants int `json:"variants"`
+}
+
+// RegionVerb is the kind of move a regional decision makes.
+type RegionVerb int
+
+// The regional control table's moves. ShiftAway/ShiftBack move load
+// between regions (the new actuation this policy adds); RegionDegrade
+// and RegionRestore walk one region's ladder, mirroring the fleet-level
+// Degrade/Restore.
+const (
+	RegionHold RegionVerb = iota
+	ShiftAway
+	ShiftBack
+	RegionDegrade
+	RegionRestore
+)
+
+// String names the verb.
+func (v RegionVerb) String() string {
+	switch v {
+	case ShiftAway:
+		return "shift_away"
+	case ShiftBack:
+		return "shift_back"
+	case RegionDegrade:
+		return "degrade"
+	case RegionRestore:
+		return "restore"
+	default:
+		return "hold"
+	}
+}
+
+// RegionAction is one region's decision for the tick: the bias the
+// router should apply to its shards and the ladder rung its gateways
+// should serve at.
+type RegionAction struct {
+	Verb    RegionVerb `json:"verb"`
+	Region  string     `json:"region"`
+	Bias    float64    `json:"bias"`
+	Variant int        `json:"variant"`
+	Reason  string     `json:"reason"`
+}
+
+// RegionalPolicy is the pure decision core of the cross-region balancer.
+// Its one rule extends the paper's money-before-accuracy ordering across
+// geography: when a region becomes expensive (spot spike) or overloaded,
+// the first move is to shift load toward a cheap healthy region — only
+// when no such sink exists does the region start spending accuracy.
+// Decide is a deterministic function of its inputs, like Policy.Decide.
+type RegionalPolicy struct {
+	// SLOSeconds is the p99 objective each region defends.
+	SLOSeconds float64 `json:"slo_seconds"`
+	// SpikeFactor: a region counts as expensive when its price multiple
+	// is ≥ SpikeFactor × the cheapest healthy region's (default 1.5).
+	SpikeFactor float64 `json:"spike_factor"`
+	// ShiftStep multiplies the bias on each ShiftAway (default 0.5) and
+	// divides it on each ShiftBack — drain fast, return gradually.
+	ShiftStep float64 `json:"shift_step"`
+	// MinBias floors ShiftAway so price alone never fully abandons a
+	// region — outright draining is health's job (default 1/8).
+	MinBias float64 `json:"min_bias"`
+	// HeadroomFrac: a sink region must have QueueFrac below this to
+	// absorb shifted load (default 0.5).
+	HeadroomFrac float64 `json:"headroom_frac"`
+	// DegradeQueueFrac is the overload threshold (default 0.75), and
+	// RestoreFraction the healthy band (p99 ≤ SLO·RestoreFraction,
+	// default 0.5) — the same hysteresis shape as the fleet policy.
+	DegradeQueueFrac float64 `json:"degrade_queue_frac"`
+	RestoreFraction  float64 `json:"restore_fraction"`
+}
+
+func (p RegionalPolicy) withDefaults() RegionalPolicy {
+	if p.SpikeFactor <= 1 {
+		p.SpikeFactor = 1.5
+	}
+	if p.ShiftStep <= 0 || p.ShiftStep >= 1 {
+		p.ShiftStep = 0.5
+	}
+	if p.MinBias <= 0 || p.MinBias >= 1 {
+		p.MinBias = 1.0 / 8
+	}
+	if p.HeadroomFrac <= 0 || p.HeadroomFrac > 1 {
+		p.HeadroomFrac = 0.5
+	}
+	if p.DegradeQueueFrac <= 0 || p.DegradeQueueFrac > 1 {
+		p.DegradeQueueFrac = 0.75
+	}
+	if p.RestoreFraction <= 0 || p.RestoreFraction >= 1 {
+		p.RestoreFraction = 0.5
+	}
+	return p
+}
+
+// Validate rejects a policy Decide cannot run on.
+func (p RegionalPolicy) Validate() error {
+	if p.SLOSeconds <= 0 {
+		return fmt.Errorf("autoscale: regional policy needs SLOSeconds > 0")
+	}
+	return nil
+}
+
+// sink returns the index of the cheapest healthy region with queue
+// headroom, excluding exclude — the destination shifted load would land
+// on — or -1 when no region qualifies. Ties break on region name so the
+// choice is deterministic.
+func (p RegionalPolicy) sink(signals []RegionSignal, exclude int) int {
+	best := -1
+	for i, s := range signals {
+		if i == exclude || s.Weight <= 0 || s.QueueFrac >= p.HeadroomFrac {
+			continue
+		}
+		if best < 0 || s.PriceMultiplier < signals[best].PriceMultiplier ||
+			(s.PriceMultiplier == signals[best].PriceMultiplier && s.Region < signals[best].Region) {
+			best = i
+		}
+	}
+	return best
+}
+
+// Decide maps one tick's per-region signals to per-region actions, one
+// action per signal, index-aligned. The branch order per region IS the
+// policy:
+//
+//  1. expensive or overloaded, and a cheap healthy sink exists — shift
+//     load away (lower the region's bias) before touching accuracy;
+//  2. overloaded with nowhere to shift — degrade the region's ladder;
+//  3. healthy and cheap again — shift back (raise the bias toward 1)
+//     before restoring accuracy, so the fleet returns to its home
+//     geometry first;
+//  4. sustained health with the bias home — restore accuracy;
+//  5. otherwise hold.
+func (p RegionalPolicy) Decide(signals []RegionSignal) []RegionAction {
+	p = p.withDefaults()
+	minPM := 0.0
+	for _, s := range signals {
+		if s.Weight <= 0 {
+			continue
+		}
+		if minPM == 0 || s.PriceMultiplier < minPM {
+			minPM = s.PriceMultiplier
+		}
+	}
+	out := make([]RegionAction, len(signals))
+	for i, s := range signals {
+		hold := func(reason string) RegionAction {
+			return RegionAction{Verb: RegionHold, Region: s.Region, Bias: s.Bias, Variant: s.Variant, Reason: reason}
+		}
+		spiked := minPM > 0 && s.PriceMultiplier >= p.SpikeFactor*minPM
+		overloaded := s.QueueFrac >= p.DegradeQueueFrac ||
+			(s.Samples > 0 && s.P99 > p.SLOSeconds)
+		healthy := s.QueueFrac < p.DegradeQueueFrac &&
+			(s.Samples == 0 || s.P99 <= p.SLOSeconds*p.RestoreFraction)
+		switch {
+		case (spiked || overloaded) && p.sink(signals, i) >= 0:
+			bias := s.Bias * p.ShiftStep
+			if bias < p.MinBias {
+				bias = p.MinBias
+			}
+			reason := "spot spike: shifting load to cheaper region"
+			if !spiked {
+				reason = "overloaded: shifting load to region with headroom"
+			}
+			if bias >= s.Bias { // already at the floor
+				out[i] = hold("shifted to bias floor, holding")
+				continue
+			}
+			out[i] = RegionAction{Verb: ShiftAway, Region: s.Region, Bias: bias, Variant: s.Variant, Reason: reason}
+		case overloaded && s.Variant < s.Variants-1:
+			out[i] = RegionAction{Verb: RegionDegrade, Region: s.Region, Bias: s.Bias, Variant: s.Variant + 1,
+				Reason: "overloaded with no shift target: trading accuracy for throughput"}
+		case !spiked && !overloaded && s.Bias < 1:
+			bias := s.Bias / p.ShiftStep
+			if bias > 1 {
+				bias = 1
+			}
+			out[i] = RegionAction{Verb: ShiftBack, Region: s.Region, Bias: bias, Variant: s.Variant,
+				Reason: "price and load back to normal: returning shifted traffic"}
+		case healthy && s.Bias >= 1 && s.Variant > 0:
+			out[i] = RegionAction{Verb: RegionRestore, Region: s.Region, Bias: s.Bias, Variant: s.Variant - 1,
+				Reason: "sustained regional headroom: restoring accuracy"}
+		default:
+			out[i] = hold("inside band")
+		}
+	}
+	return out
+}

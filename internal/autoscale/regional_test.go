@@ -1,0 +1,162 @@
+package autoscale
+
+import (
+	"reflect"
+	"testing"
+)
+
+func regionalPolicy() RegionalPolicy {
+	return RegionalPolicy{SLOSeconds: 0.05}
+}
+
+// twoRegions is the canonical fixture: a cheap healthy west and an east
+// whose signal the test bends.
+func twoRegions(east RegionSignal) []RegionSignal {
+	west := RegionSignal{
+		Region: "us-west", PriceMultiplier: 1.0, Weight: 1, Bias: 1,
+		QueueFrac: 0.1, P99: 0.01, Samples: 50, Variant: 0, Variants: 3,
+	}
+	east.Region = "us-east"
+	if east.Variants == 0 {
+		east.Variants = 3
+	}
+	return []RegionSignal{west, east}
+}
+
+func TestRegionalShiftBeforeDegrade(t *testing.T) {
+	p := regionalPolicy()
+	// East's spot price spiked ×3 while west is cheap and has headroom:
+	// the policy must shift, not degrade — accuracy untouched.
+	sigs := twoRegions(RegionSignal{
+		PriceMultiplier: 3.0, Weight: 1, Bias: 1,
+		QueueFrac: 0.2, P99: 0.01, Samples: 40,
+	})
+	acts := p.Decide(sigs)
+	if acts[1].Verb != ShiftAway {
+		t.Fatalf("east verb %v, want ShiftAway (%s)", acts[1].Verb, acts[1].Reason)
+	}
+	if acts[1].Bias >= 1 {
+		t.Fatalf("ShiftAway bias %v did not drop", acts[1].Bias)
+	}
+	if acts[1].Variant != 0 {
+		t.Fatalf("shift changed the ladder: variant %d", acts[1].Variant)
+	}
+	if acts[0].Verb != RegionHold {
+		t.Fatalf("west verb %v, want Hold", acts[0].Verb)
+	}
+
+	// Same spike, but east is also overloaded: still shift first.
+	sigs = twoRegions(RegionSignal{
+		PriceMultiplier: 3.0, Weight: 1, Bias: 1,
+		QueueFrac: 0.9, P99: 0.2, Samples: 40,
+	})
+	if acts := p.Decide(sigs); acts[1].Verb != ShiftAway {
+		t.Fatalf("overloaded+spiked east verb %v, want ShiftAway", acts[1].Verb)
+	}
+}
+
+func TestRegionalDegradeWhenNoSink(t *testing.T) {
+	p := regionalPolicy()
+	// West has no headroom (queue nearly full): an overloaded east has
+	// nowhere to shift and must degrade.
+	sigs := []RegionSignal{
+		{Region: "us-west", PriceMultiplier: 1, Weight: 1, Bias: 1,
+			QueueFrac: 0.9, P99: 0.2, Samples: 40, Variant: 0, Variants: 3},
+		{Region: "us-east", PriceMultiplier: 1, Weight: 1, Bias: 1,
+			QueueFrac: 0.9, P99: 0.2, Samples: 40, Variant: 0, Variants: 3},
+	}
+	acts := p.Decide(sigs)
+	for i, a := range acts {
+		if a.Verb != RegionDegrade {
+			t.Fatalf("region %d verb %v, want RegionDegrade (%s)", i, a.Verb, a.Reason)
+		}
+		if a.Variant != 1 {
+			t.Fatalf("region %d degraded to %d, want 1", i, a.Variant)
+		}
+	}
+	// At the bottom of the ladder there is nothing left: hold.
+	sigs[0].Variant, sigs[1].Variant = 2, 2
+	for i, a := range p.Decide(sigs) {
+		if a.Verb != RegionHold {
+			t.Fatalf("saturated region %d verb %v, want Hold", i, a.Verb)
+		}
+	}
+}
+
+func TestRegionalShiftBackThenRestore(t *testing.T) {
+	p := regionalPolicy()
+	// Spike over, bias still low: first move is ShiftBack even though the
+	// ladder is also degraded.
+	sigs := twoRegions(RegionSignal{
+		PriceMultiplier: 1.0, Weight: 1, Bias: 0.25,
+		QueueFrac: 0.1, P99: 0.01, Samples: 40, Variant: 1,
+	})
+	acts := p.Decide(sigs)
+	if acts[1].Verb != ShiftBack {
+		t.Fatalf("east verb %v, want ShiftBack (%s)", acts[1].Verb, acts[1].Reason)
+	}
+	if acts[1].Bias != 0.5 {
+		t.Fatalf("ShiftBack bias %v, want 0.5", acts[1].Bias)
+	}
+	// Bias home: now accuracy comes back.
+	sigs[1].Bias = 1
+	acts = p.Decide(sigs)
+	if acts[1].Verb != RegionRestore || acts[1].Variant != 0 {
+		t.Fatalf("east action %+v, want RegionRestore to 0", acts[1])
+	}
+}
+
+func TestRegionalBiasFloorAndDrainExclusion(t *testing.T) {
+	p := regionalPolicy()
+	// At the bias floor further spiked ticks hold rather than shift.
+	sigs := twoRegions(RegionSignal{
+		PriceMultiplier: 3.0, Weight: 1, Bias: 1.0 / 8,
+		QueueFrac: 0.2, P99: 0.01, Samples: 40,
+	})
+	if acts := p.Decide(sigs); acts[1].Verb != RegionHold {
+		t.Fatalf("at-floor verb %v, want Hold", acts[1].Verb)
+	}
+	// A drained region (weight 0) is not a sink: overloaded east with a
+	// dead west degrades instead of shifting into the void. It is also
+	// excluded from the cheapest-price baseline, so east is not "spiked"
+	// relative to a dead cheap region.
+	sigs = []RegionSignal{
+		{Region: "us-west", PriceMultiplier: 1, Weight: 0, Bias: 1,
+			QueueFrac: 0, P99: 0, Samples: 0, Variant: 0, Variants: 3},
+		{Region: "us-east", PriceMultiplier: 2, Weight: 1, Bias: 1,
+			QueueFrac: 0.9, P99: 0.2, Samples: 40, Variant: 0, Variants: 3},
+	}
+	acts := p.Decide(sigs)
+	if acts[1].Verb != RegionDegrade {
+		t.Fatalf("no-sink verb %v, want RegionDegrade (%s)", acts[1].Verb, acts[1].Reason)
+	}
+}
+
+func TestRegionalDecideDeterministic(t *testing.T) {
+	p := regionalPolicy()
+	sigs := []RegionSignal{
+		{Region: "ap-south", PriceMultiplier: 1.28, Weight: 1, Bias: 0.5,
+			QueueFrac: 0.4, P99: 0.03, Samples: 10, Variant: 1, Variants: 4},
+		{Region: "eu-central", PriceMultiplier: 3.36, Weight: 1, Bias: 1,
+			QueueFrac: 0.8, P99: 0.08, Samples: 25, Variant: 0, Variants: 4},
+		{Region: "us-west", PriceMultiplier: 1, Weight: 0.5, Bias: 1,
+			QueueFrac: 0.2, P99: 0.01, Samples: 60, Variant: 0, Variants: 4},
+	}
+	a := p.Decide(sigs)
+	b := p.Decide(sigs)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Decide not deterministic:\n%+v\n%+v", a, b)
+	}
+	if len(a) != len(sigs) {
+		t.Fatalf("actions %d for %d signals", len(a), len(sigs))
+	}
+}
+
+func TestRegionalValidate(t *testing.T) {
+	if err := (RegionalPolicy{}).Validate(); err == nil {
+		t.Fatal("zero policy should fail validation")
+	}
+	if err := regionalPolicy().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -34,11 +34,12 @@ import (
 
 // DefaultGatePattern names the hot-path benchmarks a regression in which
 // fails the build (ROADMAP: Enumerate, Batcher, GatewayThroughput,
-// TenantFairness, matmul, plus the workspace forward path: ConvForward and
-// ForwardWorkspace). Sub-benchmarks inherit their parent's gating by
-// prefix; ConvForward deliberately does NOT match the ungated
+// TenantFairness, matmul, the workspace forward path — ConvForward and
+// ForwardWorkspace — and the shard router's routing decision,
+// ShardRouter). Sub-benchmarks inherit their parent's gating by prefix;
+// ConvForward deliberately does NOT match the ungated
 // ConvForwardDenseVsSparse sweep.
-const DefaultGatePattern = `^Benchmark(Enumerate|Batcher|GatewayThroughput|TenantFairness|[Mm]at[Mm]ul|ConvForward|ForwardWorkspace)(/|$)`
+const DefaultGatePattern = `^Benchmark(Enumerate|Batcher|GatewayThroughput|TenantFairness|[Mm]at[Mm]ul|ConvForward|ForwardWorkspace|ShardRouter)(/|$)`
 
 // Options configures a comparison.
 type Options struct {

@@ -227,6 +227,8 @@ func TestDefaultGatePattern(t *testing.T) {
 		"BenchmarkMatmul":                 true,
 		"BenchmarkMatMul":                 true,
 		"BenchmarkMatMul/256x1200x729":    true,
+		"BenchmarkShardRouter":            true,
+		"BenchmarkShardRouterSomething":   false,
 		"BenchmarkEnumerateSomethingElse": false,
 		"BenchmarkHelper":                 false,
 	} {

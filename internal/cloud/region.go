@@ -1,0 +1,145 @@
+package cloud
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Region is one cloud region hosting an instance pool. The paper prices
+// everything in a single region (Oregon, Table 3); a multi-region fleet
+// sees two extra effects the single-instance study could not: regional
+// price spread (the same instance type rents at a different rate per
+// region) and inter-region network latency (a request served outside its
+// origin region pays a round trip). Both are modeled here as pure data so
+// the shard router and the regional autoscaler stay deterministic.
+type Region struct {
+	// Name is the region identifier, e.g. "us-west".
+	Name string
+	// PriceMultiplier scales the catalog's baseline (us-west/Oregon) $/hr
+	// for instances rented in this region.
+	PriceMultiplier float64
+	// meridian is the region's position on a one-dimensional network
+	// model, in milliseconds of one-way latency from us-west. Pairwise
+	// round-trip time is 2·|a−b| — crude, but transitive and symmetric,
+	// which is all the routing penalty needs.
+	meridian float64
+}
+
+// RegionCatalog returns the modeled regions, baseline first. Multipliers
+// follow the familiar public-cloud spread: US regions cheapest, Europe a
+// little over, Asia-Pacific the most expensive.
+func RegionCatalog() []Region {
+	return []Region{
+		{Name: "us-west", PriceMultiplier: 1.00, meridian: 0},
+		{Name: "us-east", PriceMultiplier: 1.02, meridian: 35},
+		{Name: "eu-central", PriceMultiplier: 1.12, meridian: 75},
+		{Name: "ap-south", PriceMultiplier: 1.28, meridian: 120},
+	}
+}
+
+// RegionByName returns the catalog region with the given name.
+func RegionByName(name string) (Region, error) {
+	for _, r := range RegionCatalog() {
+		if r.Name == name {
+			return r, nil
+		}
+	}
+	return Region{}, fmt.Errorf("cloud: unknown region %q (have %s)", name, strings.Join(RegionNames(), ", "))
+}
+
+// RegionNames lists the catalog regions' names in catalog order.
+func RegionNames() []string {
+	cat := RegionCatalog()
+	names := make([]string, len(cat))
+	for i, r := range cat {
+		names[i] = r.Name
+	}
+	return names
+}
+
+// ParseRegions parses a comma-separated region list ("us-west,us-east")
+// against the catalog, rejecting duplicates. An empty spec is an error:
+// callers that want a default choose it themselves.
+func ParseRegions(spec string) ([]Region, error) {
+	parts := strings.Split(spec, ",")
+	out := make([]Region, 0, len(parts))
+	seen := map[string]bool{}
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		r, err := RegionByName(p)
+		if err != nil {
+			return nil, err
+		}
+		if seen[r.Name] {
+			return nil, fmt.Errorf("cloud: region %q listed twice", r.Name)
+		}
+		seen[r.Name] = true
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cloud: empty region list %q", spec)
+	}
+	return out, nil
+}
+
+// InterRegionRTT returns the modeled network round-trip time between two
+// regions (zero within one region). Unknown names cost the worst-case
+// catalog distance, so a typo shows up as latency rather than a free ride.
+func InterRegionRTT(a, b string) time.Duration {
+	if a == b {
+		return 0
+	}
+	ra, errA := RegionByName(a)
+	rb, errB := RegionByName(b)
+	if errA != nil || errB != nil {
+		return worstRTT()
+	}
+	d := ra.meridian - rb.meridian
+	if d < 0 {
+		d = -d
+	}
+	return time.Duration(2 * d * float64(time.Millisecond))
+}
+
+// worstRTT is the largest pairwise round trip in the catalog.
+func worstRTT() time.Duration {
+	cat := RegionCatalog()
+	var lo, hi float64
+	for i, r := range cat {
+		if i == 0 || r.meridian < lo {
+			lo = r.meridian
+		}
+		if i == 0 || r.meridian > hi {
+			hi = r.meridian
+		}
+	}
+	return time.Duration(2 * (hi - lo) * float64(time.Millisecond))
+}
+
+// RegionalPrice returns the instance's $/hr in the region: the Table 3
+// baseline scaled by the region's multiplier.
+func RegionalPrice(inst *Instance, region Region) float64 {
+	return inst.PricePerHour * region.PriceMultiplier
+}
+
+// CheapestRegion returns the lowest-multiplier region among candidates
+// (ties broken by name, so the pick is deterministic). Empty input returns
+// the zero Region.
+func CheapestRegion(candidates []Region) Region {
+	if len(candidates) == 0 {
+		return Region{}
+	}
+	sorted := append([]Region(nil), candidates...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].PriceMultiplier != sorted[j].PriceMultiplier {
+			return sorted[i].PriceMultiplier < sorted[j].PriceMultiplier
+		}
+		return sorted[i].Name < sorted[j].Name
+	})
+	return sorted[0]
+}

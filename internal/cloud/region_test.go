@@ -1,0 +1,90 @@
+package cloud
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRegionCatalogAndLookup(t *testing.T) {
+	cat := RegionCatalog()
+	if len(cat) < 2 {
+		t.Fatalf("catalog too small: %d", len(cat))
+	}
+	if cat[0].Name != "us-west" || cat[0].PriceMultiplier != 1.0 {
+		t.Fatalf("baseline region wrong: %+v", cat[0])
+	}
+	for _, r := range cat {
+		got, err := RegionByName(r.Name)
+		if err != nil {
+			t.Fatalf("RegionByName(%s): %v", r.Name, err)
+		}
+		if got != r {
+			t.Fatalf("RegionByName(%s) = %+v, want %+v", r.Name, got, r)
+		}
+		if r.PriceMultiplier < 1 {
+			t.Fatalf("region %s undercuts the baseline: %v", r.Name, r.PriceMultiplier)
+		}
+	}
+	if _, err := RegionByName("mars-north"); err == nil {
+		t.Fatal("unknown region should error")
+	}
+}
+
+func TestParseRegions(t *testing.T) {
+	rs, err := ParseRegions(" us-west , us-east ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || rs[0].Name != "us-west" || rs[1].Name != "us-east" {
+		t.Fatalf("parsed %+v", rs)
+	}
+	for _, bad := range []string{"", " , ", "us-west,us-west", "us-west,atlantis"} {
+		if _, err := ParseRegions(bad); err == nil {
+			t.Errorf("ParseRegions(%q): expected error", bad)
+		}
+	}
+}
+
+func TestInterRegionRTT(t *testing.T) {
+	if d := InterRegionRTT("us-west", "us-west"); d != 0 {
+		t.Fatalf("intra-region RTT %v, want 0", d)
+	}
+	ab := InterRegionRTT("us-west", "eu-central")
+	ba := InterRegionRTT("eu-central", "us-west")
+	if ab != ba {
+		t.Fatalf("RTT asymmetric: %v vs %v", ab, ba)
+	}
+	if ab <= 0 {
+		t.Fatalf("cross-region RTT %v, want > 0", ab)
+	}
+	// The 1-D meridian model is transitive: west→ap ≥ west→eu.
+	if far := InterRegionRTT("us-west", "ap-south"); far < ab {
+		t.Fatalf("ap-south (%v) nearer than eu-central (%v) from us-west", far, ab)
+	}
+	// Unknown regions pay the worst-case distance, not zero.
+	if d := InterRegionRTT("us-west", "atlantis"); d <= 0 {
+		t.Fatalf("unknown region RTT %v, want worst-case > 0", d)
+	}
+}
+
+func TestRegionalPriceAndCheapest(t *testing.T) {
+	inst := mustByName("p2.xlarge")
+	us, _ := RegionByName("us-west")
+	ap, _ := RegionByName("ap-south")
+	if got := RegionalPrice(inst, us); got != inst.PricePerHour {
+		t.Fatalf("baseline regional price %v, want %v", got, inst.PricePerHour)
+	}
+	if got := RegionalPrice(inst, ap); got <= inst.PricePerHour {
+		t.Fatalf("ap-south price %v should exceed baseline %v", got, inst.PricePerHour)
+	}
+	cheap := CheapestRegion([]Region{ap, us})
+	if cheap.Name != "us-west" {
+		t.Fatalf("cheapest = %s, want us-west", cheap.Name)
+	}
+	if CheapestRegion(nil) != (Region{}) {
+		t.Fatal("empty candidates should return zero Region")
+	}
+	if d := time.Duration(0); worstRTT() <= d {
+		t.Fatalf("worstRTT %v, want > 0", worstRTT())
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 )
 
 // Kind classifies one fault event.
@@ -39,6 +40,16 @@ const (
 	// Errors injects per-request failures on the target with probability
 	// Rate, decided by the schedule's seeded hash.
 	Errors
+	// RegionDown takes a whole region offline over [At, At+Duration]: a
+	// correlated failure that hits every shard (and so every replica)
+	// placed in Event.Region at once — the scenario per-replica faults
+	// cannot express, because the per-replica failures it causes are
+	// perfectly correlated.
+	RegionDown
+	// SpotSpike multiplies a region's instance pricing by Factor over
+	// [At, At+Duration] — the spot-market price excursion that makes a
+	// regional fleet suddenly unaffordable without taking it down.
+	SpotSpike
 )
 
 // String names the kind (the spec keyword).
@@ -52,6 +63,10 @@ func (k Kind) String() string {
 		return "crash"
 	case Errors:
 		return "err"
+	case RegionDown:
+		return "region"
+	case SpotSpike:
+		return "spot"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -71,10 +86,14 @@ type Event struct {
 	At float64
 	// Duration is the length of Slow and Crash windows.
 	Duration float64
-	// Factor is the Slow service-time multiplier (≥ 1).
+	// Factor is the Slow service-time multiplier (≥ 1), or the SpotSpike
+	// price multiplier (≥ 1).
 	Factor float64
 	// Rate is the Errors injection probability in [0, 1].
 	Rate float64
+	// Region names the region a RegionDown or SpotSpike event addresses
+	// (those kinds ignore Target).
+	Region string
 }
 
 // Schedule is a full failure scenario: an event list plus the seed that
@@ -112,6 +131,23 @@ func (s *Schedule) Validate() error {
 		case Errors:
 			if e.Rate < 0 || e.Rate > 1 {
 				return fmt.Errorf("fault: err event %d rate %v (want in [0,1])", i, e.Rate)
+			}
+		case RegionDown:
+			if e.Region == "" {
+				return fmt.Errorf("fault: region event %d names no region", i)
+			}
+			if e.Duration <= 0 {
+				return fmt.Errorf("fault: region event %d duration %v (want > 0)", i, e.Duration)
+			}
+		case SpotSpike:
+			if e.Region == "" {
+				return fmt.Errorf("fault: spot event %d names no region", i)
+			}
+			if e.Duration <= 0 {
+				return fmt.Errorf("fault: spot event %d duration %v (want > 0)", i, e.Duration)
+			}
+			if e.Factor < 1 {
+				return fmt.Errorf("fault: spot event %d factor %v (want ≥ 1)", i, e.Factor)
 			}
 		default:
 			return fmt.Errorf("fault: event %d has unknown kind %d", i, int(e.Kind))
@@ -205,6 +241,71 @@ func (s *Schedule) FailRequest(target int, id int64, attempt int) bool {
 	return Frac(x) < rate
 }
 
+// RegionDownActive reports whether the region is inside a RegionDown
+// window at elapsed seconds since start. Nil-safe.
+func (s *Schedule) RegionDownActive(region string, elapsed float64) bool {
+	if s == nil {
+		return false
+	}
+	for _, e := range s.Events {
+		if e.Kind == RegionDown && e.Region == region && elapsed >= e.At && elapsed < e.At+e.Duration {
+			return true
+		}
+	}
+	return false
+}
+
+// PriceMultiplier returns the region's instance-price multiplier at
+// elapsed seconds: the product of all active SpotSpike factors (1 when
+// none). Nil-safe.
+func (s *Schedule) PriceMultiplier(region string, elapsed float64) float64 {
+	f := 1.0
+	if s == nil {
+		return f
+	}
+	for _, e := range s.Events {
+		if e.Kind == SpotSpike && e.Region == region && elapsed >= e.At && elapsed < e.At+e.Duration {
+			f *= e.Factor
+		}
+	}
+	return f
+}
+
+// PriceIntegral returns ∫ PriceMultiplier(region, t) dt over [from, to] —
+// the factor a region's rental bill is scaled by across the window, spikes
+// included. Overlapping spikes compound multiplicatively, exactly as
+// PriceMultiplier reports them.
+func (s *Schedule) PriceIntegral(region string, from, to float64) float64 {
+	if to <= from {
+		return 0
+	}
+	// Segment [from, to] at every spike boundary, then integrate the
+	// (piecewise-constant) multiplier by evaluating each segment's midpoint.
+	cuts := []float64{from, to}
+	if s != nil {
+		for _, e := range s.Events {
+			if e.Kind != SpotSpike || e.Region != region {
+				continue
+			}
+			for _, c := range [2]float64{e.At, e.At + e.Duration} {
+				if c > from && c < to {
+					cuts = append(cuts, c)
+				}
+			}
+		}
+	}
+	sort.Float64s(cuts)
+	var sum float64
+	for i := 1; i < len(cuts); i++ {
+		lo, hi := cuts[i-1], cuts[i]
+		if hi <= lo {
+			continue
+		}
+		sum += s.PriceMultiplier(region, (lo+hi)/2) * (hi - lo)
+	}
+	return sum
+}
+
 // Injector is the hook the serving gateway's replica execute path calls.
 // *Schedule implements it; tests substitute scripted fakes.
 type Injector interface {
@@ -217,6 +318,36 @@ type Injector interface {
 }
 
 var _ Injector = (*Schedule)(nil)
+
+// RegionInjector is a per-shard view of a schedule for a gateway placed in
+// one region: replica-addressed Crash and Errors events pass through, and
+// a RegionDown window covering the shard's region reads as every replica
+// crashed at once — the correlated failure the shard router must survive.
+type RegionInjector struct {
+	Schedule *Schedule
+	Region   string
+}
+
+// CrashActive reports a crash when either the replica's own Crash window
+// or the whole region's RegionDown window is active.
+func (ri RegionInjector) CrashActive(replica int, elapsed float64) bool {
+	return ri.Schedule.CrashActive(replica, elapsed) ||
+		ri.Schedule.RegionDownActive(ri.Region, elapsed)
+}
+
+// FailRequest delegates to the schedule's seeded per-request hash.
+func (ri RegionInjector) FailRequest(replica int, id int64, attempt int) bool {
+	return ri.Schedule.FailRequest(replica, id, attempt)
+}
+
+// ForRegion returns the schedule viewed from one region's shard — the
+// Injector to hand that shard's gateway. Nil-safe (a nil schedule injects
+// nothing).
+func (s *Schedule) ForRegion(region string) RegionInjector {
+	return RegionInjector{Schedule: s, Region: region}
+}
+
+var _ Injector = RegionInjector{}
 
 // mix is the splitmix64 finalizer — the counter-based hash behind every
 // probabilistic decision in the package.

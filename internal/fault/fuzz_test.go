@@ -1,0 +1,53 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseRoundTrip throws arbitrary specs at the parser and checks the
+// grammar's core contract: parsing never panics, and any spec the parser
+// accepts survives a String() round trip — re-parsing yields a
+// structurally equal schedule whose rendering is a fixpoint. The seeds
+// cover every event kind, with the region-scoped ones (region@, spot@)
+// in several spellings since their names are free-form strings rather
+// than replica indices.
+func FuzzParseRoundTrip(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"preempt@0:21600,seed=7",
+		"slow@1:30000+3600x2",
+		"crash@0:10+20,err:0.02,seed=3",
+		"err@2:0.5",
+		"err:1",
+		"region@us-east:600+300",
+		"region@a-b.c_d:0.5+1.25",
+		"spot@eu-central:0+900x3",
+		"spot@x:1+2x1.5,region@x:3+4,seed=42",
+		" region@us-east : 1+2 ",
+		"preempt@*:5",
+		"seed=-9",
+		"bogus",
+		"region@:1+2",
+		"spot@us-east:1+2x0.5",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := ParseSchedule(spec)
+		if err != nil {
+			return // rejected specs only need to fail without panicking
+		}
+		rendered := s.String()
+		rt, err := ParseSchedule(rendered)
+		if err != nil {
+			t.Fatalf("String() %q of accepted spec %q does not re-parse: %v", rendered, spec, err)
+		}
+		if !reflect.DeepEqual(rt, s) {
+			t.Fatalf("round trip diverged:\nspec   %q\nfirst  %+v\nsecond %+v", spec, s, rt)
+		}
+		if again := rt.String(); again != rendered {
+			t.Fatalf("String() not a fixpoint: %q → %q", rendered, again)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -17,27 +18,43 @@ import (
 //	crash@<target>:<at>+<dur>    take replica <target> down for <dur> s
 //	err@<target>:<rate>          inject failures on <target> at <rate>
 //	err:<rate>                   same, on every replica
+//	region@<name>:<at>+<dur>     take every shard in region <name> down
+//	                             over [<at>, <at>+<dur>] (correlated
+//	                             regional failure)
+//	spot@<name>:<at>+<dur>x<factor>
+//	                             multiply region <name>'s instance pricing
+//	                             by <factor> over the window (spot spike)
 //
-// <target> is a zero-based index or `*` for the whole fleet. Times are
-// seconds (simulated for `ccperf simulate`, wall for `ccperf loadtest`).
-// Example: "preempt@2:3600,slow@0:1800+900x2.5,err:0.05,seed=7".
-// The empty string parses to an empty (fault-free) schedule.
+// <target> is a zero-based index or `*` for the whole fleet; <name> is a
+// region name (internal/cloud.RegionCatalog, or any label the consumer
+// assigns its shards). Times are seconds (simulated for `ccperf simulate`,
+// wall for `ccperf loadtest`).
+// Example: "preempt@2:3600,region@us-east:600+300,spot@eu-central:0+900x3".
+// The empty string parses to an empty (fault-free) schedule. Parse errors
+// name the offending token and its position in the spec.
 func ParseSchedule(spec string) (*Schedule, error) {
 	s := &Schedule{}
-	for _, tok := range strings.Split(spec, ",") {
-		tok = strings.TrimSpace(tok)
+	offset, index := 0, 0
+	for _, raw := range strings.Split(spec, ",") {
+		start := offset
+		offset += len(raw) + 1 // +1 for the separating comma
+		tok := strings.TrimSpace(raw)
 		if tok == "" {
 			continue
 		}
+		index++
+		// where pins the error to the token: its ordinal among the spec's
+		// non-blank tokens and its 1-based character position.
+		where := fmt.Sprintf("token %d %q at char %d", index, tok, start+strings.Index(raw, tok)+1)
 		if v, ok := strings.CutPrefix(tok, "seed="); ok {
 			seed, err := strconv.ParseInt(v, 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("fault: bad seed %q: %w", v, err)
+				return nil, fmt.Errorf("fault: %s: bad seed %q", where, v)
 			}
 			s.Seed = seed
 			continue
 		}
-		e, err := parseEvent(tok)
+		e, err := parseEvent(tok, where)
 		if err != nil {
 			return nil, err
 		}
@@ -46,35 +63,65 @@ func ParseSchedule(spec string) (*Schedule, error) {
 	return s, s.Validate()
 }
 
-// parseEvent parses one non-seed token.
-func parseEvent(tok string) (Event, error) {
+// parseEvent parses one non-seed token; where prefixes every error with
+// the token's spec position.
+func parseEvent(tok, where string) (Event, error) {
 	name, rest, found := strings.Cut(tok, "@")
-	target := AllTargets
-	if found {
-		tstr, tail, ok := strings.Cut(rest, ":")
-		if !ok {
-			return Event{}, fmt.Errorf("fault: token %q: missing ':' after target", tok)
-		}
-		if tstr != "*" {
-			n, err := strconv.Atoi(tstr)
-			if err != nil || n < 0 {
-				return Event{}, fmt.Errorf("fault: token %q: bad target %q", tok, tstr)
-			}
-			target = n
-		}
-		rest = tail
-	} else {
+	if !found {
 		name, rest, found = strings.Cut(tok, ":")
 		if !found {
-			return Event{}, fmt.Errorf("fault: token %q: want kind@target:... or err:rate", tok)
+			return Event{}, fmt.Errorf("fault: %s: want kind@target:... or err:rate", where)
 		}
+		if name != "err" {
+			return Event{}, fmt.Errorf("fault: %s: only err may omit its @target", where)
+		}
+		return parseErrEvent(AllTargets, rest, where)
+	}
+	tstr, rest, ok := strings.Cut(rest, ":")
+	if !ok {
+		return Event{}, fmt.Errorf("fault: %s: missing ':' after target", where)
 	}
 	num := func(v, what string) (float64, error) {
 		f, err := strconv.ParseFloat(v, 64)
-		if err != nil {
-			return 0, fmt.Errorf("fault: token %q: bad %s %q", tok, what, v)
+		// Non-finite values are rejected up front: "+Inf" would collide
+		// with the '+' window separator on the String() round trip, and
+		// NaN poisons every comparison downstream.
+		if err != nil || math.IsInf(f, 0) || math.IsNaN(f) {
+			return 0, fmt.Errorf("fault: %s: bad %s %q", where, what, v)
 		}
 		return f, nil
+	}
+	// The two region-scoped kinds address a named region, not a replica
+	// index; everything else resolves tstr as an index (or `*`).
+	switch name {
+	case "region":
+		at, dur, err := parseWindow(rest, where, num)
+		if err != nil {
+			return Event{}, err
+		}
+		return Event{Kind: RegionDown, Target: AllTargets, Region: tstr, At: at, Duration: dur}, nil
+	case "spot":
+		span, factorStr, ok := strings.Cut(rest, "x")
+		if !ok {
+			return Event{}, fmt.Errorf("fault: %s: spot wants <at>+<dur>x<factor>", where)
+		}
+		at, dur, err := parseWindow(span, where, num)
+		if err != nil {
+			return Event{}, err
+		}
+		factor, err := num(factorStr, "factor")
+		if err != nil {
+			return Event{}, err
+		}
+		return Event{Kind: SpotSpike, Target: AllTargets, Region: tstr, At: at, Duration: dur, Factor: factor}, nil
+	}
+	target := AllTargets
+	if tstr != "*" {
+		n, err := strconv.Atoi(tstr)
+		if err != nil || n < 0 {
+			return Event{}, fmt.Errorf("fault: %s: bad target %q", where, tstr)
+		}
+		target = n
 	}
 	switch name {
 	case "preempt":
@@ -86,17 +133,9 @@ func parseEvent(tok string) (Event, error) {
 	case "slow":
 		span, factorStr, ok := strings.Cut(rest, "x")
 		if !ok {
-			return Event{}, fmt.Errorf("fault: token %q: slow wants <at>+<dur>x<factor>", tok)
+			return Event{}, fmt.Errorf("fault: %s: slow wants <at>+<dur>x<factor>", where)
 		}
-		atStr, durStr, ok := strings.Cut(span, "+")
-		if !ok {
-			return Event{}, fmt.Errorf("fault: token %q: slow wants <at>+<dur>x<factor>", tok)
-		}
-		at, err := num(atStr, "time")
-		if err != nil {
-			return Event{}, err
-		}
-		dur, err := num(durStr, "duration")
+		at, dur, err := parseWindow(span, where, num)
 		if err != nil {
 			return Event{}, err
 		}
@@ -106,28 +145,41 @@ func parseEvent(tok string) (Event, error) {
 		}
 		return Event{Kind: Slow, Target: target, At: at, Duration: dur, Factor: factor}, nil
 	case "crash":
-		atStr, durStr, ok := strings.Cut(rest, "+")
-		if !ok {
-			return Event{}, fmt.Errorf("fault: token %q: crash wants <at>+<dur>", tok)
-		}
-		at, err := num(atStr, "time")
-		if err != nil {
-			return Event{}, err
-		}
-		dur, err := num(durStr, "duration")
+		at, dur, err := parseWindow(rest, where, num)
 		if err != nil {
 			return Event{}, err
 		}
 		return Event{Kind: Crash, Target: target, At: at, Duration: dur}, nil
 	case "err":
-		rate, err := num(rest, "rate")
-		if err != nil {
-			return Event{}, err
-		}
-		return Event{Kind: Errors, Target: target, Rate: rate}, nil
+		return parseErrEvent(target, rest, where)
 	default:
-		return Event{}, fmt.Errorf("fault: token %q: unknown kind %q", tok, name)
+		return Event{}, fmt.Errorf("fault: %s: unknown kind %q", where, name)
 	}
+}
+
+// parseWindow parses the shared "<at>+<dur>" span syntax; where prefixes
+// errors with the token's spec position.
+func parseWindow(span, where string, num func(v, what string) (float64, error)) (at, dur float64, err error) {
+	atStr, durStr, ok := strings.Cut(span, "+")
+	if !ok {
+		return 0, 0, fmt.Errorf("fault: %s: bad window %q (want <at>+<dur>)", where, span)
+	}
+	if at, err = num(atStr, "time"); err != nil {
+		return 0, 0, err
+	}
+	if dur, err = num(durStr, "duration"); err != nil {
+		return 0, 0, err
+	}
+	return at, dur, nil
+}
+
+// parseErrEvent parses the err payload (just a rate).
+func parseErrEvent(target int, rest, where string) (Event, error) {
+	rate, err := strconv.ParseFloat(rest, 64)
+	if err != nil || math.IsInf(rate, 0) || math.IsNaN(rate) {
+		return Event{}, fmt.Errorf("fault: %s: bad rate %q", where, rest)
+	}
+	return Event{Kind: Errors, Target: target, Rate: rate}, nil
 }
 
 // String renders the schedule in the spec grammar; ParseSchedule(s.String())
@@ -158,6 +210,10 @@ func (s *Schedule) String() string {
 			} else {
 				parts = append(parts, fmt.Sprintf("err@%s:%s", tgt, ftoa(e.Rate)))
 			}
+		case RegionDown:
+			parts = append(parts, fmt.Sprintf("region@%s:%s+%s", e.Region, ftoa(e.At), ftoa(e.Duration)))
+		case SpotSpike:
+			parts = append(parts, fmt.Sprintf("spot@%s:%s+%sx%s", e.Region, ftoa(e.At), ftoa(e.Duration), ftoa(e.Factor)))
 		}
 	}
 	return strings.Join(parts, ",")

@@ -1,0 +1,203 @@
+package fault
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRegionRoundTrip(t *testing.T) {
+	cases := []*Schedule{
+		{Events: []Event{{Kind: RegionDown, Target: AllTargets, Region: "us-east", At: 600, Duration: 300}}},
+		{Seed: 11, Events: []Event{
+			{Kind: RegionDown, Target: AllTargets, Region: "eu-central", At: 0.5, Duration: 2.25},
+			{Kind: SpotSpike, Target: AllTargets, Region: "ap-south", At: 100, Duration: 900, Factor: 3.5},
+			{Kind: Crash, Target: 1, At: 2, Duration: 1},
+			{Kind: Errors, Target: AllTargets, Rate: 0.02},
+		}},
+		{Events: []Event{{Kind: SpotSpike, Target: AllTargets, Region: "us-west", At: 0, Duration: 1_000_000, Factor: 2}}},
+	}
+	for i, want := range cases {
+		spec := want.String()
+		got, err := ParseSchedule(spec)
+		if err != nil {
+			t.Fatalf("case %d: parse %q: %v", i, spec, err)
+		}
+		if !reflect.DeepEqual(normalize(got), normalize(want)) {
+			t.Fatalf("case %d: round-trip %q\n got %+v\nwant %+v", i, spec, got, want)
+		}
+	}
+}
+
+// TestRegionRandomRoundTrip extends the fuzz-style sweep over every kind,
+// region-scoped ones included: random valid schedules must survive
+// String→Parse bit for bit.
+func TestRegionRandomRoundTrip(t *testing.T) {
+	regions := []string{"us-west", "us-east", "eu-central", "ap-south"}
+	rng := rand.New(rand.NewSource(23))
+	rnd := func() float64 { return math.Round(rng.Float64()*1e6) / 1e3 }
+	for i := 0; i < 200; i++ {
+		s := &Schedule{Seed: rng.Int63n(1000)}
+		for n := rng.Intn(6); n > 0; n-- {
+			target := rng.Intn(5) - 1
+			region := regions[rng.Intn(len(regions))]
+			switch Kind(rng.Intn(6)) {
+			case Preempt:
+				s.Events = append(s.Events, Event{Kind: Preempt, Target: target, At: rnd()})
+			case Slow:
+				s.Events = append(s.Events, Event{Kind: Slow, Target: target, At: rnd(), Duration: rnd() + 0.001, Factor: 1 + rnd()})
+			case Crash:
+				s.Events = append(s.Events, Event{Kind: Crash, Target: target, At: rnd(), Duration: rnd() + 0.001})
+			case Errors:
+				s.Events = append(s.Events, Event{Kind: Errors, Target: target, Rate: math.Mod(rnd(), 1)})
+			case RegionDown:
+				s.Events = append(s.Events, Event{Kind: RegionDown, Target: AllTargets, Region: region, At: rnd(), Duration: rnd() + 0.001})
+			case SpotSpike:
+				s.Events = append(s.Events, Event{Kind: SpotSpike, Target: AllTargets, Region: region, At: rnd(), Duration: rnd() + 0.001, Factor: 1 + rnd()})
+			}
+		}
+		spec := s.String()
+		got, err := ParseSchedule(spec)
+		if err != nil {
+			t.Fatalf("iter %d: parse %q: %v", i, spec, err)
+		}
+		if !reflect.DeepEqual(normalize(got), normalize(s)) {
+			t.Fatalf("iter %d: round-trip %q diverged\n got %+v\nwant %+v", i, spec, got, s)
+		}
+	}
+}
+
+func TestRegionDownActive(t *testing.T) {
+	s, err := ParseSchedule("region@us-east:10+5,region@us-east:30+5,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		at   float64
+		want bool
+	}{
+		{9.99, false}, {10, true}, {14.99, true}, {15, false},
+		{30, true}, {34.5, true}, {35, false},
+	} {
+		if got := s.RegionDownActive("us-east", tc.at); got != tc.want {
+			t.Errorf("RegionDownActive(us-east, %v) = %v, want %v", tc.at, got, tc.want)
+		}
+	}
+	if s.RegionDownActive("us-west", 12) {
+		t.Fatal("outage leaked into another region")
+	}
+	var nilSched *Schedule
+	if nilSched.RegionDownActive("us-east", 12) {
+		t.Fatal("nil schedule reported an outage")
+	}
+}
+
+func TestPriceMultiplierAndIntegral(t *testing.T) {
+	s, err := ParseSchedule("spot@eu-central:10+10x3,spot@eu-central:15+10x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		at   float64
+		want float64
+	}{
+		{5, 1}, {12, 3}, {17, 6}, {22, 2}, {30, 1},
+	} {
+		if got := s.PriceMultiplier("eu-central", tc.at); got != tc.want {
+			t.Errorf("PriceMultiplier(%v) = %v, want %v", tc.at, got, tc.want)
+		}
+	}
+	if got := s.PriceMultiplier("us-west", 12); got != 1 {
+		t.Fatalf("spike leaked into another region: %v", got)
+	}
+	// ∫ over [0,30]: 10s at ×1, 5s at ×3, 5s at ×6, 5s at ×2, 5s at ×1.
+	want := 10.0 + 5*3 + 5*6 + 5*2 + 5*1
+	if got := s.PriceIntegral("eu-central", 0, 30); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("PriceIntegral = %v, want %v", got, want)
+	}
+	// A fault-free region integrates to the plain window length.
+	if got := s.PriceIntegral("us-west", 0, 30); math.Abs(got-30) > 1e-9 {
+		t.Fatalf("flat integral = %v, want 30", got)
+	}
+	if got := s.PriceIntegral("eu-central", 20, 10); got != 0 {
+		t.Fatalf("inverted window integral = %v, want 0", got)
+	}
+	var nilSched *Schedule
+	if got := nilSched.PriceIntegral("eu-central", 0, 10); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("nil schedule integral = %v, want 10", got)
+	}
+}
+
+func TestForRegionInjector(t *testing.T) {
+	s, err := ParseSchedule("region@us-east:10+5,crash@1:2+3,err:0.5,seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	east := s.ForRegion("us-east")
+	west := s.ForRegion("us-west")
+	// During the regional outage every replica of the east shard is down;
+	// the west shard only sees its own replica-level crash window.
+	if !east.CrashActive(0, 12) || !east.CrashActive(7, 12) {
+		t.Fatal("regional outage should crash every replica in-region")
+	}
+	if west.CrashActive(0, 12) {
+		t.Fatal("regional outage leaked into another region's shard")
+	}
+	if !west.CrashActive(1, 3) || west.CrashActive(0, 3) {
+		t.Fatal("replica-level crash window misapplied through the region view")
+	}
+	// Per-request error injection passes through unchanged.
+	if east.FailRequest(0, 42, 1) != s.FailRequest(0, 42, 1) {
+		t.Fatal("FailRequest diverged through the region view")
+	}
+}
+
+func TestRegionValidate(t *testing.T) {
+	for _, bad := range []Schedule{
+		{Events: []Event{{Kind: RegionDown, Target: AllTargets, At: 1, Duration: 5}}},                          // no region
+		{Events: []Event{{Kind: RegionDown, Target: AllTargets, Region: "us-east", At: 1}}},                    // no duration
+		{Events: []Event{{Kind: SpotSpike, Target: AllTargets, Region: "us-east", At: 1}}},                     // no duration
+		{Events: []Event{{Kind: SpotSpike, Target: AllTargets, Region: "x", At: 1, Duration: 2, Factor: 0.5}}}, // refund, not spike
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("schedule %+v: expected validation error", bad)
+		}
+	}
+}
+
+// TestParseErrorPositions pins the satellite fix: a parse error names the
+// offending token and its position in the spec.
+func TestParseErrorPositions(t *testing.T) {
+	_, err := ParseSchedule("preempt@0:5,slow@1:bad+2x3")
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+	msg := err.Error()
+	for _, want := range []string{"token 2", `"slow@1:bad+2x3"`, "char 13", `"bad"`} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+	// Leading whitespace shifts the reported character position.
+	_, err = ParseSchedule("  boom@0:1")
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+	if msg := err.Error(); !strings.Contains(msg, "char 3") || !strings.Contains(msg, "token 1") {
+		t.Errorf("error %q should report token 1 at char 3", msg)
+	}
+	for _, bad := range []string{
+		"region@us-east:5",     // missing duration window
+		"region@us-east:1x2",   // window, not factor syntax
+		"spot@us-east:1+2",     // missing factor
+		"spot@us-east:1+2x0.5", // factor below 1
+		"region@:1+2",          // empty region name
+		"slow:1+2x3",           // non-err kind without @target
+	} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Errorf("spec %q: expected parse error", bad)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHalfOpenProbeBatchFaults walks a live gateway through the half-open
+// edge the unit test covers only on a bare breaker: the probe batch
+// itself faults, the breaker must re-open for another cooldown, and the
+// first clean probe after that closes it.
+func TestHalfOpenProbeBatchFaults(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	inj := scriptedInjector{fail: func(int, int64, int) bool { return failing.Load() }}
+	g := testGateway(t, Config{
+		Replicas: 1, QueueCap: 16, MaxRetries: -1,
+		BreakerThreshold: 1, BreakerCooldown: 30 * time.Millisecond,
+		BatchTimeout: time.Millisecond,
+		Injector:     inj,
+	})
+	g.Start()
+	defer g.Stop()
+	ctx := context.Background()
+
+	// One failure trips the threshold-1 breaker.
+	if resp := g.Infer(ctx, testImage(1), time.Time{}); !errors.Is(resp.Err, ErrFaulted) {
+		t.Fatalf("first request err = %v, want ErrFaulted", resp.Err)
+	}
+	if st := g.BreakerState(0); st != BreakerOpen {
+		t.Fatalf("breaker after first fault = %v, want open", st)
+	}
+
+	// The next request queues behind the open breaker, rides the half-open
+	// probe after the cooldown, faults, and must re-open the breaker. The
+	// opens counter — bumped on every transition into Open — is the proof
+	// the probe actually ran and failed rather than the breaker never
+	// leaving Open.
+	if resp := g.Infer(ctx, testImage(2), time.Time{}); !errors.Is(resp.Err, ErrFaulted) {
+		t.Fatalf("probe request err = %v, want ErrFaulted", resp.Err)
+	}
+	if st := g.BreakerState(0); st != BreakerOpen {
+		t.Fatalf("breaker after failed probe = %v, want re-opened", st)
+	}
+	if opens := g.Stats().BreakerOpens; opens != 2 {
+		t.Fatalf("breaker opens = %d, want 2 (initial trip + failed probe)", opens)
+	}
+
+	// Heal the replica: the next probe succeeds and closes the breaker.
+	failing.Store(false)
+	resp := g.Infer(ctx, testImage(3), time.Time{})
+	if resp.Err != nil {
+		t.Fatalf("clean probe err = %v", resp.Err)
+	}
+	if st := g.BreakerState(0); st != BreakerClosed {
+		t.Fatalf("breaker after clean probe = %v, want closed", st)
+	}
+	if opens := g.Stats().BreakerOpens; opens != 2 {
+		t.Fatalf("breaker opens after recovery = %d, want still 2", opens)
+	}
+}
+
+// TestStopDuringHalfOpenProbe hammers the shutdown path while every
+// replica is somewhere in the open → half-open → failed-probe cycle:
+// sleeping out a cooldown, mid-probe, or re-opening. Stop must land
+// promptly wherever it cuts in, answer every queued request, and leak no
+// goroutines. The millisecond cooldown keeps the cycle tight so repeated
+// iterations sample different interleavings under -race.
+func TestStopDuringHalfOpenProbe(t *testing.T) {
+	for iter := 0; iter < 5; iter++ {
+		before := runtime.NumGoroutine()
+		inj := scriptedInjector{fail: func(int, int64, int) bool { return true }}
+		g := testGateway(t, Config{
+			Replicas: 2, QueueCap: 64, MaxRetries: -1,
+			BreakerThreshold: 1, BreakerCooldown: time.Millisecond,
+			BatchTimeout: time.Millisecond,
+			Injector:     inj,
+		})
+		const n = 24
+		chans := make([]<-chan Response, 0, n)
+		for i := 0; i < n; i++ {
+			ch, err := g.Submit(context.Background(), testImage(int64(i)), time.Time{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			chans = append(chans, ch)
+		}
+		g.Start()
+		// Let the breakers trip and start cycling through probes; vary the
+		// phase Stop lands on across iterations.
+		time.Sleep(time.Duration(iter+1) * time.Millisecond)
+		done := make(chan struct{})
+		go func() {
+			g.Stop()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("iter %d: Stop hung during breaker probe cycle", iter)
+		}
+		for i, ch := range chans {
+			select {
+			case resp := <-ch:
+				if !errors.Is(resp.Err, ErrFaulted) && !errors.Is(resp.Err, ErrStopped) {
+					t.Fatalf("iter %d request %d: err = %v, want ErrFaulted or ErrStopped", iter, i, resp.Err)
+				}
+			default:
+				t.Fatalf("iter %d request %d never answered after Stop", iter, i)
+			}
+		}
+		// Replica goroutines sleeping in a cooldown wait must have exited.
+		deadline := time.Now().Add(2 * time.Second)
+		for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if got := runtime.NumGoroutine(); got > before {
+			t.Fatalf("iter %d: goroutines grew from %d to %d after Stop", iter, before, got)
+		}
+	}
+}

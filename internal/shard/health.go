@@ -1,0 +1,69 @@
+package shard
+
+// HealthConfig tunes the per-shard weight hysteresis. The asymmetry is
+// deliberate: draining is immediate (each unhealthy observation halves
+// the weight, so a dead region stops receiving keys within a few ticks)
+// while recovery is delayed (RecoverTicks consecutive healthy
+// observations before the weight starts climbing back) — a flapping
+// region therefore converges to drained, not to oscillation.
+type HealthConfig struct {
+	// DecayFactor multiplies the weight on each unhealthy tick
+	// (default 0.5).
+	DecayFactor float64
+	// RecoverTicks is how many consecutive healthy ticks must elapse
+	// before the weight starts recovering (default 3).
+	RecoverTicks int
+	// Floor is the weight below which the shard snaps to 0 — fully
+	// drained, every key spills (default 1/16). Recovery restarts from
+	// the floor.
+	Floor float64
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.DecayFactor <= 0 || c.DecayFactor >= 1 {
+		c.DecayFactor = 0.5
+	}
+	if c.RecoverTicks <= 0 {
+		c.RecoverTicks = 3
+	}
+	if c.Floor <= 0 || c.Floor >= 1 {
+		c.Floor = 1.0 / 16
+	}
+	return c
+}
+
+// health is one shard's drain state. Not self-synchronized: the router
+// ticks it under its own mutex and publishes the result atomically.
+type health struct {
+	weight float64 // ∈ {0} ∪ [Floor, 1]
+	streak int     // consecutive healthy ticks
+}
+
+func newHealth() health { return health{weight: 1} }
+
+// tick folds one health observation into the weight and returns the new
+// value. Unhealthy: weight *= DecayFactor, snapping to 0 below Floor.
+// Healthy: after RecoverTicks consecutive observations the weight doubles
+// per tick (from Floor if fully drained), capped at 1.
+func (h *health) tick(healthy bool, cfg HealthConfig) float64 {
+	if !healthy {
+		h.streak = 0
+		h.weight *= cfg.DecayFactor
+		if h.weight < cfg.Floor {
+			h.weight = 0
+		}
+		return h.weight
+	}
+	h.streak++
+	if h.streak >= cfg.RecoverTicks && h.weight < 1 {
+		if h.weight == 0 {
+			h.weight = cfg.Floor
+		} else {
+			h.weight *= 2
+		}
+		if h.weight > 1 {
+			h.weight = 1
+		}
+	}
+	return h.weight
+}

@@ -1,0 +1,142 @@
+// Package shard routes requests across a fleet of serving gateways —
+// the horizontal dimension the single-gateway reproduction was missing.
+// The paper characterizes one application's cost-accuracy frontier on one
+// fleet (Section 3); a production deployment runs many fleets in many
+// regions and the interesting failures are correlated: a whole region
+// goes dark, or its spot price spikes, and the question becomes whether
+// the system can hold the latency SLO by *moving* load before it starts
+// *degrading* accuracy.
+//
+// The router is consistent hashing with bounded loads: each request key
+// hashes to a home shard on a virtual-node ring, and a shard over its
+// load cap (or drained by health) spills the key to the next distinct
+// shard in ring order. Health is observed, not declared — each shard's
+// weight drains multiplicatively while its gateway's circuit breakers
+// report a majority-open fleet, and recovers with hysteresis once the
+// breakers close — so regional failures injected by internal/fault
+// surface through exactly the same breaker machinery that catches
+// single-replica crashes.
+package shard
+
+import "sort"
+
+// ringEntry is one virtual node: a point on the 64-bit hash circle owned
+// by a shard.
+type ringEntry struct {
+	hash  uint64
+	shard int
+}
+
+// Ring is a consistent-hash ring over a fixed shard count. Lookup walks
+// clockwise from the key's position; vnodes smooth the key-space split so
+// per-shard load stays near 1/n even for small fleets.
+type Ring struct {
+	entries []ringEntry
+	shards  int
+}
+
+// DefaultVNodes is the virtual-node count per shard (128 keeps the
+// largest shard's key-space share within a few percent of 1/n).
+const DefaultVNodes = 128
+
+// NewRing builds a ring over shards×vnodes virtual nodes (vnodes ≤ 0
+// takes DefaultVNodes). The layout is a pure function of the two counts:
+// every router over the same fleet size agrees on key placement.
+func NewRing(shards, vnodes int) *Ring {
+	if shards <= 0 {
+		return &Ring{}
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{shards: shards, entries: make([]ringEntry, 0, shards*vnodes)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			h := mix64(uint64(s)<<32 | uint64(v) | 0x5bd1e995)
+			r.entries = append(r.entries, ringEntry{hash: h, shard: s})
+		}
+	}
+	sort.Slice(r.entries, func(i, j int) bool {
+		if r.entries[i].hash != r.entries[j].hash {
+			return r.entries[i].hash < r.entries[j].hash
+		}
+		return r.entries[i].shard < r.entries[j].shard
+	})
+	return r
+}
+
+// Shards returns the shard count the ring was built for.
+func (r *Ring) Shards() int { return r.shards }
+
+// Home returns the key's home shard: the owner of the first virtual node
+// at or after the key's hash, wrapping at the top of the circle.
+func (r *Ring) Home(key uint64) int {
+	if len(r.entries) == 0 {
+		return -1
+	}
+	return r.entries[r.successor(key)].shard
+}
+
+// Walk visits every distinct shard in ring order starting from the key's
+// home shard, calling fn until it returns true (accepted) or the shards
+// run out. This is the spill path: the bounded-load check rejects a
+// shard, and the key falls through to the next one clockwise — the same
+// deterministic order every router instance derives.
+func (r *Ring) Walk(key uint64, fn func(shard int) bool) {
+	if len(r.entries) == 0 {
+		return
+	}
+	seen := 0
+	var visited [64]bool // shards is small; stack bitmap avoids a map alloc
+	var visitedBig map[int]bool
+	if r.shards > len(visited) {
+		visitedBig = make(map[int]bool, r.shards)
+	}
+	for i, n := r.successor(key), len(r.entries); seen < r.shards && n > 0; n-- {
+		s := r.entries[i].shard
+		i++
+		if i == len(r.entries) {
+			i = 0
+		}
+		if visitedBig != nil {
+			if visitedBig[s] {
+				continue
+			}
+			visitedBig[s] = true
+		} else {
+			if visited[s] {
+				continue
+			}
+			visited[s] = true
+		}
+		seen++
+		if fn(s) {
+			return
+		}
+	}
+}
+
+// successor returns the index of the first entry with hash ≥ key,
+// wrapping to 0 past the end.
+func (r *Ring) successor(key uint64) int {
+	i := sort.Search(len(r.entries), func(i int) bool { return r.entries[i].hash >= key })
+	if i == len(r.entries) {
+		return 0
+	}
+	return i
+}
+
+// Key hashes a request identifier onto the ring's 64-bit circle. Router
+// callers use it so placement is a stable function of the identifier
+// alone — the property that makes a seeded replay route identically
+// run after run.
+func Key(id int64) uint64 { return mix64(uint64(id)) }
+
+// mix64 is the splitmix64 finalizer — the same full-avalanche mix
+// internal/fault uses for seeded injection decisions.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,128 @@
+package shard
+
+import "testing"
+
+func TestRingHomeDeterministicAndBalanced(t *testing.T) {
+	const shards = 4
+	a := NewRing(shards, 0)
+	b := NewRing(shards, 0)
+	counts := make([]int, shards)
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		k := Key(int64(i))
+		h := a.Home(k)
+		if h != b.Home(k) {
+			t.Fatalf("key %d: rings disagree (%d vs %d)", i, h, b.Home(k))
+		}
+		if h < 0 || h >= shards {
+			t.Fatalf("key %d: home %d out of range", i, h)
+		}
+		counts[h]++
+	}
+	for s, c := range counts {
+		frac := float64(c) / keys
+		if frac < 0.5/shards || frac > 2.0/shards {
+			t.Fatalf("shard %d owns %.1f%% of keys — vnodes not smoothing (counts %v)",
+				s, 100*frac, counts)
+		}
+	}
+}
+
+func TestRingWalkVisitsAllShardsOnce(t *testing.T) {
+	r := NewRing(5, 16)
+	for i := 0; i < 50; i++ {
+		k := Key(int64(i))
+		var order []int
+		r.Walk(k, func(s int) bool {
+			order = append(order, s)
+			return false
+		})
+		if len(order) != 5 {
+			t.Fatalf("key %d: walk visited %d shards, want 5 (%v)", i, len(order), order)
+		}
+		seen := map[int]bool{}
+		for _, s := range order {
+			if seen[s] {
+				t.Fatalf("key %d: shard %d visited twice (%v)", i, s, order)
+			}
+			seen[s] = true
+		}
+		if order[0] != r.Home(k) {
+			t.Fatalf("key %d: walk starts at %d, home is %d", i, order[0], r.Home(k))
+		}
+	}
+	// Walk stops when the callback accepts.
+	var n int
+	r.Walk(Key(1), func(int) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("walk continued after acceptance: %d calls", n)
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	empty := NewRing(0, 8)
+	if h := empty.Home(42); h != -1 {
+		t.Fatalf("empty ring home %d, want -1", h)
+	}
+	empty.Walk(42, func(int) bool { t.Fatal("walk on empty ring"); return true })
+
+	single := NewRing(1, 8)
+	for i := 0; i < 10; i++ {
+		if h := single.Home(Key(int64(i))); h != 0 {
+			t.Fatalf("single-shard ring home %d", h)
+		}
+	}
+
+	// Many shards exercise the map fallback in Walk.
+	big := NewRing(80, 4)
+	var order []int
+	big.Walk(7, func(s int) bool { order = append(order, s); return false })
+	if len(order) != 80 {
+		t.Fatalf("big walk visited %d shards, want 80", len(order))
+	}
+}
+
+func TestHealthHysteresis(t *testing.T) {
+	cfg := HealthConfig{}.withDefaults()
+	h := newHealth()
+	if h.weight != 1 {
+		t.Fatalf("fresh weight %v", h.weight)
+	}
+	// Draining halves per tick and snaps to zero below the floor.
+	steps := 0
+	for h.weight > 0 {
+		h.tick(false, cfg)
+		steps++
+		if steps > 64 {
+			t.Fatal("weight never reached zero")
+		}
+	}
+	if steps > 6 {
+		t.Fatalf("full drain took %d ticks, want fast (≤6 at decay 0.5, floor 1/16)", steps)
+	}
+	// Recovery waits out the hysteresis window...
+	for i := 0; i < cfg.RecoverTicks-1; i++ {
+		if w := h.tick(true, cfg); w != 0 {
+			t.Fatalf("weight recovered after only %d healthy ticks: %v", i+1, w)
+		}
+	}
+	// ...then climbs from the floor, doubling per tick, capped at 1.
+	w := h.tick(true, cfg)
+	if w != cfg.Floor {
+		t.Fatalf("first recovery step %v, want floor %v", w, cfg.Floor)
+	}
+	for i := 0; i < 10; i++ {
+		w = h.tick(true, cfg)
+	}
+	if w != 1 {
+		t.Fatalf("weight settled at %v, want 1", w)
+	}
+	// One bad tick restarts the streak.
+	h.tick(false, cfg)
+	if h.streak != 0 {
+		t.Fatalf("streak %d after unhealthy tick", h.streak)
+	}
+	if h.weight != 0.5 {
+		t.Fatalf("weight %v after one unhealthy tick from full", h.weight)
+	}
+}

@@ -30,7 +30,7 @@ mkdir -p out
 # shared box a single 1x iteration of a millisecond-scale benchmark swings
 # well past any sane threshold without any code change.
 go test -run - -bench . -benchmem -benchtime 1x -count 2 \
-    . ./internal/nn ./internal/explore ./internal/serving ./internal/tenant | tee out/bench-check.txt
+    . ./internal/nn ./internal/explore ./internal/serving ./internal/tenant ./internal/shard | tee out/bench-check.txt
 
 # Regression gate: diff the smoke run against the latest committed
 # trajectory point. The smoke is single-iteration and the baseline may
@@ -71,6 +71,17 @@ go run -race ./cmd/ccperf loadtest \
     -queue 64 -max-batch 4 -slo 50ms -deadline 500ms -cooldown 300ms \
     -autoscale -budget 2.7 -min-replicas 1 -max-replicas 3 \
     -autoscale-interval 100ms -max-p99 2s
+
+echo "== sharded chaos smoke (3 shards / 2 regions, correlated regional failure mid-replay)"
+# The resilience claim, gated: us-east goes dark for the middle third of
+# the replay under a 2x spot spike, and client-visible errors must stay
+# under 1% — requests re-route, fail over, or shift; they do not fail.
+go run -race ./cmd/ccperf loadtest \
+    -shards 3 -regions us-west,us-east -requests 200 -duration 3s \
+    -replicas 2 -queue 64 -max-batch 4 -deadline 1s -cooldown 300ms \
+    -shape "flash:0.5+0.05+0.2x2" -origin-corr 0.5 \
+    -faults "region@us-east:1+1,spot@us-east:0+3x2,seed=9" \
+    -max-error-rate 0.01
 
 echo "== tenant chaos smoke (two-tenant fleet under canned faults, error-rate gate)"
 go run -race ./cmd/ccperf loadtest \
