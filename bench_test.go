@@ -68,6 +68,7 @@ func BenchmarkCalibrationTable(b *testing.B)             { benchExperiment(b, "c
 func BenchmarkConstraintSensitivity(b *testing.B)        { benchExperiment(b, "sensitivity") }
 func BenchmarkSampleRobustness(b *testing.B)             { benchExperiment(b, "robustness") }
 func BenchmarkJointParetoSurface(b *testing.B)           { benchExperiment(b, "joint") }
+func BenchmarkTransferLeaveOneOut(b *testing.B)          { benchExperiment(b, "transfer") }
 
 // BenchmarkAlgorithm1VsExhaustive times the two searches on the Figure
 // 9/10 input and reports their model-evaluation counts — the paper's

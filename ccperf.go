@@ -61,12 +61,6 @@ func NewSystem(model string) (*System, error) {
 	return &System{Model: model, harness: h, engine: engine.NewCache(h)}, nil
 }
 
-// Harness exposes the underlying measurement harness for advanced use.
-//
-// Deprecated: use Predictor, Measure, LayerSweep or SweetSpots — they cover
-// the harness's surface without leaking the internal measure package.
-func (s *System) Harness() *measure.Harness { return s.harness }
-
 // SweepPoint is one row of a layer sweep: the prune ratio, the measured
 // total time for the workload, and the predicted accuracy there.
 type SweepPoint struct {

@@ -218,8 +218,8 @@ func TestAccessors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sys.Harness() == nil {
-		t.Fatal("Harness accessor")
+	if sys.Predictor() == nil {
+		t.Fatal("Predictor accessor")
 	}
 	p, err := NewPlanner(Caffenet)
 	if err != nil {

@@ -8,6 +8,7 @@
 //	ccperf tables                                  # Tables 1 and 3
 //	ccperf compress                                # quantization & weight sharing
 //	ccperf empirical                               # trained-and-pruned accuracy
+//	ccperf predict                                 # cross-instance transfer prediction
 //	ccperf loadtest -requests 2000 -duration 10s   # replay a trace against the gateway
 //	ccperf serve -addr :8080                       # live telemetry endpoint
 //	ccperf benchjson < bench.txt                   # bench output → telemetry JSON
@@ -77,6 +78,8 @@ func main() {
 		err = empiricalCmd(args)
 	case "simulate":
 		err = simulateCmd(ctx, args)
+	case "predict":
+		err = predictCmd(ctx, args)
 	case "loadtest":
 		err = loadtestCmd(args)
 	case "pack":
@@ -117,6 +120,14 @@ commands:
   simulate      discrete-event day simulation of a fleet serving a trace
                 (-faults injects preemptions/stragglers; -retry-budget caps
                 re-dispatches of interrupted jobs)
+  predict       fit PROFET-style roofline scaling factors from calibrated
+                instance types (-fit), report the leave-one-out held-out
+                error table (-max-error gates the exit), and extrapolate
+                batch times to the unprofiled p3/V100 transfer targets;
+                -train prices a training job (samples × epochs, forward+
+                backward steps) on every type, and -train -fleet plans the
+                training fleet end-to-end through the failure-aware cluster
+                simulator (accepts transfer targets in the fleet spec)
   loadtest      replay a trace against the online gateway (batching, shedding,
                 load-adaptive pruning) and report latency/accuracy/cost
                 (-autoscale closes the cost-accuracy loop: scale out while
@@ -152,10 +163,10 @@ shared flags across run commands:
   -trace-out <file>     write the run's spans as JSON (.chrome.json for
                         the Chrome trace_event format)
   -report-out <file>    write the primary result as a versioned ccperf/v1
-                        JSON envelope (simulate, loadtest)
-  -workers <n>          exploration worker-pool size (pareto/allocate;
-                        default: number of CPUs)
-  -faults <spec>        fault schedule (simulate, loadtest)
+                        JSON envelope (simulate, loadtest, predict)
+  -workers <n>          exploration worker-pool size (pareto/allocate/
+                        predict; default: number of CPUs)
+  -faults <spec>        fault schedule (simulate, loadtest, predict -train)
 
 see docs/TELEMETRY.md for metric names and endpoint routes,
 docs/SERVING.md for the gateway architecture and loadtest usage,

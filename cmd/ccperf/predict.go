@@ -1,0 +1,291 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+
+	"ccperf"
+	"ccperf/internal/cloud"
+	"ccperf/internal/cluster"
+	"ccperf/internal/engine"
+	"ccperf/internal/fault"
+	"ccperf/internal/prune"
+	"ccperf/internal/report"
+	"ccperf/internal/train"
+)
+
+// targetPred is one extrapolated transfer-target row of the predict report.
+type targetPred struct {
+	Instance     string  `json:"instance"`
+	GPUs         int     `json:"gpus"`
+	BatchSeconds float64 `json:"batch_seconds"`
+	ImagesPerSec float64 `json:"images_per_sec"`
+	USDPerM      float64 `json:"usd_per_m_images"`
+}
+
+// trainRow prices the training job on one instance type.
+type trainRow struct {
+	Instance    string  `json:"instance"`
+	Transfer    bool    `json:"transfer"` // true when the type was never profiled
+	StepSeconds float64 `json:"step_seconds"`
+	EpochHours  float64 `json:"epoch_hours"`
+	JobHours    float64 `json:"job_hours"`
+	CostUSD     float64 `json:"cost_usd"`
+	Feasible    bool    `json:"feasible"`
+}
+
+// trainPlan is the -train section of the predict report: either the
+// per-instance planning table (no -fleet) or the cluster-simulated fleet
+// plan (-fleet).
+type trainPlan struct {
+	Samples   int64      `json:"samples"`
+	Epochs    int        `json:"epochs"`
+	Batch     int        `json:"batch"`
+	Rows      []trainRow `json:"rows,omitempty"`
+	Jobs      int        `json:"jobs,omitempty"`
+	Fleet     string     `json:"fleet,omitempty"`
+	Makespan  float64    `json:"makespan_seconds,omitempty"`
+	CostUSD   float64    `json:"cost_usd,omitempty"`
+	Misses    int        `json:"misses,omitempty"`
+	Failed    int        `json:"failed_jobs,omitempty"`
+	Preempted int        `json:"preemptions,omitempty"`
+}
+
+// predictCmd is the transfer-prediction surface: fit roofline scaling
+// factors from a calibration set, validate them with a leave-one-out
+// held-out error table over the calibrated catalog, and extrapolate batch
+// times to the uncalibrated p3/V100 transfer targets. With -train the same
+// fitted predictor prices a training job (forward+backward steps) on every
+// instance type, and with -fleet it plans the training fleet end-to-end
+// through the failure-aware cluster simulator.
+func predictCmd(ctx context.Context, args []string) error {
+	fs := newFlagSet("predict", "fit cross-instance transfer prediction, report held-out error, extrapolate to unprofiled types")
+	model := modelFlag(fs)
+	fitSpec := fs.String("fit", "", "comma-separated calibration instance types (default: the full catalog)")
+	degreeSpec := fs.String("degree", "", "degree of pruning, e.g. \"conv1@30+conv2@50\" (empty = unpruned)")
+	maxError := fs.Float64("max-error", 0, "exit non-zero when the leave-one-out max |error| exceeds this percent (0 = no gate)")
+	trainMode := fs.Bool("train", false, "price a training job (forward+backward steps) instead of inference")
+	samples := fs.Int64("samples", 1_200_000, "training set size in images (with -train)")
+	epochs := fs.Int("epochs", 10, "training epochs (with -train)")
+	batch := fs.Int("batch", 256, "global mini-batch size per optimizer step (with -train)")
+	backward := fs.Float64("backward-factor", 0, "forward+backward cost relative to the inference forward pass (0 = default 3)")
+	fleetSpec := fs.String("fleet", "", "plan this training fleet through the cluster simulator, e.g. \"2xp3.2xlarge+1xp2.8xlarge\" (with -train; accepts transfer targets)")
+	jobs := fs.Int("jobs", 1, "identical training jobs submitted to the fleet (with -train -fleet)")
+	deadlineHours := fs.Float64("deadline-hours", 0, "per-job completion deadline in hours (with -train; 0 = none)")
+	faultSpec := faultsFlag(fs, "preempt@0:3600,seed=7")
+	retryBudget := fs.Int("retry-budget", 0, "re-dispatches per interrupted job (0 = default 2, negative = none)")
+	workers := workersFlag(fs)
+	reportOut := reportOutFlag(fs)
+	metricsOut, traceOut := telemetryFlags(fs)
+	fs.Parse(args)
+
+	degree, err := prune.ParseDegree(*degreeSpec)
+	if err != nil {
+		return err
+	}
+	var calib []string
+	if s := strings.TrimSpace(*fitSpec); s != "" {
+		for _, n := range strings.Split(s, ",") {
+			calib = append(calib, strings.TrimSpace(n))
+		}
+	}
+	st, err := ccperf.Open(*model, ccperf.WithCalibrationSet(calib...))
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	tp, err := st.Transfer(ctx)
+	if err != nil {
+		return err
+	}
+	m := tp.Model()
+	fmt.Printf("model      : %s at degree %s\n", *model, degree.Label())
+	fmt.Printf("fit set    : %s (reference %s)\n", strings.Join(m.Calibrated, ", "), m.RefName)
+	fmt.Printf("work rate  : 1/w = %.4g·TFLOPs + %.4g·MemBW  (max fit residual %.2f%%)\n",
+		m.Work.Compute, m.Work.Memory, m.Work.MaxResidualPct)
+	fmt.Printf("overhead   : 1/α = %.4g·TFLOPs + %.4g·MemBW  (max fit residual %.2f%%)\n\n",
+		m.Overhead.Compute, m.Overhead.Memory, m.Overhead.MaxResidualPct)
+
+	// Leave-one-out held-out error: every catalog type predicted from a
+	// fit over the other five, against the harness's measured (jittered)
+	// batch times.
+	rows, err := engine.LeaveOneOut(ctx, st.Predictor(), cloud.Catalog(), degree, *workers)
+	if err != nil {
+		return err
+	}
+	tb := report.NewTable("leave-one-out held-out error (each type fitted from the others)",
+		"Instance", "GPUs", "Sat batch", "Meas (s)", "Pred (s)", "Err (%)", "b=1 err (%)")
+	for _, r := range rows {
+		tb.Row(r.Instance, r.GPUs, r.SatBatch,
+			fmt.Sprintf("%.3f", r.TruthSat), fmt.Sprintf("%.3f", r.PredSat),
+			fmt.Sprintf("%+.2f", r.ErrSatPct), fmt.Sprintf("%+.2f", r.ErrOnePct))
+	}
+	fmt.Println(tb.String())
+	maxErr := engine.MaxAbsErrPct(rows)
+	fmt.Printf("max held-out |error|: %.2f%%\n\n", maxErr)
+
+	// Extrapolation to the unprofiled transfer targets.
+	xt := report.NewTable("transfer targets (never profiled; roofline extrapolation)",
+		"Instance", "GPUs", "Batch (s)", "img/s", "$/M images")
+	var targets []targetPred
+	for _, it := range cloud.TransferTargets() {
+		b := m.SatPerGPU * it.GPUs
+		sec, err := tp.BatchSeconds(ctx, degree, it, it.GPUs, b)
+		if err != nil {
+			return err
+		}
+		rate := float64(b) / sec
+		usdPerM := 1e6 / rate * it.PricePerSecond()
+		xt.Row(it.Name, it.GPUs, fmt.Sprintf("%.3f", sec), fmt.Sprintf("%.0f", rate), fmt.Sprintf("%.2f", usdPerM))
+		targets = append(targets, targetPred{it.Name, it.GPUs, sec, rate, usdPerM})
+	}
+	fmt.Println(xt.String())
+
+	var plan *trainPlan
+	if *trainMode {
+		plan = &trainPlan{Samples: *samples, Epochs: *epochs, Batch: *batch}
+		cm := train.CostModel{Timer: tp, Degree: degree, Batch: *batch, BackwardFactor: *backward}
+		if *fleetSpec == "" {
+			err = trainTable(ctx, cm, plan, *deadlineHours)
+		} else {
+			err = trainFleet(ctx, tp, cm, plan, degree, *fleetSpec, *jobs, *deadlineHours, *faultSpec, *retryBudget)
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	if *reportOut != "" {
+		payload := struct {
+			Model      string               `json:"model"`
+			Degree     string               `json:"degree"`
+			Calibrated []string             `json:"calibrated"`
+			Reference  string               `json:"reference"`
+			Fit        engine.TransferModel `json:"fit"`
+			Rows       []engine.LOORow      `json:"rows"`
+			MaxErrPct  float64              `json:"max_err_pct"`
+			Targets    []targetPred         `json:"targets"`
+			Train      *trainPlan           `json:"train,omitempty"`
+		}{*model, degree.Label(), m.Calibrated, m.RefName, m, rows, maxErr, targets, plan}
+		if err := report.WriteEnvelopeFile(*reportOut, report.KindPredict, payload); err != nil {
+			return fmt.Errorf("report-out: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "predict: report → %s\n", *reportOut)
+	}
+	if err := writeTelemetry(*metricsOut, *traceOut); err != nil {
+		return err
+	}
+	if *maxError > 0 && maxErr > *maxError {
+		return fmt.Errorf("predict: leave-one-out max |error| %.2f%% exceeds -max-error %.2f%%", maxErr, *maxError)
+	}
+	return nil
+}
+
+// trainTable prices the training job on every instance type — calibrated
+// catalog and transfer targets alike — one instance at a time, filling
+// plan.Rows.
+func trainTable(ctx context.Context, cm train.CostModel, plan *trainPlan, deadlineHours float64) error {
+	cols := []string{"Instance", "Source", "Step (s)", "Epoch (h)", "Job (h)", "Cost ($)"}
+	if deadlineHours > 0 {
+		cols = append(cols, fmt.Sprintf("≤%.1fh", deadlineHours))
+	}
+	factor := cm.BackwardFactor
+	if factor <= 0 {
+		factor = train.DefaultBackwardFactor
+	}
+	tb := report.NewTable(fmt.Sprintf("training plan: %d samples × %d epochs, batch %d (backward factor %.1f)",
+		plan.Samples, plan.Epochs, plan.Batch, factor), cols...)
+	tp, _ := cm.Timer.(*engine.TransferPredictor)
+	for _, it := range cloud.AllTypes() {
+		step, err := cm.StepSeconds(ctx, it, 0)
+		if err != nil {
+			return err
+		}
+		job, err := cm.JobSeconds(ctx, it, 0, plan.Samples, plan.Epochs)
+		if err != nil {
+			return err
+		}
+		row := trainRow{
+			Instance:    it.Name,
+			Transfer:    tp != nil && !tp.IsCalibrated(it.Name),
+			StepSeconds: step,
+			EpochHours:  job / float64(plan.Epochs) / 3600,
+			JobHours:    job / 3600,
+			CostUSD:     train.JobCost(job, it),
+			Feasible:    deadlineHours <= 0 || job <= deadlineHours*3600,
+		}
+		plan.Rows = append(plan.Rows, row)
+		source := "measured"
+		if row.Transfer {
+			source = "transfer"
+		}
+		cells := []any{it.Name, source,
+			fmt.Sprintf("%.3f", row.StepSeconds), fmt.Sprintf("%.2f", row.EpochHours),
+			fmt.Sprintf("%.2f", row.JobHours), fmt.Sprintf("%.2f", row.CostUSD)}
+		if deadlineHours > 0 {
+			mark := "yes"
+			if !row.Feasible {
+				mark = "NO"
+			}
+			cells = append(cells, mark)
+		}
+		tb.Row(cells...)
+	}
+	fmt.Println(tb.String())
+	return nil
+}
+
+// trainFleet plans the training jobs on a concrete fleet through the
+// failure-aware cluster simulator: inference rates from the transfer
+// predictor, training rates from the cost model, per-second billing,
+// optional fault schedule.
+func trainFleet(ctx context.Context, tp *engine.TransferPredictor, cm train.CostModel, plan *trainPlan,
+	degree prune.Degree, fleetSpec string, jobs int, deadlineHours float64, faultSpec string, retryBudget int) error {
+	cfg, err := cloud.ParseConfigAll(fleetSpec)
+	if err != nil {
+		return err
+	}
+	faults, err := fault.ParseSchedule(faultSpec)
+	if err != nil {
+		return err
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	visits := plan.Samples * int64(plan.Epochs)
+	js := make([]cluster.Job, jobs)
+	for i := range js {
+		js[i] = cluster.Job{ID: i, Images: visits, Kind: cluster.KindTraining}
+		if deadlineHours > 0 {
+			js[i].Deadline = deadlineHours * 3600
+		}
+	}
+	rcfg := cluster.Config{
+		Fleet:       cfg.Instances,
+		Perf:        tp.Perf(degree, 0),
+		TrainPerf:   cm.Perf(ctx, 0),
+		Faults:      faults,
+		RetryBudget: retryBudget,
+	}
+	res, err := cluster.Run(ctx, rcfg, js)
+	if err != nil {
+		return err
+	}
+	plan.Jobs, plan.Fleet = jobs, cfg.Label()
+	plan.Makespan, plan.CostUSD = res.Makespan, res.Cost
+	plan.Misses, plan.Failed, plan.Preempted = res.Misses, res.FailedJobs, res.Preemptions
+
+	fmt.Printf("fleet plan : %d training job(s) of %d sample-visits on %s\n", jobs, visits, cfg.Label())
+	fmt.Printf("makespan   : %.2f h\n", res.Makespan/3600)
+	fmt.Printf("cost       : $%.2f (per-second pro-rated, revoked instances billed to revocation)\n", res.Cost)
+	if deadlineHours > 0 {
+		fmt.Printf("deadline   : %.1f h — %d of %d jobs missed\n", deadlineHours, res.Misses, len(res.Jobs))
+	}
+	if len(faults.Events) > 0 {
+		fmt.Printf("faults     : %d preemptions, %d retries, %d failed jobs, %.0f s wasted\n",
+			res.Preemptions, res.Retries, res.FailedJobs, res.WastedSeconds)
+	}
+	return nil
+}

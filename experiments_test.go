@@ -11,7 +11,7 @@ func TestExperimentIDsComplete(t *testing.T) {
 	ids := ExperimentIDs()
 	want := []string{"table1", "table3", "fig3", "fig4", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "alg1", "empirical",
-		"calibration", "sensitivity", "robustness", "joint", "faults"}
+		"transfer", "calibration", "sensitivity", "robustness", "joint", "faults"}
 	if len(ids) != len(want) {
 		t.Fatalf("%d experiments, want %d", len(ids), len(want))
 	}

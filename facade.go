@@ -3,6 +3,7 @@ package ccperf
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"ccperf/internal/autoscale"
@@ -30,6 +31,13 @@ type Stack struct {
 	scaler  *autoscale.Autoscaler
 	tmux    *tenant.Mux
 	tscaler *tenant.Scaler
+
+	// Transfer prediction is fitted lazily on first use; the calibration
+	// set comes from WithCalibrationSet (default: the full catalog).
+	calibNames   []string
+	transferOnce sync.Once
+	transfer     *engine.TransferPredictor
+	transferErr  error
 }
 
 // options collects the functional-option state for Open.
@@ -57,6 +65,8 @@ type options struct {
 	tracer   *telemetry.Tracer
 
 	tenants []tenant.Spec
+
+	calibration []string
 }
 
 // Option configures Open.
@@ -134,6 +144,15 @@ func WithTenants(specs []tenant.Spec) Option {
 	return func(o *options) { o.tenants = specs }
 }
 
+// WithCalibrationSet names the calibrated catalog instance types the
+// stack's transfer predictor (Stack.Transfer) fits its roofline scaling
+// factors from. Default: the full catalog. At least two distinct device
+// kinds are needed for the two-feature fit; a single-kind set degrades to
+// the compute-only fallback.
+func WithCalibrationSet(names ...string) Option {
+	return func(o *options) { o.calibration = names }
+}
+
 // WithTelemetry routes the stack's metrics and spans to a private registry
 // and tracer instead of the process-wide defaults.
 func WithTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) Option {
@@ -168,7 +187,7 @@ func Open(model string, opts ...Option) (*Stack, error) {
 	if err != nil {
 		return nil, err
 	}
-	st := &Stack{sys: sys, planner: &Planner{sys: sys}, inst: inst}
+	st := &Stack{sys: sys, planner: &Planner{sys: sys}, inst: inst, calibNames: o.calibration}
 	if len(o.tenants) > 0 {
 		return openTenants(st, &o)
 	}
@@ -379,6 +398,33 @@ func (st *Stack) TenantScaler() *tenant.Scaler { return st.tscaler }
 // Predictor returns the single memoizing prediction engine every view of
 // this stack shares.
 func (st *Stack) Predictor() engine.Predictor { return st.sys.engine }
+
+// Transfer returns the stack's transfer predictor: the shared engine
+// extended to instance types the harness never profiled (the p3/V100
+// transfer targets), via roofline scaling factors fitted from the
+// calibration set (WithCalibrationSet; default the full catalog). The fit
+// runs once, on first call, against the shared memoizing engine, and the
+// result is cached for the stack's lifetime.
+func (st *Stack) Transfer(ctx context.Context) (*engine.TransferPredictor, error) {
+	st.transferOnce.Do(func() {
+		names := st.calibNames
+		var calib []*cloud.Instance
+		if len(names) == 0 {
+			calib = cloud.Catalog()
+		} else {
+			for _, n := range names {
+				inst, err := cloud.ByName(n)
+				if err != nil {
+					st.transferErr = err
+					return
+				}
+				calib = append(calib, inst)
+			}
+		}
+		st.transfer, st.transferErr = engine.FitTransfer(ctx, st.sys.engine, calib)
+	})
+	return st.transfer, st.transferErr
+}
 
 // Instance returns the cloud instance type pricing each replica.
 func (st *Stack) Instance() *cloud.Instance { return st.inst }

@@ -5,6 +5,8 @@ import (
 	"testing"
 	"time"
 
+	"ccperf/internal/cloud"
+	"ccperf/internal/prune"
 	"ccperf/internal/serving"
 	"ccperf/internal/tenant"
 )
@@ -199,5 +201,63 @@ func TestSystemLayerSweep(t *testing.T) {
 	}
 	if _, err := sys.LayerSweep(context.Background(), "conv2", nil, "p9.huge", W50k); err == nil {
 		t.Fatal("unknown instance must fail")
+	}
+}
+
+func TestStackTransfer(t *testing.T) {
+	st, err := Open(Caffenet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ctx := context.Background()
+	tp, err := st.Transfer(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := st.Transfer(ctx)
+	if err != nil || again != tp {
+		t.Fatalf("Transfer must memoize the fit: %v %v", again, err)
+	}
+	// The fitted predictor reaches an instance type the harness never
+	// profiled.
+	p3, err := cloud.ByNameAll("p3.2xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec, err := tp.BatchSeconds(ctx, prune.Degree{}, p3, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec <= 0 {
+		t.Fatalf("BatchSeconds = %g", sec)
+	}
+}
+
+func TestWithCalibrationSet(t *testing.T) {
+	st, err := Open(Caffenet, WithCalibrationSet("p2.xlarge", "g3.4xlarge"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	tp, err := st.Transfer(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := tp.Model()
+	if len(m.Calibrated) != 2 {
+		t.Fatalf("calibrated set = %v", m.Calibrated)
+	}
+	if tp.IsCalibrated("p2.8xlarge") {
+		t.Fatal("p2.8xlarge should be held out of the calibration set")
+	}
+
+	bad, err := Open(Caffenet, WithCalibrationSet("p3.2xlarge", "p2.xlarge"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Close()
+	if _, err := bad.Transfer(context.Background()); err == nil {
+		t.Fatal("an uncalibrated type in the calibration set must error")
 	}
 }

@@ -35,11 +35,12 @@ import (
 // DefaultGatePattern names the hot-path benchmarks a regression in which
 // fails the build (ROADMAP: Enumerate, Batcher, GatewayThroughput,
 // TenantFairness, matmul, the workspace forward path — ConvForward and
-// ForwardWorkspace — and the shard router's routing decision,
-// ShardRouter). Sub-benchmarks inherit their parent's gating by prefix;
+// ForwardWorkspace — the shard router's routing decision, ShardRouter,
+// and the transfer-prediction roofline fit, TransferFit). Sub-benchmarks
+// inherit their parent's gating by prefix;
 // ConvForward deliberately does NOT match the ungated
 // ConvForwardDenseVsSparse sweep.
-const DefaultGatePattern = `^Benchmark(Enumerate|Batcher|GatewayThroughput|TenantFairness|[Mm]at[Mm]ul|ConvForward|ForwardWorkspace|ShardRouter)(/|$)`
+const DefaultGatePattern = `^Benchmark(Enumerate|Batcher|GatewayThroughput|TenantFairness|[Mm]at[Mm]ul|ConvForward|ForwardWorkspace|ShardRouter|TransferFit)(/|$)`
 
 // Options configures a comparison.
 type Options struct {

@@ -228,6 +228,8 @@ func TestDefaultGatePattern(t *testing.T) {
 		"BenchmarkMatMul":                 true,
 		"BenchmarkMatMul/256x1200x729":    true,
 		"BenchmarkShardRouter":            true,
+		"BenchmarkTransferFit":            true,
+		"BenchmarkTransferFitExtras":      false,
 		"BenchmarkShardRouterSomething":   false,
 		"BenchmarkEnumerateSomethingElse": false,
 		"BenchmarkHelper":                 false,

@@ -15,13 +15,20 @@ import (
 // GPUKind names a GPU device model.
 type GPUKind string
 
-// GPU device kinds used by the paper's instance types.
+// GPU device kinds used by the paper's instance types. V100 backs the
+// p3 transfer targets: instances the measurement harness has never
+// profiled, reachable only through engine transfer prediction.
 const (
-	K80 GPUKind = "NVIDIA K80"
-	M60 GPUKind = "NVIDIA M60"
+	K80  GPUKind = "NVIDIA K80"
+	M60  GPUKind = "NVIDIA M60"
+	V100 GPUKind = "NVIDIA V100"
 )
 
 // Instance is one EC2 instance type row of Table 3.
+//
+// TFLOPs and MemBWGBs are the per-GPU roofline device features the
+// transfer predictor (internal/engine) fits against: single-precision
+// peak throughput and memory bandwidth of one GPU of the instance.
 type Instance struct {
 	Name         string
 	VCPUs        int
@@ -30,28 +37,70 @@ type Instance struct {
 	GPUMemGB     int
 	PricePerHour float64 // USD
 	GPU          GPUKind
+	TFLOPs       float64 // per-GPU peak fp32 TFLOP/s
+	MemBWGBs     float64 // per-GPU memory bandwidth, GB/s
 }
 
 // PricePerSecond returns the pro-rated per-second price (Section 4.1.2:
 // the hourly price is pro-rated to the nearest second).
 func (i *Instance) PricePerSecond() float64 { return i.PricePerHour / 3600 }
 
+// Per-GPU device features: GK210 (one of the K80's two chips), GM204
+// (one of the M60's two), and GV100 — published fp32 peak and memory
+// bandwidth per GPU.
+const (
+	k80TFLOPs, k80MemBWGBs   = 4.37, 240.0
+	m60TFLOPs, m60MemBWGBs   = 4.8, 160.0
+	v100TFLOPs, v100MemBWGBs = 15.7, 900.0
+)
+
 // Catalog returns Table 3: the six Amazon EC2 GPU instance types (Oregon
 // region) the paper evaluates.
 func Catalog() []*Instance {
 	return []*Instance{
-		{Name: "p2.xlarge", VCPUs: 4, GPUs: 1, MemGB: 61, GPUMemGB: 12, PricePerHour: 0.9, GPU: K80},
-		{Name: "p2.8xlarge", VCPUs: 32, GPUs: 8, MemGB: 488, GPUMemGB: 96, PricePerHour: 7.2, GPU: K80},
-		{Name: "p2.16xlarge", VCPUs: 64, GPUs: 16, MemGB: 732, GPUMemGB: 192, PricePerHour: 14.4, GPU: K80},
-		{Name: "g3.4xlarge", VCPUs: 16, GPUs: 1, MemGB: 122, GPUMemGB: 8, PricePerHour: 1.14, GPU: M60},
-		{Name: "g3.8xlarge", VCPUs: 32, GPUs: 2, MemGB: 244, GPUMemGB: 16, PricePerHour: 2.28, GPU: M60},
-		{Name: "g3.16xlarge", VCPUs: 64, GPUs: 4, MemGB: 488, GPUMemGB: 32, PricePerHour: 4.56, GPU: M60},
+		{Name: "p2.xlarge", VCPUs: 4, GPUs: 1, MemGB: 61, GPUMemGB: 12, PricePerHour: 0.9, GPU: K80, TFLOPs: k80TFLOPs, MemBWGBs: k80MemBWGBs},
+		{Name: "p2.8xlarge", VCPUs: 32, GPUs: 8, MemGB: 488, GPUMemGB: 96, PricePerHour: 7.2, GPU: K80, TFLOPs: k80TFLOPs, MemBWGBs: k80MemBWGBs},
+		{Name: "p2.16xlarge", VCPUs: 64, GPUs: 16, MemGB: 732, GPUMemGB: 192, PricePerHour: 14.4, GPU: K80, TFLOPs: k80TFLOPs, MemBWGBs: k80MemBWGBs},
+		{Name: "g3.4xlarge", VCPUs: 16, GPUs: 1, MemGB: 122, GPUMemGB: 8, PricePerHour: 1.14, GPU: M60, TFLOPs: m60TFLOPs, MemBWGBs: m60MemBWGBs},
+		{Name: "g3.8xlarge", VCPUs: 32, GPUs: 2, MemGB: 244, GPUMemGB: 16, PricePerHour: 2.28, GPU: M60, TFLOPs: m60TFLOPs, MemBWGBs: m60MemBWGBs},
+		{Name: "g3.16xlarge", VCPUs: 64, GPUs: 4, MemGB: 488, GPUMemGB: 32, PricePerHour: 4.56, GPU: M60, TFLOPs: m60TFLOPs, MemBWGBs: m60MemBWGBs},
 	}
+}
+
+// TransferTargets returns the p3 (V100) family: instance types the paper
+// never profiled and the GPU simulator has no device model for. Their
+// batch times are reachable only through the transfer predictor, which
+// extrapolates from the calibrated catalog's roofline features.
+func TransferTargets() []*Instance {
+	return []*Instance{
+		{Name: "p3.2xlarge", VCPUs: 8, GPUs: 1, MemGB: 61, GPUMemGB: 16, PricePerHour: 3.06, GPU: V100, TFLOPs: v100TFLOPs, MemBWGBs: v100MemBWGBs},
+		{Name: "p3.8xlarge", VCPUs: 32, GPUs: 4, MemGB: 244, GPUMemGB: 64, PricePerHour: 12.24, GPU: V100, TFLOPs: v100TFLOPs, MemBWGBs: v100MemBWGBs},
+		{Name: "p3.16xlarge", VCPUs: 64, GPUs: 8, MemGB: 488, GPUMemGB: 128, PricePerHour: 24.48, GPU: V100, TFLOPs: v100TFLOPs, MemBWGBs: v100MemBWGBs},
+	}
+}
+
+// AllTypes returns the calibrated catalog followed by the transfer
+// targets — the full instance universe the predict surface plans over.
+func AllTypes() []*Instance {
+	return append(Catalog(), TransferTargets()...)
 }
 
 // ByName returns the catalog instance with the given name.
 func ByName(name string) (*Instance, error) {
-	for _, i := range Catalog() {
+	return byNameIn(Catalog(), name)
+}
+
+// ByNameAll resolves a name against the full instance universe (catalog +
+// transfer targets). Commands that can serve uncalibrated instances (the
+// predict surface) resolve through this; everything that needs the
+// measurement harness keeps using ByName, so an unprofiled type stays an
+// explicit error rather than a panic deep in the simulator.
+func ByNameAll(name string) (*Instance, error) {
+	return byNameIn(AllTypes(), name)
+}
+
+func byNameIn(types []*Instance, name string) (*Instance, error) {
+	for _, i := range types {
 		if i.Name == name {
 			return i, nil
 		}

@@ -292,3 +292,51 @@ func TestConfigLabelOrderInvariant(t *testing.T) {
 		t.Fatalf("canonical label = %q", want)
 	}
 }
+
+func TestDeviceFeaturesPopulated(t *testing.T) {
+	for _, i := range AllTypes() {
+		if i.TFLOPs <= 0 || i.MemBWGBs <= 0 {
+			t.Fatalf("%s missing roofline features: TFLOPs=%v MemBWGBs=%v", i.Name, i.TFLOPs, i.MemBWGBs)
+		}
+	}
+	// Same GPU kind ⇒ same per-GPU features, whatever the instance size.
+	byKind := map[GPUKind][2]float64{}
+	for _, i := range AllTypes() {
+		f := [2]float64{i.TFLOPs, i.MemBWGBs}
+		if prev, ok := byKind[i.GPU]; ok && prev != f {
+			t.Fatalf("%s features %v differ from earlier %v for %s", i.Name, f, prev, i.GPU)
+		}
+		byKind[i.GPU] = f
+	}
+	if len(byKind) != 3 {
+		t.Fatalf("expected 3 GPU kinds across AllTypes, got %d", len(byKind))
+	}
+}
+
+func TestTransferTargetsAreUncalibrated(t *testing.T) {
+	for _, i := range TransferTargets() {
+		if i.GPU != V100 {
+			t.Fatalf("%s: transfer targets should be V100, got %s", i.Name, i.GPU)
+		}
+		if _, err := ByName(i.Name); err == nil {
+			t.Fatalf("%s must not resolve through the calibrated catalog", i.Name)
+		}
+		got, err := ByNameAll(i.Name)
+		if err != nil || got.Name != i.Name {
+			t.Fatalf("ByNameAll(%s) = %v, %v", i.Name, got, err)
+		}
+	}
+}
+
+func TestParseConfigAllAcceptsTargets(t *testing.T) {
+	cfg, err := ParseConfigAll("2xp3.2xlarge+1xp2.xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Size() != 3 {
+		t.Fatalf("size = %d, want 3", cfg.Size())
+	}
+	if _, err := ParseConfig("1xp3.2xlarge"); err == nil {
+		t.Fatal("calibrated-only ParseConfig must reject p3 types")
+	}
+}

@@ -11,6 +11,17 @@ import (
 // type names ("p2.xlarge+g3.4xlarge"). It is the inverse of Label up to
 // instance ordering.
 func ParseConfig(s string) (Config, error) {
+	return parseConfig(s, ByName)
+}
+
+// ParseConfigAll is ParseConfig over the full instance universe: names
+// from the calibrated catalog and the uncalibrated transfer targets both
+// resolve. The predict surface parses fleets through this.
+func ParseConfigAll(s string) (Config, error) {
+	return parseConfig(s, ByNameAll)
+}
+
+func parseConfig(s string, byName func(string) (*Instance, error)) (Config, error) {
 	s = strings.TrimSpace(s)
 	if s == "" || s == "empty" {
 		return Config{}, fmt.Errorf("cloud: empty configuration %q", s)
@@ -33,7 +44,7 @@ func ParseConfig(s string) (Config, error) {
 		if count < 1 {
 			return Config{}, fmt.Errorf("cloud: non-positive count in %q", part)
 		}
-		inst, err := ByName(name)
+		inst, err := byName(name)
 		if err != nil {
 			return Config{}, err
 		}

@@ -37,14 +37,44 @@ import (
 	"ccperf/internal/telemetry"
 )
 
+// JobKind selects the workload class of a job — which of the Config's
+// Perf models supplies its service rates.
+type JobKind int
+
+const (
+	// KindInference is the paper's workload: Images counts inference
+	// requests, served in saturated batches via Config.Perf.
+	KindInference JobKind = iota
+	// KindTraining is a training job: Images counts sample-visits
+	// (samples × epochs), consumed one optimizer step per batch via
+	// Config.TrainPerf (typically train.CostModel.Perf).
+	KindTraining
+)
+
+func (k JobKind) String() string {
+	switch k {
+	case KindInference:
+		return "inference"
+	case KindTraining:
+		return "training"
+	default:
+		return fmt.Sprintf("JobKind(%d)", int(k))
+	}
+}
+
 // Job is one unit of arriving work.
 type Job struct {
 	ID      int
 	Arrival float64 // seconds from simulation start
-	Images  int64
+	// Images is the job's size: inference requests for KindInference,
+	// sample-visits (samples × epochs) for KindTraining.
+	Images int64
 	// Deadline is the absolute completion deadline in seconds; 0 means
 	// no deadline.
 	Deadline float64
+	// Kind selects the workload class; the zero value is KindInference,
+	// so existing inference-only call sites are unchanged.
+	Kind JobKind
 }
 
 // JobStat records one job's outcome.
@@ -73,9 +103,13 @@ type Config struct {
 	// Fleet is the rented instance set (billed for the whole horizon,
 	// or until revocation — see Result.Cost).
 	Fleet []*cloud.Instance
-	// Perf supplies batch times (typically engine.Predictor.Perf at a
-	// fixed degree of pruning — see ConfigFor).
+	// Perf supplies batch times for inference jobs (typically
+	// engine.Predictor.Perf at a fixed degree of pruning — see ConfigFor).
 	Perf cloud.Perf
+	// TrainPerf supplies step times for KindTraining jobs (typically
+	// train.CostModel.Perf). It may be nil when no training jobs are
+	// submitted; a training job with a nil TrainPerf is a config error.
+	TrainPerf cloud.Perf
 	// Horizon is the billing horizon in seconds; 0 bills until the last
 	// job finishes.
 	Horizon float64
@@ -153,13 +187,14 @@ func (r *Result) CostPerMillionOnTime() float64 {
 	return r.Cost / float64(r.OnTimeImages) * 1e6
 }
 
-// inst is the per-instance event-loop state.
+// inst is the per-instance event-loop state. batch/batchTime are indexed
+// by JobKind; the training slots stay zero when Config.TrainPerf is nil.
 type inst struct {
 	typ       *cloud.Instance
 	freeAt    float64
 	busy      float64
-	batch     int
-	batchTime float64
+	batch     [2]int
+	batchTime [2]float64
 	preemptAt float64 // +Inf when never revoked
 	revoked   bool    // revocation reached during the run
 }
@@ -221,21 +256,8 @@ func Run(ctx context.Context, cfg Config, jobs []Job) (*Result, error) {
 		retryBudget = 0
 	}
 
-	// Precompute per-instance service rates and revocation times.
-	fleet := make([]inst, len(cfg.Fleet))
-	for i, it := range cfg.Fleet {
-		b := cfg.Perf.MaxBatch(it)
-		if b <= 0 {
-			return nil, fmt.Errorf("cluster: instance %s has non-positive batch", it.Name)
-		}
-		bt := cfg.Perf.BatchTime(it, b)
-		if bt <= 0 {
-			return nil, fmt.Errorf("cluster: instance %s has non-positive batch time", it.Name)
-		}
-		fleet[i] = inst{typ: it, batch: b, batchTime: bt, preemptAt: cfg.Faults.PreemptAt(i)}
-	}
-
 	pending := make(jobQueue, 0, len(jobs))
+	hasTraining := false
 	for _, j := range jobs {
 		if j.Images <= 0 {
 			return nil, fmt.Errorf("cluster: job %d has non-positive images", j.ID)
@@ -243,9 +265,41 @@ func Run(ctx context.Context, cfg Config, jobs []Job) (*Result, error) {
 		if j.Arrival < 0 {
 			return nil, fmt.Errorf("cluster: job %d has negative arrival", j.ID)
 		}
+		switch j.Kind {
+		case KindInference:
+		case KindTraining:
+			hasTraining = true
+		default:
+			return nil, fmt.Errorf("cluster: job %d has unknown kind %d", j.ID, j.Kind)
+		}
 		pending = append(pending, &pendingJob{job: j, ready: j.Arrival, remaining: j.Images, attempt: 1, firstStart: math.NaN()})
 	}
 	heap.Init(&pending)
+	if hasTraining && cfg.TrainPerf == nil {
+		return nil, fmt.Errorf("cluster: training jobs submitted but Config.TrainPerf is nil")
+	}
+
+	// Precompute per-instance, per-kind service rates and revocation times.
+	perfs := [2]cloud.Perf{KindInference: cfg.Perf, KindTraining: cfg.TrainPerf}
+	fleet := make([]inst, len(cfg.Fleet))
+	for i, it := range cfg.Fleet {
+		in := inst{typ: it, preemptAt: cfg.Faults.PreemptAt(i)}
+		for k, perf := range perfs {
+			if perf == nil || (JobKind(k) == KindTraining && !hasTraining) {
+				continue
+			}
+			b := perf.MaxBatch(it)
+			if b <= 0 {
+				return nil, fmt.Errorf("cluster: instance %s has non-positive %s batch", it.Name, JobKind(k))
+			}
+			bt := perf.BatchTime(it, b)
+			if bt <= 0 {
+				return nil, fmt.Errorf("cluster: instance %s has non-positive %s batch time", it.Name, JobKind(k))
+			}
+			in.batch[k], in.batchTime[k] = b, bt
+		}
+		fleet[i] = in
+	}
 
 	res := &Result{Jobs: make([]JobStat, 0, len(jobs))}
 	dispatched := 0
@@ -266,6 +320,7 @@ func Run(ctx context.Context, cfg Config, jobs []Job) (*Result, error) {
 		best := -1
 		bestFinish := math.Inf(1)
 		var bestStart float64
+		kind := it.job.Kind
 		for i := range fleet {
 			if fleet[i].revoked {
 				continue
@@ -274,7 +329,7 @@ func Run(ctx context.Context, cfg Config, jobs []Job) (*Result, error) {
 			if start >= fleet[i].preemptAt {
 				continue
 			}
-			service := math.Ceil(float64(it.remaining)/float64(fleet[i].batch)) * fleet[i].batchTime
+			service := math.Ceil(float64(it.remaining)/float64(fleet[i].batch[kind])) * fleet[i].batchTime[kind]
 			finish := start + service
 			if finish < bestFinish {
 				best, bestFinish, bestStart = i, finish, start
@@ -309,7 +364,7 @@ func Run(ctx context.Context, cfg Config, jobs []Job) (*Result, error) {
 				interrupted = true
 				break
 			}
-			dur := in.batchTime * cfg.Faults.SlowFactor(best, t)
+			dur := in.batchTime[kind] * cfg.Faults.SlowFactor(best, t)
 			if t+dur > in.preemptAt {
 				res.WastedSeconds += in.preemptAt - t
 				in.busy += in.preemptAt - t
@@ -319,7 +374,7 @@ func Run(ctx context.Context, cfg Config, jobs []Job) (*Result, error) {
 			}
 			t += dur
 			in.busy += dur
-			done := min64(int64(in.batch), it.remaining)
+			done := min64(int64(in.batch[kind]), it.remaining)
 			it.remaining -= done
 			res.FinishedImages += done
 		}

@@ -282,3 +282,71 @@ func TestMoreInstancesNeverHurtProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// trainStubPerf models optimizer steps: batch 50 sample-visits, 5 s each.
+type trainStubPerf struct{}
+
+func (trainStubPerf) BatchTime(it *cloud.Instance, b int) float64 { return 5 }
+func (trainStubPerf) MaxBatch(it *cloud.Instance) int             { return 50 }
+
+func TestTrainingJobsUseTrainPerf(t *testing.T) {
+	i := xl(t)
+	jobs := []Job{
+		{ID: 0, Arrival: 0, Images: 100, Kind: KindTraining},  // 2 steps → 10 s
+		{ID: 1, Arrival: 10, Images: 100},                     // inference: 1 batch → 10 s
+		{ID: 2, Arrival: 20, Images: 150, Kind: KindTraining}, // 3 steps → 15 s
+	}
+	cfg := Config{Fleet: []*cloud.Instance{i}, Perf: stubPerf{}, TrainPerf: trainStubPerf{}}
+	res, err := Run(context.Background(), cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential on one instance: training 0–10, inference 10–20,
+	// training 20–35 — each job priced by its own kind's rates.
+	if res.Jobs[0].Finish != 10 || res.Jobs[1].Finish != 20 || res.Jobs[2].Finish != 35 {
+		t.Fatalf("schedule = %+v", res.Jobs)
+	}
+	if res.FinishedImages != 350 {
+		t.Fatalf("FinishedImages = %d, want 350", res.FinishedImages)
+	}
+}
+
+func TestTrainingDeadlinePlanning(t *testing.T) {
+	// A training job with a deadline: the simulator reports the miss the
+	// same way it does for inference.
+	i := xl(t)
+	cfg := Config{Fleet: []*cloud.Instance{i}, Perf: stubPerf{}, TrainPerf: trainStubPerf{}}
+	jobs := []Job{{ID: 0, Images: 500, Kind: KindTraining, Deadline: 40}} // 10 steps → 50 s > 40
+	res, err := Run(context.Background(), cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses != 1 || !res.Jobs[0].Missed {
+		t.Fatalf("expected a deadline miss, got %+v", res.Jobs[0])
+	}
+	if res.Makespan != 50 {
+		t.Fatalf("Makespan = %g, want 50", res.Makespan)
+	}
+}
+
+func TestTrainingJobsRequireTrainPerf(t *testing.T) {
+	i := xl(t)
+	cfg := Config{Fleet: []*cloud.Instance{i}, Perf: stubPerf{}}
+	if _, err := Run(context.Background(), cfg, []Job{{Images: 10, Kind: KindTraining}}); err == nil {
+		t.Fatal("training job without TrainPerf must be rejected")
+	}
+	if _, err := Run(context.Background(), cfg, []Job{{Images: 10, Kind: JobKind(7)}}); err == nil {
+		t.Fatal("unknown kind must be rejected")
+	}
+	// Inference-only jobs never touch TrainPerf even when set to a
+	// broken implementation.
+	cfg.TrainPerf = brokenPerf{}
+	if _, err := Run(context.Background(), cfg, []Job{{Images: 10}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type brokenPerf struct{}
+
+func (brokenPerf) BatchTime(it *cloud.Instance, b int) float64 { return 0 }
+func (brokenPerf) MaxBatch(it *cloud.Instance) int             { return 0 }

@@ -1,0 +1,467 @@
+package engine
+
+// PROFET-style cross-instance transfer prediction (ROADMAP item 5).
+//
+// The measurement harness answers for the six calibrated catalog types
+// only; every other instance type is invisible to planning. Following
+// PROFET (Lee & Malik) and the roofline-feature approach validated for
+// CNNs on heterogeneous edge devices, TransferPredictor fits per-device
+// scaling factors from a few profiled instance types and predicts batch
+// times on instance types it has never measured.
+//
+// The fit decomposes one GPU's batch time the same way the simulator's
+// timing model does:
+//
+//	t(b) = α + (b/g)·w / u(⌈b/g⌉)
+//
+// where α is the per-batch launch overhead, w the saturated per-image
+// time, g the GPU count and u the utilization ramp. Two jitter-free
+// probes of each calibration instance at saturated batch sizes (b and 2b
+// on one GPU, where u = 1) recover (α_i, w_i) exactly:
+//
+//	w_i = (t(2b) − t(b)) / b,   α_i = t(b) − b·w_i
+//
+// The roofline hypothesis is that per-device *rates* are linear in the
+// device features: 1/w_i ≈ θ_c·TFLOPs_i + θ_m·MemBW_i (and likewise
+// 1/α_i), fitted by least squares over the calibration set. GPU count
+// enters through the per-GPU workload split b/g, exactly as in the
+// simulator. The degree-of-pruning response and the utilization ramp are
+// properties of the *model*, not the device, so predictions on unseen
+// instances reuse the reference instance's measured shape: the ratio
+// w_ref(d)/w_ref(0) scales work, α_ref(d)/α_ref(0) scales overhead, and
+// u(n) is solved from a reference probe at per-GPU batch n.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"ccperf/internal/accuracy"
+	"ccperf/internal/cloud"
+	"ccperf/internal/prune"
+	"ccperf/internal/telemetry"
+)
+
+// RooflineFit is one fitted linear rate model: rate ≈ Compute·TFLOPs +
+// Memory·MemBW. Memory can legitimately come out negative when the
+// calibration set's faster device has the lower bandwidth (two-point
+// interpolation), so Rate falls back to the compute-only fit whenever the
+// two-feature prediction goes non-positive on an extrapolation target.
+type RooflineFit struct {
+	Compute     float64 // rate per TFLOP/s
+	Memory      float64 // rate per GB/s
+	ComputeOnly float64 // single-feature fallback: rate per TFLOP/s
+	// MaxResidualPct is the worst |fitted−probed|/probed over the
+	// calibration set, in percent — zero when the features interpolate
+	// the probes exactly.
+	MaxResidualPct float64
+}
+
+// Rate evaluates the fitted rate (1/seconds) for an instance's features.
+func (f RooflineFit) Rate(inst *cloud.Instance) float64 {
+	if r := f.Compute*inst.TFLOPs + f.Memory*inst.MemBWGBs; r > 0 {
+		return r
+	}
+	return f.ComputeOnly * inst.TFLOPs
+}
+
+// fit solves the 2×2 normal equations for y ≈ θc·x1 + θm·x2 by least
+// squares, with the compute-only fallback θ = Σx1y/Σx1² always computed.
+// A singular system (all calibration devices sharing one feature vector)
+// degrades to the compute-only model alone.
+func fitRoofline(x1, x2, y []float64) RooflineFit {
+	var s11, s12, s22, s1y, s2y, s1sq float64
+	for i := range y {
+		s11 += x1[i] * x1[i]
+		s12 += x1[i] * x2[i]
+		s22 += x2[i] * x2[i]
+		s1y += x1[i] * y[i]
+		s2y += x2[i] * y[i]
+		s1sq += x1[i] * x1[i]
+	}
+	f := RooflineFit{}
+	if s1sq > 0 {
+		f.ComputeOnly = s1y / s1sq
+	}
+	det := s11*s22 - s12*s12
+	// The determinant is ~(TFLOPs·GB/s)² when the set has two distinct
+	// devices and collapses to rounding noise when it does not; the
+	// relative test keeps the threshold scale-free.
+	if det > 1e-9*s11*s22 {
+		f.Compute = (s22*s1y - s12*s2y) / det
+		f.Memory = (s11*s2y - s12*s1y) / det
+	} else {
+		f.Compute, f.Memory = f.ComputeOnly, 0
+	}
+	for i := range y {
+		fitted := f.Compute*x1[i] + f.Memory*x2[i]
+		if fitted <= 0 {
+			fitted = f.ComputeOnly * x1[i]
+		}
+		if y[i] > 0 {
+			if r := math.Abs(fitted-y[i]) / y[i] * 100; r > f.MaxResidualPct {
+				f.MaxResidualPct = r
+			}
+		}
+	}
+	return f
+}
+
+// TransferModel is the fitted state of a TransferPredictor.
+type TransferModel struct {
+	Work       RooflineFit // saturated per-image rate, images/sec per GPU
+	Overhead   RooflineFit // per-batch launch-overhead rate, 1/sec
+	Calibrated []string    // instance types the fit probed
+	RefName    string      // shape reference (degree response, utilization)
+	SatPerGPU  int         // per-GPU saturating batch size
+}
+
+// TransferPredictor implements Predictor for instance types the inner
+// predictor has never profiled. Calibration-set instances delegate to the
+// inner predictor unchanged (they are measured, not predicted); any other
+// instance type is answered from the fitted roofline model. The fit runs
+// once in FitTransfer; afterwards the predictor is read-only apart from
+// two memoized reference-shape tables, so it is deterministic and safe
+// for concurrent use — the Predictor contract that lets a Cache memoize
+// it with per-instance-type keys.
+type TransferPredictor struct {
+	inner      Predictor
+	model      TransferModel
+	calibrated map[string]bool
+	ref        *cloud.Instance
+	refWork    float64 // w_ref at degree 0
+	refOver    float64 // α_ref at degree 0
+	refPerf    cloud.Perf
+
+	mu     sync.Mutex
+	shapes map[string][2]float64 // degree label → (work ratio, overhead ratio)
+	util   map[int]float64       // per-GPU batch → u(n)
+}
+
+var _ Predictor = (*TransferPredictor)(nil)
+
+// FitTransfer probes each calibration instance through the inner
+// predictor's jitter-free analytic Perf path and fits the roofline
+// model. The first calibration instance doubles as the shape reference.
+// At least two calibration instances are required; distinct device kinds
+// among them are what give the two-feature fit its rank.
+func FitTransfer(ctx context.Context, inner Predictor, calib []*cloud.Instance) (*TransferPredictor, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var set []*cloud.Instance
+	for _, it := range calib {
+		if it == nil || seen[it.Name] {
+			continue
+		}
+		seen[it.Name] = true
+		set = append(set, it)
+	}
+	if len(set) < 2 {
+		return nil, fmt.Errorf("engine: transfer fit needs ≥2 distinct calibration instances, got %d", len(set))
+	}
+	perf := inner.Perf(prune.Degree{}, 1)
+	satB := perf.MaxBatch(set[0])
+	if satB <= 0 {
+		return nil, fmt.Errorf("engine: calibration instance %s has non-positive saturating batch", set[0].Name)
+	}
+
+	tp := &TransferPredictor{
+		inner:      inner,
+		calibrated: seen,
+		ref:        set[0],
+		refPerf:    perf,
+		shapes:     map[string][2]float64{},
+		util:       map[int]float64{},
+	}
+	names := make([]string, len(set))
+	x1 := make([]float64, len(set))
+	x2 := make([]float64, len(set))
+	yw := make([]float64, len(set))
+	yo := make([]float64, len(set))
+	for i, it := range set {
+		if it.TFLOPs <= 0 || it.MemBWGBs <= 0 {
+			return nil, fmt.Errorf("engine: calibration instance %s has no roofline features", it.Name)
+		}
+		w, a, err := probe(perf, it, satB)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			tp.refWork, tp.refOver = w, a
+		}
+		names[i] = it.Name
+		x1[i], x2[i] = it.TFLOPs, it.MemBWGBs
+		yw[i], yo[i] = 1/w, 1/a
+	}
+	tp.model = TransferModel{
+		Work:       fitRoofline(x1, x2, yw),
+		Overhead:   fitRoofline(x1, x2, yo),
+		Calibrated: names,
+		RefName:    set[0].Name,
+		SatPerGPU:  satB,
+	}
+	telemetry.Default.Counter("engine.transfer_fits").Inc()
+	return tp, nil
+}
+
+// probe recovers (w, α) for one instance on one GPU from two saturated
+// batch times: both probes sit past the knee, where u = 1 and the batch
+// time is affine in b.
+func probe(perf cloud.Perf, it *cloud.Instance, satB int) (w, a float64, err error) {
+	t1 := perf.BatchTime(it, satB)
+	t2 := perf.BatchTime(it, 2*satB)
+	w = (t2 - t1) / float64(satB)
+	a = t1 - float64(satB)*w
+	if w <= 0 {
+		return 0, 0, fmt.Errorf("engine: probe of %s gave non-positive per-image time %g", it.Name, w)
+	}
+	if a <= 0 {
+		// A predictor with no launch overhead is still usable; pin a
+		// vanishing α so the overhead rate stays finite.
+		a = 1e-12
+	}
+	return w, a, nil
+}
+
+// Model returns the fitted transfer model.
+func (tp *TransferPredictor) Model() TransferModel { return tp.model }
+
+// IsCalibrated reports whether the named instance type is served by the
+// inner predictor rather than the fitted model.
+func (tp *TransferPredictor) IsCalibrated(name string) bool { return tp.calibrated[name] }
+
+// shapeFor returns (work ratio, overhead ratio) of degree d relative to
+// the unpruned reference — the model-side pruning response, probed once
+// per degree on the reference instance and memoized.
+func (tp *TransferPredictor) shapeFor(d prune.Degree) [2]float64 {
+	if d.IsUnpruned() {
+		return [2]float64{1, 1}
+	}
+	label := d.Label()
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	if s, ok := tp.shapes[label]; ok {
+		return s
+	}
+	perf := tp.inner.Perf(d, 1)
+	w, a, err := probe(perf, tp.ref, tp.model.SatPerGPU)
+	if err != nil {
+		// A degree cannot make the reference unmeasurable when degree 0
+		// was; keep the unpruned shape rather than fail the prediction.
+		w, a = tp.refWork, tp.refOver
+	}
+	s := [2]float64{w / tp.refWork, a / tp.refOver}
+	tp.shapes[label] = s
+	return s
+}
+
+// utilization returns u(n) for a per-GPU batch of n images, solved from a
+// reference probe at batch n: t(n) = α_ref + n·w_ref/u(n).
+func (tp *TransferPredictor) utilization(n int) float64 {
+	if n >= tp.model.SatPerGPU {
+		return 1
+	}
+	if n <= 0 {
+		n = 1
+	}
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	if u, ok := tp.util[n]; ok {
+		return u
+	}
+	u := 1.0
+	if t := tp.refPerf.BatchTime(tp.ref, n); t > tp.refOver {
+		u = float64(n) * tp.refWork / (t - tp.refOver)
+	}
+	if u > 1 {
+		u = 1
+	}
+	tp.util[n] = u
+	return u
+}
+
+// BatchSeconds predicts one batch's time. Calibration-set instances are
+// measured by the inner predictor; unseen instances are predicted from
+// the fitted roofline rates and the reference shape.
+func (tp *TransferPredictor) BatchSeconds(ctx context.Context, d prune.Degree, inst *cloud.Instance, gpus, b int) (float64, error) {
+	if tp.calibrated[inst.Name] {
+		return tp.inner.BatchSeconds(ctx, d, inst, gpus, b)
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if gpus <= 0 {
+		return 0, fmt.Errorf("engine: non-positive GPU count %d", gpus)
+	}
+	if b <= 0 {
+		return 0, fmt.Errorf("engine: non-positive batch %d", b)
+	}
+	if inst.TFLOPs <= 0 {
+		return 0, fmt.Errorf("engine: instance %s has no roofline features to transfer from", inst.Name)
+	}
+	shape := tp.shapeFor(d)
+	w := shape[0] / tp.model.Work.Rate(inst)
+	a := shape[1] / tp.model.Overhead.Rate(inst)
+	perGPU := float64(b) / float64(gpus)
+	u := tp.utilization(int(math.Ceil(perGPU)))
+	telemetry.Default.Counter("engine.transfer_predictions").Inc()
+	return a + perGPU*w/u, nil
+}
+
+// TotalSeconds predicts the time to infer w images on one instance at
+// saturated batch size, mirroring the harness's ⌈w/b⌉·t(b) schedule.
+func (tp *TransferPredictor) TotalSeconds(ctx context.Context, d prune.Degree, inst *cloud.Instance, gpus int, w int64) (float64, error) {
+	if tp.calibrated[inst.Name] {
+		return tp.inner.TotalSeconds(ctx, d, inst, gpus, w)
+	}
+	if gpus <= 0 {
+		gpus = inst.GPUs
+	}
+	b := tp.model.SatPerGPU * gpus
+	bt, err := tp.BatchSeconds(ctx, d, inst, gpus, b)
+	if err != nil {
+		return 0, err
+	}
+	return math.Ceil(float64(w)/float64(b)) * bt, nil
+}
+
+// Accuracy delegates to the inner predictor: accuracy is a property of
+// the pruned model, not of the device it runs on.
+func (tp *TransferPredictor) Accuracy(ctx context.Context, d prune.Degree) (accuracy.TopK, error) {
+	return tp.inner.Accuracy(ctx, d)
+}
+
+// Perf adapts the transfer predictor to the analytical model's
+// cloud.Perf, so the cluster simulator and the explore stack can plan
+// fleets that mix calibrated and unseen instance types.
+func (tp *TransferPredictor) Perf(d prune.Degree, gpus int) cloud.Perf {
+	return &transferPerf{tp: tp, inner: tp.inner.Perf(d, gpus), d: d, gpus: gpus}
+}
+
+type transferPerf struct {
+	tp    *TransferPredictor
+	inner cloud.Perf
+	d     prune.Degree
+	gpus  int
+}
+
+func (p *transferPerf) g(it *cloud.Instance) int {
+	if p.gpus > 0 && p.gpus <= it.GPUs {
+		return p.gpus
+	}
+	return it.GPUs
+}
+
+// BatchTime implements cloud.Perf. Like the other Perf adapters it has no
+// error channel; prediction failures (an instance with no features)
+// propagate as panics, exactly as an unknown GPU kind does uncached.
+func (p *transferPerf) BatchTime(it *cloud.Instance, b int) float64 {
+	if p.tp.calibrated[it.Name] {
+		return p.inner.BatchTime(it, b)
+	}
+	t, err := p.tp.BatchSeconds(context.Background(), p.d, it, p.g(it), b)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// MaxBatch implements cloud.Perf.
+func (p *transferPerf) MaxBatch(it *cloud.Instance) int {
+	return p.tp.model.SatPerGPU * p.g(it)
+}
+
+// LOORow is one held-out instance's row of a leave-one-out evaluation:
+// the transfer model is fitted on every other type, and the held-out
+// type's batch time is predicted and compared against the inner
+// predictor's measurement — at full saturated batch on all GPUs, and at
+// a single inference on one GPU (the overhead-dominated corner).
+type LOORow struct {
+	Instance string
+	GPUs     int
+	SatBatch int
+
+	TruthSat float64 // measured BatchSeconds at (all GPUs, saturated batch)
+	PredSat  float64
+	TruthOne float64 // measured BatchSeconds at (1 GPU, batch 1)
+	PredOne  float64
+
+	ErrSatPct float64 // signed: (pred−truth)/truth·100
+	ErrOnePct float64
+}
+
+// LeaveOneOut runs the held-out-error experiment over the given types:
+// for each, fit on the rest and predict it. workers bounds the number of
+// concurrent fits (≤1 = sequential). Row order follows types.
+func LeaveOneOut(ctx context.Context, inner Predictor, types []*cloud.Instance, d prune.Degree, workers int) ([]LOORow, error) {
+	if len(types) < 3 {
+		return nil, fmt.Errorf("engine: leave-one-out needs ≥3 instance types, got %d", len(types))
+	}
+	if workers <= 1 {
+		workers = 1
+	}
+	rows := make([]LOORow, len(types))
+	errs := make([]error, len(types))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range types {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rows[i], errs[i] = looRow(ctx, inner, types, d, i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+func looRow(ctx context.Context, inner Predictor, types []*cloud.Instance, d prune.Degree, hold int) (LOORow, error) {
+	fitSet := make([]*cloud.Instance, 0, len(types)-1)
+	for j, it := range types {
+		if j != hold {
+			fitSet = append(fitSet, it)
+		}
+	}
+	tp, err := FitTransfer(ctx, inner, fitSet)
+	if err != nil {
+		return LOORow{}, err
+	}
+	held := types[hold]
+	satB := tp.model.SatPerGPU * held.GPUs
+	row := LOORow{Instance: held.Name, GPUs: held.GPUs, SatBatch: satB}
+	if row.TruthSat, err = inner.BatchSeconds(ctx, d, held, held.GPUs, satB); err != nil {
+		return LOORow{}, err
+	}
+	if row.PredSat, err = tp.BatchSeconds(ctx, d, held, held.GPUs, satB); err != nil {
+		return LOORow{}, err
+	}
+	if row.TruthOne, err = inner.BatchSeconds(ctx, d, held, 1, 1); err != nil {
+		return LOORow{}, err
+	}
+	if row.PredOne, err = tp.BatchSeconds(ctx, d, held, 1, 1); err != nil {
+		return LOORow{}, err
+	}
+	row.ErrSatPct = (row.PredSat - row.TruthSat) / row.TruthSat * 100
+	row.ErrOnePct = (row.PredOne - row.TruthOne) / row.TruthOne * 100
+	return row, nil
+}
+
+// MaxAbsErrPct returns the largest |error| percent across rows, over both
+// the saturated-batch and single-inference columns.
+func MaxAbsErrPct(rows []LOORow) float64 {
+	var m float64
+	for _, r := range rows {
+		m = math.Max(m, math.Max(math.Abs(r.ErrSatPct), math.Abs(r.ErrOnePct)))
+	}
+	return m
+}

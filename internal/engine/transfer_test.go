@@ -1,0 +1,410 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"ccperf/internal/accuracy"
+	"ccperf/internal/cloud"
+	"ccperf/internal/prune"
+)
+
+// fakeRoofline is a synthetic Predictor whose ground truth lies exactly
+// in the transfer model's family: per-device rates linear in the roofline
+// features, a shared utilization ramp, and a device-independent pruning
+// response. (engine cannot import internal/measure — measure imports
+// engine — so the tests carry their own substrate.)
+type fakeRoofline struct {
+	jitter float64 // relative amplitude on BatchSeconds; Perf stays clean
+}
+
+const (
+	fakeSatB   = 300
+	fakeSatExp = 0.12
+)
+
+func fakeRates(inst *cloud.Instance) (w, a float64) {
+	// Hidden truth: work rate 30/TFLOP + 0.05/GB/s, overhead rate
+	// 400/TFLOP + 2/GB/s. Both strictly positive on the catalog.
+	return 1 / (30*inst.TFLOPs + 0.05*inst.MemBWGBs), 1 / (400*inst.TFLOPs + 2*inst.MemBWGBs)
+}
+
+func fakeU(n int) float64 {
+	if n >= fakeSatB {
+		return 1
+	}
+	return math.Pow(float64(n)/fakeSatB, fakeSatExp)
+}
+
+// fakeResp is the device-independent pruning response: mean prune ratio
+// shrinks work by up to 60% and overhead by up to 20%.
+func fakeResp(d prune.Degree) (workR, overR float64) {
+	if len(d.Ratios) == 0 {
+		return 1, 1
+	}
+	var s float64
+	for _, r := range d.Ratios {
+		s += r
+	}
+	mean := s / float64(len(d.Ratios))
+	return 1 - 0.6*mean, 1 - 0.2*mean
+}
+
+func (f fakeRoofline) batch(d prune.Degree, inst *cloud.Instance, gpus, b int, jittered bool) float64 {
+	w, a := fakeRates(inst)
+	wr, or := fakeResp(d)
+	perGPU := float64(b) / float64(gpus)
+	t := a*or + perGPU*w*wr/fakeU(int(math.Ceil(perGPU)))
+	if jittered && f.jitter > 0 {
+		// Deterministic pseudo-jitter from the call identity.
+		h := uint64(b)*2654435761 ^ uint64(gpus)<<17 ^ uint64(len(inst.Name))<<33
+		for i := 0; i < len(inst.Name); i++ {
+			h = h*1099511628211 ^ uint64(inst.Name[i])
+		}
+		t *= 1 + f.jitter*float64(h>>40)/float64(1<<24)
+	}
+	return t
+}
+
+func (f fakeRoofline) BatchSeconds(ctx context.Context, d prune.Degree, inst *cloud.Instance, gpus, b int) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if gpus <= 0 || b <= 0 {
+		return 0, fmt.Errorf("fake: bad args gpus=%d b=%d", gpus, b)
+	}
+	return f.batch(d, inst, gpus, b, true), nil
+}
+
+func (f fakeRoofline) TotalSeconds(ctx context.Context, d prune.Degree, inst *cloud.Instance, gpus int, w int64) (float64, error) {
+	if gpus <= 0 {
+		gpus = inst.GPUs
+	}
+	b := fakeSatB * gpus
+	bt, err := f.BatchSeconds(ctx, d, inst, gpus, b)
+	if err != nil {
+		return 0, err
+	}
+	return math.Ceil(float64(w)/float64(b)) * bt, nil
+}
+
+func (f fakeRoofline) Accuracy(ctx context.Context, d prune.Degree) (accuracy.TopK, error) {
+	return accuracy.TopK{Top1: 0.5, Top5: 0.7}, nil
+}
+
+func (f fakeRoofline) Perf(d prune.Degree, gpus int) cloud.Perf {
+	return rooflinePerf{f: f, d: d, gpus: gpus}
+}
+
+type rooflinePerf struct {
+	f    fakeRoofline
+	d    prune.Degree
+	gpus int
+}
+
+func (p rooflinePerf) g(it *cloud.Instance) int {
+	if p.gpus > 0 && p.gpus <= it.GPUs {
+		return p.gpus
+	}
+	return it.GPUs
+}
+
+func (p rooflinePerf) BatchTime(it *cloud.Instance, b int) float64 {
+	return p.f.batch(p.d, it, p.g(it), b, false)
+}
+
+func (p rooflinePerf) MaxBatch(it *cloud.Instance) int { return fakeSatB * p.g(it) }
+
+var _ Predictor = fakeRoofline{}
+
+func ctxT(t *testing.T) context.Context {
+	t.Helper()
+	return context.Background()
+}
+
+func TestTransferFitRecoversExactRoofline(t *testing.T) {
+	cat := cloud.Catalog()
+	held := cat[0]
+	tp, err := FitTransfer(ctxT(t), fakeRoofline{}, cat[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := tp.Model()
+	if m.SatPerGPU != fakeSatB {
+		t.Fatalf("SatPerGPU = %d, want %d", m.SatPerGPU, fakeSatB)
+	}
+	if m.Work.MaxResidualPct > 1e-6 || m.Overhead.MaxResidualPct > 1e-6 {
+		t.Fatalf("residuals should vanish on in-family truth: %v / %v", m.Work.MaxResidualPct, m.Overhead.MaxResidualPct)
+	}
+	// Held-out catalog type and an extrapolation target both predicted
+	// exactly (the fake's truth is linear in the same features).
+	for _, inst := range []*cloud.Instance{held, cloud.TransferTargets()[0]} {
+		for _, c := range []struct{ gpus, b int }{{1, 1}, {1, 50}, {inst.GPUs, fakeSatB * inst.GPUs}} {
+			want := fakeRoofline{}.batch(prune.Degree{}, inst, c.gpus, c.b, false)
+			got, err := tp.BatchSeconds(ctxT(t), prune.Degree{}, inst, c.gpus, c.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want)/want > 1e-9 {
+				t.Fatalf("%s gpus=%d b=%d: got %.12g want %.12g", inst.Name, c.gpus, c.b, got, want)
+			}
+		}
+	}
+}
+
+func TestTransferDegreeShapeReuse(t *testing.T) {
+	cat := cloud.Catalog()
+	tp, err := FitTransfer(ctxT(t), fakeRoofline{}, cat[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := prune.NewDegree("conv1", 0.3, "conv2", 0.5)
+	inst := cloud.TransferTargets()[1]
+	want := fakeRoofline{}.batch(d, inst, 2, 77, false)
+	got, err := tp.BatchSeconds(ctxT(t), d, inst, 2, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("pruned prediction: got %.12g want %.12g", got, want)
+	}
+
+	wTot := fakeRoofline{}.TotalSeconds
+	want2, _ := wTot(ctxT(t), d, inst, 0, 1_000_000)
+	got2, err := tp.TotalSeconds(ctxT(t), d, inst, 0, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TotalSeconds truth is jittered (mirrors the harness); allow the
+	// fake's jitter amplitude.
+	if math.Abs(got2-want2)/want2 > 0.05 {
+		t.Fatalf("TotalSeconds: got %.6g want %.6g", got2, want2)
+	}
+}
+
+func TestTransferCalibratedInstancesDelegate(t *testing.T) {
+	cat := cloud.Catalog()
+	f := fakeRoofline{jitter: 0.03}
+	tp, err := FitTransfer(ctxT(t), f, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inst := range cat {
+		if !tp.IsCalibrated(inst.Name) {
+			t.Fatalf("%s should be calibrated", inst.Name)
+		}
+		want, _ := f.BatchSeconds(ctxT(t), prune.Degree{}, inst, 1, 64)
+		got, err := tp.BatchSeconds(ctxT(t), prune.Degree{}, inst, 1, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("%s: delegation changed the measurement: %g != %g", inst.Name, got, want)
+		}
+	}
+	if tp.IsCalibrated("p3.2xlarge") {
+		t.Fatal("p3.2xlarge must not be calibrated")
+	}
+}
+
+func TestLeaveOneOutSmallHeldOutError(t *testing.T) {
+	rows, err := LeaveOneOut(ctxT(t), fakeRoofline{jitter: 0.03}, cloud.Catalog(), prune.Degree{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for i, r := range rows {
+		if r.Instance != cloud.Catalog()[i].Name {
+			t.Fatalf("row %d order: %s", i, r.Instance)
+		}
+		if r.TruthSat <= 0 || r.PredSat <= 0 || r.TruthOne <= 0 || r.PredOne <= 0 {
+			t.Fatalf("row %+v has non-positive times", r)
+		}
+	}
+	// The fit probes are jitter-free while the measured truth carries up
+	// to 3% jitter; held-out error must stay within that envelope.
+	if m := MaxAbsErrPct(rows); m > 5 {
+		t.Fatalf("max held-out error %.2f%% exceeds the jitter envelope", m)
+	}
+}
+
+func TestTransferFitErrors(t *testing.T) {
+	cat := cloud.Catalog()
+	if _, err := FitTransfer(ctxT(t), fakeRoofline{}, cat[:1]); err == nil {
+		t.Fatal("one calibration instance must be rejected")
+	}
+	if _, err := FitTransfer(ctxT(t), fakeRoofline{}, []*cloud.Instance{cat[0], cat[0]}); err == nil {
+		t.Fatal("duplicate-only calibration set must be rejected")
+	}
+	bare := &cloud.Instance{Name: "bare", GPUs: 1}
+	if _, err := FitTransfer(ctxT(t), fakeRoofline{}, []*cloud.Instance{cat[0], bare}); err == nil {
+		t.Fatal("featureless calibration instance must be rejected")
+	}
+	tp, err := FitTransfer(ctxT(t), fakeRoofline{}, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tp.BatchSeconds(ctxT(t), prune.Degree{}, bare, 1, 1); err == nil {
+		t.Fatal("prediction for a featureless instance must error")
+	}
+}
+
+func TestTransferSingleDeviceFallsBackToComputeOnly(t *testing.T) {
+	// All-K80 calibration set: the two-feature system is singular, the
+	// compute-only fit takes over, and K80-family predictions stay exact.
+	cat := cloud.Catalog()
+	tp, err := FitTransfer(ctxT(t), fakeRoofline{}, cat[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := tp.Model()
+	if m.Work.Memory != 0 {
+		t.Fatalf("singular fit should zero the memory term, got %v", m.Work.Memory)
+	}
+	want := fakeRoofline{}.batch(prune.Degree{}, cat[0], 1, fakeSatB, false)
+	// cat[0] is calibrated; check via a synthetic same-features type.
+	clone := *cat[0]
+	clone.Name = "p2.xlarge-clone"
+	got, err := tp.BatchSeconds(ctxT(t), prune.Degree{}, &clone, 1, fakeSatB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("same-device prediction: got %.12g want %.12g", got, want)
+	}
+}
+
+// TestTransferCacheKeysAcrossInstanceTypes pins the memoization contract:
+// wrapped in a Cache, predictions for unseen instance types fill distinct
+// keys and never collide with calibrated ones.
+func TestTransferCacheKeysAcrossInstanceTypes(t *testing.T) {
+	cat := cloud.Catalog()
+	tp, err := FitTransfer(ctxT(t), fakeRoofline{}, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(tp)
+	d := prune.Degree{}
+	calV, err := c.BatchSeconds(ctxT(t), d, cat[1], 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3 := cloud.TransferTargets()[0]
+	unseenV, err := c.BatchSeconds(ctxT(t), d, p3, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calV == unseenV {
+		t.Fatal("calibrated and unseen instances returned one value — key collision?")
+	}
+	if n := c.Len(); n != 2 {
+		t.Fatalf("cache entries = %d, want 2 (one per instance type)", n)
+	}
+	again, err := c.BatchSeconds(ctxT(t), d, p3, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != unseenV {
+		t.Fatalf("memoized value changed: %g != %g", again, unseenV)
+	}
+	if n := c.Len(); n != 2 {
+		t.Fatalf("repeat lookup grew the cache to %d entries", n)
+	}
+	// A second unseen type fills its own key.
+	if _, err := c.BatchSeconds(ctxT(t), d, cloud.TransferTargets()[1], 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.Len(); n != 3 {
+		t.Fatalf("cache entries = %d, want 3", n)
+	}
+}
+
+// TestTransferConcurrentDeterminism hammers one predictor from many
+// goroutines (run under -race by check.sh) and verifies every call
+// returns the value a serial pass computed.
+func TestTransferConcurrentDeterminism(t *testing.T) {
+	tp, err := FitTransfer(ctxT(t), fakeRoofline{jitter: 0.03}, cloud.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type q struct {
+		inst *cloud.Instance
+		d    prune.Degree
+		gpus int
+		b    int
+	}
+	var queries []q
+	degrees := []prune.Degree{{}, prune.NewDegree("conv1", 0.3), prune.NewDegree("conv1", 0.3, "conv2", 0.5)}
+	for _, inst := range cloud.AllTypes() {
+		for _, d := range degrees {
+			queries = append(queries, q{inst, d, 1, 1}, q{inst, d, 1, 120}, q{inst, d, inst.GPUs, fakeSatB * inst.GPUs})
+		}
+	}
+	want := make([]float64, len(queries))
+	for i, qu := range queries {
+		if want[i], err = tp.BatchSeconds(ctxT(t), qu.d, qu.inst, qu.gpus, qu.b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := range queries {
+				qu := queries[(i+g)%len(queries)]
+				got, err := tp.BatchSeconds(context.Background(), qu.d, qu.inst, qu.gpus, qu.b)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if got != want[(i+g)%len(queries)] {
+					errc <- fmt.Errorf("nondeterministic: %s got %g want %g", qu.inst.Name, got, want[(i+g)%len(queries)])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransferPerfAdapter(t *testing.T) {
+	tp, err := FitTransfer(ctxT(t), fakeRoofline{}, cloud.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := prune.NewDegree("conv1", 0.2)
+	perf := tp.Perf(d, 0)
+	p3 := cloud.TransferTargets()[2] // p3.16xlarge, 8 GPUs
+	if got := perf.MaxBatch(p3); got != fakeSatB*8 {
+		t.Fatalf("MaxBatch = %d, want %d", got, fakeSatB*8)
+	}
+	want, err := tp.BatchSeconds(ctxT(t), d, p3, p3.GPUs, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := perf.BatchTime(p3, 1024); got != want {
+		t.Fatalf("BatchTime = %g, want %g", got, want)
+	}
+}
+
+func BenchmarkTransferFit(b *testing.B) {
+	ctx := context.Background()
+	cat := cloud.Catalog()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitTransfer(ctx, fakeRoofline{}, cat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -22,6 +22,11 @@ const (
 
 	// KindBenchdiff is a benchdiff comparison report (`ccperf benchdiff -json`).
 	KindBenchdiff = "benchdiff"
+
+	// KindPredict is a transfer-prediction report (`ccperf predict`):
+	// fitted roofline factors, the leave-one-out held-out error table, and
+	// — under -train — the training-fleet plan.
+	KindPredict = "predict"
 )
 
 // Envelope wraps one JSON artifact with its schema version and kind. Data

@@ -31,6 +31,18 @@ type benchPayload struct {
 	Benchmarks map[string]float64 `json:"benchmarks"`
 }
 
+type predictPayload struct {
+	Model      string            `json:"model"`
+	Calibrated []string          `json:"calibrated"`
+	MaxErrPct  float64           `json:"max_err_pct"`
+	Rows       []predictErrorRow `json:"rows"`
+}
+
+type predictErrorRow struct {
+	Instance  string  `json:"instance"`
+	ErrSatPct float64 `json:"err_sat_pct"`
+}
+
 func goldenCases() []struct {
 	name, kind string
 	payload    any
@@ -42,6 +54,15 @@ func goldenCases() []struct {
 		{"loadtest", KindLoadtest, loadtestPayload{Submitted: 2000, OK: 1987, P99MS: 42.5, CostUSD: 0.0051}},
 		{"simulate", KindSimulate, simulatePayload{Jobs: 175, Misses: 2, Cost: 64.8}},
 		{"bench", KindBench, benchPayload{Benchmarks: map[string]float64{"BenchmarkAllocate": 1.25e6}}},
+		{"predict", KindPredict, predictPayload{
+			Model:      "caffenet",
+			Calibrated: []string{"p2.xlarge", "g3.4xlarge"},
+			MaxErrPct:  1.31,
+			Rows: []predictErrorRow{
+				{Instance: "p2.8xlarge", ErrSatPct: -0.42},
+				{Instance: "g3.16xlarge", ErrSatPct: 1.31},
+			},
+		}},
 	}
 }
 

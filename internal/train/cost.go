@@ -1,0 +1,148 @@
+package train
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"ccperf/internal/cloud"
+	"ccperf/internal/prune"
+)
+
+// This file extends the package from *doing* training (SmallCNN above) to
+// *pricing* it on cloud GPU fleets: a second workload class next to the
+// paper's inference-only cost model. A training step is one forward pass
+// plus one backward pass over a mini-batch; the forward half is exactly
+// what the inference predictor measures, and the backward half is modeled
+// as a fixed multiple of it (BackwardFactor — backprop re-runs every conv
+// as two GEMMs of the same shape, so ~3× forward is the classic rule of
+// thumb). Epoch time is steps × step time, job time is epochs × epoch
+// time, and cost follows the paper's per-second pro-rated billing.
+
+// BatchTimer supplies per-batch forward times. engine.Predictor and
+// engine.TransferPredictor both satisfy it structurally; train declares
+// its own copy because it cannot import engine (engine → accuracy → train
+// would close an import cycle).
+type BatchTimer interface {
+	BatchSeconds(ctx context.Context, d prune.Degree, inst *cloud.Instance, gpus, b int) (float64, error)
+}
+
+// DefaultBackwardFactor is the forward+backward cost of one training step
+// relative to the inference forward pass of the same mini-batch.
+const DefaultBackwardFactor = 3.0
+
+// CostModel prices training work on an instance type from the same
+// predictor the inference stack uses — including, through a
+// TransferPredictor, instance types the harness never profiled.
+type CostModel struct {
+	// Timer supplies forward batch times (an engine predictor, usually
+	// wrapped in a cache).
+	Timer BatchTimer
+	// Degree is the pruning degree the model trains at (sparse training
+	// runs the pruned forward/backward).
+	Degree prune.Degree
+	// Batch is the global mini-batch size per optimizer step.
+	Batch int
+	// BackwardFactor scales forward time to forward+backward; ≤0 means
+	// DefaultBackwardFactor.
+	BackwardFactor float64
+}
+
+func (c CostModel) factor() float64 {
+	if c.BackwardFactor > 0 {
+		return c.BackwardFactor
+	}
+	return DefaultBackwardFactor
+}
+
+func (c CostModel) gpus(inst *cloud.Instance, gpus int) int {
+	if gpus > 0 && gpus <= inst.GPUs {
+		return gpus
+	}
+	return inst.GPUs
+}
+
+// StepSeconds returns the time of one optimizer step (forward + backward
+// over one mini-batch) on the instance.
+func (c CostModel) StepSeconds(ctx context.Context, inst *cloud.Instance, gpus int) (float64, error) {
+	if c.Timer == nil {
+		return 0, fmt.Errorf("train: CostModel has no Timer")
+	}
+	if c.Batch <= 0 {
+		return 0, fmt.Errorf("train: non-positive mini-batch %d", c.Batch)
+	}
+	fwd, err := c.Timer.BatchSeconds(ctx, c.Degree, inst, c.gpus(inst, gpus), c.Batch)
+	if err != nil {
+		return 0, err
+	}
+	return fwd * c.factor(), nil
+}
+
+// StepsPerEpoch returns ⌈samples/batch⌉, the optimizer steps in one pass
+// over the dataset.
+func StepsPerEpoch(samples int64, batch int) int64 {
+	if samples <= 0 || batch <= 0 {
+		return 0
+	}
+	return (samples + int64(batch) - 1) / int64(batch)
+}
+
+// EpochSeconds returns the time of one pass over samples training images.
+func (c CostModel) EpochSeconds(ctx context.Context, inst *cloud.Instance, gpus int, samples int64) (float64, error) {
+	if samples <= 0 {
+		return 0, fmt.Errorf("train: non-positive sample count %d", samples)
+	}
+	st, err := c.StepSeconds(ctx, inst, gpus)
+	if err != nil {
+		return 0, err
+	}
+	return float64(StepsPerEpoch(samples, c.Batch)) * st, nil
+}
+
+// JobSeconds returns the time of a full training job: epochs passes over
+// samples images.
+func (c CostModel) JobSeconds(ctx context.Context, inst *cloud.Instance, gpus int, samples int64, epochs int) (float64, error) {
+	if epochs <= 0 {
+		return 0, fmt.Errorf("train: non-positive epoch count %d", epochs)
+	}
+	ep, err := c.EpochSeconds(ctx, inst, gpus, samples)
+	if err != nil {
+		return 0, err
+	}
+	return float64(epochs) * ep, nil
+}
+
+// JobCost prices seconds of training on the instance with the paper's
+// per-second pro-rated billing (Section 4.1.2).
+func JobCost(seconds float64, inst *cloud.Instance) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return math.Ceil(seconds) * inst.PricePerSecond()
+}
+
+// Perf adapts the cost model to cloud.Perf so the cluster simulator can
+// plan training fleets with the machinery it already has: MaxBatch is the
+// training mini-batch and BatchTime the full step time, so a cluster Job
+// carrying Images = samples × epochs accumulates exactly JobSeconds. An
+// underlying predictor error surfaces as a zero batch time, which cluster
+// rejects at configuration time rather than silently planning with it.
+func (c CostModel) Perf(ctx context.Context, gpus int) cloud.Perf {
+	return costPerf{c: c, ctx: ctx, gpus: gpus}
+}
+
+type costPerf struct {
+	c    CostModel
+	ctx  context.Context
+	gpus int
+}
+
+func (p costPerf) BatchTime(it *cloud.Instance, b int) float64 {
+	t, err := p.c.StepSeconds(p.ctx, it, p.gpus)
+	if err != nil {
+		return 0
+	}
+	return t
+}
+
+func (p costPerf) MaxBatch(it *cloud.Instance) int { return p.c.Batch }

@@ -1,0 +1,121 @@
+package train
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"ccperf/internal/cloud"
+	"ccperf/internal/prune"
+)
+
+// linearTimer is a deterministic BatchTimer: t = 0.05 + b/(100·gpus).
+type linearTimer struct{ fail bool }
+
+func (lt linearTimer) BatchSeconds(ctx context.Context, d prune.Degree, inst *cloud.Instance, gpus, b int) (float64, error) {
+	if lt.fail {
+		return 0, fmt.Errorf("timer down")
+	}
+	if gpus <= 0 || b <= 0 {
+		return 0, fmt.Errorf("bad args")
+	}
+	return 0.05 + float64(b)/(100*float64(gpus)), nil
+}
+
+func TestCostModelStepEpochJob(t *testing.T) {
+	ctx := context.Background()
+	inst, err := cloud.ByName("p2.8xlarge") // 8 GPUs
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := CostModel{Timer: linearTimer{}, Batch: 256}
+
+	step, err := cm.StepSeconds(ctx, inst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFwd := 0.05 + 256.0/(100*8)
+	if want := wantFwd * DefaultBackwardFactor; math.Abs(step-want) > 1e-12 {
+		t.Fatalf("StepSeconds = %g, want %g", step, want)
+	}
+
+	// 1000 samples at batch 256 → 4 steps per epoch.
+	if got := StepsPerEpoch(1000, 256); got != 4 {
+		t.Fatalf("StepsPerEpoch = %d, want 4", got)
+	}
+	ep, err := cm.EpochSeconds(ctx, inst, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4 * step; math.Abs(ep-want) > 1e-12 {
+		t.Fatalf("EpochSeconds = %g, want %g", ep, want)
+	}
+	job, err := cm.JobSeconds(ctx, inst, 0, 1000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 10 * ep; math.Abs(job-want) > 1e-9 {
+		t.Fatalf("JobSeconds = %g, want %g", job, want)
+	}
+	if got, want := JobCost(job, inst), math.Ceil(job)*inst.PricePerSecond(); got != want {
+		t.Fatalf("JobCost = %g, want %g", got, want)
+	}
+}
+
+func TestCostModelBackwardFactorOverride(t *testing.T) {
+	ctx := context.Background()
+	inst, _ := cloud.ByName("p2.xlarge")
+	base := CostModel{Timer: linearTimer{}, Batch: 64}
+	fast := CostModel{Timer: linearTimer{}, Batch: 64, BackwardFactor: 2}
+	s1, _ := base.StepSeconds(ctx, inst, 0)
+	s2, _ := fast.StepSeconds(ctx, inst, 0)
+	if want := s1 * 2 / DefaultBackwardFactor; math.Abs(s2-want) > 1e-12 {
+		t.Fatalf("override: %g, want %g", s2, want)
+	}
+}
+
+func TestCostModelErrors(t *testing.T) {
+	ctx := context.Background()
+	inst, _ := cloud.ByName("p2.xlarge")
+	if _, err := (CostModel{Batch: 64}).StepSeconds(ctx, inst, 0); err == nil {
+		t.Fatal("nil Timer must error")
+	}
+	if _, err := (CostModel{Timer: linearTimer{}}).StepSeconds(ctx, inst, 0); err == nil {
+		t.Fatal("zero batch must error")
+	}
+	if _, err := (CostModel{Timer: linearTimer{}, Batch: 64}).EpochSeconds(ctx, inst, 0, 0); err == nil {
+		t.Fatal("zero samples must error")
+	}
+	if _, err := (CostModel{Timer: linearTimer{}, Batch: 64}).JobSeconds(ctx, inst, 0, 100, 0); err == nil {
+		t.Fatal("zero epochs must error")
+	}
+}
+
+func TestCostPerfAdapterMatchesJobSeconds(t *testing.T) {
+	ctx := context.Background()
+	inst, _ := cloud.ByName("g3.8xlarge")
+	cm := CostModel{Timer: linearTimer{}, Batch: 128}
+	perf := cm.Perf(ctx, 0)
+	if got := perf.MaxBatch(inst); got != 128 {
+		t.Fatalf("MaxBatch = %d, want 128", got)
+	}
+	step, _ := cm.StepSeconds(ctx, inst, 0)
+	if got := perf.BatchTime(inst, 128); got != step {
+		t.Fatalf("BatchTime = %g, want step %g", got, step)
+	}
+	// Planning samples×epochs images at MaxBatch batches reproduces
+	// JobSeconds: 1024 samples × 5 epochs = 5120 images = 40 steps.
+	samples, epochs := int64(1024), 5
+	job, _ := cm.JobSeconds(ctx, inst, 0, samples, epochs)
+	images := samples * int64(epochs)
+	n := math.Ceil(float64(images) / float64(perf.MaxBatch(inst)))
+	if got := n * perf.BatchTime(inst, 128); math.Abs(got-job) > 1e-9 {
+		t.Fatalf("planned %g, JobSeconds %g", got, job)
+	}
+	// A failing predictor degrades to zero batch time (cluster rejects).
+	failing := CostModel{Timer: linearTimer{fail: true}, Batch: 128}
+	if got := failing.Perf(ctx, 0).BatchTime(inst, 128); got != 0 {
+		t.Fatalf("failing timer should yield 0, got %g", got)
+	}
+}

@@ -30,7 +30,7 @@ mkdir -p out
 # shared box a single 1x iteration of a millisecond-scale benchmark swings
 # well past any sane threshold without any code change.
 go test -run - -bench . -benchmem -benchtime 1x -count 2 \
-    . ./internal/nn ./internal/explore ./internal/serving ./internal/tenant ./internal/shard | tee out/bench-check.txt
+    . ./internal/nn ./internal/explore ./internal/engine ./internal/serving ./internal/tenant ./internal/shard | tee out/bench-check.txt
 
 # Regression gate: diff the smoke run against the latest committed
 # trajectory point. The smoke is single-iteration and the baseline may
@@ -93,5 +93,14 @@ echo "== fault-injected simulate smoke (preemption + straggler schedule)"
 go run ./cmd/ccperf simulate \
     -fleet 2xp2.xlarge -degree conv1@30+conv2@50 \
     -faults "preempt@0:21600,slow@1:30000+3600x2,seed=7"
+
+echo "== predict smoke (leave-one-out transfer fit, 5% held-out error gate)"
+# The fit recovers the simulated device model up to measurement jitter
+# (±3%); 5% is breakage, not noise. The -train leg exercises the
+# training cost model end-to-end on a mixed measured+transferred fleet.
+go run ./cmd/ccperf predict -max-error 5
+go run ./cmd/ccperf predict -max-error 5 \
+    -train -samples 120000 -epochs 2 \
+    -fleet "1xp3.2xlarge+1xp2.8xlarge" -jobs 2 -deadline-hours 24
 
 echo "check.sh: all gates passed"
